@@ -1,0 +1,79 @@
+// E3 — the optimistic assumption and its crossover (paper §2: "if the
+// assumption is unfounded, the overhead incurred by the protocol is likely
+// to outweigh its benefits").
+//
+// Sweep: vote-abort probability 0% -> 50%. Metrics: throughput of both
+// protocols, compensation volume, O2PC/2PC throughput ratio (the crossover
+// is where the ratio dips below 1).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+harness::RunResult Run(core::CommitProtocol protocol, double abort_prob,
+                       core::GovernancePolicy governance =
+                           core::GovernancePolicy::kP1) {
+  harness::ExperimentConfig config;
+  config.label = core::CommitProtocolName(protocol);
+  config.system.num_sites = 4;
+  config.system.keys_per_site = 192;
+  config.system.seed = 17;
+  config.system.protocol.protocol = protocol;
+  config.system.protocol.governance = governance;
+  config.system.network.base_latency = Millis(10);
+  config.workload.num_global_txns = 200;
+  config.workload.num_local_txns = 200;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.ops_per_subtxn = 3;
+  config.workload.zipf_theta = 0.5;
+  config.workload.vote_abort_probability = abort_prob;
+  config.workload.mean_global_interarrival = Millis(8);
+  config.workload.mean_local_interarrival = Millis(4);
+  config.workload.seed = 41;
+  config.analyze = false;
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3: the optimistic assumption — throughput vs vote-abort rate\n\n");
+
+  metrics::TablePrinter table(
+      {"abort prob", "2PC txn/s", "O2PC+P1 txn/s", "O2PC saga txn/s",
+       "P1/2PC", "saga/2PC", "compensations", "R1 rejections"});
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    harness::RunResult two_pc = Run(core::CommitProtocol::kTwoPhaseCommit, p);
+    harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, p);
+    harness::RunResult saga = Run(core::CommitProtocol::kOptimistic, p,
+                                  core::GovernancePolicy::kNone);
+    table.AddRow({FormatDouble(p * 100, 0) + "%",
+                  FormatDouble(two_pc.throughput_tps, 1),
+                  FormatDouble(o2pc.throughput_tps, 1),
+                  FormatDouble(saga.throughput_tps, 1),
+                  FormatDouble(o2pc.throughput_tps /
+                                   std::max(0.001, two_pc.throughput_tps),
+                               2),
+                  FormatDouble(saga.throughput_tps /
+                                   std::max(0.001, two_pc.throughput_tps),
+                               2),
+                  std::to_string(o2pc.compensations),
+                  std::to_string(o2pc.r1_rejections)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: O2PC ahead/at parity at low abort rates; compensation\n"
+      "erodes the margin as aborts grow (the saga column isolates pure\n"
+      "compensation cost); with P1 the marking churn dominates at high\n"
+      "abort rates — the paper's warning that the optimistic assumption\n"
+      "must hold, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E4 — blocking under coordinator failure (paper §1: "the length of time
+// these locks are held can be unbounded" because 2PC is a blocking
+// protocol; O2PC's whole point is to escape that).
+//
+// The coordinator crashes after logging its decision with probability p and
+// recovers after a fixed outage. Metrics: p99/max exclusive-lock hold and
+// p99 latency of the *other* traffic.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+harness::RunResult Run(core::CommitProtocol protocol, double crash_prob,
+                       Duration outage) {
+  harness::ExperimentConfig config;
+  config.label = core::CommitProtocolName(protocol);
+  config.system.num_sites = 3;
+  config.system.keys_per_site = 128;
+  config.system.seed = 23;
+  config.system.protocol.protocol = protocol;
+  config.system.protocol.coordinator_crash_probability = crash_prob;
+  config.system.protocol.coordinator_recovery_delay = outage;
+  config.system.protocol.resend_timeout = Seconds(10);
+  config.system.lock_wait_timeout = Seconds(2);  // expose the blocking
+  config.workload.num_global_txns = 120;
+  config.workload.num_local_txns = 120;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.zipf_theta = 0.4;
+  config.workload.mean_global_interarrival = Millis(10);
+  config.workload.mean_local_interarrival = Millis(5);
+  config.workload.seed = 51;
+  config.analyze = false;
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  const Duration outage = Millis(500);
+  std::printf(
+      "E4: coordinator crashes (after logging) with recovery after 500ms\n"
+      "claim: 2PC participants block in prepared state for the outage; "
+      "O2PC participants have already released their locks\n\n");
+
+  metrics::TablePrinter table({"crash prob", "protocol", "p99 X-hold",
+                               "max X-hold", "p99 txn latency",
+                               "crashes"});
+  for (double p : {0.0, 0.05, 0.2}) {
+    for (core::CommitProtocol protocol :
+         {core::CommitProtocol::kTwoPhaseCommit,
+          core::CommitProtocol::kOptimistic}) {
+      harness::RunResult result = Run(protocol, p, outage);
+      table.AddRow(
+          {FormatDouble(p * 100, 0) + "%",
+           core::CommitProtocolName(protocol),
+           FormatDuration(static_cast<Duration>(result.p99_xlock_hold_us)),
+           FormatDuration(static_cast<Duration>(result.max_xlock_hold_us)),
+           FormatDuration(static_cast<Duration>(result.p99_latency_us)),
+           std::to_string(result.coordinator_crashes)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: under crashes, 2PC's max lock hold jumps to the\n"
+      "outage length (and conflicting traffic queues behind it); O2PC's\n"
+      "hold times barely move.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// F1 — Figure 1 and Example 1, reproduced executably.
+//
+// Rebuilds the paper's regular-cycle scenarios as explicit local SGs and
+// classifies each with the minimal-representation detector. The table's
+// expected column is the paper's own classification: (a)-(c) are regular
+// cycles; the compensation-only cycle and Example 1 are allowed.
+
+#include <cstdio>
+
+#include "metrics/table.h"
+#include "sg/regular_cycle.h"
+#include "sg/serialization_graph.h"
+
+using namespace o2pc;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* description;
+  sg::SerializationGraph graph;
+  bool expect_regular;
+};
+
+std::vector<Scenario> BuildScenarios() {
+  std::vector<Scenario> scenarios;
+
+  {
+    Scenario s;
+    s.name = "Fig1(a)";
+    s.description = "CT1->T2 @S1 ; T2->CT1 @S2";
+    s.graph.AddEdge(sg::CompNode(1), sg::GlobalNode(2), 1);
+    s.graph.AddEdge(sg::GlobalNode(2), sg::CompNode(1), 2);
+    s.expect_regular = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "Fig1(b)";
+    s.description = "T2->CT1 @S1 ; CT1->T3 @S2 ; T3->T2 @S3";
+    s.graph.AddEdge(sg::GlobalNode(2), sg::CompNode(1), 1);
+    s.graph.AddEdge(sg::CompNode(1), sg::GlobalNode(3), 2);
+    s.graph.AddEdge(sg::GlobalNode(3), sg::GlobalNode(2), 3);
+    s.expect_regular = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "Fig1(c)";
+    s.description = "T1->T2 @S1 ; T2->T1->CT1 @S2";
+    s.graph.AddEdge(sg::GlobalNode(1), sg::GlobalNode(2), 1);
+    s.graph.AddEdge(sg::GlobalNode(2), sg::GlobalNode(1), 2);
+    s.graph.AddEdge(sg::GlobalNode(1), sg::CompNode(1), 2);
+    s.expect_regular = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "CT-only";
+    s.description = "CT1->CT2 @S1 ; CT2->CT1 @S2 (allowed by the criterion)";
+    s.graph.AddEdge(sg::CompNode(1), sg::CompNode(2), 1);
+    s.graph.AddEdge(sg::CompNode(2), sg::CompNode(1), 2);
+    s.expect_regular = false;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "Example1";
+    s.description =
+        "CT1->T2 @S1 ; CT1->T2->CT3 @S2 ; CT3->CT1 @S3 (T2 interior)";
+    s.graph.AddEdge(sg::CompNode(1), sg::GlobalNode(2), 1);
+    s.graph.AddEdge(sg::CompNode(1), sg::GlobalNode(2), 2);
+    s.graph.AddEdge(sg::GlobalNode(2), sg::CompNode(3), 2);
+    s.graph.AddEdge(sg::CompNode(3), sg::CompNode(1), 3);
+    s.expect_regular = false;
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F1: Figure 1 / Example 1 — regular-cycle classification\n"
+      "(a cycle is *regular* iff a minimal representation includes a "
+      "regular transaction)\n\n");
+
+  metrics::TablePrinter table(
+      {"scenario", "local SG segments", "cycle?", "regular?", "expected",
+       "verdict"});
+  bool all_ok = true;
+  for (Scenario& scenario : BuildScenarios()) {
+    sg::RegularCycleDetector detector(scenario.graph);
+    const bool has_cycle = scenario.graph.HasCycle();
+    const bool regular = detector.HasRegularCycle();
+    const bool ok = regular == scenario.expect_regular;
+    all_ok = all_ok && ok;
+    table.AddRow({scenario.name, scenario.description,
+                  has_cycle ? "yes" : "no", regular ? "REGULAR" : "allowed",
+                  scenario.expect_regular ? "REGULAR" : "allowed",
+                  ok ? "match" : "MISMATCH"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Show a witness for Figure 1(a) to make the pivot semantics tangible.
+  sg::SerializationGraph fig1a;
+  fig1a.AddEdge(sg::CompNode(1), sg::GlobalNode(2), 1);
+  fig1a.AddEdge(sg::GlobalNode(2), sg::CompNode(1), 2);
+  sg::RegularCycleDetector detector(fig1a);
+  if (auto witness = detector.FindWitness()) {
+    std::printf("Fig1(a) witness: %s\n", witness->ToString().c_str());
+  }
+  return all_ok ? 0 : 1;
+}

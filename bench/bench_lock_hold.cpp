@@ -1,0 +1,73 @@
+// E1 — early lock release (paper §1/§2).
+//
+// Claim: under distributed 2PL + 2PC, exclusive locks are held until the
+// DECISION message arrives, so hold times grow with network latency (three
+// message rounds); under O2PC all locks are released the moment the site
+// votes, making the exclusive hold time independent of the decision round.
+//
+// Sweep: one-way network latency. Metric: mean/p99 exclusive-lock hold.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+harness::RunResult Run(core::CommitProtocol protocol, Duration latency) {
+  harness::ExperimentConfig config;
+  config.label = core::CommitProtocolName(protocol);
+  config.system.num_sites = 4;
+  config.system.keys_per_site = 512;  // low contention: isolate hold time
+  config.system.seed = 11;
+  config.system.protocol.protocol = protocol;
+  config.system.network.base_latency = latency;
+  config.system.network.jitter = latency / 20;
+  config.system.lock_wait_timeout = Seconds(5);
+  config.workload.num_global_txns = 150;
+  config.workload.num_local_txns = 0;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.zipf_theta = 0.0;
+  // Keep the multiprogramming level roughly constant across the latency
+  // sweep (a transaction's lifetime is a few network rounds).
+  config.workload.mean_global_interarrival = Micros(2000) + 2 * latency;
+  config.workload.seed = 21;
+  config.analyze = false;
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E1: exclusive-lock hold time vs one-way network latency\n"
+      "claim: 2PC holds X locks across the VOTE+DECISION rounds; O2PC "
+      "releases at the vote\n\n");
+
+  metrics::TablePrinter table({"latency", "2PC mean", "2PC p99", "O2PC mean",
+                               "O2PC p99", "2PC/O2PC"});
+  for (Duration latency :
+       {Millis(1), Millis(5), Millis(10), Millis(20), Millis(50)}) {
+    harness::RunResult two_pc =
+        Run(core::CommitProtocol::kTwoPhaseCommit, latency);
+    harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, latency);
+    table.AddRow(
+        {FormatDuration(latency),
+         FormatDuration(static_cast<Duration>(two_pc.mean_xlock_hold_us)),
+         FormatDuration(static_cast<Duration>(two_pc.p99_xlock_hold_us)),
+         FormatDuration(static_cast<Duration>(o2pc.mean_xlock_hold_us)),
+         FormatDuration(static_cast<Duration>(o2pc.p99_xlock_hold_us)),
+         FormatDouble(two_pc.mean_xlock_hold_us /
+                          std::max(1.0, o2pc.mean_xlock_hold_us),
+                      2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: the 2PC/O2PC ratio grows with latency — O2PC's hold\n"
+      "time stops depending on the decision round trip.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// E7 — microbenchmarks of the building blocks (google-benchmark):
+// event kernel, lock manager, conflict tracking + regular-cycle detection,
+// marking-set checks.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/marking.h"
+#include "lock/lock_manager.h"
+#include "sg/conflict_tracker.h"
+#include "sg/regular_cycle.h"
+#include "sim/simulator.h"
+
+namespace o2pc {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.Schedule(i % 97, [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Simulator sim;
+  lock::LockManager locks(&sim, {});
+  TxnId txn = 1;
+  for (auto _ : state) {
+    locks.Acquire(txn, 7, lock::LockMode::kExclusive, [](const Status&) {});
+    sim.Run();
+    locks.ReleaseAll(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_LockContendedQueue(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  TxnId next = 1;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    lock::LockManager locks(&sim, {});
+    const TxnId holder = next++;
+    locks.Acquire(holder, 7, lock::LockMode::kExclusive, [](const Status&) {});
+    sim.Run();
+    for (int i = 0; i < waiters; ++i) {
+      locks.Acquire(next++, 7, lock::LockMode::kExclusive,
+                    [](const Status&) {});
+    }
+    sim.Run();
+    locks.ReleaseAll(holder);  // grants cascade
+    sim.Run();
+    benchmark::DoNotOptimize(locks.stats().acquires);
+  }
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_LockContendedQueue)->Arg(16)->Arg(128);
+
+void BM_ConflictTrackerBuildGraph(benchmark::State& state) {
+  const int accesses = static_cast<int>(state.range(0));
+  Rng rng(5);
+  sg::ConflictTracker tracker(0);
+  for (int i = 0; i < accesses; ++i) {
+    tracker.RecordAccess(
+        sg::GlobalNode(static_cast<TxnId>(rng.Uniform(1, 200))),
+        static_cast<DataKey>(rng.Uniform(0, 63)), rng.Bernoulli(0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.BuildGraph().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_ConflictTrackerBuildGraph)->Arg(1000)->Arg(10000);
+
+sg::SerializationGraph RandomGlobalSg(int txns, int sites,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  sg::SerializationGraph graph;
+  for (int i = 0; i < txns * 3; ++i) {
+    const TxnId a = static_cast<TxnId>(rng.Uniform(1, txns));
+    const TxnId b = static_cast<TxnId>(rng.Uniform(1, txns));
+    const SiteId site = static_cast<SiteId>(rng.Uniform(0, sites - 1));
+    const bool a_ct = rng.Bernoulli(0.2);
+    const bool b_ct = rng.Bernoulli(0.2);
+    graph.AddEdge(a_ct ? sg::CompNode(a) : sg::GlobalNode(a),
+                  b_ct ? sg::CompNode(b) : sg::GlobalNode(b), site);
+  }
+  return graph;
+}
+
+void BM_RegularCycleDetection(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  sg::SerializationGraph graph = RandomGlobalSg(txns, 4, 9);
+  for (auto _ : state) {
+    sg::RegularCycleDetector detector(graph);
+    benchmark::DoNotOptimize(detector.HasRegularCycle());
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_RegularCycleDetection)->Arg(100)->Arg(500);
+
+void BM_CompatibleCheckP1(benchmark::State& state) {
+  core::TransMarks tm;
+  core::SiteMarks site;
+  for (TxnId ti = 1; ti <= 32; ++ti) {
+    site.undone.insert(ti);
+    tm.visited_sites = {0, 1, 2};
+    tm.undone_seen[ti] = {0, 1, 2};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::Compatible(core::GovernancePolicy::kP1, tm, site));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompatibleCheckP1);
+
+void BM_WitnessGossipMerge(benchmark::State& state) {
+  core::WitnessKnowledge source;
+  for (TxnId ti = 1; ti <= 200; ++ti) {
+    for (SiteId s = 0; s < 4; ++s) {
+      source.Add(core::WitnessFact{ti, s});
+    }
+  }
+  const core::MarkingGossip gossip = source.Export();
+  for (auto _ : state) {
+    core::WitnessKnowledge sink;
+    sink.Merge(gossip);
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_WitnessGossipMerge);
+
+}  // namespace
+}  // namespace o2pc
+
+BENCHMARK_MAIN();

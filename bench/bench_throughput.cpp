@@ -1,0 +1,94 @@
+// E2 — throughput under data contention (paper §2: early release "can
+// dramatically reduce waiting due to data contention").
+//
+// Sweep: key-space size + skew (hotter keys => more contention) at a fixed,
+// feasible offered load. Metrics: committed-transaction throughput, mean
+// lock wait, mean commit latency. O2PC appears twice: ungoverned (the pure
+// locking effect) and governed by P1 (the full protocol, whose marking
+// overhead is only paid when transactions abort — none are injected here,
+// but deadlock rollbacks under heavy contention do create marks).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+harness::RunResult Run(core::CommitProtocol protocol,
+                       core::GovernancePolicy governance, double theta,
+                       DataKey keys) {
+  harness::ExperimentConfig config;
+  config.label = core::CommitProtocolName(protocol);
+  config.system.num_sites = 4;
+  config.system.keys_per_site = keys;
+  config.system.seed = 5;
+  config.system.protocol.protocol = protocol;
+  config.system.protocol.governance = governance;
+  config.system.network.base_latency = Millis(10);
+  config.workload.num_global_txns = 200;
+  config.workload.num_local_txns = 200;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.zipf_theta = theta;
+  config.workload.ops_per_subtxn = 3;
+  config.workload.mean_global_interarrival = Millis(8);
+  config.workload.mean_local_interarrival = Millis(4);
+  config.workload.seed = 31;
+  config.analyze = false;
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2: throughput and lock waiting vs contention\n"
+      "(4 sites, 10ms latency, 200 global + 200 local txns, "
+      "~125 global txn/s offered)\n\n");
+
+  metrics::TablePrinter table({"contention", "protocol", "txn/s",
+                               "mean wait", "mean latency", "deadlocks",
+                               "restarts"});
+  struct Level {
+    const char* name;
+    DataKey keys;
+    double theta;
+  };
+  struct Proto {
+    core::CommitProtocol protocol;
+    core::GovernancePolicy governance;
+    const char* name;
+  };
+  const Proto protos[] = {
+      {core::CommitProtocol::kTwoPhaseCommit, core::GovernancePolicy::kNone,
+       "2PC"},
+      {core::CommitProtocol::kOptimistic, core::GovernancePolicy::kNone,
+       "O2PC"},
+      {core::CommitProtocol::kOptimistic, core::GovernancePolicy::kP1,
+       "O2PC+P1"},
+  };
+  for (const Level& level : {Level{"low (512 keys, uniform)", 512, 0.0},
+                             Level{"medium (96 keys, z0.7)", 96, 0.7},
+                             Level{"high (32 keys, z0.9)", 32, 0.9}}) {
+    for (const Proto& proto : protos) {
+      harness::RunResult result =
+          Run(proto.protocol, proto.governance, level.theta, level.keys);
+      table.AddRow(
+          {level.name, proto.name, FormatDouble(result.throughput_tps, 1),
+           FormatDuration(static_cast<Duration>(result.mean_lock_wait_us)),
+           FormatDuration(static_cast<Duration>(result.mean_latency_us)),
+           std::to_string(result.deadlocks),
+           std::to_string(result.restarts)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: near parity at low contention; O2PC's shorter lock\n"
+      "windows win as contention grows; P1's governance charges some of\n"
+      "that back when rollbacks (deadlocks) create marks.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Inter-bank funds transfers under O2PC — the restricted transaction model
+// in action.
+//
+// Four autonomous banks process a stream of transfers. Some transfers are
+// refused by the receiving bank (abort votes); the already-exposed debits
+// are compensated. The demo audits:
+//   * conservation: total money in the system never changes;
+//   * semantic atomicity: every aborted transfer is fully compensated;
+//   * the §5 correctness criterion over the whole recorded history.
+//
+//   ./examples/banking_transfer
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/system.h"
+#include "metrics/table.h"
+#include "workload/scenarios.h"
+
+using namespace o2pc;
+
+int main() {
+  core::SystemOptions options;
+  options.num_sites = 4;       // four banks
+  options.keys_per_site = 32;  // 32 accounts each
+  options.initial_value = 10'000;
+  options.protocol.protocol = core::CommitProtocol::kOptimistic;
+  options.protocol.governance = core::GovernancePolicy::kP1;
+  options.seed = 2026;
+  core::DistributedSystem system(options);
+
+  const Value total_before = system.TotalValue();
+  std::printf("four banks, 32 accounts each, %lld money units total\n\n",
+              static_cast<long long>(total_before));
+
+  // A stream of 60 transfers; roughly one in five is refused by the
+  // receiving bank (insufficient compliance, closed account, ... — the
+  // receiving site exercises its autonomy and votes abort).
+  Rng rng(7);
+  int committed = 0;
+  int aborted = 0;
+  int compensations = 0;
+  SimTime arrival = 0;
+  for (int i = 0; i < 60; ++i) {
+    const SiteId from = static_cast<SiteId>(rng.Uniform(0, 3));
+    SiteId to = static_cast<SiteId>(rng.Uniform(0, 3));
+    while (to == from) to = static_cast<SiteId>(rng.Uniform(0, 3));
+    const DataKey from_account = static_cast<DataKey>(rng.Uniform(0, 31));
+    const DataKey to_account = static_cast<DataKey>(rng.Uniform(0, 31));
+    const Value amount = rng.Uniform(10, 500);
+
+    core::GlobalTxnSpec spec =
+        workload::MakeTransfer(from, from_account, to, to_account, amount);
+    if (rng.Bernoulli(0.2)) spec.subtxns[1].force_abort_vote = true;
+
+    arrival += static_cast<Duration>(rng.Exponential(3000.0));
+    system.simulator().ScheduleAt(
+        arrival,
+        [&system, spec, &committed, &aborted, &compensations]() mutable {
+          system.SubmitGlobal(spec, [&](const core::GlobalResult& r) {
+            if (r.committed) {
+              ++committed;
+            } else {
+              ++aborted;
+            }
+            compensations += r.compensations;
+          });
+        });
+  }
+  system.Run();
+
+  metrics::TablePrinter table({"metric", "value"});
+  table.AddRow({"transfers committed", std::to_string(committed)});
+  table.AddRow({"transfers aborted", std::to_string(aborted)});
+  table.AddRow({"compensating subtransactions",
+                std::to_string(compensations)});
+  table.AddRow({"deadlock restarts",
+                std::to_string(system.stats().Count("global_restarts"))});
+  table.AddRow({"total before", std::to_string(total_before)});
+  table.AddRow({"total after", std::to_string(system.TotalValue())});
+  std::printf("%s\n", table.ToString().c_str());
+
+  const bool conserved = system.TotalValue() == total_before;
+  std::printf("conservation invariant: %s\n",
+              conserved ? "HOLDS" : "VIOLATED");
+
+  sg::CorrectnessReport report = system.Analyze();
+  std::printf("history analysis: %s\n", report.Summary().c_str());
+  return (conserved && report.correct) ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// The blocking demonstration — the problem statement of the paper's §1.
+//
+// A coordinator crashes after logging its decision and recovers 2 seconds
+// later. Under 2PC, the participants sit in the *prepared* state holding
+// exclusive locks for the entire outage: every conflicting transaction
+// (even purely local ones!) queues behind them. Under O2PC the
+// participants locally committed at vote time, so local traffic sails
+// through the outage untouched.
+//
+//   ./examples/coordinator_failure
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/system.h"
+#include "metrics/histogram.h"
+#include "metrics/table.h"
+#include "workload/scenarios.h"
+
+using namespace o2pc;
+
+namespace {
+
+struct OutageResult {
+  double max_xlock_hold_ms = 0;
+  double max_local_latency_ms = 0;
+  int locals_finished_during_outage = 0;
+};
+
+OutageResult RunOutage(core::CommitProtocol protocol) {
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  options.protocol.protocol = protocol;
+  options.protocol.coordinator_crash_probability = 1.0;  // always crash
+  options.protocol.coordinator_recovery_delay = Seconds(2);
+  options.protocol.resend_timeout = Seconds(10);
+  core::DistributedSystem system(options);
+
+  // The doomed-to-be-delayed global transaction on accounts 1 and 2.
+  system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10));
+
+  // Local traffic on the same accounts, arriving during the outage.
+  OutageResult result;
+  std::vector<SimTime> submit_times;
+  for (int i = 0; i < 20; ++i) {
+    const SimTime when = Millis(100) + i * Millis(50);
+    system.simulator().ScheduleAt(when, [&system, &result, when] {
+      system.SubmitLocal(
+          0,
+          {local::Operation{local::OpType::kIncrement, 1, 1},
+           local::Operation{local::OpType::kIncrement, 2, -1}},
+          [&result, when, &system](bool ok) {
+            if (!ok) return;
+            const double latency_ms =
+                static_cast<double>(system.simulator().Now() - when) / 1000.0;
+            result.max_local_latency_ms =
+                std::max(result.max_local_latency_ms, latency_ms);
+            if (system.simulator().Now() < Seconds(2)) {
+              ++result.locals_finished_during_outage;
+            }
+          });
+    });
+  }
+  system.Run();
+
+  for (int i = 0; i < options.num_sites; ++i) {
+    for (Duration d : system.db(static_cast<SiteId>(i))
+                          .lock_manager()
+                          .stats()
+                          .exclusive_hold) {
+      result.max_xlock_hold_ms = std::max(
+          result.max_xlock_hold_ms, static_cast<double>(d) / 1000.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "coordinator crashes after logging its decision; recovers after 2s\n"
+      "20 local transactions on the same accounts arrive during the "
+      "outage\n\n");
+
+  const OutageResult res_2pc = RunOutage(core::CommitProtocol::kTwoPhaseCommit);
+  const OutageResult res_o2pc = RunOutage(core::CommitProtocol::kOptimistic);
+
+  metrics::TablePrinter table(
+      {"protocol", "max X-lock hold", "max local latency",
+       "locals done during outage (of 20)"});
+  table.AddRow({"2PC", StrCat(FormatDouble(res_2pc.max_xlock_hold_ms, 1),
+                              "ms"),
+                StrCat(FormatDouble(res_2pc.max_local_latency_ms, 1), "ms"),
+                std::to_string(res_2pc.locals_finished_during_outage)});
+  table.AddRow({"O2PC", StrCat(FormatDouble(res_o2pc.max_xlock_hold_ms, 1),
+                               "ms"),
+                StrCat(FormatDouble(res_o2pc.max_local_latency_ms, 1), "ms"),
+                std::to_string(res_o2pc.locals_finished_during_outage)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "2PC blocks conflicting local work for the whole outage;\n"
+      "O2PC released its locks at vote time and is unaffected.\n");
+  return res_o2pc.locals_finished_during_outage >
+                 res_2pc.locals_finished_during_outage
+             ? 0
+             : 1;
+}

@@ -1,0 +1,72 @@
+// Quickstart: a three-site distributed database running the O2PC protocol.
+//
+// Shows the public API end to end: configure a system, submit a global
+// transaction, watch it commit; then force an abort vote and watch the
+// exposed subtransaction being compensated (semantic atomicity).
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "workload/scenarios.h"
+
+using namespace o2pc;
+
+namespace {
+
+void PrintBalances(core::DistributedSystem& system, const char* when) {
+  std::printf("%-28s site0/acct1=%lld  site1/acct2=%lld\n", when,
+              static_cast<long long>(system.db(0).table().Get(1)->value),
+              static_cast<long long>(system.db(1).table().Get(2)->value));
+}
+
+}  // namespace
+
+int main() {
+  // 1. Configure a three-site system running O2PC governed by protocol P1.
+  core::SystemOptions options;
+  options.num_sites = 3;
+  options.keys_per_site = 16;    // accounts 0..15 at each site
+  options.initial_value = 1000;  // every account starts with 1000
+  options.protocol.protocol = core::CommitProtocol::kOptimistic;
+  options.protocol.governance = core::GovernancePolicy::kP1;
+  core::DistributedSystem system(options);
+
+  PrintBalances(system, "initial state:");
+
+  // 2. A global transaction: transfer 250 from site 0 to site 1.
+  system.SubmitGlobal(
+      workload::MakeTransfer(/*from_site=*/0, /*from_account=*/1,
+                             /*to_site=*/1, /*to_account=*/2,
+                             /*amount=*/250),
+      [](const core::GlobalResult& result) {
+        std::printf("transfer #1: %s in %lldus (%d sites)\n",
+                    result.committed ? "COMMITTED" : "ABORTED",
+                    static_cast<long long>(result.finish_time -
+                                           result.submit_time),
+                    result.num_sites);
+      });
+  system.Run();
+  PrintBalances(system, "after commit:");
+
+  // 3. The same transfer, but the credit site votes ABORT. Under O2PC the
+  //    debit site has already locally committed (locks long released), so
+  //    its effects are undone *semantically* by a compensating
+  //    subtransaction.
+  core::GlobalTxnSpec failing = workload::MakeTransfer(0, 1, 1, 2, 250);
+  failing.subtxns[1].force_abort_vote = true;
+  system.SubmitGlobal(failing, [](const core::GlobalResult& result) {
+    std::printf("transfer #2: %s, compensating subtransactions run: %d\n",
+                result.committed ? "COMMITTED" : "ABORTED",
+                result.compensations);
+  });
+  system.Run();
+  PrintBalances(system, "after compensation:");
+
+  // 4. The post-run correctness oracle: the recorded history satisfies the
+  //    paper's criterion (no regular cycles) and atomicity of compensation.
+  sg::CorrectnessReport report = system.Analyze();
+  std::printf("history analysis: %s\n", report.Summary().c_str());
+  return report.correct ? 0 : 1;
+}

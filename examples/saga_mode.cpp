@@ -1,0 +1,94 @@
+// Saga mode — the paper's §4 closing remark made concrete.
+//
+// "The loss of serializability would not be worrisome if sagas, or their
+// generalization — multi-transactions — are used. Then the O2PC scheme can
+// be employed as it was presented so far, without any further adjustments."
+//
+// This demo runs the same abort-heavy contended workload twice:
+//   * ungoverned O2PC (a saga framework's view: semantic atomicity is
+//     enough) — fast, but the recorded history violates the paper's
+//     serializability-like criterion, and the oracle shows the concrete
+//     regular cycle;
+//   * O2PC governed by P1 — the criterion holds, at the price of
+//     rejections and restarts.
+//
+//   ./examples/saga_mode
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+harness::RunResult Run(core::GovernancePolicy governance,
+                       std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.label = core::GovernancePolicyName(governance);
+  config.system.num_sites = 3;
+  config.system.keys_per_site = 8;  // hot keys: real interleavings
+  config.system.seed = seed;
+  config.system.protocol.protocol = core::CommitProtocol::kOptimistic;
+  config.system.protocol.governance = governance;
+  config.workload.num_global_txns = 60;
+  config.workload.num_local_txns = 60;
+  config.workload.ops_per_subtxn = 3;
+  config.workload.vote_abort_probability = 0.25;
+  config.workload.zipf_theta = 0.9;
+  config.workload.mean_global_interarrival = Millis(1);
+  config.workload.mean_local_interarrival = Millis(1);
+  config.workload.seed = seed * 31 + 7;
+  config.analyze = true;
+  return harness::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Saga mode vs governed O2PC on an abort-heavy contended workload\n"
+      "(60 global + 60 local txns, 3 sites, 8 hot keys, 25%% abort "
+      "votes)\n\n");
+
+  // Scan a few seeds: the saga run keeps semantic atomicity but sooner or
+  // later records a regular cycle; P1 never does.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    harness::RunResult saga = Run(core::GovernancePolicy::kNone, seed);
+    harness::RunResult governed = Run(core::GovernancePolicy::kP1, seed);
+
+    metrics::TablePrinter table({"", "saga (ungoverned)", "O2PC + P1"});
+    table.AddRow({"committed", std::to_string(saga.committed),
+                  std::to_string(governed.committed)});
+    table.AddRow({"compensations", std::to_string(saga.compensations),
+                  std::to_string(governed.compensations)});
+    table.AddRow({"R1 rejections", std::to_string(saga.r1_rejections),
+                  std::to_string(governed.r1_rejections)});
+    table.AddRow({"regular cycles",
+                  saga.report.has_regular_cycle ? "YES" : "no",
+                  governed.report.has_regular_cycle ? "YES" : "no"});
+    table.AddRow({"criterion", saga.report.correct ? "holds" : "VIOLATED",
+                  governed.report.correct ? "holds" : "VIOLATED"});
+    std::printf("seed %llu\n%s", static_cast<unsigned long long>(seed),
+                table.ToString().c_str());
+    if (saga.report.witness) {
+      std::printf("  saga's regular cycle: %s\n",
+                  saga.report.witness->ToString().c_str());
+    }
+    std::printf("\n");
+    if (!governed.report.correct) return 1;  // must never happen
+    if (saga.report.has_regular_cycle) {
+      std::printf(
+          "The saga run above kept semantic atomicity (every aborted\n"
+          "transaction was compensated) yet interleaved other work between\n"
+          "a transaction and its compensation inconsistently across sites\n"
+          "— invisible to a saga framework, caught by the paper's "
+          "criterion.\n");
+      return 0;
+    }
+  }
+  std::printf("no seed exhibited a regular cycle this time\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace o2pc {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() = default;
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // never destroyed; trivially safe
+  return *logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep the prefix short: basename only.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Global().Write(level_, stream_.str());
+}
+
+namespace log_internal {
+
+CheckFailure::CheckFailure(const char* expr, const char* file, int line) {
+  stream_ << "CHECK failed: " << expr << " at " << file << ":" << line << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace log_internal
+}  // namespace o2pc

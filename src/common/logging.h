@@ -1,0 +1,91 @@
+#ifndef O2PC_COMMON_LOGGING_H_
+#define O2PC_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal leveled logging. Benchmarks run with logging off; tests can
+/// install a capture sink. A terse macro interface keeps call sites readable:
+///
+///   O2PC_LOG(kInfo) << "site " << site << " voted " << vote;
+///
+/// `O2PC_CHECK(cond)` aborts the process on violated invariants (there are
+/// no exceptions in this codebase).
+
+namespace o2pc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger instance.
+  static Logger& Global();
+
+  /// Minimum level that is emitted. Defaults to kWarn.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore the
+  /// default.
+  void set_sink(Sink sink);
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style single-message builder used by O2PC_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+namespace log_internal {
+/// Aborts the process after printing `expr` and the accumulated message.
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+}  // namespace o2pc
+
+#define O2PC_LOG(level)                                                  \
+  if (!::o2pc::Logger::Global().Enabled(::o2pc::LogLevel::level)) {      \
+  } else                                                                 \
+    ::o2pc::LogMessage(::o2pc::LogLevel::level, __FILE__, __LINE__)      \
+        .stream()
+
+#define O2PC_CHECK(cond)                                               \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::o2pc::log_internal::CheckFailure(#cond, __FILE__, __LINE__)      \
+        .stream()
+
+#endif  // O2PC_COMMON_LOGGING_H_

@@ -1,0 +1,63 @@
+#ifndef O2PC_COMMON_RNG_H_
+#define O2PC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Deterministic random-number generation for reproducible simulation runs.
+/// The generator is xoshiro256**, seeded via splitmix64, with the
+/// distributions the workload generators need (uniform, Bernoulli,
+/// exponential inter-arrival times, and Zipf hotspots).
+
+namespace o2pc {
+
+/// Deterministic PRNG. Copyable; copying forks the stream.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on every platform.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Pre: lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Derives an independent generator; `label` decorrelates derived streams.
+  Rng Fork(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(theta) sampler over {0, 1, ..., n-1} using the Gray/Jim
+/// precomputed-CDF method. theta = 0 is uniform; larger theta is more skewed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Samples an index in [0, n); indexes near 0 are the hottest.
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace o2pc
+
+#endif  // O2PC_COMMON_RNG_H_

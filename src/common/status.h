@@ -1,0 +1,109 @@
+#ifndef O2PC_COMMON_STATUS_H_
+#define O2PC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+/// \file
+/// Exception-free error handling, in the style of RocksDB/Arrow `Status`.
+/// Every fallible operation returns a `Status` (or a `Result<T>`, see
+/// result.h); callers test with `ok()` or dispatch on `code()`.
+
+namespace o2pc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  /// The transaction was aborted (voluntarily, by vote, or by decision).
+  kAborted = 1,
+  /// The transaction was chosen as a deadlock victim.
+  kDeadlock = 2,
+  /// A marking-protocol compatibility check (rule R1) rejected the
+  /// subtransaction; the caller may retry later.
+  kRejected = 3,
+  /// A referenced key / transaction / site does not exist.
+  kNotFound = 4,
+  kInvalidArgument = 5,
+  /// The target site or link is currently down or partitioned away.
+  kUnavailable = 6,
+  /// A uniqueness or state conflict (e.g. inserting an existing key).
+  kConflict = 7,
+  /// A wait exceeded its bound.
+  kTimedOut = 8,
+  /// An internal invariant failed. Always a bug.
+  kInternal = 9,
+};
+
+/// Human-readable name of a StatusCode, e.g. "Aborted".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type carrying a StatusCode plus an optional context message.
+class Status {
+ public:
+  /// Builds an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Rejected(std::string msg = "") {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace o2pc
+
+#endif  // O2PC_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace o2pc {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatDuration(std::int64_t micros) {
+  if (micros < 1000) return StrCat(micros, "us");
+  if (micros < 1000 * 1000) {
+    return StrCat(FormatDouble(static_cast<double>(micros) / 1000.0, 2), "ms");
+  }
+  return StrCat(FormatDouble(static_cast<double>(micros) / 1e6, 3), "s");
+}
+
+const char* TxnKindName(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kLocal:
+      return "L";
+    case TxnKind::kGlobal:
+      return "T";
+    case TxnKind::kCompensating:
+      return "CT";
+  }
+  return "?";
+}
+
+std::string TxnLabel(TxnKind kind, TxnId id) {
+  return StrCat(TxnKindName(kind), id);
+}
+
+}  // namespace o2pc

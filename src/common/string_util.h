@@ -1,0 +1,33 @@
+#ifndef O2PC_COMMON_STRING_UTIL_H_
+#define O2PC_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Small string helpers used by metrics tables and log/test output.
+
+namespace o2pc {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  ((out << args), ...);
+  return out.str();
+}
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a simulated-time duration in human units ("12.3ms", "4.5s").
+std::string FormatDuration(std::int64_t micros);
+
+}  // namespace o2pc
+
+#endif  // O2PC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,67 @@
+#ifndef O2PC_COMMON_TYPES_H_
+#define O2PC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+/// \file
+/// Fundamental identifier and value types shared by every o2pc library.
+///
+/// The simulated distributed database is made of *sites* (autonomous local
+/// DBMSs) holding *data items* addressed by a key. Transactions are globally
+/// identified by a TxnId; a subtransaction of global transaction `T_i` running
+/// at site `k` shares `T_i`'s TxnId (the pair (TxnId, SiteId) names the
+/// subtransaction, as in the paper's `T_ik`).
+
+namespace o2pc {
+
+/// Identifier of a (global, local, or compensating) transaction.
+/// `kInvalidTxn` (0) never names a real transaction.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// Identifier of a site (one autonomous local DBMS).
+using SiteId = std::uint32_t;
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+
+/// Key of a data item within one site's database.
+using DataKey = std::uint64_t;
+
+/// Value stored under a DataKey. Semantic (restricted-model) operations are
+/// arithmetic, so values are signed integers.
+using Value = std::int64_t;
+
+/// Simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+/// Simulated duration, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Convenience literals for building durations.
+constexpr Duration Micros(std::int64_t n) { return n; }
+constexpr Duration Millis(std::int64_t n) { return n * 1000; }
+constexpr Duration Seconds(std::int64_t n) { return n * 1000 * 1000; }
+
+/// Classifies a transaction node as the paper's theory does: local
+/// transactions `L`, regular global transactions `T`, and compensating
+/// transactions `CT` (a global CT is the blend of per-site compensation
+/// steps and rollbacks).
+enum class TxnKind : std::uint8_t {
+  kLocal = 0,
+  kGlobal = 1,
+  kCompensating = 2,
+};
+
+/// Human-readable name of a TxnKind ("L", "T", "CT").
+const char* TxnKindName(TxnKind kind);
+
+/// Renders a transaction for logs and test failure messages, e.g. "T7",
+/// "CT7", "L12".
+std::string TxnLabel(TxnKind kind, TxnId id);
+
+}  // namespace o2pc
+
+#endif  // O2PC_COMMON_TYPES_H_

@@ -1,0 +1,85 @@
+#include "core/compensation.h"
+
+#include "common/logging.h"
+
+namespace o2pc::core {
+
+struct CompensationExecutor::Attempt {
+  Request request;
+  TxnId ct_id = kInvalidTxn;
+  std::size_t next_op = 0;
+  int attempt_number = 0;
+  std::uint64_t epoch = 0;
+};
+
+CompensationExecutor::CompensationExecutor(sim::Simulator* simulator,
+                                           local::LocalDb* db,
+                                           TxnIdAllocator* ids,
+                                           metrics::StatsCollector* stats)
+    : simulator_(simulator), db_(db), ids_(ids), stats_(stats) {
+  O2PC_CHECK(simulator != nullptr);
+  O2PC_CHECK(db != nullptr);
+  O2PC_CHECK(ids != nullptr);
+}
+
+void CompensationExecutor::Run(Request request) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->request = std::move(request);
+  attempt->epoch = db_->epoch();
+  StartAttempt(std::move(attempt));
+}
+
+bool CompensationExecutor::Superseded(
+    const std::shared_ptr<Attempt>& attempt) const {
+  return attempt->epoch != db_->epoch();
+}
+
+void CompensationExecutor::StartAttempt(std::shared_ptr<Attempt> attempt) {
+  if (Superseded(attempt)) return;
+  attempt->ct_id = ids_->Next();
+  attempt->next_op = 0;
+  ++attempt->attempt_number;
+  db_->Begin(attempt->ct_id, TxnKind::kCompensating,
+             attempt->request.forward_id);
+  NextOp(std::move(attempt));
+}
+
+void CompensationExecutor::NextOp(std::shared_ptr<Attempt> attempt) {
+  if (Superseded(attempt)) return;
+  if (attempt->next_op >= attempt->request.plan.size()) {
+    db_->CommitLocal(attempt->ct_id);
+    ++completed_;
+    if (stats_ != nullptr) stats_->Incr("compensations_committed");
+    auto done = std::move(attempt->request.done);
+    if (done) done();
+    return;
+  }
+  const local::Operation op = attempt->request.plan[attempt->next_op];
+  db_->Execute(attempt->ct_id, op, [this, attempt](Result<Value> result) {
+    if (result.ok() || result.status().IsNotFound() ||
+        result.status().IsConflict()) {
+      // NotFound/Conflict: the counter-operation is semantically moot
+      // (later transactions already re-shaped the row); skip it.
+      if (!result.ok() && stats_ != nullptr) {
+        stats_->Incr("compensation_ops_skipped");
+      }
+      ++attempt->next_op;
+      NextOp(attempt);
+      return;
+    }
+    // Deadlock (or a cancelled wait): persistence of compensation — roll
+    // back this attempt and retry until the CT commits.
+    O2PC_LOG(kDebug) << "CT for T" << attempt->request.forward_id
+                     << " attempt " << attempt->attempt_number
+                     << " failed: " << result.status().ToString();
+    if (stats_ != nullptr) stats_->Incr("compensation_retries");
+    db_->AbortLocal(attempt->ct_id);
+    O2PC_CHECK(attempt->attempt_number < 10000)
+        << "compensation is not converging";
+    simulator_->Schedule(
+        attempt->request.retry_backoff * attempt->attempt_number,
+        [this, attempt] { StartAttempt(attempt); });
+  });
+}
+
+}  // namespace o2pc::core

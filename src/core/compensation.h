@@ -1,0 +1,69 @@
+#ifndef O2PC_CORE_COMPENSATION_H_
+#define O2PC_CORE_COMPENSATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/global_txn.h"
+#include "local/local_db.h"
+#include "metrics/stats.h"
+#include "sim/simulator.h"
+
+/// \file
+/// Execution of compensating subtransactions with **persistence of
+/// compensation** (§3.2): once compensation is initiated it must complete;
+/// a CT that loses a deadlock is retried (as a fresh local transaction)
+/// until it commits. CTs run under the site's ordinary strict 2PL — they
+/// are scheduled like local transactions, never 2PC'd — and release their
+/// locks at their own local commit regardless of sibling CTs (§4).
+
+namespace o2pc::core {
+
+class CompensationExecutor {
+ public:
+  CompensationExecutor(sim::Simulator* simulator, local::LocalDb* db,
+                       TxnIdAllocator* ids, metrics::StatsCollector* stats);
+  CompensationExecutor(const CompensationExecutor&) = delete;
+  CompensationExecutor& operator=(const CompensationExecutor&) = delete;
+
+  struct Request {
+    /// The forward global transaction being compensated; the CT's writes
+    /// are attributed to CT_i of this id.
+    TxnId forward_id = kInvalidTxn;
+    /// Counter-operations in replay order (LocalDb::CompensationPlan).
+    std::vector<local::Operation> plan;
+    /// Delay between retry attempts after a deadlock.
+    Duration retry_backoff = Millis(1);
+    /// Invoked exactly once, when the CT has committed.
+    std::function<void()> done;
+  };
+
+  /// Starts (and, on deadlock, restarts) the compensating subtransaction.
+  /// Individual counter-operations that have become semantically moot
+  /// (key already re-deleted / re-inserted by later transactions) are
+  /// skipped — compensation is semantic, not physical (§3.2).
+  void Run(Request request);
+
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Attempt;
+  void StartAttempt(std::shared_ptr<Attempt> attempt);
+  void NextOp(std::shared_ptr<Attempt> attempt);
+  /// True if the site crashed since this request began — the pre-crash
+  /// driver abandons itself; recovery re-initiates compensation from the
+  /// WAL when the (resent) abort DECISION arrives.
+  bool Superseded(const std::shared_ptr<Attempt>& attempt) const;
+
+  sim::Simulator* simulator_;          // not owned
+  local::LocalDb* db_;                 // not owned
+  TxnIdAllocator* ids_;                // not owned
+  metrics::StatsCollector* stats_;     // not owned
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_COMPENSATION_H_

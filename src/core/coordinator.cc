@@ -1,0 +1,333 @@
+#include "core/coordinator.h"
+
+#include "common/logging.h"
+
+namespace o2pc::core {
+
+Coordinator::Coordinator(sim::Simulator* simulator, net::Network* network,
+                         WitnessKnowledge* knowledge,
+                         metrics::StatsCollector* stats, Rng rng,
+                         Options options)
+    : simulator_(simulator),
+      network_(network),
+      knowledge_(knowledge),
+      stats_(stats),
+      rng_(rng),
+      options_(options) {
+  O2PC_CHECK(simulator != nullptr);
+  O2PC_CHECK(network != nullptr);
+  O2PC_CHECK(knowledge != nullptr);
+}
+
+void Coordinator::Start(TxnId id, GlobalTxnSpec spec,
+                        GlobalDoneCallback done) {
+  O2PC_CHECK(phase_ == Phase::kIdle) << "coordinator reuse";
+  O2PC_CHECK(spec.Valid()) << "invalid global txn spec";
+  phase_ = Phase::kInvoking;
+  id_ = id;
+  spec_ = std::move(spec);
+  done_ = std::move(done);
+  submit_time_ = simulator_->Now();
+  invoke_index_ = 0;
+  invoke_attempt_ = 0;
+  invoke_retries_ = 0;
+  ArmResendTimer();
+  InvokeCurrent();
+}
+
+void Coordinator::Send(SiteId to, net::MessageType type,
+                       std::shared_ptr<const net::Payload> payload) {
+  net::Message message;
+  message.from = options_.home;
+  message.to = to;
+  message.type = type;
+  message.txn = id_;
+  message.payload = std::move(payload);
+  network_->Send(std::move(message));
+}
+
+void Coordinator::InvokeCurrent() {
+  O2PC_CHECK(invoke_index_ < spec_.subtxns.size());
+  const SubtxnSpec& sub = spec_.subtxns[invoke_index_];
+  auto payload = std::make_shared<SubtxnInvokePayload>();
+  payload->ops = sub.ops;
+  payload->transmarks = transmarks_;
+  payload->force_abort_vote = sub.force_abort_vote;
+  payload->attempt = invoke_attempt_;
+  payload->txn_start = submit_time_;
+  payload->gossip = knowledge_->Export();
+  invoked_sites_.insert(sub.site);
+  Send(sub.site, net::MessageType::kSubtxnInvoke, std::move(payload));
+}
+
+void Coordinator::OnMessage(const net::Message& message) {
+  switch (message.type) {
+    case net::MessageType::kSubtxnAck:
+      OnSubtxnAck(message);
+      return;
+    case net::MessageType::kVote:
+      OnVote(message);
+      return;
+    case net::MessageType::kDecisionAck:
+      OnDecisionAck(message);
+      return;
+    default:
+      O2PC_LOG(kWarn) << "coordinator of T" << id_ << " ignoring "
+                      << net::MessageTypeName(message.type);
+  }
+}
+
+void Coordinator::OnSubtxnAck(const net::Message& message) {
+  if (phase_ != Phase::kInvoking) return;  // straggler
+  const auto* payload =
+      static_cast<const SubtxnAckPayload*>(message.payload.get());
+  const SubtxnSpec& current = spec_.subtxns[invoke_index_];
+  if (message.from != current.site || payload->attempt != invoke_attempt_) {
+    return;  // stale ack of an earlier site/attempt
+  }
+  knowledge_->Merge(payload->gossip);
+
+  if (payload->status.ok()) {
+    executed_sites_.insert(current.site);
+    transmarks_ = payload->transmarks;
+    ++invoke_index_;
+    ++invoke_attempt_;
+    invoke_retries_ = 0;
+    if (invoke_index_ < spec_.subtxns.size()) {
+      InvokeCurrent();
+    } else {
+      StartVoting();
+    }
+    return;
+  }
+
+  if (payload->status.IsRejected()) {
+    ++rejections_;
+    if (payload->fatal) {
+      // In-place retries cannot succeed (retirement fence / transmarks
+      // poisoned by a mark this incarnation can never shed): abort and let
+      // the system restart the work as a fresh incarnation.
+      AbortEarly(payload->status, /*restartable=*/true);
+      return;
+    }
+    ++invoke_retries_;
+    if (invoke_retries_ <= options_.protocol.max_subtxn_retries) {
+      ++invoke_attempt_;
+      const Duration backoff =
+          options_.protocol.retry_backoff * invoke_retries_;
+      simulator_->Schedule(backoff, [this, attempt = invoke_attempt_] {
+        if (phase_ == Phase::kInvoking && invoke_attempt_ == attempt) {
+          InvokeCurrent();
+        }
+      });
+      return;
+    }
+    AbortEarly(payload->status, /*restartable=*/true);
+    return;
+  }
+
+  // The subtransaction failed and was rolled back at the site; it did
+  // execute (partially), so it counts for exec_sites.
+  executed_sites_.insert(current.site);
+  const bool restartable =
+      payload->status.IsDeadlock() || payload->status.IsAborted();
+  AbortEarly(payload->status, restartable);
+}
+
+void Coordinator::AbortEarly(const Status& status, bool restartable) {
+  decision_commit_ = false;
+  abort_status_ = status;
+  restartable_ = restartable;
+  log_.LogDecision(id_, /*commit=*/false);
+  decide_time_ = simulator_->Now();
+  if (stats_ != nullptr) stats_->Incr("global_aborts_early");
+  BroadcastDecision();
+}
+
+void Coordinator::StartVoting() {
+  phase_ = Phase::kVoting;
+  votes_.clear();
+  resend_count_ = 0;
+  for (const SubtxnSpec& sub : spec_.subtxns) {
+    auto payload = std::make_shared<VoteRequestPayload>();
+    payload->gossip = knowledge_->Export();
+    Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
+  }
+}
+
+void Coordinator::OnVote(const net::Message& message) {
+  if (phase_ != Phase::kVoting) return;
+  const auto* payload = static_cast<const VotePayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  votes_[message.from] = payload->commit;
+  if (payload->recovery_abort) recovery_abort_seen_ = true;
+  if (votes_.size() == spec_.subtxns.size()) Decide();
+}
+
+bool Coordinator::Exposed() const {
+  // Under O2PC every participant that voted commit locally committed (or,
+  // with a pending real action, at least prepared — counted conservatively
+  // as exposure). Under 2PC nothing is ever exposed early; an abort
+  // reached before the voting phase exposed nothing either.
+  if (options_.protocol.protocol != CommitProtocol::kOptimistic) {
+    return false;
+  }
+  for (const auto& [site, commit] : votes_) {
+    (void)site;
+    if (commit) return true;
+  }
+  return false;
+}
+
+void Coordinator::Decide() {
+  decision_commit_ = true;
+  for (const auto& [site, commit] : votes_) {
+    (void)site;
+    if (!commit) decision_commit_ = false;
+  }
+  if (!decision_commit_) {
+    abort_status_ = Status::Aborted(recovery_abort_seen_
+                                        ? "participant lost state in a crash"
+                                        : "a participant voted abort");
+    // A crash casualty is worth retrying; a business abort is not.
+    restartable_ = recovery_abort_seen_;
+  }
+  // Force-log the decision; it survives the crash window below.
+  log_.LogDecision(id_, decision_commit_);
+  decide_time_ = simulator_->Now();
+  if (stats_ != nullptr) {
+    stats_->Incr(decision_commit_ ? "decisions_commit" : "decisions_abort");
+  }
+
+  if (options_.protocol.coordinator_crash_probability > 0.0 &&
+      rng_.Bernoulli(options_.protocol.coordinator_crash_probability)) {
+    // Crash after logging, before broadcasting: participants learn nothing
+    // until recovery. 2PC participants block in prepared state; O2PC
+    // participants have already released their locks.
+    phase_ = Phase::kCrashed;
+    if (stats_ != nullptr) stats_->Incr("coordinator_crashes");
+    O2PC_LOG(kDebug) << "coordinator of T" << id_ << " crashed; recovery in "
+                     << options_.protocol.coordinator_recovery_delay << "us";
+    simulator_->Schedule(options_.protocol.coordinator_recovery_delay,
+                         [this] {
+                           std::optional<bool> logged = log_.DecisionFor(id_);
+                           O2PC_CHECK(logged.has_value());
+                           decision_commit_ = *logged;
+                           BroadcastDecision();
+                         });
+    return;
+  }
+  BroadcastDecision();
+}
+
+void Coordinator::BroadcastDecision() {
+  phase_ = Phase::kBroadcasting;
+  resend_count_ = 0;
+  decision_acks_.clear();
+  std::vector<SiteId> exec_sites(executed_sites_.begin(),
+                                 executed_sites_.end());
+  for (SiteId site : invoked_sites_) {
+    auto payload = std::make_shared<DecisionPayload>();
+    payload->commit = decision_commit_;
+    payload->exposed = Exposed();
+    payload->exec_sites = exec_sites;
+    payload->gossip = knowledge_->Export();
+    Send(site, net::MessageType::kDecision, std::move(payload));
+  }
+  if (invoked_sites_.empty()) Finish();
+}
+
+void Coordinator::OnDecisionAck(const net::Message& message) {
+  if (phase_ != Phase::kBroadcasting) return;
+  const auto* payload =
+      static_cast<const DecisionAckPayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  if (!decision_acks_.insert(message.from).second) return;  // duplicate
+  if (payload->compensated) ++compensations_;
+  if (decision_acks_.size() == invoked_sites_.size()) Finish();
+}
+
+void Coordinator::Finish() {
+  phase_ = Phase::kDone;
+  if (resend_event_ != sim::kInvalidEvent) {
+    simulator_->Cancel(resend_event_);
+    resend_event_ = sim::kInvalidEvent;
+  }
+  GlobalResult result;
+  result.id = id_;
+  result.committed = decision_commit_;
+  result.exposed = Exposed();
+  result.status = decision_commit_ ? Status::OK() : abort_status_;
+  result.restartable = !decision_commit_ && restartable_;
+  result.submit_time = submit_time_;
+  result.decide_time = decide_time_;
+  result.finish_time = simulator_->Now();
+  result.num_sites = static_cast<int>(spec_.subtxns.size());
+  result.compensations = compensations_;
+  result.r1_rejections = rejections_;
+  if (done_) done_(result);
+}
+
+void Coordinator::ArmResendTimer() {
+  if (options_.protocol.resend_timeout <= 0) return;
+  resend_event_ = simulator_->Schedule(options_.protocol.resend_timeout,
+                                       [this] { ResendTick(); });
+}
+
+void Coordinator::ResendTick() {
+  resend_event_ = sim::kInvalidEvent;
+  if (phase_ == Phase::kDone) return;
+  if (phase_ == Phase::kCrashed) {
+    // Crashed coordinators neither send nor time out; recovery is already
+    // scheduled.
+    ArmResendTimer();
+    return;
+  }
+  if (++resend_count_ > options_.protocol.max_resends) {
+    O2PC_LOG(kWarn) << "coordinator of T" << id_
+                    << " exhausted resends in phase "
+                    << static_cast<int>(phase_);
+    if (phase_ == Phase::kInvoking || phase_ == Phase::kVoting) {
+      AbortEarly(Status::TimedOut("participant unreachable"),
+                 /*restartable=*/true);
+      ArmResendTimer();
+      return;
+    }
+    Finish();
+    return;
+  }
+  switch (phase_) {
+    case Phase::kInvoking:
+      InvokeCurrent();
+      break;
+    case Phase::kVoting:
+      for (const SubtxnSpec& sub : spec_.subtxns) {
+        if (votes_.contains(sub.site)) continue;
+        auto payload = std::make_shared<VoteRequestPayload>();
+        payload->gossip = knowledge_->Export();
+        Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
+      }
+      break;
+    case Phase::kBroadcasting: {
+      std::vector<SiteId> exec_sites(executed_sites_.begin(),
+                                     executed_sites_.end());
+      for (SiteId site : invoked_sites_) {
+        if (decision_acks_.contains(site)) continue;
+        auto payload = std::make_shared<DecisionPayload>();
+        payload->commit = decision_commit_;
+        payload->exposed = Exposed();
+        payload->exec_sites = exec_sites;
+        payload->gossip = knowledge_->Export();
+        Send(site, net::MessageType::kDecision, std::move(payload));
+      }
+      break;
+    }
+    case Phase::kCrashed:
+    case Phase::kIdle:
+    case Phase::kDone:
+      break;
+  }
+  ArmResendTimer();
+}
+
+}  // namespace o2pc::core

@@ -1,0 +1,136 @@
+#ifndef O2PC_CORE_COORDINATOR_H_
+#define O2PC_CORE_COORDINATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/global_txn.h"
+#include "core/marking.h"
+#include "core/messages.h"
+#include "core/protocol.h"
+#include "metrics/stats.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "storage/wal.h"
+
+/// \file
+/// The 2PC coordinator of one global transaction. The message pattern is
+/// the standard one — invoke subtransactions, VOTE-REQ, collect votes,
+/// log the decision, broadcast DECISION, collect acks — and is *identical*
+/// for 2PC and O2PC (the difference is entirely participant-side lock
+/// handling), which is the paper's compatibility claim (§7).
+///
+/// Subtransactions are invoked serially so that transmarks.j accumulates
+/// site marks in invocation order, exactly as rule R1 prescribes.
+///
+/// Failure injection: with `coordinator_crash_probability` the coordinator
+/// crashes right after force-logging its decision and recovers after
+/// `coordinator_recovery_delay`, re-reading the decision from its log and
+/// resending it — the window in which 2PC participants sit blocked in the
+/// prepared state while O2PC participants have already released their
+/// locks.
+
+namespace o2pc::core {
+
+class Coordinator {
+ public:
+  struct Options {
+    ProtocolConfig protocol;
+    SiteId home = 0;
+  };
+
+  Coordinator(sim::Simulator* simulator, net::Network* network,
+              WitnessKnowledge* knowledge, metrics::StatsCollector* stats,
+              Rng rng, Options options);
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Begins executing `spec` as global transaction `id`. `done` fires
+  /// exactly once when the protocol fully drains (all decision acks in,
+  /// compensations included).
+  void Start(TxnId id, GlobalTxnSpec spec, GlobalDoneCallback done);
+
+  /// Network entry point for SUBTXN-ACK / VOTE / DECISION-ACK.
+  void OnMessage(const net::Message& message);
+
+  TxnId id() const { return id_; }
+  bool finished() const { return phase_ == Phase::kDone; }
+
+  /// Decision log (a kDecision record is force-written before broadcast).
+  const storage::Wal& log() const { return log_; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kInvoking,
+    kVoting,
+    kCrashed,
+    kBroadcasting,
+    kDone,
+  };
+
+  void InvokeCurrent();
+  void OnSubtxnAck(const net::Message& message);
+  /// Invoking failed terminally: decide abort without a voting phase.
+  void AbortEarly(const Status& status, bool restartable);
+  void StartVoting();
+  void OnVote(const net::Message& message);
+  /// True iff some participant exposed updates (an O2PC commit vote).
+  bool Exposed() const;
+  void Decide();
+  void BroadcastDecision();
+  void OnDecisionAck(const net::Message& message);
+  void Finish();
+
+  void Send(SiteId to, net::MessageType type,
+            std::shared_ptr<const net::Payload> payload);
+  /// Periodic retransmission of whatever the current phase is waiting for.
+  void ResendTick();
+  void ArmResendTimer();
+
+  sim::Simulator* simulator_;       // not owned
+  net::Network* network_;           // not owned
+  WitnessKnowledge* knowledge_;     // not owned
+  metrics::StatsCollector* stats_;  // not owned
+  Rng rng_;
+  Options options_;
+
+  Phase phase_ = Phase::kIdle;
+  TxnId id_ = kInvalidTxn;
+  GlobalTxnSpec spec_;
+  GlobalDoneCallback done_;
+  storage::Wal log_;
+
+  // Invocation state.
+  std::size_t invoke_index_ = 0;
+  int invoke_attempt_ = 0;
+  int invoke_retries_ = 0;
+  std::set<SiteId> invoked_sites_;
+  std::set<SiteId> executed_sites_;
+  TransMarks transmarks_;
+
+  // Voting / broadcast state.
+  std::map<SiteId, bool> votes_;
+  bool recovery_abort_seen_ = false;
+  bool decision_commit_ = false;
+  Status abort_status_;
+  bool restartable_ = false;
+  std::set<SiteId> decision_acks_;
+  int compensations_ = 0;
+  int rejections_ = 0;
+
+  SimTime submit_time_ = 0;
+  SimTime decide_time_ = 0;
+
+  sim::EventId resend_event_ = sim::kInvalidEvent;
+  int resend_count_ = 0;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_COORDINATOR_H_

@@ -1,0 +1,22 @@
+#include "core/global_txn.h"
+
+namespace o2pc::core {
+
+std::vector<SiteId> GlobalTxnSpec::Sites() const {
+  std::vector<SiteId> sites;
+  sites.reserve(subtxns.size());
+  for (const SubtxnSpec& sub : subtxns) sites.push_back(sub.site);
+  return sites;
+}
+
+bool GlobalTxnSpec::Valid() const {
+  if (subtxns.empty()) return false;
+  std::set<SiteId> seen;
+  for (const SubtxnSpec& sub : subtxns) {
+    if (sub.ops.empty()) return false;
+    if (!seen.insert(sub.site).second) return false;
+  }
+  return true;
+}
+
+}  // namespace o2pc::core

@@ -1,0 +1,76 @@
+#ifndef O2PC_CORE_GLOBAL_TXN_H_
+#define O2PC_CORE_GLOBAL_TXN_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "local/local_txn.h"
+
+/// \file
+/// Global-transaction specifications (the decomposition into per-site
+/// subtransactions, §3.1) and the result type reported when the commit
+/// protocol drains.
+
+namespace o2pc::core {
+
+/// One subtransaction T_ij: the operations global transaction T_i issues
+/// against site S_j.
+struct SubtxnSpec {
+  SiteId site = kInvalidSite;
+  std::vector<local::Operation> ops;
+  /// Failure injection: this site votes ABORT at VOTE-REQ even though its
+  /// operations succeeded (models local integrity violations and the
+  /// autonomy-driven unilateral aborts the paper emphasizes).
+  bool force_abort_vote = false;
+};
+
+/// A global transaction: a set of subtransactions at distinct sites.
+struct GlobalTxnSpec {
+  std::vector<SubtxnSpec> subtxns;
+
+  std::vector<SiteId> Sites() const;
+  bool Valid() const;  // at least one subtxn, sites distinct
+};
+
+/// Outcome of one *incarnation* of a global transaction.
+struct GlobalResult {
+  TxnId id = kInvalidTxn;
+  bool committed = false;
+  /// Terminal status: OK (committed), kAborted (vote/decision abort),
+  /// kDeadlock, kRejected (R1 gave up), ...
+  Status status;
+  /// True when resubmitting the same work could succeed (deadlock victim,
+  /// R1 rejection) as opposed to a genuine vote-abort.
+  bool restartable = false;
+  /// True iff some participant locally committed (exposed updates) during
+  /// this incarnation. Aborted-and-never-exposed incarnations are
+  /// observationally absent from the history (see sg::AnalyzeHistory).
+  bool exposed = false;
+
+  SimTime submit_time = 0;
+  SimTime decide_time = 0;
+  SimTime finish_time = 0;
+  int num_sites = 0;
+  int compensations = 0;
+  int r1_rejections = 0;
+};
+
+using GlobalDoneCallback = std::function<void(const GlobalResult&)>;
+
+/// Monotone transaction-id source shared by the whole system; ids double
+/// as transaction ages for the youngest-victim deadlock policy.
+class TxnIdAllocator {
+ public:
+  TxnId Next() { return next_++; }
+
+ private:
+  TxnId next_ = 1;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_GLOBAL_TXN_H_

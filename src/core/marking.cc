@@ -1,0 +1,142 @@
+#include "core/marking.h"
+
+#include "common/string_util.h"
+
+namespace o2pc::core {
+
+int TransMarks::UndoneCount(TxnId ti) const {
+  auto it = undone_seen.find(ti);
+  return it == undone_seen.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+int TransMarks::LcCount(TxnId ti) const {
+  auto it = lc_seen.find(ti);
+  return it == lc_seen.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::string TransMarks::ToString() const {
+  std::vector<std::string> parts;
+  parts.push_back(StrCat("visited=", visited()));
+  for (const auto& [ti, sites] : undone_seen) {
+    if (!sites.empty()) {
+      parts.push_back(StrCat("ud(T", ti, ")=", sites.size()));
+    }
+  }
+  for (const auto& [ti, sites] : lc_seen) {
+    if (!sites.empty()) {
+      parts.push_back(StrCat("lc(T", ti, ")=", sites.size()));
+    }
+  }
+  return Join(parts, " ");
+}
+
+namespace {
+
+/// P1 invariant: for every T_i, the visited sites are either *all* undone
+/// w.r.t. T_i or *none* of them is. (The paper's one-way `transmarks
+/// subset-of sitemarks` check is the forward half; the second loop is the
+/// backward half that rejects "unmarked site first, undone site later" —
+/// the case §6.2 singles out as resolvable only by aborting.)
+bool CompatibleP1(const TransMarks& tm, const SiteMarks& site) {
+  for (const auto& [ti, seen] : tm.undone_seen) {
+    if (!seen.empty() && !site.undone.contains(ti)) return false;
+  }
+  for (TxnId ti : site.undone) {
+    if (tm.UndoneCount(ti) < tm.visited()) return false;
+  }
+  return true;
+}
+
+/// The paper's P2 rule exactly as stated: locally-committed marks must be
+/// all-or-nothing; undone and unmarked sites may mix freely. Unsound on
+/// its own (see protocol.h, kP2Literal).
+bool CompatibleP2Literal(const TransMarks& tm, const SiteMarks& site) {
+  for (const auto& [ti, seen] : tm.lc_seen) {
+    if (!seen.empty() && !site.locally_committed.contains(ti)) return false;
+  }
+  for (TxnId ti : site.locally_committed) {
+    if (tm.LcCount(ti) < tm.visited()) return false;
+  }
+  return true;
+}
+
+/// The §6.2 "very simple protocol": all sites undone w.r.t. the same
+/// transactions and locally-committed w.r.t. none.
+bool CompatibleSimple(const TransMarks& tm, const SiteMarks& site) {
+  if (!site.locally_committed.empty()) return false;
+  for (const auto& [ti, seen] : tm.undone_seen) {
+    if (!seen.empty() && !site.undone.contains(ti)) return false;
+  }
+  for (TxnId ti : site.undone) {
+    if (tm.visited() > 0 && tm.UndoneCount(ti) != tm.visited()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Compatible(GovernancePolicy policy, const TransMarks& tm,
+                const SiteMarks& site) {
+  switch (policy) {
+    case GovernancePolicy::kNone:
+      return true;
+    case GovernancePolicy::kP1:
+      return CompatibleP1(tm, site);
+    case GovernancePolicy::kP2:
+      // Strengthened P2: the literal dual plus P1's undone-uniformity.
+      return CompatibleP2Literal(tm, site) && CompatibleP1(tm, site);
+    case GovernancePolicy::kP2Literal:
+      return CompatibleP2Literal(tm, site);
+    case GovernancePolicy::kSimple:
+      return CompatibleSimple(tm, site);
+  }
+  return true;
+}
+
+void MergeMarks(const SiteMarks& site_marks, SiteId site, TransMarks& tm) {
+  tm.visited_sites.push_back(site);
+  for (TxnId ti : site_marks.undone) tm.undone_seen[ti].insert(site);
+  for (TxnId ti : site_marks.locally_committed) tm.lc_seen[ti].insert(site);
+}
+
+void WitnessKnowledge::Merge(const MarkingGossip& gossip) {
+  for (const WitnessFact& fact : gossip.witnesses) facts_.insert(fact);
+  for (const auto& [ti, sites] : gossip.exec_sites) {
+    exec_sites_.emplace(ti, sites);
+  }
+}
+
+void WitnessKnowledge::SetExecSites(TxnId ti, std::vector<SiteId> sites) {
+  exec_sites_.emplace(ti, std::move(sites));
+}
+
+const std::vector<SiteId>* WitnessKnowledge::ExecSitesOf(TxnId ti) const {
+  auto it = exec_sites_.find(ti);
+  return it == exec_sites_.end() ? nullptr : &it->second;
+}
+
+MarkingGossip WitnessKnowledge::Export() const {
+  MarkingGossip gossip;
+  gossip.witnesses.assign(facts_.begin(), facts_.end());
+  gossip.exec_sites.assign(exec_sites_.begin(), exec_sites_.end());
+  return gossip;
+}
+
+bool WitnessKnowledge::Covers(TxnId ti,
+                              const std::vector<SiteId>& exec_sites) const {
+  if (exec_sites.empty()) return false;
+  for (SiteId site : exec_sites) {
+    if (!facts_.contains(WitnessFact{ti, site})) return false;
+  }
+  return true;
+}
+
+bool WitnessKnowledge::Retired(TxnId ti) const {
+  auto it = exec_sites_.find(ti);
+  if (it == exec_sites_.end()) return false;
+  return Covers(ti, it->second);
+}
+
+}  // namespace o2pc::core

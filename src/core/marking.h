@@ -1,0 +1,136 @@
+#ifndef O2PC_CORE_MARKING_H_
+#define O2PC_CORE_MARKING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/protocol.h"
+
+/// \file
+/// The marking machinery of §6: per-site mark sets (`sitemarks`), the
+/// per-transaction accumulated view (`transmarks`), the `compatible()`
+/// check of rule R1 for protocols P1 / P2 / Simple, and the UDUM1 witness
+/// bookkeeping behind rule R3 (undone -> unmarked transitions).
+///
+/// Mark lifecycle (paper Figure 2), per (site, T_i) pair:
+///
+///     unmarked --vote commit--> locally-committed --decision commit-->
+///     unmarked; locally-committed --decision abort--> undone (via CT_ik,
+///     rule R2); unmarked --vote abort--> undone; undone --UDUM--> unmarked.
+///
+/// P1 only needs the `undone` marks (the paper drops the locally-committed
+/// marking as redundant for P1); P2 needs both kinds.
+
+namespace o2pc::core {
+
+/// One (T_i, witnessing site) UDUM1 fact: "some transaction executed at
+/// `site` while `site` was undone w.r.t. `ti`".
+struct WitnessFact {
+  TxnId ti = kInvalidTxn;
+  SiteId site = kInvalidSite;
+
+  friend auto operator<=>(const WitnessFact&, const WitnessFact&) = default;
+};
+
+/// Witness facts and related marking intelligence piggybacked on the
+/// standard 2PC messages (the protocol adds no messages of its own).
+struct MarkingGossip {
+  std::vector<WitnessFact> witnesses;
+  /// Execution-site lists of aborted transactions (learned from abort
+  /// DECISIONs); lets any site evaluate UDUM1 for any transaction.
+  std::vector<std::pair<TxnId, std::vector<SiteId>>> exec_sites;
+};
+
+/// The marks of one site.
+struct SiteMarks {
+  /// sitemarks.k of the paper: T_i in `undone` iff this site is undone
+  /// w.r.t. T_i.
+  std::set<TxnId> undone;
+  /// Subset of `undone`: T_i exposed updates somewhere before aborting
+  /// (some participant locally committed). Exposure lets the dependency
+  /// escape T_i's execution sites through readers, so checks on exposed
+  /// marks must be strict over *all* visited sites; unexposed marks only
+  /// constrain visits to T_i's execution sites. Vote-abort marks are
+  /// conservatively exposed until the DECISION clarifies.
+  std::set<TxnId> exposed_undone;
+  /// Sites this is locally-committed w.r.t. (maintained for P2).
+  std::set<TxnId> locally_committed;
+  /// Execution-site lists of aborted transactions (piggybacked on the
+  /// abort DECISION), needed to evaluate UDUM1.
+  std::map<TxnId, std::vector<SiteId>> exec_sites;
+
+  bool Unmarked(TxnId ti) const {
+    return !undone.contains(ti) && !locally_committed.contains(ti);
+  }
+};
+
+/// transmarks.j of the paper, generalized so one structure serves P1, P2
+/// and Simple: the sites visited so far (in order) and, for each observed
+/// T_i, at exactly which of those sites its mark was seen. P1's invariant
+/// is then "undone_seen[T_i] is empty or equals the visited set".
+struct TransMarks {
+  std::vector<SiteId> visited_sites;
+  std::map<TxnId, std::set<SiteId>> undone_seen;
+  std::map<TxnId, std::set<SiteId>> lc_seen;
+  /// Sites visited while T_i was already *retired* (its UDUM1 quiescence
+  /// was established before the visit). Such a visit provably follows
+  /// every rollback/compensation of T_i, so the retirement fence accepts
+  /// it in place of a mark observation.
+  std::map<TxnId, std::set<SiteId>> retired_seen;
+
+  int visited() const { return static_cast<int>(visited_sites.size()); }
+  int UndoneCount(TxnId ti) const;
+  int LcCount(TxnId ti) const;
+
+  std::string ToString() const;
+};
+
+/// Rule R1's compatibility check. Returns true if a subtransaction of a
+/// global transaction with accumulated view `tm` may execute at a site
+/// whose current marks are `site`.
+bool Compatible(GovernancePolicy policy, const TransMarks& tm,
+                const SiteMarks& site);
+
+/// Folds `site_marks` (the marks of site `site`) into `tm` after a
+/// subtransaction was admitted there.
+void MergeMarks(const SiteMarks& site_marks, SiteId site, TransMarks& tm);
+
+/// UDUM1 witness knowledge of one vantage point (a site, or the shared
+/// oracle). Answers "have all execution sites of T_i been witnessed?".
+class WitnessKnowledge {
+ public:
+  WitnessKnowledge() = default;
+
+  void Add(const WitnessFact& fact) { facts_.insert(fact); }
+  void Merge(const MarkingGossip& gossip);
+
+  /// Records where an aborted transaction executed (from the DECISION).
+  void SetExecSites(TxnId ti, std::vector<SiteId> sites);
+  /// Known execution sites of `ti`, or nullptr.
+  const std::vector<SiteId>* ExecSitesOf(TxnId ti) const;
+
+  /// Exports everything known, for piggybacking.
+  MarkingGossip Export() const;
+
+  /// True iff a witness is known for every site in `exec_sites`
+  /// (UDUM1 for T_i; `exec_sites` empty means not yet known -> false).
+  bool Covers(TxnId ti, const std::vector<SiteId>& exec_sites) const;
+
+  /// True iff T_i's execution sites are known and all witnessed — UDUM1
+  /// holds globally and every site may treat T_i's marks as retired.
+  bool Retired(TxnId ti) const;
+
+  std::size_t size() const { return facts_.size(); }
+
+ private:
+  std::set<WitnessFact> facts_;
+  std::map<TxnId, std::vector<SiteId>> exec_sites_;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_MARKING_H_

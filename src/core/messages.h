@@ -1,0 +1,95 @@
+#ifndef O2PC_CORE_MESSAGES_H_
+#define O2PC_CORE_MESSAGES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/marking.h"
+#include "local/local_txn.h"
+#include "net/message.h"
+
+/// \file
+/// Concrete payloads of the commit-layer messages. These are exactly the
+/// standard 2PC message vocabulary; everything the marking protocols need
+/// (transmarks, witness gossip, execution-site lists) rides piggyback, per
+/// the paper's "no extra messages" design goal (§6, §7).
+
+namespace o2pc::core {
+
+/// Coordinator -> site: run subtransaction T_jk.
+struct SubtxnInvokePayload : net::Payload {
+  std::vector<local::Operation> ops;
+  /// The coordinator's accumulated transmarks.j, input to rule R1.
+  TransMarks transmarks;
+  bool force_abort_vote = false;
+  /// Execution-attempt number; lets the participant tell a network resend
+  /// (same attempt: re-ack) from an R1-rejection retry (new attempt:
+  /// re-execute).
+  int attempt = 0;
+  /// Start time of this global-transaction incarnation. Used by the
+  /// *retirement fence*: a transaction older than a mark's UDUM
+  /// retirement may have conflict-preceded the aborted transaction before
+  /// its marks even existed, so it may pass a site that retired the mark
+  /// only if it observed the mark uniformly everywhere else.
+  SimTime txn_start = 0;
+  MarkingGossip gossip;
+};
+
+/// Site -> coordinator: subtransaction finished / was rejected / failed.
+struct SubtxnAckPayload : net::Payload {
+  /// OK: executed; kRejected: R1 incompatibility (retriable); other codes:
+  /// the subtransaction failed and was rolled back (e.g. kDeadlock).
+  Status status;
+  /// Updated transmarks.j (entry marks merged in) when status is OK.
+  TransMarks transmarks;
+  /// Mirrors the invoke's attempt number.
+  int attempt = 0;
+  /// With kRejected: retrying this incarnation in place cannot succeed
+  /// (e.g. it tripped a retirement fence); the coordinator should abort and
+  /// let the system restart the work as a fresh incarnation.
+  bool fatal = false;
+  MarkingGossip gossip;
+};
+
+/// Coordinator -> site: VOTE-REQ.
+struct VoteRequestPayload : net::Payload {
+  MarkingGossip gossip;
+};
+
+/// Site -> coordinator: VOTE.
+struct VotePayload : net::Payload {
+  bool commit = false;
+  /// True when an abort vote comes from crash recovery (the site lost the
+  /// subtransaction and its WAL vouches for nothing) rather than from
+  /// business logic — retrying the transaction afresh makes sense.
+  bool recovery_abort = false;
+  MarkingGossip gossip;
+};
+
+/// Coordinator -> site: DECISION.
+struct DecisionPayload : net::Payload {
+  bool commit = false;
+  /// True iff some participant locally committed (exposed updates) before
+  /// this abort — i.e. at least one O2PC commit vote was received. A
+  /// transaction that aborted before any exposure needs *no* undone marks:
+  /// under strict 2PL its rollback is invisible, so no regular cycle can
+  /// pass through it (marks would only cause spurious R1 rejections).
+  bool exposed = false;
+  /// Sites at which the transaction executed — the UDUM1 bookkeeping the
+  /// abort case needs; the coordinator knows this anyway, so shipping it
+  /// costs no extra message.
+  std::vector<SiteId> exec_sites;
+  MarkingGossip gossip;
+};
+
+/// Site -> coordinator: decision processed (including any compensation).
+struct DecisionAckPayload : net::Payload {
+  /// True if a compensating subtransaction ran at this site.
+  bool compensated = false;
+  MarkingGossip gossip;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_MESSAGES_H_

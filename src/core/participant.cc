@@ -1,0 +1,784 @@
+#include "core/participant.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace o2pc::core {
+
+Participant::Participant(sim::Simulator* simulator, net::Network* network,
+                         local::LocalDb* db, TxnIdAllocator* ids,
+                         WitnessKnowledge* knowledge,
+                         metrics::StatsCollector* stats, Options options)
+    : simulator_(simulator),
+      network_(network),
+      db_(db),
+      ids_(ids),
+      knowledge_(knowledge),
+      stats_(stats),
+      options_(options),
+      compensator_(simulator, db, ids, stats) {
+  O2PC_CHECK(simulator != nullptr);
+  O2PC_CHECK(network != nullptr);
+  O2PC_CHECK(db != nullptr);
+  O2PC_CHECK(knowledge != nullptr);
+}
+
+void Participant::OnMessage(const net::Message& message) {
+  switch (message.type) {
+    case net::MessageType::kSubtxnInvoke:
+      OnSubtxnInvoke(message);
+      return;
+    case net::MessageType::kVoteRequest:
+      OnVoteRequest(message);
+      return;
+    case net::MessageType::kDecision:
+      OnDecision(message);
+      return;
+    default:
+      O2PC_LOG(kWarn) << "participant " << site() << " ignoring "
+                      << net::MessageTypeName(message.type);
+  }
+}
+
+void Participant::OnSubtxnInvoke(const net::Message& message) {
+  const auto* payload =
+      static_cast<const SubtxnInvokePayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  TryUnmark();
+
+  auto it = subtxns_.find(message.txn);
+  if (it != subtxns_.end()) {
+    Subtxn& sub = it->second;
+    if (payload->attempt == sub.attempt) {
+      // Network resend of the attempt we are running / have answered.
+      if (sub.last_ack != nullptr) SendAck(sub, sub.last_ack);
+      return;
+    }
+    if (payload->attempt < sub.attempt) return;  // stale resend
+    // A genuinely new attempt (retry after rejection) falls through and
+    // reinitializes the runtime below.
+  }
+
+  Subtxn& sub = subtxns_[message.txn];
+  sub.global_id = message.txn;
+  sub.coordinator = message.from;
+  sub.ops = payload->ops;
+  sub.next_op = 0;
+  sub.invoke_marks = payload->transmarks;
+  sub.force_abort_vote = payload->force_abort_vote;
+  sub.attempt = payload->attempt;
+  sub.txn_start = payload->txn_start;
+  sub.executed = false;
+  sub.last_ack = nullptr;
+  sub.local_id = ids_->Next();
+  db_->Begin(sub.local_id, TxnKind::kGlobal, sub.global_id);
+
+  if (!MarkingActive()) {
+    sub.merged_marks = sub.invoke_marks;
+    sub.merged_marks.visited_sites.push_back(site());
+    ExecuteNext(message.txn);
+    return;
+  }
+
+  // Rule R1 as the first action of T_jk: read sitemarks.k under a (short)
+  // shared lock, check compatibility, accumulate into transmarks.j.
+  const TxnId gid = message.txn;
+  const int attempt = sub.attempt;
+  db_->Execute(
+      sub.local_id, local::Operation{local::OpType::kRead, options_.marks_key},
+      [this, gid, attempt](Result<Value> result) {
+        auto sit = subtxns_.find(gid);
+        if (sit == subtxns_.end() || sit->second.attempt != attempt) return;
+        Subtxn& sub = sit->second;
+        if (!result.ok()) {
+          if (db_->TxnState(sub.local_id) == local::LocalTxnState::kActive) {
+            FailSubtxn(gid, result.status());
+          }
+          return;
+        }
+        // The paper's deadlock-avoidance compromise: unlock sitemarks.k
+        // right after the check (a final validation happens at the end).
+        db_->lock_manager().Release(sub.local_id, options_.marks_key);
+        const std::set<TxnId> entry_undone = marks_.undone;
+        MarkCheck check = EvaluateMarkCheck(sub.invoke_marks, sub.txn_start);
+        if (!check.ok) {
+          if (stats_ != nullptr) stats_->Incr("r1_rejections");
+          O2PC_LOG(kDebug) << "site " << site() << " rejects T" << gid
+                           << (check.fatal ? " (fatal): " : ": ")
+                           << check.reason;
+          // The rejected probe never executed: discard it without trace.
+          db_->AbortLocal(sub.local_id);
+          auto ack = std::make_shared<SubtxnAckPayload>();
+          ack->status = Status::Rejected(
+              StrCat("R1 at site ", site(), ": ", check.reason));
+          ack->attempt = sub.attempt;
+          ack->fatal = check.fatal;
+          ack->gossip = Gossip();
+          SendAck(sub, std::move(ack));
+          return;
+        }
+        sub.entry_undone = entry_undone;  // includes marks retired just now
+        sub.admit_time = simulator_->Now();
+        sub.merged_marks = check.checked;
+        MergeMarks(marks_, site(), sub.merged_marks);
+        // Record post-quiescence observations: this visit provably follows
+        // everything of the transactions retired here, which the fence
+        // accepts in place of mark observations at this site.
+        for (const auto& [retired_ti, tombstone] : retired_marks_) {
+          (void)tombstone;
+          sub.merged_marks.retired_seen[retired_ti].insert(site());
+        }
+        O2PC_LOG(kDebug) << "site " << site() << " admits T" << gid << " ["
+                         << sub.merged_marks.ToString() << "] at "
+                         << simulator_->Now();
+        ExecuteNext(gid);
+      });
+}
+
+void Participant::ExecuteNext(TxnId global_id) {
+  Subtxn& sub = subtxns_.at(global_id);
+  if (sub.next_op >= sub.ops.size()) {
+    FinishExecution(global_id);
+    return;
+  }
+  const local::Operation op = sub.ops[sub.next_op];
+  const int attempt = sub.attempt;
+  db_->Execute(sub.local_id, op,
+               [this, global_id, attempt](Result<Value> result) {
+                 auto it = subtxns_.find(global_id);
+                 if (it == subtxns_.end() || it->second.attempt != attempt) {
+                   return;  // stale callback of a superseded attempt
+                 }
+                 if (!result.ok()) {
+                   // If the subtransaction is no longer active, something
+                   // else (an abort decision racing a cancelled lock wait)
+                   // already terminated it — nothing to do.
+                   if (db_->TxnState(it->second.local_id) ==
+                       local::LocalTxnState::kActive) {
+                     FailSubtxn(global_id, result.status());
+                   }
+                   return;
+                 }
+                 ++it->second.next_op;
+                 ExecuteNext(global_id);
+               });
+}
+
+void Participant::FinishExecution(TxnId global_id) {
+  Subtxn& sub = subtxns_.at(global_id);
+  if (MarkingActive() && options_.protocol.revalidate_marks_at_end) {
+    // Final validation of the compatibility check, as the last action of
+    // the subtransaction (this lock is held until the vote, but it is the
+    // last access, so the hold is short).
+    const int attempt = sub.attempt;
+    db_->Execute(
+        sub.local_id,
+        local::Operation{local::OpType::kRead, options_.marks_key},
+        [this, global_id, attempt](Result<Value> result) {
+          auto it = subtxns_.find(global_id);
+          if (it == subtxns_.end() || it->second.attempt != attempt) return;
+          Subtxn& sub = it->second;
+          if (!result.ok()) {
+            if (db_->TxnState(sub.local_id) ==
+                local::LocalTxnState::kActive) {
+              FailSubtxn(global_id, result.status());
+            }
+            return;
+          }
+          // Revalidate against the *merged* view (which includes this
+          // site's entry-time observation): a mark that appeared here
+          // during our execution — e.g. we were admitted before T_i's
+          // rollback and our lock waits drained after it — shows up as
+          // "this site is undone w.r.t. T_i but we did not see it", which
+          // the backward check turns into a restart. Without this, the
+          // subtransaction could sit on both sides of CT_i at different
+          // sites (the straddle that builds a regular cycle).
+          MarkCheck check = EvaluateMarkCheck(sub.merged_marks, sub.txn_start,
+                                              /*fence_since=*/sub.admit_time);
+          if (!check.ok) {
+            if (stats_ != nullptr) stats_->Incr("r1_revalidation_failures");
+            O2PC_LOG(kDebug) << "site " << site() << " revalidation fails T"
+                             << global_id << (check.fatal ? " (fatal): " : ": ")
+                             << check.reason;
+            // Nothing was exposed (locks held throughout): discard the
+            // attempt and let the coordinator retry or restart it.
+            db_->AbortLocal(sub.local_id);
+            auto ack = std::make_shared<SubtxnAckPayload>();
+            ack->status = Status::Rejected("R1 revalidation failed");
+            ack->attempt = sub.attempt;
+            ack->fatal = check.fatal;
+            ack->gossip = Gossip();
+            SendAck(sub, std::move(ack));
+            return;
+          }
+          CompleteExecution(sub);
+        });
+    return;
+  }
+  CompleteExecution(sub);
+}
+
+void Participant::CompleteExecution(Subtxn& sub) {
+  sub.executed = true;
+  Witness(sub.entry_undone);
+  auto ack = std::make_shared<SubtxnAckPayload>();
+  ack->status = Status::OK();
+  ack->transmarks = sub.merged_marks;
+  ack->attempt = sub.attempt;
+  ack->gossip = Gossip();
+  SendAck(sub, std::move(ack));
+}
+
+void Participant::FailSubtxn(TxnId global_id, const Status& status) {
+  Subtxn& sub = subtxns_.at(global_id);
+  O2PC_LOG(kDebug) << "site " << site() << " subtxn of T" << global_id
+                   << " failed: " << status.ToString();
+  // Roll back the partial execution. The rollback is the degenerate
+  // CT_ik: the forward accesses and the undo writes both enter the SG, and
+  // per Figure 2 the site becomes undone w.r.t. the dying transaction —
+  // even a pre-vote rollback's undo writes can seed regular cycles through
+  // conflict chains, so the mark is not optional.
+  db_->RollbackSubtxn(sub.local_id);
+  AddUndoneMark(global_id, /*exposed=*/false);  // pre-vote: nothing exposed
+  if (stats_ != nullptr) stats_->Incr("subtxn_failures");
+  auto ack = std::make_shared<SubtxnAckPayload>();
+  ack->status = status;
+  ack->attempt = sub.attempt;
+  ack->gossip = Gossip();
+  SendAck(sub, std::move(ack));
+}
+
+void Participant::SendAck(Subtxn& sub,
+                          std::shared_ptr<const SubtxnAckPayload> payload) {
+  sub.last_ack = payload;
+  net::Message message;
+  message.from = site();
+  message.to = sub.coordinator;
+  message.type = net::MessageType::kSubtxnAck;
+  message.txn = sub.global_id;
+  message.payload = std::move(payload);
+  network_->Send(std::move(message));
+}
+
+bool Participant::UnilateralAbort(TxnId global_id) {
+  auto it = subtxns_.find(global_id);
+  if (it == subtxns_.end()) return false;
+  Subtxn& sub = it->second;
+  if (sub.voted || sub.local_id == kInvalidTxn) return false;
+  if (!db_->HasTxn(sub.local_id)) return false;
+  const local::LocalTxnState state = db_->TxnState(sub.local_id);
+  if (state != local::LocalTxnState::kActive) return false;
+  if (stats_ != nullptr) stats_->Incr("unilateral_aborts");
+  if (sub.executed) {
+    // Already acked OK: withdraw at vote time. (The vote request may
+    // already be in flight; the abort vote is binding either way.)
+    sub.force_abort_vote = true;
+    return true;
+  }
+  // Mid-execution: fail the subtransaction now; in-flight op callbacks
+  // are stale-guarded by the local state check.
+  FailSubtxn(global_id, Status::Aborted("unilateral local abort"));
+  return true;
+}
+
+void Participant::OnCrash(const std::vector<TxnId>& rolled_back_globals) {
+  subtxns_.clear();
+  for (TxnId gid : rolled_back_globals) {
+    // Conservatively exposed; the (resent) DECISION clarifies.
+    AddUndoneMark(gid, /*exposed=*/true);
+  }
+  if (stats_ != nullptr) stats_->Incr("participant_crashes");
+}
+
+Participant::Subtxn* Participant::RecoverRuntime(TxnId global_id,
+                                                 SiteId coordinator) {
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingExposedSubtxns()) {
+    if (p.global_id != global_id) continue;
+    Subtxn& sub = subtxns_[global_id];
+    sub.global_id = global_id;
+    sub.coordinator = coordinator;
+    sub.local_id = p.local_id;
+    sub.executed = true;
+    sub.voted = true;  // it locally committed, so it voted commit
+    sub.vote_commit = true;
+    return &sub;
+  }
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingPreparedSubtxns()) {
+    if (p.global_id != global_id) continue;
+    Subtxn& sub = subtxns_[global_id];
+    sub.global_id = global_id;
+    sub.coordinator = coordinator;
+    sub.local_id = p.local_id;
+    sub.executed = true;
+    sub.voted = true;
+    sub.vote_commit = true;
+    return &sub;
+  }
+  return nullptr;
+}
+
+void Participant::OnVoteRequest(const net::Message& message) {
+  const auto* payload =
+      static_cast<const VoteRequestPayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  TryUnmark();
+  auto it = subtxns_.find(message.txn);
+  if (it == subtxns_.end()) {
+    // Post-crash: answer from the durable log. A pending prepared or
+    // locally-committed subtransaction re-votes commit; anything the WAL
+    // does not vouch for votes abort (its work was rolled back by
+    // recovery).
+    Subtxn* recovered = RecoverRuntime(message.txn, message.from);
+    if (recovered != nullptr) {
+      SendVote(*recovered, /*commit=*/true);
+      return;
+    }
+    Subtxn& stub = subtxns_[message.txn];
+    stub.global_id = message.txn;
+    stub.coordinator = message.from;
+    stub.voted = true;
+    stub.vote_commit = false;
+    SendVote(stub, /*commit=*/false, /*recovery_abort=*/true);
+    return;
+  }
+  Subtxn& sub = it->second;
+  if (sub.voted) {
+    if (sub.last_vote != nullptr) SendVote(sub, sub.last_vote->commit);
+    return;
+  }
+  O2PC_CHECK(sub.executed) << "VOTE-REQ before subtxn completion";
+  const TxnId gid = message.txn;
+  simulator_->Schedule(options_.protocol.vote_processing_delay, [this, gid] {
+    Subtxn& sub = subtxns_.at(gid);
+    if (sub.voted) return;
+    sub.voted = true;
+    if (sub.force_abort_vote) {
+      // Unilateral local abort at vote time (autonomy / local integrity):
+      // roll back now — this is the undone transition of Figure 2.
+      sub.vote_commit = false;
+      db_->RollbackSubtxn(sub.local_id);
+      // Sibling votes are concurrent: exposure unknown until the DECISION.
+      AddUndoneMark(gid, /*exposed=*/true);
+      if (stats_ != nullptr) stats_->Incr("votes_abort");
+      SendVote(sub, false);
+      return;
+    }
+    sub.vote_commit = true;
+    const bool optimistic =
+        options_.protocol.protocol == CommitProtocol::kOptimistic;
+    if (optimistic && !db_->HasRealAction(sub.local_id)) {
+      // O2PC's crux: the site locally commits and releases everything.
+      db_->LocallyCommit(sub.local_id);
+      if (MaintainLcMarks()) marks_.locally_committed.insert(gid);
+    } else {
+      // 2PC (or a pending real action): keep exclusive locks, release
+      // shared ones.
+      db_->PrepareAndReleaseShared(sub.local_id);
+    }
+    if (stats_ != nullptr) stats_->Incr("votes_commit");
+    SendVote(sub, true);
+  });
+}
+
+void Participant::SendVote(Subtxn& sub, bool commit, bool recovery_abort) {
+  auto payload = std::make_shared<VotePayload>();
+  payload->commit = commit;
+  payload->recovery_abort = recovery_abort;
+  payload->gossip = Gossip();
+  sub.last_vote = payload;
+  net::Message message;
+  message.from = site();
+  message.to = sub.coordinator;
+  message.type = net::MessageType::kVote;
+  message.txn = sub.global_id;
+  message.payload = std::move(payload);
+  network_->Send(std::move(message));
+}
+
+void Participant::OnDecision(const net::Message& message) {
+  const auto* raw =
+      static_cast<const DecisionPayload*>(message.payload.get());
+  knowledge_->Merge(raw->gossip);
+  TryUnmark();
+  auto it = subtxns_.find(message.txn);
+  if (it == subtxns_.end()) {
+    // Post-crash: resolve from the durable log.
+    Subtxn* recovered = RecoverRuntime(message.txn, message.from);
+    if (recovered == nullptr) {
+      // Nothing pending: recovery already rolled everything back. Just
+      // acknowledge so the coordinator can finish.
+      Subtxn& stub = subtxns_[message.txn];
+      stub.global_id = message.txn;
+      stub.coordinator = message.from;
+      stub.decided = true;
+      SendDecisionAck(stub, /*compensated=*/false);
+      return;
+    }
+    it = subtxns_.find(message.txn);
+  }
+  Subtxn& sub = it->second;
+  if (sub.decision_acked) {
+    if (sub.last_decision_ack != nullptr) {
+      SendDecisionAck(sub, sub.last_decision_ack->compensated);
+    }
+    return;
+  }
+  if (sub.decided) return;  // still processing (e.g. compensation running)
+  if (sub.local_id == kInvalidTxn) {
+    // Recovery stub: the WAL vouches for nothing, recovery already rolled
+    // everything back — just acknowledge.
+    sub.decided = true;
+    SendDecisionAck(sub, /*compensated=*/false);
+    return;
+  }
+  sub.decided = true;
+
+  const TxnId gid = message.txn;
+  const bool commit = raw->commit;
+  const bool exposed = raw->exposed;
+  const std::vector<SiteId> exec_sites = raw->exec_sites;
+  simulator_->Schedule(
+      options_.protocol.decision_processing_delay,
+      [this, gid, commit, exposed, exec_sites] {
+        Subtxn& sub = subtxns_.at(gid);
+        if (commit) {
+          db_->FinalizeCommit(sub.local_id);
+          if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+          SendDecisionAck(sub, /*compensated=*/false);
+          return;
+        }
+        // DECISION = abort. Remember where the transaction executed —
+        // rule R3 needs the execution-site list to evaluate UDUM1, and
+        // other sites learn it through the gossip.
+        if (stats_ != nullptr && exposed) stats_->Incr("aborts_exposed");
+        if (MarkingActive() && !exec_sites.empty()) {
+          marks_.exec_sites[gid] = exec_sites;
+          knowledge_->SetExecSites(gid, exec_sites);
+        }
+        // The DECISION settles exposure: demote a conservative vote-abort
+        // mark if nothing was exposed anywhere.
+        if (MarkingActive() && !exposed) marks_.exposed_undone.erase(gid);
+        const local::LocalTxnState state = db_->TxnState(sub.local_id);
+        switch (state) {
+          case local::LocalTxnState::kLocallyCommitted: {
+            // The exposed case: semantic undo via a compensating
+            // subtransaction. Rule R2: the CT's *last* operation updates
+            // sitemarks.k (under the CT's exclusive lock).
+            CompensationExecutor::Request request;
+            request.forward_id = gid;
+            request.plan = db_->CompensationPlan(sub.local_id);
+            if (MarkingActive()) {
+              request.plan.push_back(local::Operation{
+                  local::OpType::kWrite, options_.marks_key, 0});
+            }
+            request.retry_backoff =
+                options_.protocol.compensation_retry_backoff;
+            request.done = [this, gid] {
+              Subtxn& sub = subtxns_.at(gid);
+              db_->MarkCompensated(sub.local_id);
+              AddUndoneMark(gid, /*exposed=*/true);  // this site exposed
+              if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+              SendDecisionAck(sub, /*compensated=*/true);
+            };
+            compensator_.Run(std::move(request));
+            return;
+          }
+          case local::LocalTxnState::kActive:
+          case local::LocalTxnState::kPrepared:
+            // 2PC path (or a real-action site): locks still held, standard
+            // rollback.
+            db_->RollbackSubtxn(sub.local_id);
+            AddUndoneMark(gid, exposed);
+            if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+            SendDecisionAck(sub, /*compensated=*/false);
+            return;
+          case local::LocalTxnState::kAborted:
+            // Abort-voter or failed subtransaction: already rolled back.
+            SendDecisionAck(sub, /*compensated=*/false);
+            return;
+          case local::LocalTxnState::kCommitted:
+            O2PC_CHECK(false) << "abort decision for committed subtxn";
+            return;
+        }
+      });
+}
+
+void Participant::SendDecisionAck(Subtxn& sub, bool compensated) {
+  sub.decision_acked = true;
+  auto payload = std::make_shared<DecisionAckPayload>();
+  payload->compensated = compensated;
+  payload->gossip = Gossip();
+  sub.last_decision_ack = payload;
+  net::Message message;
+  message.from = site();
+  message.to = sub.coordinator;
+  message.type = net::MessageType::kDecisionAck;
+  message.txn = sub.global_id;
+  message.payload = std::move(payload);
+  network_->Send(std::move(message));
+}
+
+void Participant::AddUndoneMark(TxnId forward, bool exposed) {
+  if (!MarkingActive()) return;
+  O2PC_LOG(kDebug) << "site " << site() << " marks undone wrt T" << forward
+                   << (exposed ? " (exposed)" : " (unexposed)") << " at "
+                   << simulator_->Now();
+  marks_.undone.insert(forward);
+  if (exposed) {
+    marks_.exposed_undone.insert(forward);
+  } else {
+    marks_.exposed_undone.erase(forward);
+  }
+  TryUnmark();
+}
+
+void Participant::Witness(const std::set<TxnId>& entry_undone) {
+  if (!MarkingActive()) return;
+  for (TxnId ti : entry_undone) {
+    knowledge_->Add(WitnessFact{ti, site()});
+  }
+  TryUnmark();
+}
+
+void Participant::WitnessLocal(const std::set<TxnId>& entry_undone) {
+  Witness(entry_undone);
+}
+
+std::vector<TxnId> Participant::RemovableWithSelfWitness() const {
+  std::vector<TxnId> removable;
+  for (TxnId ti : marks_.undone) {
+    const std::vector<SiteId>* exec = knowledge_->ExecSitesOf(ti);
+    if (exec == nullptr) {
+      auto it = marks_.exec_sites.find(ti);
+      if (it == marks_.exec_sites.end()) continue;
+      exec = &it->second;
+    }
+    if (exec->empty()) continue;
+    bool covered = true;
+    for (SiteId s : *exec) {
+      if (s == site()) continue;  // this access is the witness here
+      if (!knowledge_->Covers(ti, {s})) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) removable.push_back(ti);
+  }
+  return removable;
+}
+
+void Participant::RetireMark(TxnId ti, bool self_witness) {
+  if (self_witness) knowledge_->Add(WitnessFact{ti, site()});
+  Tombstone tombstone;
+  tombstone.retire_time = simulator_->Now();
+  tombstone.exposed = marks_.exposed_undone.contains(ti);
+  if (const std::vector<SiteId>* exec = knowledge_->ExecSitesOf(ti)) {
+    tombstone.exec_sites = *exec;
+  } else if (auto it = marks_.exec_sites.find(ti);
+             it != marks_.exec_sites.end()) {
+    tombstone.exec_sites = it->second;
+  }
+  marks_.undone.erase(ti);
+  marks_.exposed_undone.erase(ti);
+  marks_.exec_sites.erase(ti);
+  O2PC_LOG(kDebug) << "site " << site() << " retires mark T" << ti << " at "
+                   << simulator_->Now();
+  retired_marks_.emplace(ti, std::move(tombstone));
+  if (stats_ != nullptr) stats_->Incr("udum_unmarks");
+}
+
+void Participant::TryUnmark() {
+  if (!MarkingActive()) return;
+  std::vector<TxnId> unmarked;
+  for (TxnId ti : marks_.undone) {
+    const std::vector<SiteId>* exec = knowledge_->ExecSitesOf(ti);
+    if (exec == nullptr) {
+      auto it = marks_.exec_sites.find(ti);
+      if (it == marks_.exec_sites.end()) continue;
+      exec = &it->second;
+    }
+    if (knowledge_->Covers(ti, *exec)) unmarked.push_back(ti);
+  }
+  for (TxnId ti : unmarked) RetireMark(ti, /*self_witness=*/false);
+}
+
+bool Participant::HasExposedPending(TxnId ti) const {
+  auto it = subtxns_.find(ti);
+  if (it == subtxns_.end() || it->second.local_id == kInvalidTxn) {
+    return false;
+  }
+  if (!db_->HasTxn(it->second.local_id)) return false;
+  return db_->TxnState(it->second.local_id) ==
+         local::LocalTxnState::kLocallyCommitted;
+}
+
+Participant::MarkCheck Participant::EvaluateMarkCheck(const TransMarks& tm,
+                                                      SimTime txn_start,
+                                                      SimTime fence_since) {
+  MarkCheck result;
+  result.checked = tm;
+  const GovernancePolicy policy = options_.protocol.governance;
+
+  // Rule R3, executed as part of the accessing transaction: this access is
+  // itself the final witness for marks whose other execution sites are
+  // already witnessed.
+  for (TxnId ti : RemovableWithSelfWitness()) {
+    RetireMark(ti, /*self_witness=*/true);
+  }
+
+  // Locally-committed-mark logic (the literal P2 rule; also the LC half of
+  // the strengthened P2).
+  if (policy == GovernancePolicy::kP2 ||
+      policy == GovernancePolicy::kP2Literal) {
+    if (!Compatible(GovernancePolicy::kP2Literal, result.checked, marks_)) {
+      result.ok = false;
+      result.reason = "LC marks incompatible";
+      return result;
+    }
+  }
+  if (policy == GovernancePolicy::kSimple &&
+      !marks_.locally_committed.empty()) {
+    result.ok = false;
+    result.reason = "site is locally-committed w.r.t. some transaction";
+    return result;
+  }
+  if (policy == GovernancePolicy::kNone ||
+      policy == GovernancePolicy::kP2Literal) {
+    return result;  // no undone-mark restrictions
+  }
+
+  // ---- Undone-mark logic: P1, the strengthened P2, and Simple. ----
+
+  // (a) Tombstones. A mark retired by rule R3 is globally quiescent (the
+  // UDUM1 witnesses imply every rollback/compensation of T_i completed),
+  // so accesses here from now on can only *follow* CT_i — safe. The one
+  // exception is a transaction that straddles the retirement: it may have
+  // conflict-preceded T_i — or a reader of T_i's exposed updates, which is
+  // just as dangerous transitively — at a site it visited before the mark
+  // existed there. The *retirement fence* admits a straddler only if it
+  // observed the mark at every site it visited (then all its accesses sit
+  // after CT_i and the stale transmark entry is dropped); anything else
+  // restarts as a fresh incarnation.
+  for (const auto& [ti, tombstone] : retired_marks_) {
+    (void)tombstone;
+    auto seen_it = result.checked.undone_seen.find(ti);
+    if (txn_start < tombstone.retire_time &&
+        tombstone.retire_time > fence_since) {
+      auto retired_it = result.checked.retired_seen.find(ti);
+      bool covered = true;
+      for (SiteId visited : result.checked.visited_sites) {
+        // An unexposed transaction's dependencies cannot leave its
+        // execution sites; an exposed one's can (readers carry them
+        // anywhere), so every visited site needs coverage.
+        if (!tombstone.exposed &&
+            std::find(tombstone.exec_sites.begin(),
+                      tombstone.exec_sites.end(),
+                      visited) == tombstone.exec_sites.end()) {
+          continue;
+        }
+        const bool saw_mark =
+            seen_it != result.checked.undone_seen.end() &&
+            seen_it->second.contains(visited);
+        const bool saw_quiescent =
+            retired_it != result.checked.retired_seen.end() &&
+            retired_it->second.contains(visited);
+        if (!saw_mark && !saw_quiescent) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) {
+        result.ok = false;
+        result.fatal = true;
+        result.reason =
+            StrCat("retirement fence: T", ti, " retired mid-flight");
+        return result;
+      }
+    }
+    // The stale entry no longer constrains this or future sites.
+    if (seen_it != result.checked.undone_seen.end()) {
+      result.checked.undone_seen.erase(seen_it);
+    }
+  }
+
+  if (policy == GovernancePolicy::kSimple) {
+    // The crude closing-remark protocol of §6.2: exact undone-set
+    // equality, no refinements.
+    if (!Compatible(GovernancePolicy::kSimple, result.checked, marks_)) {
+      result.ok = false;
+      result.reason = "undone sets differ";
+    }
+    return result;
+  }
+
+  // (b) Forward direction: the transaction saw T_i undone somewhere, and
+  // this site carries no mark for T_i. That is dangerous only while T_i is
+  // exposed-but-uncompensated *here* (the transaction could then read
+  // T_i's doomed updates and later precede CT_i here). If T_i is absent,
+  // still active (its held locks force any conflict to order after the
+  // rollback), or long finished here, admission is safe.
+  for (const auto& [ti, seen] : result.checked.undone_seen) {
+    if (seen.empty() || marks_.undone.contains(ti)) continue;
+    if (HasExposedPending(ti)) {
+      result.ok = false;
+      result.reason =
+          StrCat("T", ti, " exposed here, compensation pending");
+      return result;
+    }
+  }
+
+  // (c) Backward direction: this site is undone w.r.t. T_i, so the
+  // transaction must have seen the mark (or T_i's quiescence) at every
+  // visited site that matters. For an *exposed* T_i that is every site —
+  // readers of the exposed updates can carry the dependency anywhere, so
+  // no site-precise relaxation is sound. For an unexposed T_i the
+  // dependency cannot leave its execution sites, and only visits to those
+  // need coverage. A transaction that missed a required observation can
+  // never repair it in place — restart as a fresh incarnation.
+  for (TxnId ti : marks_.undone) {
+    if (result.checked.UndoneCount(ti) == result.checked.visited()) {
+      continue;  // saw it everywhere: the paper's uniform case
+    }
+    const bool ti_exposed = marks_.exposed_undone.contains(ti);
+    const std::vector<SiteId>* exec = knowledge_->ExecSitesOf(ti);
+    if (exec == nullptr) {
+      auto exec_it = marks_.exec_sites.find(ti);
+      exec = exec_it == marks_.exec_sites.end() ? nullptr : &exec_it->second;
+    }
+    if (!ti_exposed && exec == nullptr) {
+      // Unexposed mark whose DECISION has not yet delivered the execution
+      // sites: retry shortly.
+      result.ok = false;
+      result.reason = StrCat("T", ti, " undone here, exec sites unknown");
+      return result;
+    }
+    auto seen_it = result.checked.undone_seen.find(ti);
+    auto retired_it = result.checked.retired_seen.find(ti);
+    for (SiteId visited : result.checked.visited_sites) {
+      if (!ti_exposed &&
+          std::find(exec->begin(), exec->end(), visited) == exec->end()) {
+        continue;  // unexposed: this visit cannot carry the dependency
+      }
+      const bool saw_mark = seen_it != result.checked.undone_seen.end() &&
+                            seen_it->second.contains(visited);
+      const bool saw_quiescent =
+          retired_it != result.checked.retired_seen.end() &&
+          retired_it->second.contains(visited);
+      if (!saw_mark && !saw_quiescent) {
+        result.ok = false;
+        result.fatal = true;
+        result.reason = StrCat("undone w.r.t. T", ti,
+                               " here; visited site ", visited,
+                               " without observing it");
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace o2pc::core

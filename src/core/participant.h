@@ -1,0 +1,232 @@
+#ifndef O2PC_CORE_PARTICIPANT_H_
+#define O2PC_CORE_PARTICIPANT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/compensation.h"
+#include "core/global_txn.h"
+#include "core/marking.h"
+#include "core/messages.h"
+#include "core/protocol.h"
+#include "local/local_db.h"
+#include "metrics/stats.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+/// \file
+/// The participant role of one site: executes subtransactions (applying
+/// rule R1's marking check first), answers VOTE-REQ, and processes the
+/// DECISION — which, under O2PC, is where the two protocols diverge:
+///
+///   * 2PC   : vote commit => kPrepared, exclusive locks held until the
+///             DECISION (blocking window);
+///   * O2PC  : vote commit => locally-committed, **all locks released**;
+///             DECISION = abort => compensating subtransaction (rules R2,
+///             R3 maintain the site marks).
+///
+/// A site hosting a *real action* always takes the 2PC path for that
+/// transaction (§2's adjustment for non-compensatable actions).
+
+namespace o2pc::core {
+
+class Participant {
+ public:
+  struct Options {
+    ProtocolConfig protocol;
+    /// Reserved key whose lock serializes access to the marking sets
+    /// (the paper stores `sitemarks.k` in the local database, §6.2).
+    DataKey marks_key = 0;
+  };
+
+  Participant(sim::Simulator* simulator, net::Network* network,
+              local::LocalDb* db, TxnIdAllocator* ids,
+              WitnessKnowledge* knowledge, metrics::StatsCollector* stats,
+              Options options);
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+
+  /// Network entry point for SUBTXN-INVOKE / VOTE-REQ / DECISION.
+  void OnMessage(const net::Message& message);
+
+  /// Snapshot of the transactions this site is currently undone w.r.t.
+  /// (taken by local transactions at begin, for witness bookkeeping).
+  std::set<TxnId> SnapshotUndone() const { return marks_.undone; }
+
+  /// Called when a *local* transaction that began under `entry_undone`
+  /// commits: registers UDUM1 witness facts and re-evaluates rule R3.
+  void WitnessLocal(const std::set<TxnId>& entry_undone);
+
+  /// Local autonomy ([BST90], paper §1): the site unilaterally aborts its
+  /// subtransaction of `global_id` — allowed any time before the
+  /// subtransaction terminates (i.e. before this site votes). Returns
+  /// false when it is too late (already voted / locally committed) or the
+  /// transaction is unknown here. A pre-vote unilateral abort surfaces to
+  /// the coordinator as a failure ack or an abort vote; O2PC preserves
+  /// this right, which 2PC's prepared state would forfeit.
+  bool UnilateralAbort(TxnId global_id);
+
+  /// Site crash notification: volatile subtransaction runtimes are lost
+  /// (the marks survive — the paper stores sitemarks in the database).
+  /// `rolled_back_globals` are the global ids whose in-flight
+  /// subtransactions recovery just rolled back; they become undone marks.
+  /// Later (resent) VOTE-REQ / DECISION messages for forgotten
+  /// transactions are answered from the WAL: pending-prepared and
+  /// pending-exposed subtransactions re-vote commit; anything else votes
+  /// abort; abort decisions for pending-exposed subtransactions re-run
+  /// compensation from the logged counter-operations.
+  void OnCrash(const std::vector<TxnId>& rolled_back_globals);
+
+  const SiteMarks& marks() const { return marks_; }
+  SiteId site() const { return db_->site(); }
+
+  /// True while any subtransaction of `txn` exists here (tests).
+  bool Knows(TxnId txn) const { return subtxns_.contains(txn); }
+
+ private:
+  /// Runtime of one subtransaction (one global transaction at this site).
+  struct Subtxn {
+    TxnId global_id = kInvalidTxn;
+    SiteId coordinator = kInvalidSite;
+    /// Local identity of the current execution attempt (fresh per R1
+    /// retry, so the local DBMS sees distinct transactions).
+    TxnId local_id = kInvalidTxn;
+    std::vector<local::Operation> ops;
+    std::size_t next_op = 0;
+    /// transmarks.j as received with the invoke (pre-merge).
+    TransMarks invoke_marks;
+    /// Start time of the global incarnation (for retirement fences).
+    SimTime txn_start = 0;
+    /// When rule R1 admitted this attempt (tombstones no newer than this
+    /// were already evaluated by the admission fence).
+    SimTime admit_time = 0;
+    /// transmarks.j after merging this site's marks (returned in the ack).
+    TransMarks merged_marks;
+    /// The undone set observed at entry — this subtransaction "executed
+    /// while the site was undone" w.r.t. exactly these transactions.
+    std::set<TxnId> entry_undone;
+    bool force_abort_vote = false;
+    /// Attempt number of the current invoke (R1 retries bump it).
+    int attempt = -1;
+    bool executed = false;   // ops ran to completion (acked OK)
+    bool voted = false;
+    bool vote_commit = false;
+    bool decided = false;
+    bool decision_acked = false;
+    /// Cached ack payloads for duplicate-message resends.
+    std::shared_ptr<const SubtxnAckPayload> last_ack;
+    std::shared_ptr<const VotePayload> last_vote;
+    std::shared_ptr<const DecisionAckPayload> last_decision_ack;
+  };
+
+  bool MarkingActive() const {
+    return options_.protocol.protocol == CommitProtocol::kOptimistic &&
+           options_.protocol.governance != GovernancePolicy::kNone;
+  }
+  bool MaintainLcMarks() const {
+    return MarkingActive() &&
+           (options_.protocol.governance == GovernancePolicy::kP2 ||
+            options_.protocol.governance == GovernancePolicy::kP2Literal ||
+            options_.protocol.governance == GovernancePolicy::kSimple);
+  }
+
+  void OnSubtxnInvoke(const net::Message& message);
+  void OnVoteRequest(const net::Message& message);
+  void OnDecision(const net::Message& message);
+
+  /// Rebuilds a minimal runtime for a transaction forgotten in a crash,
+  /// from the WAL's pending records. Returns nullptr when the WAL knows
+  /// nothing pending for it.
+  Subtxn* RecoverRuntime(TxnId global_id, SiteId coordinator);
+
+  /// Starts executing `sub`'s operations (after R1 admitted it).
+  void ExecuteNext(TxnId global_id);
+  /// All operations done: optional end-of-subtransaction revalidation of
+  /// the marking check, then ack.
+  void FinishExecution(TxnId global_id);
+  /// Records witnesses and sends the OK ack.
+  void CompleteExecution(Subtxn& sub);
+  /// The subtransaction failed locally (deadlock, semantic error):
+  /// roll back, mark undone (rollback is the degenerate CT_ik), ack.
+  void FailSubtxn(TxnId global_id, const Status& status);
+  void SendAck(Subtxn& sub, std::shared_ptr<const SubtxnAckPayload> payload);
+
+  void SendVote(Subtxn& sub, bool commit, bool recovery_abort = false);
+  void SendDecisionAck(Subtxn& sub, bool compensated);
+
+  /// Adds the undone mark for `forward` (rule R2 already wrote the marking
+  /// set under the CT's lock; this mirrors it into the fast structure).
+  /// `exposed` = T_i locally committed somewhere (or might have —
+  /// vote-abort marks pass true conservatively until the DECISION says).
+  void AddUndoneMark(TxnId forward, bool exposed);
+  /// Registers witness facts for a transaction that executed while this
+  /// site was undone w.r.t. `entry_undone`, then applies rule R3.
+  void Witness(const std::set<TxnId>& entry_undone);
+  /// Rule R3: unmark every T_i whose UDUM1 condition now holds.
+  void TryUnmark();
+
+  /// Retires the undone mark for `ti` (rule R3), leaving a timestamped
+  /// tombstone behind for the retirement fence. `self_witness` adds this
+  /// site's witness fact first.
+  void RetireMark(TxnId ti, bool self_witness);
+
+  /// Marks whose UDUM1 condition holds once the arriving subtransaction is
+  /// counted as a witness of this site. The paper executes R3 "as part of
+  /// the transaction that enabled the transition", i.e. *before* rule R1's
+  /// merge — without this, the mark of a transaction that executed at this
+  /// site alone could never retire and every successor would livelock.
+  std::vector<TxnId> RemovableWithSelfWitness() const;
+
+  /// Outcome of the full R1 evaluation (R3 retirement, retirement fence,
+  /// compatibility).
+  struct MarkCheck {
+    bool ok = true;
+    /// Rejection that in-place retries cannot fix (fence tripped).
+    bool fatal = false;
+    /// transmarks to use for the merge: uniform-observed entries of
+    /// retired marks are dropped (the transaction sits entirely in the
+    /// "after CT_i" class, so the stale entry must not poison it).
+    TransMarks checked;
+    std::string reason;
+  };
+
+  /// Runs R3 + fence + compatible() for a subtransaction arriving with
+  /// `tm` whose incarnation started at `txn_start`. Has the side effect of
+  /// retiring UDUM1-complete marks. `fence_since` skips tombstones the
+  /// caller already cleared (the end-of-subtransaction revalidation only
+  /// fences retirements that happened after admission).
+  MarkCheck EvaluateMarkCheck(const TransMarks& tm, SimTime txn_start,
+                              SimTime fence_since = 0);
+
+  /// True while T_i has a locally-committed, not-yet-compensated
+  /// subtransaction at this site (exposed updates that a newcomer could
+  /// still read *before* CT_i runs here).
+  bool HasExposedPending(TxnId ti) const;
+
+  MarkingGossip Gossip() const { return knowledge_->Export(); }
+
+  sim::Simulator* simulator_;   // not owned
+  net::Network* network_;       // not owned
+  local::LocalDb* db_;          // not owned
+  TxnIdAllocator* ids_;         // not owned
+  WitnessKnowledge* knowledge_;  // not owned (site-local or shared oracle)
+  metrics::StatsCollector* stats_;  // not owned
+  Options options_;
+  SiteMarks marks_;
+  /// Rule R3 tombstones: T_i -> (retirement time, T_i's execution sites).
+  struct Tombstone {
+    SimTime retire_time = 0;
+    bool exposed = true;
+    std::vector<SiteId> exec_sites;
+  };
+  std::map<TxnId, Tombstone> retired_marks_;
+  CompensationExecutor compensator_;
+  std::map<TxnId, Subtxn> subtxns_;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_PARTICIPANT_H_

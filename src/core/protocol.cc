@@ -1,0 +1,41 @@
+#include "core/protocol.h"
+
+namespace o2pc::core {
+
+const char* CommitProtocolName(CommitProtocol protocol) {
+  switch (protocol) {
+    case CommitProtocol::kTwoPhaseCommit:
+      return "2PC";
+    case CommitProtocol::kOptimistic:
+      return "O2PC";
+  }
+  return "?";
+}
+
+const char* GovernancePolicyName(GovernancePolicy policy) {
+  switch (policy) {
+    case GovernancePolicy::kNone:
+      return "none";
+    case GovernancePolicy::kP1:
+      return "P1";
+    case GovernancePolicy::kP2:
+      return "P2";
+    case GovernancePolicy::kSimple:
+      return "simple";
+    case GovernancePolicy::kP2Literal:
+      return "P2-literal";
+  }
+  return "?";
+}
+
+const char* DirectoryModeName(DirectoryMode mode) {
+  switch (mode) {
+    case DirectoryMode::kPiggyback:
+      return "piggyback";
+    case DirectoryMode::kOracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+}  // namespace o2pc::core

@@ -1,0 +1,106 @@
+#ifndef O2PC_CORE_PROTOCOL_H_
+#define O2PC_CORE_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file
+/// Protocol selection and tunables for the commit layer.
+
+namespace o2pc::core {
+
+/// Which commit protocol terminates global transactions.
+enum class CommitProtocol : std::uint8_t {
+  /// Distributed 2PL + standard 2PC: shared locks released at VOTE-REQ,
+  /// exclusive locks held until the DECISION arrives (the blocking
+  /// baseline).
+  kTwoPhaseCommit = 0,
+  /// The paper's O2PC: a commit vote locally commits the subtransaction and
+  /// releases *all* locks; an abort decision triggers a compensating
+  /// subtransaction. Message pattern identical to 2PC.
+  kOptimistic = 1,
+};
+
+const char* CommitProtocolName(CommitProtocol protocol);
+
+/// Which marking protocol (paper §6) governs O2PC executions. Irrelevant
+/// under kTwoPhaseCommit (nothing is ever exposed early).
+enum class GovernancePolicy : std::uint8_t {
+  /// No restriction — the saga-style mode (§4's closing remark): semantic
+  /// atomicity without the serializability-like criterion.
+  kNone = 0,
+  /// Protocol P1 (stratification property S1): a transaction may not mix
+  /// sites that are undone w.r.t. some T_i with sites that are not.
+  kP1 = 1,
+  /// Protocol P2, *strengthened*: the paper's literal dual rule
+  /// (locally-committed marks all-or-nothing) plus P1's undone-uniformity.
+  /// The strengthening is needed because the literal rule is unsound — see
+  /// kP2Literal and DESIGN.md ("P2 soundness gap").
+  kP2 = 2,
+  /// The "very simple protocol" of §6.2's closing remarks: all sites must
+  /// be undone w.r.t. exactly the same transactions and locally-committed
+  /// w.r.t. none.
+  kSimple = 3,
+  /// The paper's P2 exactly as stated (§6.1): either all sites
+  /// locally-committed w.r.t. T_i, or all sites undone-or-unmarked.
+  /// Reproduction finding: this admits regular cycles through chains where
+  /// some T_j directly precedes CT_i at a site where it also precedes T_i
+  /// (cycle condition C2 holds but the pair is never "active", so S2 is
+  /// vacuous). Kept as an ablation; not safe for production use.
+  kP2Literal = 4,
+};
+
+const char* GovernancePolicyName(GovernancePolicy policy);
+
+/// How UDUM1 witness knowledge spreads (paper §6.2, rule R3).
+enum class DirectoryMode : std::uint8_t {
+  /// Witness facts ride piggyback on the standard 2PC messages — the
+  /// paper's "no extra messages" requirement.
+  kPiggyback = 0,
+  /// Idealized instant global knowledge; an ablation upper bound.
+  kOracle = 1,
+};
+
+const char* DirectoryModeName(DirectoryMode mode);
+
+struct ProtocolConfig {
+  CommitProtocol protocol = CommitProtocol::kOptimistic;
+  GovernancePolicy governance = GovernancePolicy::kP1;
+  DirectoryMode directory = DirectoryMode::kPiggyback;
+
+  /// True: after a subtransaction's last operation, the R1 compatibility
+  /// check is validated again (the paper's deadlock-avoidance compromise:
+  /// check early with a short lock, re-validate as the last action).
+  bool revalidate_marks_at_end = true;
+
+  /// Participant-side processing cost before sending its VOTE.
+  Duration vote_processing_delay = Micros(200);
+  /// Participant-side processing cost of a DECISION message.
+  Duration decision_processing_delay = Micros(100);
+
+  /// R1 rejections: retry the subtransaction this many times, backing off,
+  /// before giving up and aborting the global transaction.
+  int max_subtxn_retries = 4;
+  Duration retry_backoff = Millis(2);
+
+  /// Resend VOTE-REQ / DECISION if unanswered for this long (lossy-network
+  /// safety net; 0 disables).
+  Duration resend_timeout = Millis(100);
+  int max_resends = 10;
+
+  /// Crash injection: probability the coordinator crashes *after logging*
+  /// its decision but before broadcasting it; it recovers and resends after
+  /// `coordinator_recovery_delay`. (Outcome unchanged — only delayed —
+  /// which isolates the blocking effect 2PC suffers.)
+  double coordinator_crash_probability = 0.0;
+  Duration coordinator_recovery_delay = Millis(200);
+
+  /// Backoff between compensation attempts (persistence of compensation:
+  /// a CT that deadlocks retries until it commits).
+  Duration compensation_retry_backoff = Millis(1);
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_PROTOCOL_H_

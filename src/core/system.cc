@@ -1,0 +1,243 @@
+#include "core/system.h"
+
+#include "common/logging.h"
+
+namespace o2pc::core {
+
+DistributedSystem::SiteRuntime::SiteRuntime(
+    sim::Simulator* simulator, net::Network* network, TxnIdAllocator* ids,
+    WitnessKnowledge* shared_knowledge, metrics::StatsCollector* stats,
+    SiteId site, const SystemOptions& options)
+    : db(simulator,
+         local::LocalDb::Options{site, options.op_cost,
+                                 options.lock_wait_timeout,
+                                 options.seed ^ 0x10ca1dbULL,
+                                 options.lock_options}),
+      participant(
+          simulator, network, &db, ids,
+          shared_knowledge != nullptr ? shared_knowledge : &own_knowledge,
+          stats,
+          Participant::Options{options.protocol, kMarksKey}) {}
+
+DistributedSystem::DistributedSystem(SystemOptions options)
+    : options_(options),
+      simulator_(),
+      network_(&simulator_, options.network, options.seed ^ 0x6e657477ULL),
+      rng_(options.seed) {
+  O2PC_CHECK(options_.num_sites > 0);
+  WitnessKnowledge* shared =
+      options_.protocol.directory == DirectoryMode::kOracle
+          ? &oracle_knowledge_
+          : nullptr;
+  sites_.reserve(options_.num_sites);
+  for (int i = 0; i < options_.num_sites; ++i) {
+    const SiteId site = static_cast<SiteId>(i);
+    sites_.push_back(std::make_unique<SiteRuntime>(
+        &simulator_, &network_, &ids_, shared, &stats_, site, options_));
+    network_.RegisterNode(site, [this, site](const net::Message& message) {
+      Dispatch(site, message);
+    });
+    // Preload data keys and the marking-set key.
+    for (DataKey key = 0; key < options_.keys_per_site; ++key) {
+      sites_.back()->db.Preload(key, options_.initial_value);
+    }
+    sites_.back()->db.Preload(kMarksKey, 0);
+    if (options_.checkpoint_interval > 0) ScheduleCheckpoint(site);
+  }
+}
+
+void DistributedSystem::ScheduleCheckpoint(SiteId site) {
+  ++pending_checkpoints_;
+  simulator_.Schedule(options_.checkpoint_interval, [this, site] {
+    --pending_checkpoints_;
+    sites_.at(site)->db.Checkpoint();
+    stats_.Incr("checkpoints");
+    // Keep checkpointing only while *other* work remains — checkpoint
+    // timers must not keep the simulation (or each other) alive.
+    if (simulator_.pending() > pending_checkpoints_) {
+      ScheduleCheckpoint(site);
+    }
+  });
+}
+
+void DistributedSystem::Dispatch(SiteId site, const net::Message& message) {
+  switch (message.type) {
+    case net::MessageType::kSubtxnInvoke:
+    case net::MessageType::kVoteRequest:
+    case net::MessageType::kDecision:
+      sites_.at(site)->participant.OnMessage(message);
+      return;
+    case net::MessageType::kSubtxnAck:
+    case net::MessageType::kVote:
+    case net::MessageType::kDecisionAck: {
+      auto it = coordinators_.find(message.txn);
+      if (it == coordinators_.end()) {
+        O2PC_LOG(kWarn) << "no coordinator for T" << message.txn;
+        return;
+      }
+      it->second->OnMessage(message);
+      return;
+    }
+    case net::MessageType::kUser:
+      return;  // tests register their own nodes for user messages
+  }
+}
+
+TxnId DistributedSystem::SubmitGlobal(GlobalTxnSpec spec,
+                                      GlobalDoneCallback done) {
+  O2PC_CHECK(spec.Valid()) << "invalid global transaction spec";
+  ++globals_submitted_;
+  auto pending = std::make_shared<PendingGlobal>();
+  pending->spec = std::move(spec);
+  pending->done = std::move(done);
+  pending->first_submit = simulator_.Now();
+  const TxnId id = ids_.Next();
+  LaunchGlobal(std::move(pending), id);
+  return id;
+}
+
+void DistributedSystem::LaunchGlobal(std::shared_ptr<PendingGlobal> pending,
+                                     TxnId id) {
+  const SiteId home = pending->spec.subtxns.front().site;
+  Coordinator::Options coordinator_options{options_.protocol, home};
+  auto coordinator = std::make_unique<Coordinator>(
+      &simulator_, &network_,
+      // The coordinator shares its home site's witness knowledge — it is a
+      // process at that site, not an extra network node.
+      options_.protocol.directory == DirectoryMode::kOracle
+          ? &oracle_knowledge_
+          : &sites_.at(home)->own_knowledge,
+      &stats_, rng_.Fork(id), coordinator_options);
+  Coordinator* raw = coordinator.get();
+  coordinators_[id] = std::move(coordinator);
+  raw->Start(id, pending->spec,
+             [this, pending](const GlobalResult& result) {
+               OnGlobalDone(pending, result);
+             });
+}
+
+void DistributedSystem::OnGlobalDone(std::shared_ptr<PendingGlobal> pending,
+                                     const GlobalResult& result) {
+  pending->total_rejections += result.r1_rejections;
+  pending->total_compensations += result.compensations;
+  if (!result.committed && !result.exposed) {
+    unexposed_aborted_.insert(result.id);
+  }
+  if (!result.committed && result.restartable &&
+      pending->restarts < options_.max_global_restarts) {
+    ++pending->restarts;
+    stats_.Incr("global_restarts");
+    // Randomized backoff: deterministic per seed, but desynchronizes
+    // transactions that would otherwise deadlock in lockstep forever.
+    const Duration backoff =
+        options_.restart_backoff * pending->restarts +
+        rng_.Uniform(0, options_.restart_backoff);
+    simulator_.Schedule(backoff, [this, pending] {
+      LaunchGlobal(pending, ids_.Next());
+    });
+    return;
+  }
+
+  ++globals_finished_;
+  stats_.Incr(result.committed ? "globals_committed" : "globals_aborted");
+  metrics::GlobalTxnRecord record;
+  record.id = result.id;
+  record.submit_time = pending->first_submit;
+  record.decide_time = result.decide_time;
+  record.finish_time = result.finish_time;
+  record.committed = result.committed;
+  record.num_sites = result.num_sites;
+  record.compensations = pending->total_compensations;
+  record.r1_rejections = pending->total_rejections;
+  record.restarts = pending->restarts;
+  stats_.AddGlobalTxn(record);
+  if (pending->done) pending->done(result);
+}
+
+void DistributedSystem::SubmitLocal(SiteId site,
+                                    std::vector<local::Operation> ops,
+                                    std::function<void(bool)> done) {
+  auto pending = std::make_shared<PendingLocal>();
+  pending->site = site;
+  pending->ops = std::move(ops);
+  pending->done = std::move(done);
+  stats_.Incr("locals_submitted");
+  AttemptLocal(std::move(pending));
+}
+
+void DistributedSystem::AttemptLocal(std::shared_ptr<PendingLocal> pending) {
+  SiteRuntime& runtime = *sites_.at(pending->site);
+  const TxnId id = ids_.Next();
+  runtime.db.Begin(id, TxnKind::kLocal);
+  auto entry_undone = std::make_shared<std::set<TxnId>>(
+      runtime.participant.SnapshotUndone());
+  RunLocalOp(std::move(pending), id, std::move(entry_undone), 0);
+}
+
+void DistributedSystem::RunLocalOp(
+    std::shared_ptr<PendingLocal> pending, TxnId id,
+    std::shared_ptr<std::set<TxnId>> entry_undone, std::size_t index) {
+  SiteRuntime& runtime = *sites_.at(pending->site);
+  if (index >= pending->ops.size()) {
+    runtime.db.CommitLocal(id);
+    runtime.participant.WitnessLocal(*entry_undone);
+    stats_.Incr("locals_committed");
+    if (pending->done) pending->done(true);
+    return;
+  }
+  runtime.db.Execute(
+      id, pending->ops[index],
+      [this, pending, id, entry_undone, index](Result<Value> result) {
+        if (result.ok() || result.status().IsNotFound() ||
+            result.status().IsConflict()) {
+          // Semantic misses (another transaction erased/inserted the key)
+          // do not abort background traffic.
+          RunLocalOp(pending, id, entry_undone, index + 1);
+          return;
+        }
+        // Deadlock victim: retry as a fresh transaction.
+        sites_.at(pending->site)->db.AbortLocal(id);
+        ++pending->attempts;
+        stats_.Incr("local_deadlock_retries");
+        if (pending->attempts > options_.max_local_retries) {
+          stats_.Incr("locals_failed");
+          if (pending->done) pending->done(false);
+          return;
+        }
+        simulator_.Schedule(
+            options_.local_retry_backoff * pending->attempts,
+            [this, pending] { AttemptLocal(pending); });
+      });
+}
+
+void DistributedSystem::CrashSite(SiteId site, Duration outage) {
+  SiteRuntime& runtime = *sites_.at(site);
+  network_.SetNodeDown(site, true);
+  const std::vector<TxnId> losers = runtime.db.Crash();
+  std::vector<TxnId> loser_globals;
+  for (TxnId local_id : losers) {
+    if (runtime.db.KindOf(local_id) == TxnKind::kGlobal) {
+      loser_globals.push_back(runtime.db.GlobalIdOf(local_id));
+    }
+  }
+  runtime.participant.OnCrash(loser_globals);
+  stats_.Incr("site_crashes");
+  simulator_.Schedule(outage, [this, site] {
+    network_.SetNodeDown(site, false);
+  });
+}
+
+sg::CorrectnessReport DistributedSystem::Analyze() const {
+  std::vector<const sg::ConflictTracker*> trackers;
+  trackers.reserve(sites_.size());
+  for (const auto& site : sites_) trackers.push_back(&site->db.tracker());
+  return sg::AnalyzeHistory(trackers, unexposed_aborted_);
+}
+
+Value DistributedSystem::TotalValue() const {
+  Value total = 0;
+  for (const auto& site : sites_) total += site->db.table().SumValues();
+  return total;
+}
+
+}  // namespace o2pc::core

@@ -1,0 +1,175 @@
+#ifndef O2PC_CORE_SYSTEM_H_
+#define O2PC_CORE_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/coordinator.h"
+#include "core/global_txn.h"
+#include "core/participant.h"
+#include "core/protocol.h"
+#include "local/local_db.h"
+#include "metrics/stats.h"
+#include "net/network.h"
+#include "sg/correctness.h"
+#include "sim/simulator.h"
+
+/// \file
+/// The top-level facade: N autonomous sites (local DBMS + participant) on a
+/// simulated network, a coordinator per global transaction, automatic
+/// restart of restartable failures (deadlock victims, R1 rejections), a
+/// driver for background local transactions, and post-run correctness
+/// analysis against the paper's criterion.
+///
+/// Typical use:
+///
+///     core::SystemOptions options;
+///     options.num_sites = 3;
+///     options.protocol.protocol = core::CommitProtocol::kOptimistic;
+///     core::DistributedSystem system(options);
+///     system.SubmitGlobal(spec, [](const core::GlobalResult& r) { ... });
+///     system.Run();                       // drain the simulation
+///     auto report = system.Analyze();     // §5 correctness oracle
+
+namespace o2pc::core {
+
+/// Reserved key holding the marking set (never collides with data keys).
+inline constexpr DataKey kMarksKey = DataKey{1} << 40;
+
+struct SystemOptions {
+  int num_sites = 4;
+  /// Keys 0..keys_per_site-1 are preloaded at every site.
+  DataKey keys_per_site = 128;
+  Value initial_value = 1000;
+  /// CPU cost per applied operation at a site.
+  Duration op_cost = Micros(100);
+  /// Distributed-deadlock resolution: a lock wait longer than this fails
+  /// the waiter with kDeadlock (the global transaction restarts).
+  Duration lock_wait_timeout = Millis(300);
+  ProtocolConfig protocol;
+  net::NetworkOptions network;
+  lock::LockManager::Options lock_options;
+  std::uint64_t seed = 42;
+  /// Restart budget for restartable global failures.
+  int max_global_restarts = 25;
+  Duration restart_backoff = Millis(3);
+  /// Retry budget for local transactions that lose deadlocks.
+  int max_local_retries = 50;
+  Duration local_retry_backoff = Millis(1);
+  /// Per-site fuzzy checkpoint period (0 disables). Checkpoints truncate
+  /// each WAL below its recovery low-watermark.
+  Duration checkpoint_interval = 0;
+};
+
+class DistributedSystem {
+ public:
+  explicit DistributedSystem(SystemOptions options);
+  DistributedSystem(const DistributedSystem&) = delete;
+  DistributedSystem& operator=(const DistributedSystem&) = delete;
+
+  /// Submits a global transaction. Returns the id of its first
+  /// incarnation. `done` fires once, after the final incarnation drains
+  /// (restartable failures are retried internally).
+  TxnId SubmitGlobal(GlobalTxnSpec spec, GlobalDoneCallback done = nullptr);
+
+  /// Submits a background local transaction at `site`; deadlock losses are
+  /// retried. `done(true)` on commit.
+  void SubmitLocal(SiteId site, std::vector<local::Operation> ops,
+                   std::function<void(bool)> done = nullptr);
+
+  /// Runs the simulation until no events remain.
+  void Run() { simulator_.Run(); }
+
+  /// Crashes `site` now (volatile state lost, WAL-driven recovery runs)
+  /// and keeps it unreachable for `outage`; in-flight protocols recover
+  /// through the coordinators' retransmission timers.
+  void CrashSite(SiteId site, Duration outage);
+
+  /// Post-run: evaluates the §5 correctness criterion, atomicity of
+  /// compensation, and plain serializability over the recorded history.
+  sg::CorrectnessReport Analyze() const;
+
+  /// Sum of all data values across all sites (conservation audits).
+  Value TotalValue() const;
+
+  sim::Simulator& simulator() { return simulator_; }
+  net::Network& network() { return network_; }
+  local::LocalDb& db(SiteId site) { return sites_.at(site)->db; }
+  Participant& participant(SiteId site) {
+    return sites_.at(site)->participant;
+  }
+  metrics::StatsCollector& stats() { return stats_; }
+  const metrics::StatsCollector& stats() const { return stats_; }
+  TxnIdAllocator& ids() { return ids_; }
+  const SystemOptions& options() const { return options_; }
+
+  std::uint64_t globals_submitted() const { return globals_submitted_; }
+  std::uint64_t globals_finished() const { return globals_finished_; }
+
+ private:
+  struct SiteRuntime {
+    SiteRuntime(sim::Simulator* simulator, net::Network* network,
+                TxnIdAllocator* ids, WitnessKnowledge* shared_knowledge,
+                metrics::StatsCollector* stats, SiteId site,
+                const SystemOptions& options);
+
+    local::LocalDb db;
+    /// Site-local knowledge (unused when the oracle directory is shared).
+    WitnessKnowledge own_knowledge;
+    Participant participant;
+  };
+
+  /// One logical global transaction across its restart incarnations.
+  struct PendingGlobal {
+    GlobalTxnSpec spec;
+    GlobalDoneCallback done;
+    int restarts = 0;
+    int total_rejections = 0;
+    int total_compensations = 0;
+    SimTime first_submit = 0;
+  };
+
+  struct PendingLocal {
+    SiteId site = kInvalidSite;
+    std::vector<local::Operation> ops;
+    std::function<void(bool)> done;
+    int attempts = 0;
+  };
+
+  void Dispatch(SiteId site, const net::Message& message);
+  void ScheduleCheckpoint(SiteId site);
+  void LaunchGlobal(std::shared_ptr<PendingGlobal> pending, TxnId id);
+  void OnGlobalDone(std::shared_ptr<PendingGlobal> pending,
+                    const GlobalResult& result);
+  void AttemptLocal(std::shared_ptr<PendingLocal> pending);
+  void RunLocalOp(std::shared_ptr<PendingLocal> pending, TxnId id,
+                  std::shared_ptr<std::set<TxnId>> entry_undone,
+                  std::size_t index);
+
+  SystemOptions options_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  Rng rng_;
+  TxnIdAllocator ids_;
+  metrics::StatsCollector stats_;
+  /// Shared instant-knowledge directory (oracle mode).
+  WitnessKnowledge oracle_knowledge_;
+  std::vector<std::unique_ptr<SiteRuntime>> sites_;
+  std::map<TxnId, std::unique_ptr<Coordinator>> coordinators_;
+  /// Incarnations that aborted without exposing anything — dropped from
+  /// the correctness analysis (exposed projection; see sg::AnalyzeHistory).
+  std::set<TxnId> unexposed_aborted_;
+  std::uint64_t globals_submitted_ = 0;
+  std::uint64_t globals_finished_ = 0;
+  /// Outstanding checkpoint timer events (so checkpoint timers do not keep
+  /// the simulation alive by themselves).
+  std::size_t pending_checkpoints_ = 0;
+};
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_SYSTEM_H_

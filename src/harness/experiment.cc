@@ -1,0 +1,61 @@
+#include "harness/experiment.h"
+
+#include "common/logging.h"
+#include "metrics/histogram.h"
+
+namespace o2pc::harness {
+
+RunResult RunExperiment(const ExperimentConfig& config) {
+  core::DistributedSystem system(config.system);
+  workload::WorkloadGenerator generator(
+      config.system.num_sites, config.system.keys_per_site, config.workload);
+  generator.Drive(system);
+  system.Run();
+
+  RunResult result;
+  result.label = config.label;
+  result.makespan = system.simulator().Now();
+
+  const metrics::StatsCollector& stats = system.stats();
+  result.throughput_tps = stats.Throughput(result.makespan);
+  metrics::Histogram latency = stats.CommitLatency();
+  result.mean_latency_us = latency.Mean();
+  result.p99_latency_us = latency.Percentile(0.99);
+
+  metrics::Histogram xhold;
+  metrics::Histogram wait;
+  for (int i = 0; i < config.system.num_sites; ++i) {
+    const lock::LockStats& lock_stats =
+        system.db(static_cast<SiteId>(i)).lock_manager().stats();
+    xhold.AddAll(lock_stats.exclusive_hold);
+    wait.AddAll(lock_stats.wait_time);
+    result.deadlocks += lock_stats.deadlocks;
+  }
+  result.mean_xlock_hold_us = xhold.Mean();
+  result.p99_xlock_hold_us = xhold.Percentile(0.99);
+  result.max_xlock_hold_us = xhold.Max();
+  result.mean_lock_wait_us = wait.Mean();
+
+  result.committed = stats.Count("globals_committed");
+  result.aborted = stats.Count("globals_aborted");
+  result.compensations = stats.Count("compensations_committed");
+  result.compensation_retries = stats.Count("compensation_retries");
+  result.r1_rejections = stats.Count("r1_rejections");
+  result.restarts = stats.Count("global_restarts");
+  result.coordinator_crashes = stats.Count("coordinator_crashes");
+  result.udum_unmarks = stats.Count("udum_unmarks");
+  result.locals_committed = stats.Count("locals_committed");
+
+  const net::NetworkStats& net_stats = system.network().stats();
+  result.messages_total = net_stats.sent_total;
+  result.messages_by_type = net_stats.sent_by_type;
+
+  if (config.analyze) {
+    result.report = system.Analyze();
+    result.regular_cycle_pivots =
+        static_cast<int>(result.report.regular_pivots.size());
+  }
+  return result;
+}
+
+}  // namespace o2pc::harness

@@ -1,0 +1,66 @@
+#ifndef O2PC_HARNESS_EXPERIMENT_H_
+#define O2PC_HARNESS_EXPERIMENT_H_
+
+#include <array>
+#include <string>
+
+#include "core/system.h"
+#include "net/message.h"
+#include "sg/correctness.h"
+#include "workload/generator.h"
+
+/// \file
+/// One-call experiment runner: build a DistributedSystem, drive a synthetic
+/// workload to completion, aggregate the metrics every experiment needs
+/// (throughput, latency, lock hold/wait times, message counts, abort and
+/// compensation counts), and run the §5 correctness analysis.
+
+namespace o2pc::harness {
+
+struct ExperimentConfig {
+  std::string label;
+  core::SystemOptions system;
+  workload::WorkloadOptions workload;
+  /// If true (default), run the post-hoc serialization-graph analysis
+  /// (can be disabled for very large runs).
+  bool analyze = true;
+};
+
+struct RunResult {
+  std::string label;
+
+  SimTime makespan = 0;
+  double throughput_tps = 0.0;  // committed globals per simulated second
+
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  double mean_xlock_hold_us = 0.0;
+  double p99_xlock_hold_us = 0.0;
+  double max_xlock_hold_us = 0.0;
+  double mean_lock_wait_us = 0.0;
+
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t compensations = 0;
+  std::uint64_t compensation_retries = 0;
+  std::uint64_t r1_rejections = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t coordinator_crashes = 0;
+  std::uint64_t udum_unmarks = 0;
+  std::uint64_t locals_committed = 0;
+
+  std::uint64_t messages_total = 0;
+  std::array<std::uint64_t, net::kNumMessageTypes> messages_by_type{};
+
+  sg::CorrectnessReport report;
+  int regular_cycle_pivots = 0;
+};
+
+/// Builds, drives, drains, aggregates.
+RunResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace o2pc::harness
+
+#endif  // O2PC_HARNESS_EXPERIMENT_H_

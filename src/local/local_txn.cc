@@ -1,0 +1,63 @@
+#include "local/local_txn.h"
+
+#include "common/string_util.h"
+
+namespace o2pc::local {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "READ";
+    case OpType::kWrite:
+      return "WRITE";
+    case OpType::kIncrement:
+      return "INCR";
+    case OpType::kInsert:
+      return "INSERT";
+    case OpType::kErase:
+      return "ERASE";
+    case OpType::kRealAction:
+      return "REAL-ACTION";
+  }
+  return "?";
+}
+
+bool IsWriteOp(OpType type) { return type != OpType::kRead; }
+
+std::string OperationToString(const Operation& op) {
+  if (op.type == OpType::kRead || op.type == OpType::kErase ||
+      op.type == OpType::kRealAction) {
+    return StrCat(OpTypeName(op.type), "(", op.key, ")");
+  }
+  return StrCat(OpTypeName(op.type), "(", op.key, ", ", op.value, ")");
+}
+
+const char* LocalTxnStateName(LocalTxnState state) {
+  switch (state) {
+    case LocalTxnState::kActive:
+      return "active";
+    case LocalTxnState::kPrepared:
+      return "prepared";
+    case LocalTxnState::kLocallyCommitted:
+      return "locally-committed";
+    case LocalTxnState::kCommitted:
+      return "committed";
+    case LocalTxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+sg::NodeRef LocalTxnRec::Node() const {
+  switch (kind) {
+    case TxnKind::kLocal:
+      return sg::LocalNode(id);
+    case TxnKind::kGlobal:
+      return sg::GlobalNode(global_id);
+    case TxnKind::kCompensating:
+      return sg::CompNode(global_id);
+  }
+  return sg::LocalNode(id);
+}
+
+}  // namespace o2pc::local

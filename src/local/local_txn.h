@@ -1,0 +1,106 @@
+#ifndef O2PC_LOCAL_LOCAL_TXN_H_
+#define O2PC_LOCAL_LOCAL_TXN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sg/serialization_graph.h"
+#include "storage/table.h"
+
+/// \file
+/// Transaction-side state of one site's DBMS: the operation vocabulary
+/// (generic reads/writes plus the restricted model's semantic operations),
+/// per-transaction undo/compensation bookkeeping, and the subtransaction
+/// state machine that the commit layer drives.
+
+namespace o2pc::local {
+
+/// Operations a (sub)transaction can execute against a site.
+enum class OpType : std::uint8_t {
+  /// Generic model: read the value of `key`.
+  kRead = 0,
+  /// Generic model: overwrite `key` with `value` (created if absent).
+  /// Compensated by restoring the before-image.
+  kWrite = 1,
+  /// Restricted model: add `value` (may be negative) to `key`.
+  /// Compensated by the counter-increment — the paper's prime example of a
+  /// semantically coherent task with an obvious counter-task.
+  kIncrement = 2,
+  /// Restricted model: insert a new row. Compensated by kErase.
+  kInsert = 3,
+  /// Restricted model: delete a row. Compensated by re-insertion.
+  kErase = 4,
+  /// A non-compensatable *real action* (paper §2: "firing a missile or
+  /// dispensing cash"). Deferred until the commit decision; forces the
+  /// site to keep 2PC behaviour for this transaction.
+  kRealAction = 5,
+};
+
+const char* OpTypeName(OpType type);
+
+/// True for operations that modify data (need an exclusive lock).
+bool IsWriteOp(OpType type);
+
+struct Operation {
+  OpType type = OpType::kRead;
+  DataKey key = 0;
+  /// Write value / increment delta / insert value; unused for reads.
+  Value value = 0;
+};
+
+std::string OperationToString(const Operation& op);
+
+/// Lifecycle of a transaction at one site.
+enum class LocalTxnState : std::uint8_t {
+  /// Executing operations; all acquired locks held.
+  kActive = 0,
+  /// Voted commit under 2PC: shared locks released, exclusive locks held
+  /// until the decision (the blocking window the paper attacks).
+  kPrepared = 1,
+  /// Voted commit under O2PC: *all* locks released, updates exposed; a
+  /// compensating subtransaction will run if the decision is abort.
+  kLocallyCommitted = 2,
+  /// Terminal: durably committed.
+  kCommitted = 3,
+  /// Terminal: rolled back (and, for exposed subtransactions,
+  /// compensated-for by a separate CT).
+  kAborted = 4,
+};
+
+const char* LocalTxnStateName(LocalTxnState state);
+
+/// Per-transaction record kept by LocalDb. Access/provenance entries are
+/// buffered here and flushed to the site's ConflictTracker only when the
+/// transaction reaches an outcome that belongs in the SG (see local_db.cc).
+struct LocalTxnRec {
+  TxnId id = kInvalidTxn;  // unique per execution attempt, site-wide
+  TxnKind kind = TxnKind::kLocal;
+  /// For kind == kCompensating: the forward transaction being compensated.
+  /// For kind == kGlobal: == id of the global transaction.
+  TxnId global_id = kInvalidTxn;
+  LocalTxnState state = LocalTxnState::kActive;
+
+  /// Counter-operations recorded in execution order; a compensating
+  /// subtransaction replays them in reverse.
+  std::vector<Operation> compensation_log;
+
+  /// Real actions awaiting the commit decision.
+  std::vector<Operation> deferred_real_actions;
+  bool has_real_action = false;
+
+  /// Buffered SG access records: (key, is_write), in lock-grant order.
+  std::vector<std::pair<DataKey, bool>> accesses;
+  /// Buffered read provenance.
+  std::vector<storage::WriterTag> reads_from;
+
+  SimTime begin_time = 0;
+
+  /// The SG node this transaction's effects belong to.
+  sg::NodeRef Node() const;
+};
+
+}  // namespace o2pc::local
+
+#endif  // O2PC_LOCAL_LOCAL_TXN_H_

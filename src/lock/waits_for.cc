@@ -1,0 +1,77 @@
+#include "lock/waits_for.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace o2pc::lock {
+
+const std::set<TxnId> WaitsForGraph::kEmpty;
+
+void WaitsForGraph::AddEdge(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return;
+  out_[waiter].insert(holder);
+}
+
+void WaitsForGraph::ClearWaiter(TxnId waiter) { out_.erase(waiter); }
+
+void WaitsForGraph::RemoveTxn(TxnId txn) {
+  out_.erase(txn);
+  for (auto& [waiter, targets] : out_) targets.erase(txn);
+}
+
+std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
+  // Iterative DFS from `start`; a cycle through `start` exists iff `start`
+  // is reachable from one of its successors. We track the path to report
+  // the cycle's members.
+  std::vector<TxnId> path;
+  std::set<TxnId> on_path;
+  std::set<TxnId> done;
+  std::vector<TxnId> result;
+
+  std::function<bool(TxnId)> dfs = [&](TxnId node) -> bool {
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = out_.find(node);
+    if (it != out_.end()) {
+      for (TxnId next : it->second) {
+        if (next == start) {
+          result = path;  // path from start back to start
+          return true;
+        }
+        if (on_path.contains(next) || done.contains(next)) continue;
+        if (dfs(next)) return true;
+      }
+    }
+    path.pop_back();
+    on_path.erase(node);
+    done.insert(node);
+    return false;
+  };
+
+  dfs(start);
+  return result;
+}
+
+bool WaitsForGraph::HasAnyCycle() const {
+  for (const auto& [node, targets] : out_) {
+    (void)targets;
+    if (!FindCycleFrom(node).empty()) return true;
+  }
+  return false;
+}
+
+const std::set<TxnId>& WaitsForGraph::WaitTargets(TxnId waiter) const {
+  auto it = out_.find(waiter);
+  return it == out_.end() ? kEmpty : it->second;
+}
+
+std::size_t WaitsForGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, targets] : out_) {
+    (void)node;
+    n += targets.size();
+  }
+  return n;
+}
+
+}  // namespace o2pc::lock

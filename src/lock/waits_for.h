@@ -1,0 +1,49 @@
+#ifndef O2PC_LOCK_WAITS_FOR_H_
+#define O2PC_LOCK_WAITS_FOR_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// The waits-for graph used for local deadlock detection. Nodes are
+/// transactions; an edge a -> b means "a waits for a lock held (or queued
+/// ahead) by b".
+
+namespace o2pc::lock {
+
+class WaitsForGraph {
+ public:
+  WaitsForGraph() = default;
+
+  /// Adds edge waiter -> holder (self-edges are ignored).
+  void AddEdge(TxnId waiter, TxnId holder);
+
+  /// Removes every outgoing edge of `waiter` (called when its request is
+  /// granted, cancelled, or fails).
+  void ClearWaiter(TxnId waiter);
+
+  /// Removes `txn` entirely (as waiter and as wait target).
+  void RemoveTxn(TxnId txn);
+
+  /// If `start` is on a cycle, returns the cycle's members (in path order,
+  /// starting at `start`); otherwise returns an empty vector.
+  std::vector<TxnId> FindCycleFrom(TxnId start) const;
+
+  /// True if any cycle exists (used by tests and the detector bench).
+  bool HasAnyCycle() const;
+
+  const std::set<TxnId>& WaitTargets(TxnId waiter) const;
+
+  std::size_t edge_count() const;
+
+ private:
+  std::map<TxnId, std::set<TxnId>> out_;
+  static const std::set<TxnId> kEmpty;
+};
+
+}  // namespace o2pc::lock
+
+#endif  // O2PC_LOCK_WAITS_FOR_H_

@@ -1,0 +1,83 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace o2pc::metrics {
+
+void Histogram::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Histogram::AddAll(const std::vector<std::int64_t>& samples) {
+  samples_.reserve(samples_.size() + samples.size());
+  for (std::int64_t s : samples) samples_.push_back(static_cast<double>(s));
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_) return;
+  auto* self = const_cast<Histogram*>(this);
+  std::sort(self->samples_.begin(), self->samples_.end());
+  self->sorted_ = true;
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Sum() const {
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum;
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - mean) * (s - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  if (samples_.empty()) return "n=0";
+  return StrCat("n=", count(), " mean=", FormatDouble(Mean(), 1), unit,
+                " p50=", FormatDouble(Median(), 1), unit,
+                " p99=", FormatDouble(Percentile(0.99), 1), unit,
+                " max=", FormatDouble(Max(), 1), unit);
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+}  // namespace o2pc::metrics

@@ -1,0 +1,47 @@
+#ifndef O2PC_METRICS_HISTOGRAM_H_
+#define O2PC_METRICS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Sample-based summary statistics (mean/percentiles) used for latency,
+/// lock-hold and wait-time reporting.
+
+namespace o2pc::metrics {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double sample);
+  void AddAll(const std::vector<std::int64_t>& samples);
+
+  std::uint64_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+  double StdDev() const;
+
+  /// "mean=... p50=... p99=... max=..." (values via `unit` suffix).
+  std::string Summary(const std::string& unit = "") const;
+
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace o2pc::metrics
+
+#endif  // O2PC_METRICS_HISTOGRAM_H_

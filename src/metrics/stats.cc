@@ -1,0 +1,25 @@
+#include "metrics/stats.h"
+
+namespace o2pc::metrics {
+
+double StatsCollector::Throughput(SimTime makespan) const {
+  if (makespan <= 0) return 0.0;
+  std::uint64_t committed = 0;
+  for (const GlobalTxnRecord& record : txns_) {
+    if (record.committed) ++committed;
+  }
+  return static_cast<double>(committed) /
+         (static_cast<double>(makespan) / 1e6);
+}
+
+Histogram StatsCollector::CommitLatency() const {
+  Histogram hist;
+  for (const GlobalTxnRecord& record : txns_) {
+    if (record.committed) {
+      hist.Add(static_cast<double>(record.Latency()));
+    }
+  }
+  return hist;
+}
+
+}  // namespace o2pc::metrics

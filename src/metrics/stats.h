@@ -1,0 +1,83 @@
+#ifndef O2PC_METRICS_STATS_H_
+#define O2PC_METRICS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/histogram.h"
+
+/// \file
+/// Run-wide metrics: named counters, named histograms, and one record per
+/// global transaction. The harness turns these into experiment tables.
+
+namespace o2pc::metrics {
+
+/// Everything worth knowing about one global transaction's life.
+struct GlobalTxnRecord {
+  TxnId id = kInvalidTxn;
+  SimTime submit_time = 0;
+  /// When the coordinator learned the outcome (decision logged).
+  SimTime decide_time = 0;
+  /// When the protocol fully drained (acks in, compensations done).
+  SimTime finish_time = 0;
+  bool committed = false;
+  /// Number of participant sites.
+  int num_sites = 0;
+  /// Compensating subtransactions that ran (locally-committed sites of an
+  /// aborted transaction).
+  int compensations = 0;
+  /// Times a subtransaction was rejected by the marking check R1.
+  int r1_rejections = 0;
+  /// Times the whole transaction was restarted (deadlock / rejection).
+  int restarts = 0;
+
+  Duration Latency() const { return finish_time - submit_time; }
+};
+
+class StatsCollector {
+ public:
+  StatsCollector() = default;
+  StatsCollector(const StatsCollector&) = delete;
+  StatsCollector& operator=(const StatsCollector&) = delete;
+
+  void Incr(const std::string& counter, std::uint64_t delta = 1) {
+    counters_[counter] += delta;
+  }
+  std::uint64_t Count(const std::string& counter) const {
+    auto it = counters_.find(counter);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  Histogram& Hist(const std::string& name) { return histograms_[name]; }
+  const Histogram* FindHist(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  void AddGlobalTxn(GlobalTxnRecord record) {
+    txns_.push_back(std::move(record));
+  }
+  const std::vector<GlobalTxnRecord>& global_txns() const { return txns_; }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Committed global transactions per simulated second.
+  double Throughput(SimTime makespan) const;
+
+  /// Latency histogram of committed global transactions (microseconds).
+  Histogram CommitLatency() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<GlobalTxnRecord> txns_;
+};
+
+}  // namespace o2pc::metrics
+
+#endif  // O2PC_METRICS_STATS_H_

@@ -1,0 +1,33 @@
+#ifndef O2PC_METRICS_TABLE_H_
+#define O2PC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Aligned ascii tables (and CSV) for benchmark/experiment output.
+
+namespace o2pc::metrics {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& AddRow(std::vector<std::string> row);
+
+  /// Aligned ascii rendering, with a header separator line.
+  std::string ToString() const;
+
+  /// Comma-separated rendering for machine consumption.
+  std::string ToCsv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace o2pc::metrics
+
+#endif  // O2PC_METRICS_TABLE_H_

@@ -1,0 +1,25 @@
+#include "net/message.h"
+
+namespace o2pc::net {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kSubtxnInvoke:
+      return "SUBTXN-INVOKE";
+    case MessageType::kSubtxnAck:
+      return "SUBTXN-ACK";
+    case MessageType::kVoteRequest:
+      return "VOTE-REQ";
+    case MessageType::kVote:
+      return "VOTE";
+    case MessageType::kDecision:
+      return "DECISION";
+    case MessageType::kDecisionAck:
+      return "DECISION-ACK";
+    case MessageType::kUser:
+      return "USER";
+  }
+  return "?";
+}
+
+}  // namespace o2pc::net

@@ -1,0 +1,60 @@
+#ifndef O2PC_NET_MESSAGE_H_
+#define O2PC_NET_MESSAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+/// \file
+/// Typed messages exchanged between sites. The commit layer defines the
+/// concrete payload structs (deriving from Payload); the network only
+/// routes, delays and counts envelopes.
+///
+/// The message vocabulary is exactly the standard 2PC exchange plus the
+/// operation-shipping messages any distributed transaction needs. O2PC adds
+/// **no** message types and no extra rounds (paper §1, §7): compensation is
+/// triggered by the existing DECISION message, and marking/UDUM1 information
+/// rides piggyback on these same envelopes.
+
+namespace o2pc::net {
+
+enum class MessageType : std::uint8_t {
+  /// Coordinator -> site: invoke subtransaction T_jk (ops + piggyback).
+  kSubtxnInvoke = 0,
+  /// Site -> coordinator: subtransaction completed / rejected / failed.
+  kSubtxnAck = 1,
+  /// Coordinator -> site: VOTE-REQ (a.k.a. PREPARE).
+  kVoteRequest = 2,
+  /// Site -> coordinator: VOTE (commit or abort).
+  kVote = 3,
+  /// Coordinator -> site: DECISION (commit or abort).
+  kDecision = 4,
+  /// Site -> coordinator: acknowledgement of the decision.
+  kDecisionAck = 5,
+  /// Free-form message used by tests.
+  kUser = 6,
+};
+inline constexpr int kNumMessageTypes = 7;
+
+/// Human-readable message-type name ("VOTE-REQ", ...).
+const char* MessageTypeName(MessageType type);
+
+/// Base class of all message payloads.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+/// Envelope routed by the Network.
+struct Message {
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+  MessageType type = MessageType::kUser;
+  /// Global transaction this message belongs to (kInvalidTxn for kUser).
+  TxnId txn = kInvalidTxn;
+  std::shared_ptr<const Payload> payload;
+};
+
+}  // namespace o2pc::net
+
+#endif  // O2PC_NET_MESSAGE_H_

@@ -1,0 +1,83 @@
+#include "net/network.h"
+
+#include "common/logging.h"
+
+namespace o2pc::net {
+
+Network::Network(sim::Simulator* simulator, NetworkOptions options,
+                 std::uint64_t seed)
+    : simulator_(simulator), options_(options), rng_(seed) {
+  O2PC_CHECK(simulator != nullptr);
+}
+
+void Network::RegisterNode(SiteId site, Handler handler) {
+  O2PC_CHECK(!handlers_.contains(site))
+      << "node " << site << " registered twice";
+  handlers_[site] = std::move(handler);
+}
+
+Duration Network::DeliveryLatency(SiteId from, SiteId to) {
+  if (from == to) return options_.loopback_latency;
+  Duration base = options_.base_latency;
+  if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
+    base = it->second;
+  }
+  Duration jitter = 0;
+  if (options_.jitter > 0) {
+    jitter = rng_.Uniform(0, options_.jitter);
+  }
+  return base + jitter;
+}
+
+void Network::Send(Message message) {
+  auto it = handlers_.find(message.to);
+  O2PC_CHECK(it != handlers_.end())
+      << "send to unregistered node " << message.to;
+  stats_.sent_by_type[static_cast<int>(message.type)]++;
+  stats_.sent_total++;
+
+  if (down_.contains(message.to) || down_.contains(message.from) ||
+      Severed(message.from, message.to) ||
+      (options_.drop_probability > 0.0 &&
+       message.from != message.to &&
+       rng_.Bernoulli(options_.drop_probability))) {
+    stats_.dropped++;
+    O2PC_LOG(kDebug) << "dropped " << MessageTypeName(message.type) << " "
+                     << message.from << "->" << message.to;
+    return;
+  }
+
+  const Duration latency = DeliveryLatency(message.from, message.to);
+  Handler* handler = &it->second;
+  simulator_->Schedule(latency, [handler, msg = std::move(message)]() {
+    (*handler)(msg);
+  });
+}
+
+void Network::SetNodeDown(SiteId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+void Network::SeverLink(SiteId a, SiteId b) {
+  severed_.insert({a, b});
+  severed_.insert({b, a});
+}
+
+void Network::HealLink(SiteId a, SiteId b) {
+  severed_.erase({a, b});
+  severed_.erase({b, a});
+}
+
+bool Network::Severed(SiteId a, SiteId b) const {
+  return severed_.contains({a, b});
+}
+
+void Network::SetLinkLatency(SiteId a, SiteId b, Duration latency) {
+  link_latency_[{a, b}] = latency;
+}
+
+}  // namespace o2pc::net

@@ -1,0 +1,98 @@
+#ifndef O2PC_NET_NETWORK_H_
+#define O2PC_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+/// \file
+/// Simulated message-passing network: per-link latency with jitter, optional
+/// message loss, link partitions, and per-type delivery counters (the
+/// counters drive experiment E6, the "no extra messages" claim).
+
+namespace o2pc::net {
+
+struct NetworkOptions {
+  /// Mean one-way latency between distinct sites.
+  Duration base_latency = Millis(5);
+  /// Uniform jitter added to each delivery, in [0, jitter].
+  Duration jitter = Micros(500);
+  /// Latency for a site messaging itself (coordinator to its own site).
+  Duration loopback_latency = Micros(10);
+  /// Probability a message is silently dropped (partitions drop anyway).
+  double drop_probability = 0.0;
+};
+
+/// Per-type delivery statistics.
+struct NetworkStats {
+  std::array<std::uint64_t, kNumMessageTypes> sent_by_type{};
+  std::uint64_t sent_total = 0;
+  std::uint64_t dropped = 0;
+
+  std::uint64_t sent(MessageType type) const {
+    return sent_by_type[static_cast<int>(type)];
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator* simulator, NetworkOptions options,
+          std::uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the message handler of node `site`. One handler per node.
+  void RegisterNode(SiteId site, Handler handler);
+
+  /// Sends `message`; it is delivered to the destination handler after the
+  /// link latency, unless dropped or partitioned. Sending to an unregistered
+  /// node is an error.
+  void Send(Message message);
+
+  /// Severs both directions between `a` and `b`. Messages sent while a link
+  /// is severed are lost (counted as dropped).
+  void SeverLink(SiteId a, SiteId b);
+
+  /// Restores both directions between `a` and `b`.
+  void HealLink(SiteId a, SiteId b);
+
+  /// True if a->b is currently severed.
+  bool Severed(SiteId a, SiteId b) const;
+
+  /// Overrides the latency of the (directed) link a->b.
+  void SetLinkLatency(SiteId a, SiteId b, Duration latency);
+
+  /// Marks a node down (crashed): messages addressed to it are dropped.
+  void SetNodeDown(SiteId node, bool down);
+  bool NodeDown(SiteId node) const { return down_.contains(node); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  Duration DeliveryLatency(SiteId from, SiteId to);
+
+  sim::Simulator* simulator_;  // not owned
+  NetworkOptions options_;
+  Rng rng_;
+  std::map<SiteId, Handler> handlers_;
+  std::set<std::pair<SiteId, SiteId>> severed_;
+  std::set<SiteId> down_;
+  std::map<std::pair<SiteId, SiteId>, Duration> link_latency_;
+  NetworkStats stats_;
+};
+
+}  // namespace o2pc::net
+
+#endif  // O2PC_NET_NETWORK_H_

@@ -1,0 +1,71 @@
+#include "sg/conflict_tracker.h"
+
+namespace o2pc::sg {
+
+void ConflictTracker::RecordAccess(NodeRef node, DataKey key, bool is_write) {
+  history_[key].push_back(Access{node, is_write});
+  ++access_count_;
+}
+
+void ConflictTracker::RecordReadFrom(NodeRef reader, NodeRef writer) {
+  if (writer.id == kInvalidTxn) return;  // initial database state
+  if (reader == writer) return;
+  reads_from_.push_back(ReadsFrom{reader, writer});
+}
+
+void ConflictTracker::MarkLocalCommitted(TxnId txn) {
+  committed_locals_.insert(txn);
+}
+
+bool ConflictTracker::Included(
+    const NodeRef& node, const std::set<TxnId>& excluded_globals) const {
+  if (node.kind != TxnKind::kLocal) {
+    return !excluded_globals.contains(node.id);
+  }
+  return committed_locals_.contains(node.id);
+}
+
+SerializationGraph ConflictTracker::BuildGraph(
+    const std::set<TxnId>& excluded_globals) const {
+  SerializationGraph graph;
+  for (const auto& [key, accesses] : history_) {
+    (void)key;
+    // Per-key transitive reduction: writes chain; reads hang between
+    // writes. Accesses of excluded (never-committed local) transactions are
+    // dropped entirely — strict 2PL guarantees they exposed nothing.
+    bool have_last_write = false;
+    NodeRef last_write;
+    std::vector<NodeRef> readers_since_write;
+    for (const Access& access : accesses) {
+      if (!Included(access.node, excluded_globals)) continue;
+      graph.AddNode(access.node);
+      if (access.is_write) {
+        if (have_last_write) graph.AddEdge(last_write, access.node, site_);
+        for (const NodeRef& reader : readers_since_write) {
+          graph.AddEdge(reader, access.node, site_);
+        }
+        readers_since_write.clear();
+        last_write = access.node;
+        have_last_write = true;
+      } else {
+        if (have_last_write) graph.AddEdge(last_write, access.node, site_);
+        readers_since_write.push_back(access.node);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<ReadsFrom> ConflictTracker::CommittedReadsFrom(
+    const std::set<TxnId>& excluded_globals) const {
+  std::vector<ReadsFrom> out;
+  for (const ReadsFrom& rf : reads_from_) {
+    if (Included(rf.reader, excluded_globals) &&
+        Included(rf.writer, excluded_globals)) {
+      out.push_back(rf);
+    }
+  }
+  return out;
+}
+
+}  // namespace o2pc::sg

@@ -1,0 +1,61 @@
+#ifndef O2PC_SG_CORRECTNESS_H_
+#define O2PC_SG_CORRECTNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/conflict_tracker.h"
+#include "sg/regular_cycle.h"
+#include "sg/serialization_graph.h"
+
+/// \file
+/// The paper's correctness criterion (§5), as an executable oracle:
+/// a history is **correct** iff every local SG is acyclic (local
+/// serializability is assumed/required) and the global SG contains **no
+/// regular cycles**. The oracle also evaluates plain serializability (the
+/// criterion collapses to it when no global transaction aborts) and
+/// **atomicity of compensation** (Theorem 2: no transaction reads from both
+/// T_i and CT_i).
+
+namespace o2pc::sg {
+
+struct CorrectnessReport {
+  /// Every local SG is acyclic.
+  bool locally_serializable = true;
+  /// The global SG has a regular cycle (criterion violation).
+  bool has_regular_cycle = false;
+  /// The global SG is acyclic outright (classic serializability over all
+  /// nodes, including CTs).
+  bool fully_serializable = true;
+  /// The paper's criterion: locally serializable and no regular cycles.
+  bool correct = true;
+  /// No transaction read from both T_i and CT_i for any i.
+  bool atomic_compensation = true;
+
+  /// Regular transactions that pivot regular cycles.
+  std::vector<NodeRef> regular_pivots;
+  /// One concrete regular cycle, when any exists.
+  std::optional<RegularCycleWitness> witness;
+  /// Human-readable violation details (local cycles, dual reads, ...).
+  std::vector<std::string> violations;
+
+  std::string Summary() const;
+};
+
+/// Merges per-site local graphs into the global SG.
+SerializationGraph MergeLocalGraphs(
+    const std::vector<SerializationGraph>& locals);
+
+/// Runs the full analysis over the per-site trackers. `excluded_globals`
+/// names aborted global transactions that never exposed anything — they
+/// are dropped like the committed projection drops aborted locals (their
+/// whole lifetime was covered by held locks, so no other transaction can
+/// distinguish the history from one where they never ran).
+CorrectnessReport AnalyzeHistory(
+    const std::vector<const ConflictTracker*>& sites,
+    const std::set<TxnId>& excluded_globals = {});
+
+}  // namespace o2pc::sg
+
+#endif  // O2PC_SG_CORRECTNESS_H_

@@ -1,0 +1,106 @@
+#include "sg/serialization_graph.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace o2pc::sg {
+
+std::string NodeName(const NodeRef& node) {
+  return TxnLabel(node.kind, node.id);
+}
+
+void SerializationGraph::AddNode(NodeRef node) { nodes_.insert(node); }
+
+void SerializationGraph::AddEdge(NodeRef from, NodeRef to, SiteId site) {
+  if (from == to) return;
+  nodes_.insert(from);
+  nodes_.insert(to);
+  adjacency_[from][to].insert(site);
+}
+
+bool SerializationGraph::HasEdge(NodeRef from, NodeRef to) const {
+  auto it = adjacency_.find(from);
+  return it != adjacency_.end() && it->second.contains(to);
+}
+
+void SerializationGraph::Merge(const SerializationGraph& other) {
+  for (const NodeRef& node : other.nodes_) nodes_.insert(node);
+  for (const auto& [from, targets] : other.adjacency_) {
+    for (const auto& [to, sites] : targets) {
+      adjacency_[from][to].insert(sites.begin(), sites.end());
+    }
+  }
+}
+
+bool SerializationGraph::HasCycle() const { return !FindCycle().empty(); }
+
+std::vector<NodeRef> SerializationGraph::FindCycle() const {
+  // DFS with colors; returns the first back-edge cycle found.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<NodeRef, Color> color;
+  for (const NodeRef& node : nodes_) color[node] = Color::kWhite;
+
+  std::vector<NodeRef> path;
+  std::vector<NodeRef> cycle;
+
+  std::function<bool(const NodeRef&)> dfs = [&](const NodeRef& node) -> bool {
+    color[node] = Color::kGray;
+    path.push_back(node);
+    auto it = adjacency_.find(node);
+    if (it != adjacency_.end()) {
+      for (const auto& [next, sites] : it->second) {
+        (void)sites;
+        if (color[next] == Color::kGray) {
+          // Extract the cycle from the path.
+          auto start = std::find(path.begin(), path.end(), next);
+          cycle.assign(start, path.end());
+          return true;
+        }
+        if (color[next] == Color::kWhite && dfs(next)) return true;
+      }
+    }
+    path.pop_back();
+    color[node] = Color::kBlack;
+    return false;
+  };
+
+  for (const NodeRef& node : nodes_) {
+    if (color[node] == Color::kWhite && dfs(node)) return cycle;
+  }
+  return {};
+}
+
+std::string SerializationGraph::ToDot() const {
+  std::string out = "digraph SG {\n";
+  for (const NodeRef& node : nodes_) {
+    out += StrCat("  \"", NodeName(node), "\"");
+    if (node.kind == TxnKind::kCompensating) {
+      out += " [shape=box]";
+    } else if (node.kind == TxnKind::kLocal) {
+      out += " [color=gray, fontcolor=gray]";
+    }
+    out += ";\n";
+  }
+  for (const auto& [from, targets] : adjacency_) {
+    for (const auto& [to, sites] : targets) {
+      std::vector<std::string> labels;
+      for (SiteId site : sites) labels.push_back(StrCat("S", site));
+      out += StrCat("  \"", NodeName(from), "\" -> \"", NodeName(to),
+                    "\" [label=\"", Join(labels, ","), "\"];\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::size_t SerializationGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [from, targets] : adjacency_) {
+    (void)from;
+    n += targets.size();
+  }
+  return n;
+}
+
+}  // namespace o2pc::sg

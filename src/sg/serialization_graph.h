@@ -1,0 +1,82 @@
+#ifndef O2PC_SG_SERIALIZATION_GRAPH_H_
+#define O2PC_SG_SERIALIZATION_GRAPH_H_
+
+#include <compare>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Serialization graphs in the paper's extended sense (§5): nodes are local
+/// transactions `L`, regular global transactions `T`, and compensating
+/// transactions `CT` (the CT of T_i shares T_i's id but has its own node).
+/// Edges are conflict edges and carry the site at which the conflict
+/// happened, so a *global* SG (the union of the local SGs) remembers which
+/// segments of a path are local to which site — the information the
+/// minimal-representation machinery needs.
+
+namespace o2pc::sg {
+
+/// Identity of an SG node: transaction id plus the node's role. `T_i` and
+/// `CT_i` share `id` but differ in `kind`.
+struct NodeRef {
+  TxnId id = kInvalidTxn;
+  TxnKind kind = TxnKind::kLocal;
+
+  friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+/// "T7", "CT7", "L12" — for test output and witnesses.
+std::string NodeName(const NodeRef& node);
+
+/// Convenience constructors.
+inline NodeRef GlobalNode(TxnId id) { return {id, TxnKind::kGlobal}; }
+inline NodeRef CompNode(TxnId id) { return {id, TxnKind::kCompensating}; }
+inline NodeRef LocalNode(TxnId id) { return {id, TxnKind::kLocal}; }
+
+/// A serialization graph — local (all edges share one site label) or global
+/// (the union of local SGs).
+class SerializationGraph {
+ public:
+  /// adjacency: from -> (to -> sites at which the conflict edge exists).
+  using Adjacency = std::map<NodeRef, std::map<NodeRef, std::set<SiteId>>>;
+
+  SerializationGraph() = default;
+
+  void AddNode(NodeRef node);
+  void AddEdge(NodeRef from, NodeRef to, SiteId site);
+
+  bool HasNode(NodeRef node) const { return nodes_.contains(node); }
+  bool HasEdge(NodeRef from, NodeRef to) const;
+
+  /// Merges `other` into this graph (used to form the global SG).
+  void Merge(const SerializationGraph& other);
+
+  /// True if the graph has any directed cycle (site labels ignored). This
+  /// is the classic serializability test.
+  bool HasCycle() const;
+
+  /// A witness cycle (node sequence, first == entry point, not repeated at
+  /// the end), or empty if acyclic.
+  std::vector<NodeRef> FindCycle() const;
+
+  const std::set<NodeRef>& nodes() const { return nodes_; }
+  const Adjacency& adjacency() const { return adjacency_; }
+
+  std::size_t edge_count() const;
+
+  /// Graphviz rendering (CT nodes are boxes, locals are gray; edges are
+  /// labelled with their sites) — for debugging and reports.
+  std::string ToDot() const;
+
+ private:
+  std::set<NodeRef> nodes_;
+  Adjacency adjacency_;
+};
+
+}  // namespace o2pc::sg
+
+#endif  // O2PC_SG_SERIALIZATION_GRAPH_H_

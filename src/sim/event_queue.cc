@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace o2pc::sim {
+
+EventId EventQueue::Push(SimTime time, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(HeapEntry{time, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // An id is live iff it is still in the heap and not yet cancelled. We
+  // cannot cheaply test heap membership, so track cancellation and let Pop
+  // reconcile. Double-cancel and cancel-after-run both return false via the
+  // cancelled_ bookkeeping below.
+  if (cancelled_.contains(id)) return false;
+  // Check the id has not already run: ids that ran are not in the heap. We
+  // scan lazily only when the heap is small; otherwise we optimistically
+  // record the cancellation (Pop ignores unknown ids).
+  bool present = false;
+  for (const auto& e : heap_) {
+    if (e.id == id) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  O2PC_CHECK(!heap_.empty()) << "PeekTime on empty queue";
+  return heap_.front().time;
+}
+
+Event EventQueue::Pop() {
+  SkipCancelled();
+  O2PC_CHECK(!heap_.empty()) << "Pop on empty queue";
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  HeapEntry top = std::move(heap_.back());
+  heap_.pop_back();
+  --live_count_;
+  return Event{top.time, top.id, std::move(top.fn)};
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+}  // namespace o2pc::sim

@@ -1,0 +1,80 @@
+#ifndef O2PC_SIM_EVENT_QUEUE_H_
+#define O2PC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Priority queue of timed events with stable FIFO ordering among events
+/// scheduled for the same instant, so simulation runs are fully
+/// deterministic for a given seed.
+
+namespace o2pc::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// A scheduled callback, as returned by Pop().
+struct Event {
+  SimTime time = 0;
+  EventId id = kInvalidEvent;  // also the FIFO tiebreaker
+  std::function<void()> fn;
+};
+
+/// Min-heap of events ordered by (time, id). Cancellation is lazy: cancelled
+/// entries stay in the heap and are skipped when they surface.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Adds `fn` at absolute time `time`. Returns a cancellation handle.
+  EventId Push(SimTime time, std::function<void()> fn);
+
+  /// Cancels a previously pushed event. Returns false if the event already
+  /// ran, was cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// True if no runnable event remains.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of runnable (non-cancelled) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest runnable event. Pre: !empty().
+  SimTime PeekTime();
+
+  /// Removes and returns the earliest runnable event. Pre: !empty().
+  Event Pop();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled entries sitting at the top of the heap.
+  void SkipCancelled();
+
+  std::vector<HeapEntry> heap_;  // managed with std::push_heap/pop_heap
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace o2pc::sim
+
+#endif  // O2PC_SIM_EVENT_QUEUE_H_

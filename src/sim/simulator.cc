@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace o2pc::sim {
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  O2PC_CHECK(delay >= 0) << "negative delay " << delay;
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  O2PC_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
+                           << now_;
+  return queue_.Push(when, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
+
+void Simulator::Step() {
+  Event event = queue_.Pop();
+  now_ = event.time;
+  ++events_executed_;
+  event.fn();
+}
+
+std::uint64_t Simulator::Run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.PeekTime() <= deadline) {
+    Step();
+    ++executed;
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+  return executed;
+}
+
+std::uint64_t Simulator::RunSteps(std::uint64_t n) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_ && executed < n) {
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace o2pc::sim

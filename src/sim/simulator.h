@@ -1,0 +1,71 @@
+#ifndef O2PC_SIM_SIMULATOR_H_
+#define O2PC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+/// \file
+/// The discrete-event simulation kernel. All distributed components (sites,
+/// network, coordinators) run on one Simulator: they schedule callbacks at
+/// future simulated instants and never block. Time advances only between
+/// events, so a run is a deterministic function of the initial seedable
+/// inputs.
+
+namespace o2pc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0; a
+  /// delay of 0 runs after all currently pending events at `Now()`).
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at the absolute instant `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a scheduled event; false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty or Stop() is called. Returns the
+  /// number of events executed.
+  std::uint64_t Run();
+
+  /// Runs events with time <= deadline. Returns the number executed.
+  std::uint64_t RunUntil(SimTime deadline);
+
+  /// Executes at most `n` events.
+  std::uint64_t RunSteps(std::uint64_t n);
+
+  /// Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  bool Idle() const { return queue_.empty(); }
+
+  /// Number of scheduled (not yet executed) events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed over the simulator's lifetime.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  /// Pops and runs one event. Pre: !Idle().
+  void Step();
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace o2pc::sim
+
+#endif  // O2PC_SIM_SIMULATOR_H_

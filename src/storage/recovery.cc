@@ -1,0 +1,76 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <set>
+
+namespace o2pc::storage {
+
+std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
+                                   WriterTag undo_writer) {
+  std::vector<LogRecord> updates = wal.TxnUpdates(txn);
+  std::vector<UndoWrite> undone;
+  undone.reserve(updates.size());
+  for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
+    std::optional<Cell> before = it->before;
+    if (before.has_value()) {
+      // Semantically the rollback *writes* the old value, so the restored
+      // cell is attributed to the compensating node, not the original
+      // writer (the paper models rollback as the degenerate CT_ik). An
+      // invalid undo_writer id requests an exact restore instead — used for
+      // rolled-back *local* transactions, which the paper's SG never
+      // contains and which therefore must leave no provenance trace.
+      Cell restored = *before;
+      if (undo_writer.id != kInvalidTxn) restored.writer = undo_writer;
+      table.Restore(it->key, restored);
+      undone.push_back(UndoWrite{it->key, restored});
+    } else {
+      table.Restore(it->key, std::nullopt);
+      undone.push_back(UndoWrite{it->key, std::nullopt});
+    }
+  }
+  wal.LogAbort(txn);
+  return undone;
+}
+
+std::vector<TxnId> RecoverSite(Wal& wal, Table& table) {
+  // Losers: began but neither committed nor aborted.
+  std::set<TxnId> begun;
+  std::set<TxnId> finished;
+  for (const LogRecord& r : wal.records()) {
+    switch (r.kind) {
+      case LogRecordKind::kBegin:
+        begun.insert(r.txn);
+        break;
+      case LogRecordKind::kCommit:
+      case LogRecordKind::kAbort:
+        finished.insert(r.txn);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<TxnId> losers;
+  for (TxnId txn : begun) {
+    if (!finished.contains(txn)) losers.push_back(txn);
+  }
+  // Undo all loser updates in reverse LSN order (a single backward pass is
+  // correct even if loser updates interleave in the log).
+  const std::vector<LogRecord>& records = wal.records();
+  std::set<TxnId> loser_set(losers.begin(), losers.end());
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->kind != LogRecordKind::kUpdate || !loser_set.contains(it->txn)) {
+      continue;
+    }
+    if (it->before.has_value()) {
+      Cell restored = *it->before;
+      restored.writer = WriterTag{it->txn, TxnKind::kCompensating};
+      table.Restore(it->key, restored);
+    } else {
+      table.Restore(it->key, std::nullopt);
+    }
+  }
+  for (TxnId txn : losers) wal.LogAbort(txn);
+  return losers;
+}
+
+}  // namespace o2pc::storage

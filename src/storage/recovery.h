@@ -1,0 +1,41 @@
+#ifndef O2PC_STORAGE_RECOVERY_H_
+#define O2PC_STORAGE_RECOVERY_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+/// \file
+/// Undo-based recovery. Rolling back an uncommitted transaction applies its
+/// before-images in reverse LSN order — the paper's "standard roll-back
+/// using recovery techniques (e.g., undo from log)". The undo writes are
+/// attributed to the compensating node CT_i because the paper models a
+/// site-local rollback of T_ik as the degenerate compensating
+/// subtransaction CT_ik (§3.2).
+
+namespace o2pc::storage {
+
+/// One undo step applied during rollback (reported for SG bookkeeping).
+struct UndoWrite {
+  DataKey key = 0;
+  /// Value restored; empty if the key was removed (undo of an insert).
+  std::optional<Cell> restored;
+};
+
+/// Rolls `txn` back in `table`: applies before-images of its kUpdate
+/// records in reverse, tagging restored cells with `undo_writer`. Appends a
+/// kAbort record. Returns the undo writes performed (oldest-undone-last,
+/// i.e. in the order they were applied).
+std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
+                                   WriterTag undo_writer);
+
+/// Crash recovery for a whole site: rolls back every transaction that has a
+/// kBegin but neither kCommit nor kAbort. Returns the ids rolled back, in
+/// the (deterministic) order they were processed.
+std::vector<TxnId> RecoverSite(Wal& wal, Table& table);
+
+}  // namespace o2pc::storage
+
+#endif  // O2PC_STORAGE_RECOVERY_H_

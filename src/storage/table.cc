@@ -1,0 +1,56 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace o2pc::storage {
+
+Result<Cell> Table::Get(DataKey key) const {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    return Status::NotFound(StrCat("key ", key));
+  }
+  return it->second;
+}
+
+bool Table::Contains(DataKey key) const { return cells_.contains(key); }
+
+void Table::Put(DataKey key, Value value, WriterTag writer) {
+  Cell& cell = cells_[key];
+  cell.value = value;
+  cell.writer = writer;
+  cell.version = next_version_++;
+}
+
+Status Table::Insert(DataKey key, Value value, WriterTag writer) {
+  if (cells_.contains(key)) {
+    return Status::Conflict(StrCat("key ", key, " exists"));
+  }
+  Put(key, value, writer);
+  return Status::OK();
+}
+
+Status Table::Erase(DataKey key, WriterTag writer) {
+  (void)writer;  // erase leaves no cell to tag; the WAL records the writer
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    return Status::NotFound(StrCat("key ", key));
+  }
+  cells_.erase(it);
+  return Status::OK();
+}
+
+void Table::Restore(DataKey key, const std::optional<Cell>& before) {
+  if (before.has_value()) {
+    cells_[key] = *before;
+  } else {
+    cells_.erase(key);
+  }
+}
+
+Value Table::SumValues() const {
+  Value sum = 0;
+  for (const auto& [key, cell] : cells_) sum += cell.value;
+  return sum;
+}
+
+}  // namespace o2pc::storage

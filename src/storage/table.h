@@ -1,0 +1,79 @@
+#ifndef O2PC_STORAGE_TABLE_H_
+#define O2PC_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file
+/// One site's primary data store: a key/value table whose cells remember
+/// which transaction last wrote them. The writer tag is what lets the
+/// serialization-graph layer compute reads-from relationships — in
+/// particular whether some T_j read from both T_i and CT_i, the situation
+/// "atomicity of compensation" (paper §4, Theorem 2) must exclude.
+
+namespace o2pc::storage {
+
+/// Identity of the transaction (as an SG node) that produced a value.
+struct WriterTag {
+  TxnId id = kInvalidTxn;       // kInvalidTxn = initial database state
+  TxnKind kind = TxnKind::kLocal;
+
+  friend bool operator==(const WriterTag&, const WriterTag&) = default;
+};
+
+/// A stored cell.
+struct Cell {
+  Value value = 0;
+  WriterTag writer;
+  /// Monotone per-key version, bumped on every write.
+  std::uint64_t version = 0;
+};
+
+/// Simple in-memory table. All mutating calls name the writing transaction;
+/// locking/logging is the caller's job (see local::LocalDb).
+class Table {
+ public:
+  Table() = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Reads the cell at `key`; NotFound if absent.
+  Result<Cell> Get(DataKey key) const;
+
+  /// True if `key` exists.
+  bool Contains(DataKey key) const;
+
+  /// Writes `value` at `key`, creating the key if necessary.
+  void Put(DataKey key, Value value, WriterTag writer);
+
+  /// Inserts a new key; Conflict if it already exists.
+  Status Insert(DataKey key, Value value, WriterTag writer);
+
+  /// Removes a key; NotFound if absent.
+  Status Erase(DataKey key, WriterTag writer);
+
+  /// Restores a key to an explicit prior state (used by undo/recovery).
+  /// `before` empty means the key did not exist.
+  void Restore(DataKey key, const std::optional<Cell>& before);
+
+  std::size_t size() const { return cells_.size(); }
+
+  /// Sum of all values (handy for conservation invariants in tests).
+  Value SumValues() const;
+
+  /// Iteration support for audits.
+  const std::map<DataKey, Cell>& cells() const { return cells_; }
+
+ private:
+  std::map<DataKey, Cell> cells_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace o2pc::storage
+
+#endif  // O2PC_STORAGE_TABLE_H_

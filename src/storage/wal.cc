@@ -1,0 +1,171 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace o2pc::storage {
+
+const char* LogRecordKindName(LogRecordKind kind) {
+  switch (kind) {
+    case LogRecordKind::kBegin:
+      return "BEGIN";
+    case LogRecordKind::kUpdate:
+      return "UPDATE";
+    case LogRecordKind::kCommit:
+      return "COMMIT";
+    case LogRecordKind::kAbort:
+      return "ABORT";
+    case LogRecordKind::kCompensationBegin:
+      return "COMP-BEGIN";
+    case LogRecordKind::kCompensationCommit:
+      return "COMP-COMMIT";
+    case LogRecordKind::kDecision:
+      return "DECISION";
+    case LogRecordKind::kLocallyCommitted:
+      return "LOCAL-COMMIT";
+    case LogRecordKind::kGlobalFinal:
+      return "GLOBAL-FINAL";
+    case LogRecordKind::kCheckpoint:
+      return "CHECKPOINT";
+    case LogRecordKind::kPrepared:
+      return "PREPARED";
+  }
+  return "?";
+}
+
+std::uint64_t Wal::Append(LogRecord record) {
+  record.lsn = next_lsn_++;
+  txn_index_[record.txn].push_back(record.lsn);
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+const LogRecord* Wal::Find(std::uint64_t lsn) const {
+  if (lsn < base_lsn_ || lsn >= next_lsn_) return nullptr;
+  return &records_[lsn - base_lsn_];
+}
+
+std::uint64_t Wal::LogBegin(TxnId txn) {
+  LogRecord r;
+  r.kind = LogRecordKind::kBegin;
+  r.txn = txn;
+  return Append(std::move(r));
+}
+
+std::uint64_t Wal::LogUpdate(TxnId txn, DataKey key,
+                             std::optional<Cell> before,
+                             std::optional<Cell> after,
+                             std::uint8_t comp_kind, DataKey comp_key,
+                             Value comp_value) {
+  LogRecord r;
+  r.kind = LogRecordKind::kUpdate;
+  r.txn = txn;
+  r.key = key;
+  r.before = std::move(before);
+  r.after = std::move(after);
+  r.comp_kind = comp_kind;
+  r.comp_key = comp_key;
+  r.comp_value = comp_value;
+  return Append(std::move(r));
+}
+
+std::uint64_t Wal::LogCommit(TxnId txn) {
+  LogRecord r;
+  r.kind = LogRecordKind::kCommit;
+  r.txn = txn;
+  return Append(std::move(r));
+}
+
+std::uint64_t Wal::LogAbort(TxnId txn) {
+  LogRecord r;
+  r.kind = LogRecordKind::kAbort;
+  r.txn = txn;
+  return Append(std::move(r));
+}
+
+std::uint64_t Wal::LogDecision(TxnId txn, bool commit) {
+  LogRecord r;
+  r.kind = LogRecordKind::kDecision;
+  r.txn = txn;
+  r.aux = commit ? 1 : 0;
+  return Append(std::move(r));
+}
+
+std::vector<std::uint64_t> Wal::TxnRecords(TxnId txn) const {
+  auto it = txn_index_.find(txn);
+  if (it == txn_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<LogRecord> Wal::TxnUpdates(TxnId txn) const {
+  std::vector<LogRecord> updates;
+  auto it = txn_index_.find(txn);
+  if (it == txn_index_.end()) return updates;
+  for (std::uint64_t lsn : it->second) {
+    const LogRecord* r = Find(lsn);
+    if (r != nullptr && r->kind == LogRecordKind::kUpdate) {
+      updates.push_back(*r);
+    }
+  }
+  return updates;
+}
+
+std::optional<bool> Wal::DecisionFor(TxnId txn) const {
+  auto it = txn_index_.find(txn);
+  if (it == txn_index_.end()) return std::nullopt;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    const LogRecord* r = Find(*rit);
+    if (r != nullptr && r->kind == LogRecordKind::kDecision) {
+      return r->aux == 1;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Wal::Committed(TxnId txn) const {
+  auto it = txn_index_.find(txn);
+  if (it == txn_index_.end()) return false;
+  for (std::uint64_t lsn : it->second) {
+    const LogRecord* r = Find(lsn);
+    if (r != nullptr && r->kind == LogRecordKind::kCommit) return true;
+  }
+  return false;
+}
+
+std::uint64_t Wal::LogCheckpoint(std::vector<TxnId> active) {
+  LogRecord r;
+  r.kind = LogRecordKind::kCheckpoint;
+  r.active = std::move(active);
+  return Append(std::move(r));
+}
+
+std::uint64_t Wal::LowWatermark(const std::vector<TxnId>& needed) const {
+  std::uint64_t watermark = next_lsn_;
+  for (TxnId txn : needed) {
+    auto it = txn_index_.find(txn);
+    if (it == txn_index_.end() || it->second.empty()) continue;
+    watermark = std::min(watermark, it->second.front());
+  }
+  return watermark;
+}
+
+std::size_t Wal::TruncateBelow(std::uint64_t lsn) {
+  if (lsn <= base_lsn_) return 0;
+  const std::uint64_t bound = std::min(lsn, next_lsn_);
+  const std::size_t drop = static_cast<std::size_t>(bound - base_lsn_);
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_lsn_ = bound;
+  // Trim the per-transaction index.
+  for (auto it = txn_index_.begin(); it != txn_index_.end();) {
+    std::vector<std::uint64_t>& lsns = it->second;
+    lsns.erase(std::remove_if(lsns.begin(), lsns.end(),
+                              [bound](std::uint64_t l) { return l < bound; }),
+               lsns.end());
+    it = lsns.empty() ? txn_index_.erase(it) : std::next(it);
+  }
+  return drop;
+}
+
+}  // namespace o2pc::storage

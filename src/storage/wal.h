@@ -1,0 +1,137 @@
+#ifndef O2PC_STORAGE_WAL_H_
+#define O2PC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/table.h"
+
+/// \file
+/// Per-site write-ahead log. Update records carry before-images, which is
+/// all undo-based rollback (the paper's "standard roll-back recovery") and
+/// post-crash recovery need. The coordinator also keeps a tiny decision log
+/// built on the same record type (kDecision).
+
+namespace o2pc::storage {
+
+enum class LogRecordKind : std::uint8_t {
+  kBegin = 0,
+  /// Covers Put/Insert/Erase; `before` empty means the key did not exist
+  /// before, `after` empty means the operation erased the key.
+  kUpdate = 1,
+  kCommit = 2,
+  kAbort = 3,
+  /// Marks the start of a compensating (sub)transaction for `txn`.
+  kCompensationBegin = 4,
+  /// A compensating (sub)transaction for `txn` committed.
+  kCompensationCommit = 5,
+  /// Coordinator decision record: value 1 = commit, 0 = abort.
+  kDecision = 6,
+  /// A subtransaction locally committed under O2PC (exposed; a global
+  /// decision is still pending). `aux` holds the global transaction id.
+  kLocallyCommitted = 7,
+  /// The pending locally-committed subtransaction reached its terminal
+  /// global fate (finalized commit, or compensated). Closes the pending
+  /// window opened by kLocallyCommitted.
+  kGlobalFinal = 8,
+  /// A fuzzy checkpoint: `active` lists the transactions in flight.
+  kCheckpoint = 9,
+  /// A 2PC subtransaction entered the prepared state (`aux` = global id).
+  /// Prepared transactions survive crashes with recovery locks.
+  kPrepared = 10,
+};
+
+const char* LogRecordKindName(LogRecordKind kind);
+
+struct LogRecord {
+  std::uint64_t lsn = 0;
+  LogRecordKind kind = LogRecordKind::kBegin;
+  TxnId txn = kInvalidTxn;
+  DataKey key = 0;
+  std::optional<Cell> before;
+  std::optional<Cell> after;
+  /// Free slot for kDecision (1 = commit), kBegin of global subtxns (the
+  /// global id), kLocallyCommitted (the global id), and similar flags.
+  std::int64_t aux = 0;
+  /// Logged *semantic* counter-operation for this update (restricted
+  /// model): kind/key/value of the operation that undoes it. Lets crash
+  /// recovery rebuild the compensation plan of an exposed subtransaction —
+  /// the paper's persistence-of-compensation requirement across failures.
+  /// comp_kind 0 means "no counter-op logged" (reads, marking writes).
+  std::uint8_t comp_kind = 0;
+  DataKey comp_key = 0;
+  Value comp_value = 0;
+  /// kCheckpoint: transactions active at checkpoint time.
+  std::vector<TxnId> active;
+};
+
+/// Append-only in-memory log with a per-transaction index.
+class Wal {
+ public:
+  Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends a record, assigning its LSN. Returns the LSN.
+  std::uint64_t Append(LogRecord record);
+
+  /// Convenience appenders.
+  std::uint64_t LogBegin(TxnId txn);
+  std::uint64_t LogUpdate(TxnId txn, DataKey key, std::optional<Cell> before,
+                          std::optional<Cell> after,
+                          std::uint8_t comp_kind = 0, DataKey comp_key = 0,
+                          Value comp_value = 0);
+  std::uint64_t LogCommit(TxnId txn);
+  std::uint64_t LogAbort(TxnId txn);
+  std::uint64_t LogDecision(TxnId txn, bool commit);
+
+  /// All retained records, oldest first.
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  /// LSNs of `txn`'s records, oldest first (empty if unknown).
+  std::vector<std::uint64_t> TxnRecords(TxnId txn) const;
+
+  /// Update records of `txn`, oldest first — the undo chain.
+  std::vector<LogRecord> TxnUpdates(TxnId txn) const;
+
+  /// Last decision logged for `txn`, if any (1 = commit, 0 = abort).
+  std::optional<bool> DecisionFor(TxnId txn) const;
+
+  /// True if a kCommit record exists for `txn`.
+  bool Committed(TxnId txn) const;
+
+  // --- Checkpointing / truncation ---------------------------------------
+
+  /// Writes a fuzzy checkpoint naming the transactions still in flight.
+  std::uint64_t LogCheckpoint(std::vector<TxnId> active);
+
+  /// Earliest LSN the log must retain so every transaction in `needed` can
+  /// still be rolled back (the recovery low-watermark). Returns the next
+  /// LSN when nothing is needed (the whole log may go).
+  std::uint64_t LowWatermark(const std::vector<TxnId>& needed) const;
+
+  /// Drops every record with lsn < `lsn`. Returns the number dropped.
+  std::size_t TruncateBelow(std::uint64_t lsn);
+
+  /// Number of retained records.
+  std::size_t size() const { return records_.size(); }
+  /// LSN of the oldest retained record (== next_lsn when empty).
+  std::uint64_t base_lsn() const { return base_lsn_; }
+  std::uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  const LogRecord* Find(std::uint64_t lsn) const;
+
+  std::vector<LogRecord> records_;
+  std::map<TxnId, std::vector<std::uint64_t>> txn_index_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t base_lsn_ = 1;
+};
+
+}  // namespace o2pc::storage
+
+#endif  // O2PC_STORAGE_WAL_H_

@@ -1,0 +1,136 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace o2pc::workload {
+
+WorkloadGenerator::WorkloadGenerator(int num_sites, DataKey keys_per_site,
+                                     WorkloadOptions options)
+    : num_sites_(num_sites),
+      keys_per_site_(keys_per_site),
+      options_(options),
+      rng_(options.seed),
+      zipf_(keys_per_site, options.zipf_theta) {
+  O2PC_CHECK(num_sites >= 1);
+  O2PC_CHECK(options_.min_sites_per_txn >= 1);
+  O2PC_CHECK(options_.max_sites_per_txn >= options_.min_sites_per_txn);
+}
+
+void WorkloadGenerator::BalanceIncrements(
+    std::vector<local::Operation*>& writes) {
+  // Pair the write slots: +d on the first of a pair, -d on the second; a
+  // leftover unpaired slot becomes delta 0 (still a write lock + log).
+  for (std::size_t i = 0; i + 1 < writes.size(); i += 2) {
+    const Value delta = rng_.Uniform(1, 10);
+    writes[i]->value = delta;
+    writes[i + 1]->value = -delta;
+  }
+  if (writes.size() % 2 == 1) writes.back()->value = 0;
+}
+
+core::GlobalTxnSpec WorkloadGenerator::NextGlobal() {
+  const int want_sites =
+      static_cast<int>(rng_.Uniform(options_.min_sites_per_txn,
+                                    options_.max_sites_per_txn));
+  const int num_txn_sites = std::min(want_sites, num_sites_);
+
+  // Sample distinct sites.
+  std::vector<SiteId> sites;
+  while (static_cast<int>(sites.size()) < num_txn_sites) {
+    const SiteId site =
+        static_cast<SiteId>(rng_.Uniform(0, num_sites_ - 1));
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      sites.push_back(site);
+    }
+  }
+
+  core::GlobalTxnSpec spec;
+  std::vector<local::Operation*> writes;
+  for (SiteId site : sites) {
+    core::SubtxnSpec sub;
+    sub.site = site;
+    for (int i = 0; i < options_.ops_per_subtxn; ++i) {
+      local::Operation op;
+      op.key = zipf_.Sample(rng_);
+      if (rng_.Bernoulli(options_.read_ratio)) {
+        op.type = local::OpType::kRead;
+      } else if (options_.semantic_ops) {
+        op.type = local::OpType::kIncrement;
+      } else {
+        op.type = local::OpType::kWrite;
+        op.value = rng_.Uniform(0, 1'000'000);
+      }
+      sub.ops.push_back(op);
+    }
+    spec.subtxns.push_back(std::move(sub));
+  }
+  if (options_.semantic_ops) {
+    for (core::SubtxnSpec& sub : spec.subtxns) {
+      for (local::Operation& op : sub.ops) {
+        if (op.type == local::OpType::kIncrement) writes.push_back(&op);
+      }
+    }
+    BalanceIncrements(writes);
+  }
+  if (options_.vote_abort_probability > 0.0 &&
+      rng_.Bernoulli(options_.vote_abort_probability)) {
+    const std::size_t victim = static_cast<std::size_t>(
+        rng_.Uniform(0, static_cast<std::int64_t>(spec.subtxns.size()) - 1));
+    spec.subtxns[victim].force_abort_vote = true;
+  }
+  return spec;
+}
+
+std::pair<SiteId, std::vector<local::Operation>>
+WorkloadGenerator::NextLocal() {
+  const SiteId site = static_cast<SiteId>(rng_.Uniform(0, num_sites_ - 1));
+  std::vector<local::Operation> ops;
+  std::vector<local::Operation*> writes;
+  for (int i = 0; i < options_.ops_per_local_txn; ++i) {
+    local::Operation op;
+    op.key = zipf_.Sample(rng_);
+    if (rng_.Bernoulli(options_.read_ratio)) {
+      op.type = local::OpType::kRead;
+    } else if (options_.semantic_ops) {
+      op.type = local::OpType::kIncrement;
+    } else {
+      op.type = local::OpType::kWrite;
+      op.value = rng_.Uniform(0, 1'000'000);
+    }
+    ops.push_back(op);
+  }
+  if (options_.semantic_ops) {
+    for (local::Operation& op : ops) {
+      if (op.type == local::OpType::kIncrement) writes.push_back(&op);
+    }
+    BalanceIncrements(writes);
+  }
+  return {site, std::move(ops)};
+}
+
+void WorkloadGenerator::Drive(core::DistributedSystem& system) {
+  SimTime when = 0;
+  for (int i = 0; i < options_.num_global_txns; ++i) {
+    when += static_cast<Duration>(rng_.Exponential(
+        static_cast<double>(options_.mean_global_interarrival)));
+    core::GlobalTxnSpec spec = NextGlobal();
+    system.simulator().ScheduleAt(
+        when, [&system, spec = std::move(spec)]() mutable {
+          system.SubmitGlobal(std::move(spec));
+        });
+  }
+  when = 0;
+  for (int i = 0; i < options_.num_local_txns; ++i) {
+    when += static_cast<Duration>(rng_.Exponential(
+        static_cast<double>(options_.mean_local_interarrival)));
+    auto [site, ops] = NextLocal();
+    system.simulator().ScheduleAt(
+        when, [&system, site, ops = std::move(ops)]() mutable {
+          system.SubmitLocal(site, std::move(ops));
+        });
+  }
+}
+
+}  // namespace o2pc::workload

@@ -1,0 +1,77 @@
+#ifndef O2PC_WORKLOAD_GENERATOR_H_
+#define O2PC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/global_txn.h"
+#include "core/system.h"
+
+/// \file
+/// Synthetic multidatabase workloads: global transactions decomposed over
+/// 2..k sites, background local transactions, Zipf-skewed key choice,
+/// Poisson arrivals, and injected abort votes. Write operations are
+/// zero-sum increments (restricted model) by default, so the total value
+/// across the system is an executable conservation invariant under
+/// commits, rollbacks *and* compensations; the generic model (before-image
+/// writes) is available as an option.
+
+namespace o2pc::workload {
+
+struct WorkloadOptions {
+  int num_global_txns = 100;
+  int num_local_txns = 100;
+  int min_sites_per_txn = 2;
+  int max_sites_per_txn = 3;
+  int ops_per_subtxn = 4;
+  int ops_per_local_txn = 3;
+  /// Probability an operation is a read (the rest are increments/writes).
+  double read_ratio = 0.5;
+  /// Key skew within each site (0 = uniform).
+  double zipf_theta = 0.8;
+  /// Probability a global transaction has one site vote abort.
+  double vote_abort_probability = 0.0;
+  /// Mean inter-arrival time of global transactions (Poisson process).
+  Duration mean_global_interarrival = Millis(2);
+  /// Mean inter-arrival time of local transactions.
+  Duration mean_local_interarrival = Millis(2);
+  /// true: restricted-model zero-sum increments; false: generic-model
+  /// random writes (no conservation invariant).
+  bool semantic_ops = true;
+  std::uint64_t seed = 1234;
+};
+
+class WorkloadGenerator {
+ public:
+  /// `num_sites`/`keys_per_site` must match the target system.
+  WorkloadGenerator(int num_sites, DataKey keys_per_site,
+                    WorkloadOptions options);
+
+  /// Generates one random global transaction spec.
+  core::GlobalTxnSpec NextGlobal();
+
+  /// Generates one random local transaction (site chosen uniformly).
+  std::pair<SiteId, std::vector<local::Operation>> NextLocal();
+
+  /// Schedules the whole workload (Poisson arrivals) onto `system`. Call
+  /// before system.Run().
+  void Drive(core::DistributedSystem& system);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  /// Fills write deltas pairwise (+d here, -d there) so every transaction
+  /// is zero-sum.
+  void BalanceIncrements(std::vector<local::Operation*>& writes);
+
+  int num_sites_;
+  DataKey keys_per_site_;
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace o2pc::workload
+
+#endif  // O2PC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,65 @@
+#include "workload/scenarios.h"
+
+namespace o2pc::workload {
+
+using local::Operation;
+using local::OpType;
+
+core::GlobalTxnSpec MakeTransfer(SiteId from_site, DataKey from_account,
+                                 SiteId to_site, DataKey to_account,
+                                 Value amount) {
+  core::GlobalTxnSpec spec;
+  core::SubtxnSpec debit;
+  debit.site = from_site;
+  debit.ops.push_back(Operation{OpType::kRead, from_account, 0});
+  debit.ops.push_back(Operation{OpType::kIncrement, from_account, -amount});
+  core::SubtxnSpec credit;
+  credit.site = to_site;
+  credit.ops.push_back(Operation{OpType::kIncrement, to_account, amount});
+  spec.subtxns.push_back(std::move(debit));
+  spec.subtxns.push_back(std::move(credit));
+  return spec;
+}
+
+core::GlobalTxnSpec MakeTripBooking(SiteId airline, DataKey flight,
+                                    SiteId hotel, DataKey room, SiteId cars,
+                                    DataKey car, bool print_ticket) {
+  core::GlobalTxnSpec spec;
+  core::SubtxnSpec seat;
+  seat.site = airline;
+  seat.ops.push_back(Operation{OpType::kRead, flight, 0});
+  seat.ops.push_back(Operation{OpType::kIncrement, flight, -1});
+  if (print_ticket) {
+    seat.ops.push_back(Operation{OpType::kRealAction, flight, 0});
+  }
+  core::SubtxnSpec night;
+  night.site = hotel;
+  night.ops.push_back(Operation{OpType::kRead, room, 0});
+  night.ops.push_back(Operation{OpType::kIncrement, room, -1});
+  core::SubtxnSpec rental;
+  rental.site = cars;
+  rental.ops.push_back(Operation{OpType::kRead, car, 0});
+  rental.ops.push_back(Operation{OpType::kIncrement, car, -1});
+  spec.subtxns.push_back(std::move(seat));
+  spec.subtxns.push_back(std::move(night));
+  spec.subtxns.push_back(std::move(rental));
+  return spec;
+}
+
+core::GlobalTxnSpec MakeOrder(SiteId order_site, DataKey order_key,
+                              SiteId warehouse_site, DataKey stock_key,
+                              Value quantity) {
+  core::GlobalTxnSpec spec;
+  core::SubtxnSpec order;
+  order.site = order_site;
+  order.ops.push_back(Operation{OpType::kInsert, order_key, quantity});
+  core::SubtxnSpec stock;
+  stock.site = warehouse_site;
+  stock.ops.push_back(Operation{OpType::kRead, stock_key, 0});
+  stock.ops.push_back(Operation{OpType::kIncrement, stock_key, -quantity});
+  spec.subtxns.push_back(std::move(order));
+  spec.subtxns.push_back(std::move(stock));
+  return spec;
+}
+
+}  // namespace o2pc::workload

@@ -1,0 +1,40 @@
+#ifndef O2PC_WORKLOAD_SCENARIOS_H_
+#define O2PC_WORKLOAD_SCENARIOS_H_
+
+#include "common/types.h"
+#include "core/global_txn.h"
+
+/// \file
+/// Hand-built domain scenarios matching the paper's motivating settings:
+/// inter-bank transfers (restricted-model semantic ops with obvious
+/// counter-operations) and multi-agency travel booking (autonomous,
+/// possibly competing sites; a non-compensatable ticket-printing real
+/// action).
+
+namespace o2pc::workload {
+
+/// A funds transfer: debit `amount` from `from_account` at `from_site`,
+/// credit it to `to_account` at `to_site`. Compensation is the counter
+/// transfer.
+core::GlobalTxnSpec MakeTransfer(SiteId from_site, DataKey from_account,
+                                 SiteId to_site, DataKey to_account,
+                                 Value amount);
+
+/// Books one seat, one room and one car at three autonomous agencies
+/// (decrement of each inventory key). If `print_ticket` is set, the
+/// airline site also performs a real action (ticket printing), which makes
+/// that site keep its locks until the decision even under O2PC.
+core::GlobalTxnSpec MakeTripBooking(SiteId airline, DataKey flight,
+                                    SiteId hotel, DataKey room, SiteId cars,
+                                    DataKey car, bool print_ticket);
+
+/// An order-entry transaction: inserts an order row at the order site and
+/// decrements stock at the warehouse site. Compensation deletes the order
+/// and restores the stock.
+core::GlobalTxnSpec MakeOrder(SiteId order_site, DataKey order_key,
+                              SiteId warehouse_site, DataKey stock_key,
+                              Value quantity);
+
+}  // namespace o2pc::workload
+
+#endif  // O2PC_WORKLOAD_SCENARIOS_H_

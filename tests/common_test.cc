@@ -1,0 +1,186 @@
+// Unit tests for the common layer: Status/Result, RNG distributions,
+// string/duration formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace o2pc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status status = Status::Deadlock("cycle of 3");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsDeadlock());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(status.ToString(), "Deadlock: cycle of 3");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted() == Status::Deadlock());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("k");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BernoulliMatchesProbabilityRoughly) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(5);
+  Rng fork = a.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == fork.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  Rng rng(13);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, HighThetaSkewsToLowIndexes) {
+  Rng rng(14);
+  ZipfGenerator zipf(100, 1.2);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 5) ++head;
+  }
+  // The hottest 5% of keys should draw well over half the accesses.
+  EXPECT_GT(head, n / 2);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(15);
+  ZipfGenerator zipf(7, 0.9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(StringUtilTest, StrCatConcatenates) {
+  EXPECT_EQ(StrCat("T", 42, "@", 1.5), "T42@1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, JoinInsertsSeparators) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(1500), "1.50ms");
+  EXPECT_EQ(FormatDuration(2'500'000), "2.500s");
+}
+
+TEST(TypesTest, TxnLabels) {
+  EXPECT_EQ(TxnLabel(TxnKind::kGlobal, 7), "T7");
+  EXPECT_EQ(TxnLabel(TxnKind::kCompensating, 7), "CT7");
+  EXPECT_EQ(TxnLabel(TxnKind::kLocal, 12), "L12");
+}
+
+TEST(TypesTest, DurationHelpers) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2'000'000);
+  EXPECT_EQ(Micros(9), 9);
+}
+
+}  // namespace
+}  // namespace o2pc

@@ -1,0 +1,142 @@
+// Unit tests for the compensation executor: persistence (retry until
+// commit), semantic skip of moot counter-operations, SG attribution.
+
+#include "core/compensation.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace o2pc::core {
+namespace {
+
+class CompensationTest : public ::testing::Test {
+ protected:
+  CompensationTest() : db_(&sim_, Options()), executor_(&sim_, &db_, &ids_, &stats_) {
+    db_.Preload(1, 100);
+    db_.Preload(2, 200);
+  }
+
+  static local::LocalDb::Options Options() {
+    local::LocalDb::Options options;
+    options.site = 0;
+    options.op_cost = Micros(10);
+    options.lock_wait_timeout = Millis(5);
+    return options;
+  }
+
+  sim::Simulator sim_;
+  local::LocalDb db_;
+  TxnIdAllocator ids_;
+  metrics::StatsCollector stats_;
+  CompensationExecutor executor_;
+};
+
+TEST_F(CompensationTest, RunsPlanAndCommits) {
+  bool done = false;
+  CompensationExecutor::Request request;
+  request.forward_id = 42;
+  request.plan = {local::Operation{local::OpType::kIncrement, 1, -30},
+                  local::Operation{local::OpType::kIncrement, 2, 30}};
+  request.done = [&] { done = true; };
+  executor_.Run(std::move(request));
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(db_.table().Get(1)->value, 70);
+  EXPECT_EQ(db_.table().Get(2)->value, 230);
+  EXPECT_EQ(executor_.completed(), 1u);
+  EXPECT_EQ(stats_.Count("compensations_committed"), 1u);
+  // The CT's writes carry CT provenance.
+  EXPECT_EQ(db_.table().Get(1)->writer.kind, TxnKind::kCompensating);
+  EXPECT_EQ(db_.table().Get(1)->writer.id, 42u);
+}
+
+TEST_F(CompensationTest, SkipsMootCounterOps) {
+  // Erase of an already-missing key and insert of an already-present key
+  // are semantically moot: compensation proceeds past them.
+  bool done = false;
+  CompensationExecutor::Request request;
+  request.forward_id = 7;
+  request.plan = {local::Operation{local::OpType::kErase, 99, 0},     // gone
+                  local::Operation{local::OpType::kInsert, 1, 5},     // exists
+                  local::Operation{local::OpType::kIncrement, 2, -1}};
+  request.done = [&] { done = true; };
+  executor_.Run(std::move(request));
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(db_.table().Get(2)->value, 199);
+  EXPECT_EQ(stats_.Count("compensation_ops_skipped"), 2u);
+}
+
+TEST_F(CompensationTest, RetriesThroughLockTimeoutUntilCommit) {
+  // A local transaction camps on key 1; the CT times out, rolls back its
+  // attempt, and retries until the blocker leaves (persistence of
+  // compensation).
+  const TxnId blocker = ids_.Next();
+  db_.Begin(blocker, TxnKind::kLocal);
+  bool blocker_has_lock = false;
+  db_.Execute(blocker, {local::OpType::kIncrement, 1, 1},
+              [&](Result<Value> r) { blocker_has_lock = r.ok(); });
+  sim_.Run();
+  ASSERT_TRUE(blocker_has_lock);
+
+  bool done = false;
+  CompensationExecutor::Request request;
+  request.forward_id = 42;
+  request.plan = {local::Operation{local::OpType::kIncrement, 1, -10}};
+  request.retry_backoff = Millis(2);
+  request.done = [&] { done = true; };
+  executor_.Run(std::move(request));
+  // Let a few CT attempts fail, then release the blocker.
+  sim_.RunUntil(Millis(40));
+  EXPECT_FALSE(done);
+  EXPECT_GT(stats_.Count("compensation_retries"), 0u);
+  db_.CommitLocal(blocker);
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(db_.table().Get(1)->value, 91);  // 100 + 1 (blocker) - 10 (CT)
+}
+
+TEST_F(CompensationTest, EmptyPlanCommitsImmediately) {
+  bool done = false;
+  CompensationExecutor::Request request;
+  request.forward_id = 9;
+  request.done = [&] { done = true; };
+  executor_.Run(std::move(request));
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(executor_.completed(), 1u);
+}
+
+TEST_F(CompensationTest, AbortedAttemptLeavesNoTrace) {
+  // While the CT is retrying, its failed attempts must not appear in the
+  // SG nor leave partial effects.
+  const TxnId blocker = ids_.Next();
+  db_.Begin(blocker, TxnKind::kLocal);
+  db_.Execute(blocker, {local::OpType::kIncrement, 2, 1},
+              [](Result<Value>) {});
+  sim_.Run();
+
+  bool done = false;
+  CompensationExecutor::Request request;
+  request.forward_id = 42;
+  // First op succeeds, second blocks on key 2 -> attempt rolls back.
+  request.plan = {local::Operation{local::OpType::kIncrement, 1, -10},
+                  local::Operation{local::OpType::kIncrement, 2, -10}};
+  request.retry_backoff = Millis(2);
+  request.done = [&] { done = true; };
+  executor_.Run(std::move(request));
+  sim_.RunUntil(Millis(20));
+  ASSERT_FALSE(done);
+  // The partial increment on key 1 was rolled back between attempts...
+  // (the current attempt may hold it mid-flight; after the blocker leaves
+  // and the CT commits, exactly one -10 must be applied).
+  db_.CommitLocal(blocker);
+  sim_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(db_.table().Get(1)->value, 90);
+  EXPECT_EQ(db_.table().Get(2)->value, 191);
+}
+
+}  // namespace
+}  // namespace o2pc::core

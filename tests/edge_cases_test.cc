@@ -1,0 +1,277 @@
+// Edge-case and failure-injection tests that cut across modules: upgrade
+// deadlocks, network partitions mid-protocol, detector option
+// monotonicity, workload driving, and the logging layer.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/system.h"
+#include "harness/experiment.h"
+#include "lock/lock_manager.h"
+#include "sg/regular_cycle.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+namespace o2pc {
+namespace {
+
+TEST(UpgradeDeadlockTest, TwoReadersUpgradingDeadlock) {
+  // The classic: both hold S, both request X. The younger must die.
+  sim::Simulator sim;
+  lock::LockManager locks(&sim, {});
+  std::optional<Status> first;
+  std::optional<Status> second;
+  locks.Acquire(1, 9, lock::LockMode::kShared, [](const Status&) {});
+  locks.Acquire(2, 9, lock::LockMode::kShared, [](const Status&) {});
+  sim.Run();
+  locks.Acquire(1, 9, lock::LockMode::kExclusive,
+                [&](const Status& s) { first = s; });
+  sim.Run();
+  locks.Acquire(2, 9, lock::LockMode::kExclusive,
+                [&](const Status& s) { second = s; });
+  sim.Run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->IsDeadlock());
+  // Victim still holds its S lock until its owner aborts it; release all:
+  locks.ReleaseAll(2);
+  sim.Run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok());
+}
+
+TEST(PartitionTest, ProtocolSurvivesTransientPartition) {
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  options.seed = 3;
+  options.protocol.resend_timeout = Millis(50);
+  options.protocol.max_resends = 100;
+  core::DistributedSystem system(options);
+
+  bool committed = false;
+  system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10),
+                      [&](const core::GlobalResult& r) {
+                        committed = r.committed;
+                      });
+  // Partition the link just after the protocol starts; heal it later.
+  system.simulator().Schedule(Millis(2), [&] {
+    system.network().SeverLink(0, 1);
+  });
+  system.simulator().Schedule(Millis(400), [&] {
+    system.network().HealLink(0, 1);
+  });
+  system.Run();
+  EXPECT_TRUE(committed);
+  EXPECT_GT(system.network().stats().dropped, 0u);
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 990);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1010);
+}
+
+TEST(DetectorOptionsTest, StrictModeDetectsAtLeastAsMuch) {
+  // Property over random graphs: with drop_bypassable_pivots = false the
+  // detector's pivot set is a superset of the default's.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    sg::SerializationGraph graph;
+    for (int i = 0; i < 40; ++i) {
+      const TxnId a = static_cast<TxnId>(rng.Uniform(1, 12));
+      const TxnId b = static_cast<TxnId>(rng.Uniform(1, 12));
+      const SiteId site = static_cast<SiteId>(rng.Uniform(0, 2));
+      graph.AddEdge(rng.Bernoulli(0.3) ? sg::CompNode(a) : sg::GlobalNode(a),
+                    rng.Bernoulli(0.3) ? sg::CompNode(b) : sg::GlobalNode(b),
+                    site);
+    }
+    sg::RegularCycleDetector default_detector(graph);
+    sg::RegularCycleDetector::Options strict;
+    strict.drop_bypassable_pivots = false;
+    sg::RegularCycleDetector strict_detector(graph, strict);
+    for (const sg::NodeRef& pivot : default_detector.pivots()) {
+      EXPECT_NE(std::find(strict_detector.pivots().begin(),
+                          strict_detector.pivots().end(), pivot),
+                strict_detector.pivots().end())
+          << "seed " << seed << ": default pivot " << sg::NodeName(pivot)
+          << " missing from strict set";
+    }
+    if (default_detector.HasRegularCycle()) {
+      EXPECT_TRUE(strict_detector.HasRegularCycle());
+    }
+  }
+}
+
+TEST(WorkloadDriveTest, SchedulesEveryTransaction) {
+  core::SystemOptions options;
+  options.num_sites = 3;
+  options.keys_per_site = 64;
+  options.seed = 8;
+  core::DistributedSystem system(options);
+  workload::WorkloadOptions wopts;
+  wopts.num_global_txns = 25;
+  wopts.num_local_txns = 15;
+  wopts.seed = 99;
+  workload::WorkloadGenerator generator(3, 64, wopts);
+  generator.Drive(system);
+  system.Run();
+  EXPECT_EQ(system.globals_submitted(), 25u);
+  EXPECT_EQ(system.globals_finished(), 25u);
+  EXPECT_EQ(system.stats().Count("locals_submitted"), 15u);
+}
+
+TEST(LoggingTest, SinkCapturesAtConfiguredLevel) {
+  std::vector<std::string> lines;
+  Logger::Global().set_sink(
+      [&](LogLevel, const std::string& message) { lines.push_back(message); });
+  Logger::Global().set_level(LogLevel::kInfo);
+  O2PC_LOG(kInfo) << "visible " << 42;
+  O2PC_LOG(kDebug) << "hidden";
+  Logger::Global().set_sink(nullptr);
+  Logger::Global().set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("visible 42"), std::string::npos);
+}
+
+TEST(SingleSiteGlobalTest, DegenerateGlobalStillRunsProtocol) {
+  // A "global" transaction with one subtransaction: the full 2PC exchange
+  // still runs (over loopback), and O2PC semantics hold.
+  core::SystemOptions options;
+  options.num_sites = 1;
+  options.keys_per_site = 4;
+  core::DistributedSystem system(options);
+  core::GlobalTxnSpec spec;
+  spec.subtxns.push_back(
+      {0, {local::Operation{local::OpType::kIncrement, 1, 7}}, false});
+  bool committed = false;
+  system.SubmitGlobal(spec, [&](const core::GlobalResult& r) {
+    committed = r.committed;
+  });
+  system.Run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1007);
+  EXPECT_EQ(system.network().stats().sent(net::MessageType::kVoteRequest),
+            1u);
+}
+
+TEST(GenericModelTest, BeforeImageCompensationRestoresValues) {
+  // The generic model: blind writes compensated by before-images.
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  core::DistributedSystem system(options);
+  core::GlobalTxnSpec spec;
+  spec.subtxns.push_back(
+      {0, {local::Operation{local::OpType::kWrite, 1, 555}}, false});
+  spec.subtxns.push_back(
+      {1, {local::Operation{local::OpType::kWrite, 2, 777}}, true});
+  system.SubmitGlobal(spec);
+  system.Run();
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);  // compensated
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1000);  // rolled back
+}
+
+TEST(RepeatedAbortsTest, MarksAccumulateAndRetireAcrossMany) {
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 32;
+  options.protocol.governance = core::GovernancePolicy::kP1;
+  core::DistributedSystem system(options);
+  for (int i = 0; i < 10; ++i) {
+    core::GlobalTxnSpec spec = workload::MakeTransfer(
+        0, static_cast<DataKey>(i), 1, static_cast<DataKey>(i + 1), 5);
+    spec.subtxns[1].force_abort_vote = true;
+    system.SubmitGlobal(spec);
+    system.Run();
+  }
+  // Follow-on traffic retires the marks and commits.
+  int committed = 0;
+  for (int i = 0; i < 10; ++i) {
+    system.SubmitGlobal(
+        workload::MakeTransfer(0, static_cast<DataKey>(i), 1,
+                               static_cast<DataKey>(i + 1), 5),
+        [&](const core::GlobalResult& r) {
+          if (r.committed) ++committed;
+        });
+  }
+  system.Run();
+  EXPECT_EQ(committed, 10);
+  EXPECT_TRUE(system.Analyze().correct);
+  EXPECT_GT(system.stats().Count("udum_unmarks"), 0u);
+}
+
+TEST(AutonomyTest, UnilateralAbortMidExecution) {
+  // Local autonomy ([BST90]): a site may abort its subtransaction any time
+  // before it terminates. Mid-execution, the global transaction fails and
+  // (being a non-business abort) restarts; the retry commits.
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  core::DistributedSystem system(options);
+  bool committed = false;
+  int attempts = 0;
+  system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10),
+                      [&](const core::GlobalResult& r) {
+                        committed = r.committed;
+                      });
+  // Site 0 is the coordinator's home: its subtransaction arrives over
+  // loopback (~10us) and runs its ops at ~100us intervals. Abort it
+  // mid-execution, deterministically.
+  system.simulator().ScheduleAt(Micros(150), [&] {
+    attempts += system.participant(0).UnilateralAbort(1) ? 1 : 0;
+  });
+  system.Run();
+  EXPECT_EQ(attempts, 1);
+  EXPECT_GT(system.stats().Count("unilateral_aborts"), 0u);
+  EXPECT_TRUE(committed);  // restart succeeded
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 990);
+}
+
+TEST(AutonomyTest, UnilateralAbortAfterExecutionBecomesAbortVote) {
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  options.max_global_restarts = 0;  // observe the raw abort
+  core::DistributedSystem system(options);
+  core::GlobalResult result;
+  const TxnId id = system.SubmitGlobal(
+      workload::MakeTransfer(0, 1, 1, 2, 10),
+      [&](const core::GlobalResult& r) { result = r; });
+  // Site 0 completes its subtransaction quickly (loopback); withdraw
+  // before the votes.
+  system.simulator().ScheduleAt(Millis(2), [&] {
+    EXPECT_TRUE(system.participant(0).UnilateralAbort(id));
+  });
+  system.Run();
+  EXPECT_FALSE(result.committed);
+  // It aborted through a regular abort VOTE (autonomy preserved without
+  // extra message machinery).
+  EXPECT_EQ(system.stats().Count("votes_abort"), 1u);
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);
+}
+
+TEST(AutonomyTest, TooLateAfterLocalCommit) {
+  core::SystemOptions options;
+  options.num_sites = 2;
+  options.keys_per_site = 8;
+  core::DistributedSystem system(options);
+  const TxnId id =
+      system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10));
+  system.Run();  // fully committed
+  // After termination the right to unilaterally abort is gone.
+  EXPECT_FALSE(system.participant(0).UnilateralAbort(id));
+  EXPECT_FALSE(system.participant(0).UnilateralAbort(9999));  // unknown
+}
+
+TEST(DotExportTest, RendersNodesAndLabeledEdges) {
+  sg::SerializationGraph graph;
+  graph.AddEdge(sg::GlobalNode(1), sg::CompNode(2), 3);
+  graph.AddEdge(sg::GlobalNode(1), sg::CompNode(2), 4);
+  graph.AddNode(sg::LocalNode(9));
+  const std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph SG"), std::string::npos);
+  EXPECT_NE(dot.find("\"T1\" -> \"CT2\""), std::string::npos);
+  EXPECT_NE(dot.find("S3,S4"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("color=gray"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace o2pc

@@ -1,0 +1,211 @@
+// Unit tests for one site's DBMS: operation semantics, undo/compensation
+// bookkeeping, the subtransaction verbs (prepare / locally-commit /
+// finalize / rollback), and SG record flushing rules.
+
+#include "local/local_db.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace o2pc::local {
+namespace {
+
+class LocalDbTest : public ::testing::Test {
+ protected:
+  LocalDbTest() : db_(&sim_, Options()) {
+    db_.Preload(1, 100);
+    db_.Preload(2, 200);
+  }
+
+  static LocalDb::Options Options() {
+    LocalDb::Options options;
+    options.site = 0;
+    options.op_cost = Micros(10);
+    return options;
+  }
+
+  /// Runs one op to completion and returns its result.
+  Result<Value> Exec(TxnId txn, Operation op) {
+    std::optional<Result<Value>> out;
+    db_.Execute(txn, op, [&](Result<Value> r) { out = std::move(r); });
+    sim_.Run();
+    if (!out.has_value()) return Status::Internal("op never completed");
+    return *out;
+  }
+
+  sim::Simulator sim_;
+  LocalDb db_;
+};
+
+TEST_F(LocalDbTest, ReadReturnsValueAndProvenance) {
+  db_.Begin(10, TxnKind::kLocal);
+  Result<Value> value = Exec(10, {OpType::kRead, 1, 0});
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 100);
+}
+
+TEST_F(LocalDbTest, ReadMissingKeyIsNotFound) {
+  db_.Begin(10, TxnKind::kLocal);
+  EXPECT_TRUE(Exec(10, {OpType::kRead, 99, 0}).status().IsNotFound());
+}
+
+TEST_F(LocalDbTest, WriteAndIncrementApply) {
+  db_.Begin(10, TxnKind::kLocal);
+  EXPECT_EQ(*Exec(10, {OpType::kWrite, 1, 500}), 500);
+  EXPECT_EQ(*Exec(10, {OpType::kIncrement, 2, -50}), 150);
+  db_.CommitLocal(10);
+  EXPECT_EQ(db_.table().Get(1)->value, 500);
+  EXPECT_EQ(db_.table().Get(2)->value, 150);
+}
+
+TEST_F(LocalDbTest, InsertEraseSemantics) {
+  db_.Begin(10, TxnKind::kLocal);
+  EXPECT_TRUE(Exec(10, {OpType::kInsert, 5, 7}).ok());
+  EXPECT_TRUE(Exec(10, {OpType::kInsert, 5, 8}).status().IsConflict());
+  EXPECT_EQ(*Exec(10, {OpType::kErase, 5, 0}), 7);
+  EXPECT_TRUE(Exec(10, {OpType::kErase, 5, 0}).status().IsNotFound());
+}
+
+TEST_F(LocalDbTest, AbortLocalRestoresStateExactly) {
+  db_.Begin(10, TxnKind::kLocal);
+  Exec(10, {OpType::kWrite, 1, 999});
+  Exec(10, {OpType::kInsert, 5, 7});
+  db_.AbortLocal(10);
+  EXPECT_EQ(db_.table().Get(1)->value, 100);
+  EXPECT_FALSE(db_.table().Contains(5));
+  EXPECT_EQ(db_.TxnState(10), LocalTxnState::kAborted);
+  // No SG trace.
+  EXPECT_FALSE(db_.tracker().BuildGraph().HasNode(sg::LocalNode(10)));
+}
+
+TEST_F(LocalDbTest, CompensationPlanReversesCounterOps) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 30});
+  Exec(10, {OpType::kInsert, 5, 7});
+  std::vector<Operation> plan = db_.CompensationPlan(10);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].type, OpType::kErase);   // undo insert first
+  EXPECT_EQ(plan[0].key, 5u);
+  EXPECT_EQ(plan[1].type, OpType::kIncrement);
+  EXPECT_EQ(plan[1].value, -30);
+}
+
+TEST_F(LocalDbTest, WriteCompensatedByBeforeImage) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kWrite, 1, 555});
+  std::vector<Operation> plan = db_.CompensationPlan(10);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].type, OpType::kWrite);
+  EXPECT_EQ(plan[0].value, 100);  // the before-image
+}
+
+TEST_F(LocalDbTest, LocallyCommitReleasesAllLocks) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  Exec(10, {OpType::kRead, 2, 0});
+  EXPECT_EQ(db_.lock_manager().HeldKeys(10).size(), 2u);
+  db_.LocallyCommit(10);
+  EXPECT_TRUE(db_.lock_manager().HeldKeys(10).empty());
+  EXPECT_EQ(db_.TxnState(10), LocalTxnState::kLocallyCommitted);
+  // The updates are exposed.
+  EXPECT_EQ(db_.table().Get(1)->value, 105);
+}
+
+TEST_F(LocalDbTest, PrepareReleasesOnlySharedLocks) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  Exec(10, {OpType::kRead, 2, 0});
+  db_.PrepareAndReleaseShared(10);
+  EXPECT_TRUE(db_.lock_manager().Holds(10, 1, lock::LockMode::kExclusive));
+  EXPECT_FALSE(db_.lock_manager().Holds(10, 2, lock::LockMode::kShared));
+  EXPECT_EQ(db_.TxnState(10), LocalTxnState::kPrepared);
+}
+
+TEST_F(LocalDbTest, RollbackSubtxnAttributesUndoToCt) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  db_.RollbackSubtxn(10);
+  EXPECT_EQ(db_.table().Get(1)->value, 100);
+  EXPECT_EQ(db_.table().Get(1)->writer.kind, TxnKind::kCompensating);
+  EXPECT_EQ(db_.table().Get(1)->writer.id, 10u);
+  // Both T10 and CT10 appear in the SG.
+  sg::SerializationGraph graph = db_.tracker().BuildGraph();
+  EXPECT_TRUE(graph.HasNode(sg::GlobalNode(10)));
+  EXPECT_TRUE(graph.HasNode(sg::CompNode(10)));
+}
+
+TEST_F(LocalDbTest, FinalizeCommitRunsDeferredRealActions) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kRealAction, 1, 0});
+  EXPECT_TRUE(db_.HasRealAction(10));
+  EXPECT_EQ(db_.real_actions_performed(), 0u);
+  std::vector<Operation> actions = db_.FinalizeCommit(10);
+  EXPECT_EQ(actions.size(), 1u);
+  EXPECT_EQ(db_.real_actions_performed(), 1u);
+}
+
+TEST_F(LocalDbTest, RollbackDropsRealActions) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kRealAction, 1, 0});
+  db_.RollbackSubtxn(10);
+  EXPECT_EQ(db_.real_actions_performed(), 0u);
+}
+
+TEST_F(LocalDbTest, CompensatingTxnWritesTaggedAsCt) {
+  db_.Begin(20, TxnKind::kCompensating, /*global_id=*/7);
+  Exec(20, {OpType::kIncrement, 1, -5});
+  db_.CommitLocal(20);
+  EXPECT_EQ(db_.table().Get(1)->writer.kind, TxnKind::kCompensating);
+  EXPECT_EQ(db_.table().Get(1)->writer.id, 7u);
+  sg::SerializationGraph graph = db_.tracker().BuildGraph();
+  EXPECT_TRUE(graph.HasNode(sg::CompNode(7)));
+}
+
+TEST_F(LocalDbTest, SgRecordsFlushOnlyAtTerminalEvents) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  // Still buffered.
+  EXPECT_FALSE(db_.tracker().BuildGraph().HasNode(sg::GlobalNode(10)));
+  db_.LocallyCommit(10);
+  EXPECT_TRUE(db_.tracker().BuildGraph().HasNode(sg::GlobalNode(10)));
+}
+
+TEST_F(LocalDbTest, LockWaitTimeoutFiresDeadlock) {
+  LocalDb::Options options = Options();
+  options.lock_wait_timeout = Millis(5);
+  LocalDb db(&sim_, options);
+  db.Preload(1, 0);
+  db.Begin(1, TxnKind::kLocal);
+  db.Begin(2, TxnKind::kLocal);
+  std::optional<Result<Value>> first;
+  std::optional<Result<Value>> second;
+  db.Execute(1, {OpType::kIncrement, 1, 1},
+             [&](Result<Value> r) { first = std::move(r); });
+  db.Execute(2, {OpType::kIncrement, 1, 1},
+             [&](Result<Value> r) { second = std::move(r); });
+  sim_.Run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->status().IsDeadlock());  // timed out behind txn 1
+}
+
+TEST_F(LocalDbTest, WalRecordsBeginCommitPerTxn) {
+  db_.Begin(10, TxnKind::kLocal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  db_.CommitLocal(10);
+  EXPECT_TRUE(db_.wal().Committed(10));
+  EXPECT_EQ(db_.wal().TxnUpdates(10).size(), 1u);
+}
+
+TEST_F(LocalDbTest, MarkCompensatedTransitionsToAborted) {
+  db_.Begin(10, TxnKind::kGlobal);
+  Exec(10, {OpType::kIncrement, 1, 5});
+  db_.LocallyCommit(10);
+  db_.MarkCompensated(10);
+  EXPECT_EQ(db_.TxnState(10), LocalTxnState::kAborted);
+}
+
+}  // namespace
+}  // namespace o2pc::local

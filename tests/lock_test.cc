@@ -1,0 +1,245 @@
+// Unit tests for the strict-2PL lock manager: grant/queue semantics,
+// upgrades, FIFO fairness, the early-release entry points O2PC relies on,
+// deadlock detection with youngest-victim, and hold/wait statistics.
+
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "lock/waits_for.h"
+#include "sim/simulator.h"
+
+namespace o2pc::lock {
+namespace {
+
+class LockTest : public ::testing::Test {
+ protected:
+  LockTest() : locks_(&sim_, LockManager::Options{}) {}
+
+  /// Issues an acquire and returns a pointer to a slot that receives the
+  /// grant status (empty until the callback runs).
+  std::shared_ptr<std::optional<Status>> Acquire(TxnId txn, DataKey key,
+                                                 LockMode mode) {
+    auto slot = std::make_shared<std::optional<Status>>();
+    locks_.Acquire(txn, key, mode, [slot](const Status& s) { *slot = s; });
+    return slot;
+  }
+
+  sim::Simulator sim_;
+  LockManager locks_;
+};
+
+TEST_F(LockTest, ExclusiveGrantsImmediately) {
+  auto granted = Acquire(1, 10, LockMode::kExclusive);
+  sim_.Run();
+  ASSERT_TRUE(granted->has_value());
+  EXPECT_TRUE((*granted)->ok());
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockTest, SharedLocksCoexist) {
+  auto a = Acquire(1, 10, LockMode::kShared);
+  auto b = Acquire(2, 10, LockMode::kShared);
+  sim_.Run();
+  EXPECT_TRUE((*a)->ok());
+  EXPECT_TRUE((*b)->ok());
+  EXPECT_EQ(locks_.QueueLength(10), 2u);
+}
+
+TEST_F(LockTest, ExclusiveWaitsForShared) {
+  auto reader = Acquire(1, 10, LockMode::kShared);
+  auto writer = Acquire(2, 10, LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_TRUE((*reader)->ok());
+  EXPECT_FALSE(writer->has_value());
+  EXPECT_TRUE(locks_.IsWaiting(2));
+  locks_.Release(1, 10);
+  sim_.Run();
+  ASSERT_TRUE(writer->has_value());
+  EXPECT_TRUE((*writer)->ok());
+}
+
+TEST_F(LockTest, FifoFairnessSharedBehindExclusiveWaits) {
+  Acquire(1, 10, LockMode::kShared);
+  auto writer = Acquire(2, 10, LockMode::kExclusive);
+  auto late_reader = Acquire(3, 10, LockMode::kShared);
+  sim_.Run();
+  // The late reader must not jump the queued writer.
+  EXPECT_FALSE(late_reader->has_value());
+  locks_.Release(1, 10);
+  sim_.Run();
+  EXPECT_TRUE(writer->has_value());
+  EXPECT_FALSE(late_reader->has_value());
+  locks_.Release(2, 10);
+  sim_.Run();
+  EXPECT_TRUE(late_reader->has_value());
+}
+
+TEST_F(LockTest, ReentrantAcquireIsImmediate) {
+  Acquire(1, 10, LockMode::kExclusive);
+  auto again = Acquire(1, 10, LockMode::kShared);
+  sim_.Run();
+  EXPECT_TRUE((*again)->ok());
+  EXPECT_EQ(locks_.stats().immediate_grants, 2u);
+}
+
+TEST_F(LockTest, UpgradeWhenSoleHolder) {
+  Acquire(1, 10, LockMode::kShared);
+  sim_.Run();
+  auto upgrade = Acquire(1, 10, LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_TRUE((*upgrade)->ok());
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST_F(LockTest, UpgradeWaitsForOtherReadersAndHasPriority) {
+  Acquire(1, 10, LockMode::kShared);
+  Acquire(2, 10, LockMode::kShared);
+  sim_.Run();
+  auto upgrade = Acquire(1, 10, LockMode::kExclusive);
+  auto writer = Acquire(3, 10, LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_FALSE(upgrade->has_value());
+  locks_.Release(2, 10);
+  sim_.Run();
+  // The upgrade wins over the queued writer.
+  ASSERT_TRUE(upgrade->has_value());
+  EXPECT_TRUE((*upgrade)->ok());
+  EXPECT_FALSE(writer->has_value());
+  locks_.ReleaseAll(1);
+  sim_.Run();
+  EXPECT_TRUE(writer->has_value());
+}
+
+TEST_F(LockTest, ReleaseAllFreesEverything) {
+  Acquire(1, 10, LockMode::kExclusive);
+  Acquire(1, 11, LockMode::kShared);
+  sim_.Run();
+  EXPECT_EQ(locks_.HeldKeys(1).size(), 2u);
+  locks_.ReleaseAll(1);
+  EXPECT_TRUE(locks_.HeldKeys(1).empty());
+  EXPECT_FALSE(locks_.Holds(1, 10, LockMode::kShared));
+}
+
+TEST_F(LockTest, ReleaseSharedKeepsExclusive) {
+  // The distributed-2PL refinement: shared locks go at VOTE-REQ, exclusive
+  // locks stay until the decision.
+  Acquire(1, 10, LockMode::kExclusive);
+  Acquire(1, 11, LockMode::kShared);
+  sim_.Run();
+  locks_.ReleaseShared(1);
+  EXPECT_TRUE(locks_.Holds(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(locks_.Holds(1, 11, LockMode::kShared));
+}
+
+TEST_F(LockTest, CancelWaitsFailsPendingRequest) {
+  Acquire(1, 10, LockMode::kExclusive);
+  auto waiter = Acquire(2, 10, LockMode::kExclusive);
+  sim_.Run();
+  locks_.CancelWaits(2, Status::Aborted("test"));
+  sim_.Run();
+  ASSERT_TRUE(waiter->has_value());
+  EXPECT_TRUE((*waiter)->IsAborted());
+  EXPECT_FALSE(locks_.IsWaiting(2));
+}
+
+TEST_F(LockTest, DeadlockDetectedAndYoungestAborted) {
+  // T1 holds 10, T2 holds 11; then T1 wants 11 and T2 wants 10.
+  Acquire(1, 10, LockMode::kExclusive);
+  Acquire(2, 11, LockMode::kExclusive);
+  sim_.Run();
+  auto t1_wait = Acquire(1, 11, LockMode::kExclusive);
+  sim_.Run();
+  auto t2_wait = Acquire(2, 10, LockMode::kExclusive);
+  sim_.Run();
+  // T2 is younger (larger id) and must be the victim.
+  ASSERT_TRUE(t2_wait->has_value());
+  EXPECT_TRUE((*t2_wait)->IsDeadlock());
+  EXPECT_FALSE(t1_wait->has_value());
+  EXPECT_EQ(locks_.stats().deadlocks, 1u);
+  // Once the victim releases, T1 proceeds.
+  locks_.ReleaseAll(2);
+  sim_.Run();
+  ASSERT_TRUE(t1_wait->has_value());
+  EXPECT_TRUE((*t1_wait)->ok());
+}
+
+TEST_F(LockTest, ThreeWayDeadlock) {
+  Acquire(1, 10, LockMode::kExclusive);
+  Acquire(2, 11, LockMode::kExclusive);
+  Acquire(3, 12, LockMode::kExclusive);
+  sim_.Run();
+  auto w1 = Acquire(1, 11, LockMode::kExclusive);
+  auto w2 = Acquire(2, 12, LockMode::kExclusive);
+  sim_.Run();
+  auto w3 = Acquire(3, 10, LockMode::kExclusive);
+  sim_.Run();
+  ASSERT_TRUE(w3->has_value());  // youngest in the cycle
+  EXPECT_TRUE((*w3)->IsDeadlock());
+  EXPECT_FALSE(w1->has_value());
+  EXPECT_FALSE(w2->has_value());
+}
+
+TEST_F(LockTest, HoldTimeSamplesRecorded) {
+  Acquire(1, 10, LockMode::kExclusive);
+  sim_.Run();
+  sim_.Schedule(500, [this] { locks_.Release(1, 10); });
+  sim_.Run();
+  ASSERT_EQ(locks_.stats().exclusive_hold.size(), 1u);
+  EXPECT_EQ(locks_.stats().exclusive_hold[0], 500);
+}
+
+TEST_F(LockTest, WaitTimeSamplesRecorded) {
+  Acquire(1, 10, LockMode::kExclusive);
+  auto waiter = Acquire(2, 10, LockMode::kShared);
+  sim_.Run();
+  sim_.Schedule(300, [this] { locks_.Release(1, 10); });
+  sim_.Run();
+  ASSERT_TRUE(waiter->has_value());
+  ASSERT_EQ(locks_.stats().wait_time.size(), 1u);
+  EXPECT_EQ(locks_.stats().wait_time[0], 300);
+}
+
+TEST(WaitsForTest, FindsSimpleCycle) {
+  WaitsForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 1);
+  EXPECT_EQ(graph.FindCycleFrom(1).size(), 2u);
+  EXPECT_TRUE(graph.HasAnyCycle());
+}
+
+TEST(WaitsForTest, NoCycleInDag) {
+  WaitsForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(1, 3);
+  EXPECT_TRUE(graph.FindCycleFrom(1).empty());
+  EXPECT_FALSE(graph.HasAnyCycle());
+}
+
+TEST(WaitsForTest, SelfEdgesIgnored) {
+  WaitsForGraph graph;
+  graph.AddEdge(1, 1);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(WaitsForTest, ClearWaiterBreaksCycle) {
+  WaitsForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 1);
+  EXPECT_TRUE(graph.HasAnyCycle());
+  graph.ClearWaiter(2);
+  EXPECT_FALSE(graph.HasAnyCycle());
+}
+
+TEST(WaitsForTest, RemoveTxnDropsBothDirections) {
+  WaitsForGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(3, 1);
+  graph.RemoveTxn(1);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace o2pc::lock

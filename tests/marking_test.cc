@@ -1,0 +1,269 @@
+// Unit tests for the §6 marking machinery: the compatible() check of rule
+// R1 under P1 / P2 / P2-literal / Simple, transmark accumulation, UDUM1
+// witness knowledge, and the Figure-2 mark transitions as driven by the
+// real protocol.
+
+#include "core/marking.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/scenarios.h"
+
+namespace o2pc::core {
+namespace {
+
+SiteMarks UndoneWrt(std::initializer_list<TxnId> ids) {
+  SiteMarks marks;
+  marks.undone.insert(ids.begin(), ids.end());
+  return marks;
+}
+
+SiteMarks LcWrt(std::initializer_list<TxnId> ids) {
+  SiteMarks marks;
+  marks.locally_committed.insert(ids.begin(), ids.end());
+  return marks;
+}
+
+/// transmarks of a transaction that visited sites 100, 101, ... (n sites).
+TransMarks Visited(int n) {
+  TransMarks tm;
+  for (int i = 0; i < n; ++i) {
+    tm.visited_sites.push_back(static_cast<SiteId>(100 + i));
+  }
+  return tm;
+}
+
+/// Records that `ti` was seen undone at the first `count` visited sites.
+void SeenUndone(TransMarks& tm, TxnId ti, int count) {
+  for (int i = 0; i < count; ++i) tm.undone_seen[ti].insert(tm.visited_sites[i]);
+}
+
+/// Records that `ti` was seen locally-committed at the first `count` sites.
+void SeenLc(TransMarks& tm, TxnId ti, int count) {
+  for (int i = 0; i < count; ++i) tm.lc_seen[ti].insert(tm.visited_sites[i]);
+}
+
+// --- P1 -------------------------------------------------------------------
+
+TEST(CompatibleP1Test, FirstSiteAlwaysCompatible) {
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP1, TransMarks{}, SiteMarks{}));
+  EXPECT_TRUE(
+      Compatible(GovernancePolicy::kP1, TransMarks{}, UndoneWrt({1, 2})));
+}
+
+TEST(CompatibleP1Test, SeenUndoneRequiresUndoneHere) {
+  TransMarks tm = Visited(1);
+  SeenUndone(tm, 1, 1);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP1, tm, UndoneWrt({1})));
+  // The forward half of R1: transmarks must be a subset of sitemarks.
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP1, tm, SiteMarks{}));
+}
+
+TEST(CompatibleP1Test, UnmarkedFirstThenUndoneRejected) {
+  // The backward half (the §6.2 example resolvable only by aborting):
+  // visited one site that was NOT undone w.r.t. T1; a site undone w.r.t.
+  // T1 is now incompatible.
+  TransMarks tm = Visited(1);
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP1, tm, UndoneWrt({1})));
+}
+
+TEST(CompatibleP1Test, UniformUndoneAcrossManySites) {
+  TransMarks tm = Visited(3);
+  SeenUndone(tm, 1, 3);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP1, tm, UndoneWrt({1})));
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP1, tm, UndoneWrt({2})));
+}
+
+TEST(CompatibleP1Test, LcMarksIrrelevantToP1) {
+  // The paper drops the locally-committed marking for P1 entirely.
+  TransMarks tm = Visited(1);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP1, tm, LcWrt({3})));
+}
+
+// --- P2 literal and strengthened -------------------------------------------
+
+TEST(CompatibleP2Test, LiteralAllowsUndoneUnmarkedMix) {
+  TransMarks tm = Visited(1);  // previous site unmarked w.r.t. everything
+  EXPECT_TRUE(
+      Compatible(GovernancePolicy::kP2Literal, tm, UndoneWrt({1})));
+  // The strengthened P2 inherits P1's rejection of this mix.
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP2, tm, UndoneWrt({1})));
+}
+
+TEST(CompatibleP2Test, SeenLcRequiresLcHere) {
+  TransMarks tm = Visited(1);
+  SeenLc(tm, 1, 1);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP2Literal, tm, LcWrt({1})));
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP2Literal, tm, SiteMarks{}));
+}
+
+TEST(CompatibleP2Test, LcHereRequiresLcEverywhereBefore) {
+  TransMarks tm = Visited(2);
+  SeenLc(tm, 1, 1);  // only one of two previous sites was LC w.r.t. T1
+  EXPECT_FALSE(Compatible(GovernancePolicy::kP2Literal, tm, LcWrt({1})));
+  SeenLc(tm, 1, 2);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kP2Literal, tm, LcWrt({1})));
+}
+
+TEST(CompatibleP2Test, FirstSiteVacuouslyCompatible) {
+  EXPECT_TRUE(
+      Compatible(GovernancePolicy::kP2Literal, TransMarks{}, LcWrt({5})));
+}
+
+// --- Simple -----------------------------------------------------------------
+
+TEST(CompatibleSimpleTest, RejectsAnyLcMark) {
+  EXPECT_FALSE(
+      Compatible(GovernancePolicy::kSimple, TransMarks{}, LcWrt({1})));
+}
+
+TEST(CompatibleSimpleTest, RequiresIdenticalUndoneSets) {
+  TransMarks tm = Visited(1);
+  SeenUndone(tm, 1, 1);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kSimple, tm, UndoneWrt({1})));
+  // Extra mark at the new site breaks set equality.
+  EXPECT_FALSE(
+      Compatible(GovernancePolicy::kSimple, tm, UndoneWrt({1, 2})));
+  // Missing mark does too.
+  EXPECT_FALSE(Compatible(GovernancePolicy::kSimple, tm, SiteMarks{}));
+}
+
+TEST(CompatibleSimpleTest, NoneGovernanceAllowsEverything) {
+  TransMarks tm = Visited(5);
+  SeenUndone(tm, 1, 2);
+  EXPECT_TRUE(Compatible(GovernancePolicy::kNone, tm, UndoneWrt({9})));
+}
+
+// --- MergeMarks --------------------------------------------------------------
+
+TEST(MergeMarksTest, AccumulatesSeenSitesAndVisits) {
+  TransMarks tm;
+  MergeMarks(UndoneWrt({1, 2}), /*site=*/4, tm);
+  SiteMarks second = UndoneWrt({1});
+  second.locally_committed.insert(7);
+  MergeMarks(second, /*site=*/5, tm);
+  EXPECT_EQ(tm.visited(), 2);
+  EXPECT_EQ(tm.UndoneCount(1), 2);
+  EXPECT_EQ(tm.UndoneCount(2), 1);
+  EXPECT_EQ(tm.LcCount(7), 1);
+  EXPECT_TRUE(tm.undone_seen[1].contains(4));
+  EXPECT_TRUE(tm.undone_seen[1].contains(5));
+  EXPECT_NE(tm.ToString().find("visited=2"), std::string::npos);
+}
+
+// --- WitnessKnowledge / UDUM1 -----------------------------------------------
+
+TEST(WitnessKnowledgeTest, CoversRequiresAllExecutionSites) {
+  WitnessKnowledge knowledge;
+  knowledge.Add(WitnessFact{5, 0});
+  EXPECT_FALSE(knowledge.Covers(5, {0, 1}));
+  knowledge.Add(WitnessFact{5, 1});
+  EXPECT_TRUE(knowledge.Covers(5, {0, 1}));
+  EXPECT_FALSE(knowledge.Covers(5, {}));  // unknown exec sites: never
+  EXPECT_FALSE(knowledge.Covers(6, {0}));
+}
+
+TEST(WitnessKnowledgeTest, RetiredNeedsExecSitesAndFullCoverage) {
+  WitnessKnowledge knowledge;
+  knowledge.Add(WitnessFact{5, 0});
+  knowledge.Add(WitnessFact{5, 1});
+  EXPECT_FALSE(knowledge.Retired(5));  // exec sites unknown
+  knowledge.SetExecSites(5, {0, 1});
+  EXPECT_TRUE(knowledge.Retired(5));
+  knowledge.SetExecSites(6, {0, 2});
+  EXPECT_FALSE(knowledge.Retired(6));  // site 2 unwitnessed
+  // Exec-site lists and witness facts survive a gossip round trip.
+  WitnessKnowledge other;
+  other.Merge(knowledge.Export());
+  EXPECT_TRUE(other.Retired(5));
+  ASSERT_NE(other.ExecSitesOf(6), nullptr);
+  EXPECT_EQ(other.ExecSitesOf(6)->size(), 2u);
+}
+
+TEST(WitnessKnowledgeTest, GossipRoundTrip) {
+  WitnessKnowledge a;
+  a.Add(WitnessFact{1, 0});
+  a.Add(WitnessFact{1, 1});
+  WitnessKnowledge b;
+  b.Merge(a.Export());
+  EXPECT_TRUE(b.Covers(1, {0, 1}));
+  EXPECT_EQ(b.size(), 2u);
+}
+
+// --- Figure 2: mark transitions driven by the real protocol -------------------
+
+class MarkTransitionTest : public ::testing::Test {
+ protected:
+  static SystemOptions Options(GovernancePolicy policy) {
+    SystemOptions options;
+    options.num_sites = 2;
+    options.keys_per_site = 16;
+    options.seed = 3;
+    options.protocol.governance = policy;
+    return options;
+  }
+};
+
+TEST_F(MarkTransitionTest, VoteCommitThenDecisionCommitLeavesUnmarked) {
+  DistributedSystem system(Options(GovernancePolicy::kP2));
+  const TxnId id =
+      system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10));
+  system.Run();
+  // Figure 2: unmarked -> locally-committed -> (decision commit) ->
+  // unmarked.
+  EXPECT_TRUE(system.participant(0).marks().Unmarked(id));
+  EXPECT_TRUE(system.participant(1).marks().Unmarked(id));
+}
+
+TEST_F(MarkTransitionTest, DecisionAbortLeavesUndoneAtBothKindsOfSites) {
+  DistributedSystem system(Options(GovernancePolicy::kP1));
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 10);
+  spec.subtxns[1].force_abort_vote = true;
+  const TxnId id = system.SubmitGlobal(spec);
+  system.Run();
+  // Site 0 locally committed and was compensated (R2: undone at CT end);
+  // site 1 voted abort and rolled back (vote-abort -> undone).
+  EXPECT_TRUE(system.participant(0).marks().undone.contains(id));
+  EXPECT_TRUE(system.participant(1).marks().undone.contains(id));
+}
+
+TEST_F(MarkTransitionTest, UdumWitnessesEventuallyUnmark) {
+  SystemOptions options = Options(GovernancePolicy::kP1);
+  options.protocol.directory = DirectoryMode::kOracle;
+  DistributedSystem system(options);
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 10);
+  spec.subtxns[1].force_abort_vote = true;
+  const TxnId id = system.SubmitGlobal(spec);
+  system.Run();
+  ASSERT_TRUE(system.participant(0).marks().undone.contains(id));
+  // A witness transaction at each execution site satisfies UDUM1; with the
+  // oracle directory both sites unmark as soon as the facts exist.
+  system.SubmitLocal(0, {local::Operation{local::OpType::kIncrement, 1, 1},
+                         local::Operation{local::OpType::kIncrement, 2, -1}});
+  system.SubmitLocal(1, {local::Operation{local::OpType::kIncrement, 1, 1},
+                         local::Operation{local::OpType::kIncrement, 2, -1}});
+  system.Run();
+  // One more access evaluates R3 at each site.
+  system.SubmitLocal(0, {local::Operation{local::OpType::kRead, 1, 0}});
+  system.SubmitLocal(1, {local::Operation{local::OpType::kRead, 1, 0}});
+  system.Run();
+  EXPECT_FALSE(system.participant(0).marks().undone.contains(id));
+  EXPECT_FALSE(system.participant(1).marks().undone.contains(id));
+  EXPECT_GE(system.stats().Count("udum_unmarks"), 2u);
+}
+
+TEST_F(MarkTransitionTest, TwoPcNeverMarks) {
+  SystemOptions options = Options(GovernancePolicy::kP1);
+  options.protocol.protocol = CommitProtocol::kTwoPhaseCommit;
+  DistributedSystem system(options);
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 10);
+  spec.subtxns[1].force_abort_vote = true;
+  const TxnId id = system.SubmitGlobal(spec);
+  system.Run();
+  EXPECT_TRUE(system.participant(0).marks().Unmarked(id));
+  EXPECT_TRUE(system.participant(1).marks().Unmarked(id));
+}
+
+}  // namespace
+}  // namespace o2pc::core

@@ -1,0 +1,103 @@
+// Unit tests for histograms, the stats collector, and table rendering.
+
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace o2pc::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Mean(), 0.0);
+  EXPECT_EQ(hist.Percentile(0.99), 0.0);
+  EXPECT_EQ(hist.Summary(), "n=0");
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram hist;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) hist.Add(v);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(hist.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 10.0);
+  EXPECT_NEAR(hist.StdDev(), 1.2909944, 1e-6);
+}
+
+TEST(HistogramTest, PercentilesInterpolate) {
+  Histogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Add(i);
+  EXPECT_NEAR(hist.Median(), 50.5, 0.01);
+  EXPECT_NEAR(hist.Percentile(0.0), 1.0, 0.01);
+  EXPECT_NEAR(hist.Percentile(1.0), 100.0, 0.01);
+  EXPECT_NEAR(hist.Percentile(0.99), 99.01, 0.1);
+}
+
+TEST(HistogramTest, AddAllFromInt64Samples) {
+  Histogram hist;
+  hist.AddAll({100, 200, 300});
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 200.0);
+  hist.Clear();
+  EXPECT_TRUE(hist.empty());
+}
+
+TEST(StatsCollectorTest, CountersAccumulate) {
+  StatsCollector stats;
+  stats.Incr("x");
+  stats.Incr("x", 4);
+  EXPECT_EQ(stats.Count("x"), 5u);
+  EXPECT_EQ(stats.Count("missing"), 0u);
+}
+
+TEST(StatsCollectorTest, ThroughputCountsCommittedOnly) {
+  StatsCollector stats;
+  GlobalTxnRecord committed;
+  committed.committed = true;
+  committed.submit_time = 0;
+  committed.finish_time = Millis(10);
+  GlobalTxnRecord aborted;
+  aborted.committed = false;
+  stats.AddGlobalTxn(committed);
+  stats.AddGlobalTxn(committed);
+  stats.AddGlobalTxn(aborted);
+  EXPECT_DOUBLE_EQ(stats.Throughput(Seconds(1)), 2.0);
+  EXPECT_EQ(stats.CommitLatency().count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.CommitLatency().Mean(), Millis(10));
+}
+
+TEST(StatsCollectorTest, NamedHistograms) {
+  StatsCollector stats;
+  stats.Hist("wait").Add(5.0);
+  ASSERT_NE(stats.FindHist("wait"), nullptr);
+  EXPECT_EQ(stats.FindHist("wait")->count(), 1u);
+  EXPECT_EQ(stats.FindHist("other"), nullptr);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.ToCsv(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace o2pc::metrics

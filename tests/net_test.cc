@@ -1,0 +1,161 @@
+// Unit tests for the simulated network: latency, jitter, loopback,
+// severed links, drops, and the per-type counters behind experiment E6.
+
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace o2pc::net {
+namespace {
+
+struct TestPayload : Payload {
+  int value = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&sim_, Options(), 99) {
+    network_.RegisterNode(0, [this](const Message& m) { Deliver(0, m); });
+    network_.RegisterNode(1, [this](const Message& m) { Deliver(1, m); });
+  }
+
+  static NetworkOptions Options() {
+    NetworkOptions options;
+    options.base_latency = Millis(5);
+    options.jitter = 0;
+    options.loopback_latency = Micros(10);
+    return options;
+  }
+
+  void Deliver(SiteId at, const Message& message) {
+    received_.push_back({at, message, sim_.Now()});
+  }
+
+  Message Make(SiteId from, SiteId to, int value = 0) {
+    auto payload = std::make_shared<TestPayload>();
+    payload->value = value;
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = MessageType::kUser;
+    m.payload = payload;
+    return m;
+  }
+
+  struct Received {
+    SiteId at;
+    Message message;
+    SimTime when;
+  };
+
+  sim::Simulator sim_;
+  Network network_;
+  std::vector<Received> received_;
+};
+
+TEST_F(NetworkTest, DeliversWithBaseLatency) {
+  network_.Send(Make(0, 1, 7));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 1u);
+  EXPECT_EQ(received_[0].when, Millis(5));
+  const auto* payload =
+      static_cast<const TestPayload*>(received_[0].message.payload.get());
+  EXPECT_EQ(payload->value, 7);
+}
+
+TEST_F(NetworkTest, LoopbackIsFast) {
+  network_.Send(Make(1, 1));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].when, Micros(10));
+}
+
+TEST_F(NetworkTest, SeveredLinkDropsBothDirections) {
+  network_.SeverLink(0, 1);
+  network_.Send(Make(0, 1));
+  network_.Send(Make(1, 0));
+  sim_.Run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(network_.stats().dropped, 2u);
+  EXPECT_EQ(network_.stats().sent_total, 2u);
+
+  network_.HealLink(0, 1);
+  network_.Send(Make(0, 1));
+  sim_.Run();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, PerLinkLatencyOverride) {
+  network_.SetLinkLatency(0, 1, Millis(50));
+  network_.Send(Make(0, 1));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].when, Millis(50));
+}
+
+TEST_F(NetworkTest, CountsByType) {
+  network_.Send(Make(0, 1));
+  network_.Send(Make(1, 0));
+  sim_.Run();
+  EXPECT_EQ(network_.stats().sent(MessageType::kUser), 2u);
+  EXPECT_EQ(network_.stats().sent(MessageType::kVote), 0u);
+  network_.ResetStats();
+  EXPECT_EQ(network_.stats().sent_total, 0u);
+}
+
+TEST(NetworkDropTest, DropProbabilityLosesRoughlyThatFraction) {
+  sim::Simulator sim;
+  NetworkOptions options;
+  options.jitter = 0;
+  options.drop_probability = 0.4;
+  Network network(&sim, options, 7);
+  int delivered = 0;
+  network.RegisterNode(0, [](const Message&) {});
+  network.RegisterNode(1, [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 2000; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = MessageType::kUser;
+    network.Send(std::move(m));
+  }
+  sim.Run();
+  EXPECT_NEAR(delivered, 1200, 100);
+  EXPECT_EQ(network.stats().dropped + delivered, 2000u);
+}
+
+TEST(NetworkJitterTest, JitterStaysWithinBound) {
+  sim::Simulator sim;
+  NetworkOptions options;
+  options.base_latency = Millis(5);
+  options.jitter = Micros(500);
+  Network network(&sim, options, 3);
+  std::vector<SimTime> arrivals;
+  network.RegisterNode(0, [](const Message&) {});
+  network.RegisterNode(1, [&](const Message&) { arrivals.push_back(sim.Now()); });
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = MessageType::kUser;
+    network.Send(std::move(m));
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, Millis(5));
+    EXPECT_LE(t, Millis(5) + Micros(500));
+  }
+}
+
+TEST(MessageTypeTest, NamesAreThe2pcVocabulary) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kVoteRequest), "VOTE-REQ");
+  EXPECT_STREQ(MessageTypeName(MessageType::kVote), "VOTE");
+  EXPECT_STREQ(MessageTypeName(MessageType::kDecision), "DECISION");
+}
+
+}  // namespace
+}  // namespace o2pc::net

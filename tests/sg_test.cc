@@ -1,0 +1,294 @@
+// Unit tests for the serialization-graph toolkit, including executable
+// reproductions of the paper's Figure 1 (regular cycles) and Example 1
+// (minimal representations dropping interior transactions).
+
+#include <gtest/gtest.h>
+
+#include "sg/conflict_tracker.h"
+#include "sg/correctness.h"
+#include "sg/regular_cycle.h"
+#include "sg/serialization_graph.h"
+
+namespace o2pc::sg {
+namespace {
+
+TEST(SerializationGraphTest, AddAndQueryEdges) {
+  SerializationGraph graph;
+  graph.AddEdge(GlobalNode(1), GlobalNode(2), 0);
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), GlobalNode(2)));
+  EXPECT_FALSE(graph.HasEdge(GlobalNode(2), GlobalNode(1)));
+  EXPECT_EQ(graph.nodes().size(), 2u);
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(SerializationGraphTest, SelfEdgesIgnored) {
+  SerializationGraph graph;
+  graph.AddEdge(GlobalNode(1), GlobalNode(1), 0);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(SerializationGraphTest, CycleDetection) {
+  SerializationGraph graph;
+  graph.AddEdge(GlobalNode(1), GlobalNode(2), 0);
+  graph.AddEdge(GlobalNode(2), GlobalNode(3), 0);
+  EXPECT_FALSE(graph.HasCycle());
+  graph.AddEdge(GlobalNode(3), GlobalNode(1), 1);
+  EXPECT_TRUE(graph.HasCycle());
+  EXPECT_EQ(graph.FindCycle().size(), 3u);
+}
+
+TEST(SerializationGraphTest, TAndCtAreDistinctNodes) {
+  SerializationGraph graph;
+  graph.AddEdge(GlobalNode(1), CompNode(1), 0);
+  EXPECT_EQ(graph.nodes().size(), 2u);
+  EXPECT_FALSE(graph.HasCycle());
+}
+
+TEST(SerializationGraphTest, MergeUnionsEdgesAndSites) {
+  SerializationGraph a;
+  a.AddEdge(GlobalNode(1), GlobalNode(2), 0);
+  SerializationGraph b;
+  b.AddEdge(GlobalNode(1), GlobalNode(2), 1);
+  b.AddEdge(GlobalNode(2), GlobalNode(3), 1);
+  a.Merge(b);
+  EXPECT_EQ(a.edge_count(), 2u);
+  EXPECT_EQ(a.adjacency().at(GlobalNode(1)).at(GlobalNode(2)).size(), 2u);
+}
+
+// --- Figure 1: regular cycles -------------------------------------------
+
+TEST(RegularCycleTest, FigureOneA_TwoSiteCycleThroughRegularPivot) {
+  // SG1: CT1 -> T2 ;  SG2: T2 -> CT1. The cyclic path switches sites at
+  // T2 (a regular transaction), so this is a regular cycle.
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), GlobalNode(2), 1);
+  global.AddEdge(GlobalNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(detector.HasRegularCycle());
+  ASSERT_EQ(detector.pivots().size(), 1u);
+  EXPECT_EQ(detector.pivots()[0], GlobalNode(2));
+  auto witness = detector.FindWitness();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->pivot, GlobalNode(2));
+  EXPECT_NE(witness->in_site, witness->out_site);
+}
+
+TEST(RegularCycleTest, FigureOneB_ThreeSiteCycleWithTwoRegulars) {
+  // SG1: T2 -> CT1 ; SG2: CT1 -> T3 ; SG3: T3 -> T2.
+  SerializationGraph global;
+  global.AddEdge(GlobalNode(2), CompNode(1), 1);
+  global.AddEdge(CompNode(1), GlobalNode(3), 2);
+  global.AddEdge(GlobalNode(3), GlobalNode(2), 3);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(detector.HasRegularCycle());
+  EXPECT_EQ(detector.pivots().size(), 2u);  // T2 and T3 both pivot
+}
+
+TEST(RegularCycleTest, FigureOneC_CycleThroughForwardAndItsCt) {
+  // SG1: T1 -> T2 ; SG2: T2 -> T1 -> CT1 (T2 ran between T1 and its CT at
+  // site 2). Cyclic path T1 -> T2 -> T1 pivots at both regulars.
+  SerializationGraph global;
+  global.AddEdge(GlobalNode(1), GlobalNode(2), 1);
+  global.AddEdge(GlobalNode(2), GlobalNode(1), 2);
+  global.AddEdge(GlobalNode(1), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(detector.HasRegularCycle());
+}
+
+TEST(RegularCycleTest, CompensationOnlyCycleIsAllowed) {
+  // Cycles whose only global transactions are CTs are explicitly allowed
+  // (§4: compensating subtransactions are independent).
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), CompNode(2), 1);
+  global.AddEdge(CompNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_FALSE(detector.HasRegularCycle());
+  EXPECT_TRUE(global.HasCycle());  // but it is a cycle
+}
+
+TEST(RegularCycleTest, CtCycleThroughLocalsIsAllowed) {
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), LocalNode(7), 1);
+  global.AddEdge(LocalNode(7), CompNode(2), 1);
+  global.AddEdge(CompNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_FALSE(detector.HasRegularCycle());
+}
+
+// --- Example 1: minimal representations ---------------------------------
+
+TEST(RegularCycleTest, ExampleOne_InteriorRegularNotIncluded) {
+  // Local paths (paper Example 1):
+  //   CT1 -> T2            in SG1
+  //   CT1 -> T2 -> CT3     in SG2
+  //   CT3 -> CT1           in SG3
+  // The global cyclic path CT1 -> CT3 -> CT1 exists, but its minimal
+  // representation uses the direct SG2 segment CT1 -> CT3, which does NOT
+  // include the interior T2 — so there is no regular cycle.
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), GlobalNode(2), 1);
+  global.AddEdge(CompNode(1), GlobalNode(2), 2);
+  global.AddEdge(GlobalNode(2), CompNode(3), 2);
+  global.AddEdge(CompNode(3), CompNode(1), 3);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(global.HasCycle());
+  EXPECT_FALSE(detector.HasRegularCycle())
+      << "T2 is interior to a single-site segment and must be dropped by "
+         "the minimal representation";
+  // The reduced graph has the direct closure edge CT1 -> CT3 at site 2.
+  EXPECT_TRUE(detector.reduced().at(CompNode(1)).contains(CompNode(3)));
+}
+
+TEST(RegularCycleTest, SameSiteInOutDoesNotPivot) {
+  // X -> T and T -> Y both inside site 1 merge into one segment; the
+  // return path Y -> X at site 2 closes a cycle that never switches sites
+  // at T.
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), GlobalNode(5), 1);
+  global.AddEdge(GlobalNode(5), CompNode(2), 1);
+  global.AddEdge(CompNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_FALSE(detector.HasRegularCycle());
+}
+
+TEST(RegularCycleTest, DifferentSiteInOutPivots) {
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), GlobalNode(5), 1);
+  global.AddEdge(GlobalNode(5), CompNode(2), 2);  // note: site 2
+  global.AddEdge(CompNode(2), CompNode(1), 3);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(detector.HasRegularCycle());
+  ASSERT_EQ(detector.pivots().size(), 1u);
+  EXPECT_EQ(detector.pivots()[0], GlobalNode(5));
+}
+
+TEST(RegularCycleTest, ClosureWalksThroughLocalTransactions) {
+  // CT1 -> L9 -> T2 within site 1 yields reduced edge CT1 -> T2.
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), LocalNode(9), 1);
+  global.AddEdge(LocalNode(9), GlobalNode(2), 1);
+  global.AddEdge(GlobalNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_TRUE(detector.HasRegularCycle());
+  EXPECT_EQ(detector.pivots()[0], GlobalNode(2));
+}
+
+TEST(RegularCycleTest, AcyclicGraphHasNoPivots) {
+  SerializationGraph global;
+  global.AddEdge(GlobalNode(1), GlobalNode(2), 1);
+  global.AddEdge(GlobalNode(2), CompNode(3), 2);
+  RegularCycleDetector detector(global);
+  EXPECT_FALSE(detector.HasRegularCycle());
+  EXPECT_FALSE(detector.FindWitness().has_value());
+}
+
+TEST(RegularCycleTest, WitnessDescribesTheCycle) {
+  SerializationGraph global;
+  global.AddEdge(CompNode(1), GlobalNode(2), 1);
+  global.AddEdge(GlobalNode(2), CompNode(1), 2);
+  RegularCycleDetector detector(global);
+  auto witness = detector.FindWitness();
+  ASSERT_TRUE(witness.has_value());
+  const std::string text = witness->ToString();
+  EXPECT_NE(text.find("T2"), std::string::npos);
+  EXPECT_NE(text.find("CT1"), std::string::npos);
+}
+
+// --- ConflictTracker -----------------------------------------------------
+
+TEST(ConflictTrackerTest, WriteWriteChain) {
+  ConflictTracker tracker(0);
+  tracker.RecordAccess(GlobalNode(1), 5, true);
+  tracker.RecordAccess(GlobalNode(2), 5, true);
+  tracker.RecordAccess(GlobalNode(3), 5, true);
+  SerializationGraph graph = tracker.BuildGraph();
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), GlobalNode(2)));
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(2), GlobalNode(3)));
+  // Transitive reduction: no direct 1 -> 3 edge needed.
+  EXPECT_FALSE(graph.HasEdge(GlobalNode(1), GlobalNode(3)));
+}
+
+TEST(ConflictTrackerTest, ReadersHangBetweenWrites) {
+  ConflictTracker tracker(0);
+  tracker.RecordAccess(GlobalNode(1), 5, true);
+  tracker.RecordAccess(GlobalNode(2), 5, false);
+  tracker.RecordAccess(GlobalNode(3), 5, false);
+  tracker.RecordAccess(GlobalNode(4), 5, true);
+  SerializationGraph graph = tracker.BuildGraph();
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), GlobalNode(2)));
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), GlobalNode(3)));
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(2), GlobalNode(4)));
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(3), GlobalNode(4)));
+  // Two reads do not conflict.
+  EXPECT_FALSE(graph.HasEdge(GlobalNode(2), GlobalNode(3)));
+}
+
+TEST(ConflictTrackerTest, UncommittedLocalsExcluded) {
+  ConflictTracker tracker(0);
+  tracker.RecordAccess(GlobalNode(1), 5, true);
+  tracker.RecordAccess(LocalNode(9), 5, true);   // never commits
+  tracker.RecordAccess(GlobalNode(2), 5, true);
+  SerializationGraph graph = tracker.BuildGraph();
+  EXPECT_FALSE(graph.HasNode(LocalNode(9)));
+  // The chain closes over the dropped local.
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), GlobalNode(2)));
+}
+
+TEST(ConflictTrackerTest, CommittedLocalsIncluded) {
+  ConflictTracker tracker(0);
+  tracker.RecordAccess(GlobalNode(1), 5, true);
+  tracker.RecordAccess(LocalNode(9), 5, true);
+  tracker.MarkLocalCommitted(9);
+  SerializationGraph graph = tracker.BuildGraph();
+  EXPECT_TRUE(graph.HasEdge(GlobalNode(1), LocalNode(9)));
+}
+
+TEST(ConflictTrackerTest, ReadsFromFiltering) {
+  ConflictTracker tracker(0);
+  tracker.RecordReadFrom(LocalNode(9), GlobalNode(1));   // reader uncommitted
+  tracker.RecordReadFrom(GlobalNode(2), GlobalNode(1));
+  tracker.RecordReadFrom(GlobalNode(2), NodeRef{kInvalidTxn, TxnKind::kLocal});
+  EXPECT_EQ(tracker.CommittedReadsFrom().size(), 1u);
+  tracker.MarkLocalCommitted(9);
+  EXPECT_EQ(tracker.CommittedReadsFrom().size(), 2u);
+}
+
+// --- Correctness oracle ---------------------------------------------------
+
+TEST(CorrectnessTest, LocalCycleMakesHistoryIncorrect) {
+  ConflictTracker tracker(0);
+  // Artificial local cycle between two globals at one site (cannot occur
+  // under 2PL, but the oracle must catch it).
+  tracker.RecordAccess(GlobalNode(1), 5, true);
+  tracker.RecordAccess(GlobalNode(2), 5, true);
+  tracker.RecordAccess(GlobalNode(2), 6, true);
+  tracker.RecordAccess(GlobalNode(1), 6, true);
+  CorrectnessReport report = AnalyzeHistory({&tracker});
+  EXPECT_FALSE(report.locally_serializable);
+  EXPECT_FALSE(report.correct);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(CorrectnessTest, DualReadViolatesAtomicityOfCompensation) {
+  ConflictTracker site0(0);
+  ConflictTracker site1(1);
+  site0.RecordReadFrom(GlobalNode(5), GlobalNode(1));  // T5 reads from T1
+  site1.RecordReadFrom(GlobalNode(5), CompNode(1));    // and from CT1
+  CorrectnessReport report = AnalyzeHistory({&site0, &site1});
+  EXPECT_FALSE(report.atomic_compensation);
+}
+
+TEST(CorrectnessTest, CleanHistoryPassesEverything) {
+  ConflictTracker site0(0);
+  site0.RecordAccess(GlobalNode(1), 5, true);
+  site0.RecordAccess(GlobalNode(2), 5, false);
+  site0.RecordReadFrom(GlobalNode(2), GlobalNode(1));
+  CorrectnessReport report = AnalyzeHistory({&site0});
+  EXPECT_TRUE(report.correct);
+  EXPECT_TRUE(report.fully_serializable);
+  EXPECT_TRUE(report.atomic_compensation);
+  EXPECT_NE(report.Summary().find("correct=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace o2pc::sg

@@ -1,0 +1,152 @@
+// Unit tests for the discrete-event kernel: ordering, FIFO stability,
+// cancellation, bounded runs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace o2pc::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, [&] { order.push_back(3); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push(100, [&, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue queue;
+  int fired = 0;
+  EventId id = queue.Push(10, [&] { ++fired; });
+  queue.Push(20, [&] { ++fired; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.Pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, DoubleCancelFails) {
+  EventQueue queue;
+  EventId id = queue.Push(10, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(kInvalidEvent));
+  EXPECT_FALSE(queue.Cancel(9999));
+}
+
+TEST(EventQueueTest, CancelAfterPopFails) {
+  EventQueue queue;
+  EventId id = queue.Push(10, [] {});
+  queue.Pop();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, PeekTimeSkipsCancelled) {
+  EventQueue queue;
+  EventId early = queue.Push(5, [] {});
+  queue.Push(10, [] {});
+  queue.Cancel(early);
+  EXPECT_EQ(queue.PeekTime(), 10);
+}
+
+TEST(SimulatorTest, TimeAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Schedule(100, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, NestedSchedulingRunsRelativeToFiringTime) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunStepsBoundsExecution) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [&] { ++fired; });
+  EXPECT_EQ(sim.RunSteps(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAfterPendingSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(0, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(3); });
+  });
+  sim.Schedule(0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace o2pc::sim

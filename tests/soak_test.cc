@@ -1,0 +1,96 @@
+// Soak: one big adversarial run per protocol mixing everything at once —
+// contention, vote-aborts, coordinator crashes, site crashes, local
+// traffic — asserting the end-to-end invariants: every transaction
+// resolves, value is conserved, the history satisfies the §5 criterion,
+// and atomicity of compensation holds.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/generator.h"
+
+namespace o2pc {
+namespace {
+
+struct SoakParam {
+  core::CommitProtocol protocol;
+  core::GovernancePolicy governance;
+  const char* name;
+};
+
+class SoakTest : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(SoakTest, EverythingAtOnce) {
+  const SoakParam& param = GetParam();
+  core::SystemOptions options;
+  options.num_sites = 5;
+  options.keys_per_site = 64;
+  options.seed = 4242;
+  options.protocol.protocol = param.protocol;
+  options.protocol.governance = param.governance;
+  options.protocol.coordinator_crash_probability = 0.03;
+  options.protocol.coordinator_recovery_delay = Millis(60);
+  options.protocol.resend_timeout = Millis(50);
+  options.protocol.max_resends = 200;
+  options.checkpoint_interval = Millis(50);
+  core::DistributedSystem system(options);
+  const Value before = system.TotalValue();
+
+  workload::WorkloadOptions wopts;
+  wopts.num_global_txns = 150;
+  wopts.num_local_txns = 150;
+  wopts.min_sites_per_txn = 2;
+  wopts.max_sites_per_txn = 3;
+  wopts.ops_per_subtxn = 3;
+  wopts.vote_abort_probability = 0.08;
+  wopts.zipf_theta = 0.6;
+  wopts.mean_global_interarrival = Millis(6);
+  wopts.mean_local_interarrival = Millis(3);
+  wopts.seed = 99;
+  workload::WorkloadGenerator generator(options.num_sites,
+                                        options.keys_per_site, wopts);
+  generator.Drive(system);
+
+  // Two site crashes while traffic is flowing.
+  system.simulator().ScheduleAt(Millis(150), [&] {
+    system.CrashSite(2, Millis(80));
+  });
+  system.simulator().ScheduleAt(Millis(500), [&] {
+    system.CrashSite(4, Millis(80));
+  });
+
+  system.Run();
+
+  // Every global transaction resolved one way or the other.
+  EXPECT_EQ(system.globals_finished(), 150u);
+  // Conservation across commits, aborts, compensations and crashes.
+  EXPECT_EQ(system.TotalValue(), before) << param.name;
+  // Work actually flowed.
+  EXPECT_GT(system.stats().Count("globals_committed"), 75u);
+  EXPECT_GT(system.stats().Count("checkpoints"), 0u);
+  EXPECT_EQ(system.stats().Count("site_crashes"), 2u);
+
+  sg::CorrectnessReport report = system.Analyze();
+  EXPECT_TRUE(report.locally_serializable) << report.Summary();
+  EXPECT_TRUE(report.atomic_compensation) << report.Summary();
+  if (param.governance != core::GovernancePolicy::kNone) {
+    EXPECT_TRUE(report.correct) << param.name << ": " << report.Summary();
+  }
+  if (param.protocol == core::CommitProtocol::kTwoPhaseCommit) {
+    EXPECT_EQ(system.stats().Count("compensations_committed"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, SoakTest,
+    ::testing::Values(
+        SoakParam{core::CommitProtocol::kTwoPhaseCommit,
+                  core::GovernancePolicy::kNone, "2pc"},
+        SoakParam{core::CommitProtocol::kOptimistic,
+                  core::GovernancePolicy::kP1, "o2pc_p1"},
+        SoakParam{core::CommitProtocol::kOptimistic,
+                  core::GovernancePolicy::kNone, "o2pc_saga"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace o2pc

@@ -1,0 +1,252 @@
+// Unit tests for the per-site storage engine: versioned table with writer
+// provenance, WAL, undo rollback, crash recovery.
+
+#include <gtest/gtest.h>
+
+#include "storage/recovery.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace o2pc::storage {
+namespace {
+
+WriterTag Tag(TxnId id, TxnKind kind = TxnKind::kLocal) {
+  return WriterTag{id, kind};
+}
+
+TEST(TableTest, PutGetRoundTrip) {
+  Table table;
+  table.Put(1, 42, Tag(7));
+  Result<Cell> cell = table.Get(1);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell->value, 42);
+  EXPECT_EQ(cell->writer.id, 7u);
+}
+
+TEST(TableTest, GetMissingIsNotFound) {
+  Table table;
+  EXPECT_TRUE(table.Get(5).status().IsNotFound());
+  EXPECT_FALSE(table.Contains(5));
+}
+
+TEST(TableTest, VersionsAreMonotone) {
+  Table table;
+  table.Put(1, 1, Tag(1));
+  const std::uint64_t v1 = table.Get(1)->version;
+  table.Put(1, 2, Tag(2));
+  EXPECT_GT(table.Get(1)->version, v1);
+}
+
+TEST(TableTest, InsertRejectsExisting) {
+  Table table;
+  EXPECT_TRUE(table.Insert(1, 10, Tag(1)).ok());
+  EXPECT_TRUE(table.Insert(1, 20, Tag(2)).IsConflict());
+  EXPECT_EQ(table.Get(1)->value, 10);
+}
+
+TEST(TableTest, EraseRemovesAndFailsOnMissing) {
+  Table table;
+  table.Put(1, 10, Tag(1));
+  EXPECT_TRUE(table.Erase(1, Tag(2)).ok());
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_TRUE(table.Erase(1, Tag(2)).IsNotFound());
+}
+
+TEST(TableTest, RestorePutsBackExactCell) {
+  Table table;
+  table.Put(1, 10, Tag(1));
+  Cell before = *table.Get(1);
+  table.Put(1, 20, Tag(2));
+  table.Restore(1, before);
+  EXPECT_EQ(table.Get(1)->value, 10);
+  EXPECT_EQ(table.Get(1)->writer.id, 1u);
+  table.Restore(1, std::nullopt);
+  EXPECT_FALSE(table.Contains(1));
+}
+
+TEST(TableTest, SumValues) {
+  Table table;
+  table.Put(1, 10, Tag(1));
+  table.Put(2, -3, Tag(1));
+  EXPECT_EQ(table.SumValues(), 7);
+}
+
+TEST(WalTest, LsnsAreMonotone) {
+  Wal wal;
+  const std::uint64_t a = wal.LogBegin(1);
+  const std::uint64_t b = wal.LogCommit(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(wal.size(), 2u);
+}
+
+TEST(WalTest, TxnIndexFindsRecords) {
+  Wal wal;
+  wal.LogBegin(1);
+  wal.LogBegin(2);
+  wal.LogUpdate(1, 5, std::nullopt, Cell{10, Tag(1), 1});
+  wal.LogCommit(1);
+  EXPECT_EQ(wal.TxnRecords(1).size(), 3u);
+  EXPECT_EQ(wal.TxnRecords(2).size(), 1u);
+  EXPECT_EQ(wal.TxnUpdates(1).size(), 1u);
+  EXPECT_TRUE(wal.Committed(1));
+  EXPECT_FALSE(wal.Committed(2));
+}
+
+TEST(WalTest, DecisionForReturnsLastDecision) {
+  Wal wal;
+  EXPECT_FALSE(wal.DecisionFor(9).has_value());
+  wal.LogDecision(9, true);
+  ASSERT_TRUE(wal.DecisionFor(9).has_value());
+  EXPECT_TRUE(*wal.DecisionFor(9));
+  wal.LogDecision(9, false);
+  EXPECT_FALSE(*wal.DecisionFor(9));
+}
+
+TEST(RecoveryTest, RollbackRestoresBeforeImagesInReverse) {
+  Table table;
+  Wal wal;
+  table.Put(1, 100, Tag(0));
+  wal.LogBegin(5);
+  // txn 5 writes key 1 twice and inserts key 2.
+  Cell before1 = *table.Get(1);
+  table.Put(1, 200, Tag(5));
+  wal.LogUpdate(5, 1, before1, *table.Get(1));
+  Cell mid = *table.Get(1);
+  table.Put(1, 300, Tag(5));
+  wal.LogUpdate(5, 1, mid, *table.Get(1));
+  table.Put(2, 7, Tag(5));
+  wal.LogUpdate(5, 2, std::nullopt, *table.Get(2));
+
+  auto undone = RollbackTxn(wal, table, 5, Tag(5, TxnKind::kCompensating));
+  EXPECT_EQ(undone.size(), 3u);
+  EXPECT_EQ(table.Get(1)->value, 100);
+  EXPECT_FALSE(table.Contains(2));
+  // Undo writes are attributed to the compensating node.
+  EXPECT_EQ(table.Get(1)->writer.kind, TxnKind::kCompensating);
+  // An abort record was appended.
+  EXPECT_EQ(wal.records().back().kind, LogRecordKind::kAbort);
+}
+
+TEST(RecoveryTest, RollbackWithInvalidWriterRestoresProvenance) {
+  Table table;
+  Wal wal;
+  table.Put(1, 100, Tag(3));
+  wal.LogBegin(5);
+  Cell before = *table.Get(1);
+  table.Put(1, 200, Tag(5));
+  wal.LogUpdate(5, 1, before, *table.Get(1));
+  RollbackTxn(wal, table, 5, WriterTag{});  // exact restore (local abort)
+  EXPECT_EQ(table.Get(1)->value, 100);
+  EXPECT_EQ(table.Get(1)->writer.id, 3u);  // original writer kept
+}
+
+TEST(RecoveryTest, RecoverSiteRollsBackLosersOnly) {
+  Table table;
+  Wal wal;
+  table.Put(1, 10, Tag(0));
+  table.Put(2, 20, Tag(0));
+  // txn 1 commits; txn 2 is a loser.
+  wal.LogBegin(1);
+  Cell b1 = *table.Get(1);
+  table.Put(1, 11, Tag(1));
+  wal.LogUpdate(1, 1, b1, *table.Get(1));
+  wal.LogCommit(1);
+  wal.LogBegin(2);
+  Cell b2 = *table.Get(2);
+  table.Put(2, 22, Tag(2));
+  wal.LogUpdate(2, 2, b2, *table.Get(2));
+
+  auto losers = RecoverSite(wal, table);
+  ASSERT_EQ(losers.size(), 1u);
+  EXPECT_EQ(losers[0], 2u);
+  EXPECT_EQ(table.Get(1)->value, 11);  // winner preserved
+  EXPECT_EQ(table.Get(2)->value, 20);  // loser undone
+}
+
+TEST(RecoveryTest, RecoverSiteHandlesInterleavedLosers) {
+  Table table;
+  Wal wal;
+  table.Put(1, 1, Tag(0));
+  table.Put(2, 2, Tag(0));
+  wal.LogBegin(10);
+  wal.LogBegin(11);
+  Cell b1 = *table.Get(1);
+  table.Put(1, 100, Tag(10));
+  wal.LogUpdate(10, 1, b1, *table.Get(1));
+  Cell b2 = *table.Get(2);
+  table.Put(2, 200, Tag(11));
+  wal.LogUpdate(11, 2, b2, *table.Get(2));
+  auto losers = RecoverSite(wal, table);
+  EXPECT_EQ(losers.size(), 2u);
+  EXPECT_EQ(table.Get(1)->value, 1);
+  EXPECT_EQ(table.Get(2)->value, 2);
+}
+
+TEST(WalTest, TruncateBelowDropsOldRecords) {
+  Wal wal;
+  wal.LogBegin(1);                                   // lsn 1
+  wal.LogUpdate(1, 5, std::nullopt, Cell{1, Tag(1), 1});  // lsn 2
+  wal.LogCommit(1);                                  // lsn 3
+  wal.LogBegin(2);                                   // lsn 4
+  EXPECT_EQ(wal.TruncateBelow(4), 3u);
+  EXPECT_EQ(wal.size(), 1u);
+  EXPECT_EQ(wal.base_lsn(), 4u);
+  // Txn 1's records are gone; txn 2's survive.
+  EXPECT_TRUE(wal.TxnRecords(1).empty());
+  EXPECT_EQ(wal.TxnRecords(2).size(), 1u);
+  EXPECT_FALSE(wal.Committed(1));
+  // Appends continue with monotone LSNs.
+  EXPECT_EQ(wal.LogCommit(2), 5u);
+  EXPECT_TRUE(wal.Committed(2));
+}
+
+TEST(WalTest, TruncateIsBoundedAndIdempotent) {
+  Wal wal;
+  wal.LogBegin(1);
+  EXPECT_EQ(wal.TruncateBelow(1), 0u);    // nothing below base
+  EXPECT_EQ(wal.TruncateBelow(999), 1u);  // clamped to next_lsn
+  EXPECT_EQ(wal.size(), 0u);
+  EXPECT_EQ(wal.TruncateBelow(999), 0u);
+}
+
+TEST(WalTest, LowWatermarkTracksOldestNeeded) {
+  Wal wal;
+  wal.LogBegin(1);  // lsn 1
+  wal.LogBegin(2);  // lsn 2
+  wal.LogUpdate(2, 5, std::nullopt, Cell{1, Tag(2), 1});  // lsn 3
+  EXPECT_EQ(wal.LowWatermark({2}), 2u);
+  EXPECT_EQ(wal.LowWatermark({1, 2}), 1u);
+  EXPECT_EQ(wal.LowWatermark({}), wal.next_lsn());
+  EXPECT_EQ(wal.LowWatermark({42}), wal.next_lsn());
+}
+
+TEST(WalTest, CheckpointRecordCarriesActiveSet) {
+  Wal wal;
+  wal.LogCheckpoint({7, 9});
+  ASSERT_EQ(wal.records().size(), 1u);
+  EXPECT_EQ(wal.records()[0].kind, LogRecordKind::kCheckpoint);
+  EXPECT_EQ(wal.records()[0].active, (std::vector<TxnId>{7, 9}));
+}
+
+TEST(WalTest, UpdateRecordsCarryCounterOps) {
+  Wal wal;
+  wal.LogUpdate(1, 5, std::nullopt, Cell{10, Tag(1), 1},
+                /*comp_kind=*/3, /*comp_key=*/5, /*comp_value=*/-10);
+  const LogRecord& r = wal.records()[0];
+  EXPECT_EQ(r.comp_kind, 3);
+  EXPECT_EQ(r.comp_key, 5u);
+  EXPECT_EQ(r.comp_value, -10);
+}
+
+TEST(WalTest, RecordKindNames) {
+  EXPECT_STREQ(LogRecordKindName(LogRecordKind::kCompensationBegin),
+               "COMP-BEGIN");
+  EXPECT_STREQ(LogRecordKindName(LogRecordKind::kDecision), "DECISION");
+  EXPECT_STREQ(LogRecordKindName(LogRecordKind::kCheckpoint), "CHECKPOINT");
+  EXPECT_STREQ(LogRecordKindName(LogRecordKind::kPrepared), "PREPARED");
+  EXPECT_STREQ(LogRecordKindName(LogRecordKind::kLocallyCommitted),
+               "LOCAL-COMMIT");
+}
+
+}  // namespace
+}  // namespace o2pc::storage

@@ -1,0 +1,194 @@
+// End-to-end tests of the DistributedSystem facade: commit path, abort +
+// compensation path, semantic atomicity, conservation invariants, and the
+// correctness analysis hookup.
+
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace o2pc::core {
+namespace {
+
+SystemOptions BaseOptions() {
+  SystemOptions options;
+  options.num_sites = 3;
+  options.keys_per_site = 32;
+  options.initial_value = 1000;
+  options.seed = 7;
+  return options;
+}
+
+TEST(SystemTest, SingleGlobalTransactionCommits) {
+  DistributedSystem system(BaseOptions());
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 100);
+  bool done = false;
+  GlobalResult result;
+  system.SubmitGlobal(spec, [&](const GlobalResult& r) {
+    done = true;
+    result = r;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.committed);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.num_sites, 2);
+  EXPECT_EQ(result.compensations, 0);
+  // The money moved.
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 900);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1100);
+}
+
+TEST(SystemTest, AbortVoteTriggersCompensation) {
+  SystemOptions options = BaseOptions();
+  options.protocol.protocol = CommitProtocol::kOptimistic;
+  DistributedSystem system(options);
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 100);
+  // The *second* site votes abort; the first has locally committed by then
+  // and must be compensated.
+  spec.subtxns[1].force_abort_vote = true;
+  bool done = false;
+  GlobalResult result;
+  system.SubmitGlobal(spec, [&](const GlobalResult& r) {
+    done = true;
+    result = r;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.committed);
+  EXPECT_FALSE(result.restartable);  // a genuine vote-abort
+  EXPECT_EQ(result.compensations, 1);
+  // Semantic atomicity: both balances are back to their initial values.
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1000);
+  EXPECT_EQ(system.stats().Count("compensations_committed"), 1u);
+}
+
+TEST(SystemTest, TwoPhaseCommitAbortRollsBackWithoutCompensation) {
+  SystemOptions options = BaseOptions();
+  options.protocol.protocol = CommitProtocol::kTwoPhaseCommit;
+  DistributedSystem system(options);
+  GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 100);
+  spec.subtxns[1].force_abort_vote = true;
+  bool done = false;
+  GlobalResult result;
+  system.SubmitGlobal(spec, [&](const GlobalResult& r) {
+    done = true;
+    result = r;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.compensations, 0);  // 2PC never exposes, never compensates
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1000);
+}
+
+TEST(SystemTest, ConservationAcrossCommitsAndAborts) {
+  SystemOptions options = BaseOptions();
+  DistributedSystem system(options);
+  const Value before = system.TotalValue();
+  for (int i = 0; i < 10; ++i) {
+    GlobalTxnSpec spec =
+        workload::MakeTransfer(static_cast<SiteId>(i % 3), i % 8,
+                               static_cast<SiteId>((i + 1) % 3), (i + 3) % 8,
+                               10 + i);
+    if (i % 3 == 0) spec.subtxns[1].force_abort_vote = true;
+    system.SubmitGlobal(spec);
+  }
+  system.Run();
+  EXPECT_EQ(system.TotalValue(), before);
+  EXPECT_EQ(system.globals_finished(), 10u);
+}
+
+TEST(SystemTest, LocalTransactionsRunAndCommit) {
+  DistributedSystem system(BaseOptions());
+  bool ok = false;
+  system.SubmitLocal(0,
+                     {local::Operation{local::OpType::kIncrement, 3, 5},
+                      local::Operation{local::OpType::kIncrement, 4, -5}},
+                     [&](bool committed) { ok = committed; });
+  system.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(system.db(0).table().Get(3)->value, 1005);
+  EXPECT_EQ(system.db(0).table().Get(4)->value, 995);
+}
+
+TEST(SystemTest, CommittedHistoryIsCorrectAndSerializable) {
+  DistributedSystem system(BaseOptions());
+  for (int i = 0; i < 20; ++i) {
+    system.SubmitGlobal(workload::MakeTransfer(
+        static_cast<SiteId>(i % 3), i % 5, static_cast<SiteId>((i + 1) % 3),
+        (i + 2) % 5, 1));
+  }
+  system.Run();
+  sg::CorrectnessReport report = system.Analyze();
+  EXPECT_TRUE(report.correct) << report.Summary();
+  // No aborts happened, so the criterion collapses to serializability.
+  EXPECT_TRUE(report.fully_serializable) << report.Summary();
+  EXPECT_TRUE(report.atomic_compensation);
+}
+
+TEST(SystemTest, MessageCountsMatchTwoPhaseCommitPattern) {
+  // O2PC must use exactly the standard message vocabulary: per committed
+  // 2-site transaction: 2 invokes, 2 acks, 2 vote-reqs, 2 votes,
+  // 2 decisions, 2 decision-acks.
+  DistributedSystem system(BaseOptions());
+  system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 10));
+  system.Run();
+  const net::NetworkStats& stats = system.network().stats();
+  EXPECT_EQ(stats.sent(net::MessageType::kSubtxnInvoke), 2u);
+  EXPECT_EQ(stats.sent(net::MessageType::kSubtxnAck), 2u);
+  EXPECT_EQ(stats.sent(net::MessageType::kVoteRequest), 2u);
+  EXPECT_EQ(stats.sent(net::MessageType::kVote), 2u);
+  EXPECT_EQ(stats.sent(net::MessageType::kDecision), 2u);
+  EXPECT_EQ(stats.sent(net::MessageType::kDecisionAck), 2u);
+  EXPECT_EQ(stats.sent_total, 12u);
+}
+
+TEST(SystemTest, RealActionDeferredUntilCommitDecision) {
+  SystemOptions options = BaseOptions();
+  DistributedSystem system(options);
+  GlobalTxnSpec spec =
+      workload::MakeTripBooking(0, 1, 1, 2, 2, 3, /*print_ticket=*/true);
+  bool done = false;
+  GlobalResult result;
+  system.SubmitGlobal(spec, [&](const GlobalResult& r) {
+    done = true;
+    result = r;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(system.db(0).real_actions_performed(), 1u);
+}
+
+TEST(SystemTest, RealActionNotPerformedOnAbort) {
+  DistributedSystem system(BaseOptions());
+  GlobalTxnSpec spec =
+      workload::MakeTripBooking(0, 1, 1, 2, 2, 3, /*print_ticket=*/true);
+  spec.subtxns[2].force_abort_vote = true;
+  system.SubmitGlobal(spec);
+  system.Run();
+  EXPECT_EQ(system.db(0).real_actions_performed(), 0u);
+  // Inventory fully restored at every site.
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1000);
+  EXPECT_EQ(system.db(2).table().Get(3)->value, 1000);
+}
+
+TEST(SystemTest, OrderScenarioInsertCompensatedByDelete) {
+  DistributedSystem system(BaseOptions());
+  const DataKey order_key = 500;  // not preloaded
+  GlobalTxnSpec spec = workload::MakeOrder(0, order_key, 1, 7, 10);
+  spec.subtxns[1].force_abort_vote = true;
+  system.SubmitGlobal(spec);
+  system.Run();
+  // The inserted order row was compensated away.
+  EXPECT_FALSE(system.db(0).table().Contains(order_key));
+  EXPECT_EQ(system.db(1).table().Get(7)->value, 1000);
+}
+
+}  // namespace
+}  // namespace o2pc::core

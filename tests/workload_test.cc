@@ -1,0 +1,159 @@
+// Unit tests for workload generation: spec validity, zero-sum balancing,
+// abort injection rates, scenario builders.
+
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace o2pc::workload {
+namespace {
+
+WorkloadOptions BaseOptions() {
+  WorkloadOptions options;
+  options.min_sites_per_txn = 2;
+  options.max_sites_per_txn = 3;
+  options.ops_per_subtxn = 4;
+  options.seed = 77;
+  return options;
+}
+
+TEST(GeneratorTest, SpecsAreValid) {
+  WorkloadGenerator generator(4, 64, BaseOptions());
+  for (int i = 0; i < 100; ++i) {
+    core::GlobalTxnSpec spec = generator.NextGlobal();
+    EXPECT_TRUE(spec.Valid());
+    EXPECT_GE(spec.subtxns.size(), 2u);
+    EXPECT_LE(spec.subtxns.size(), 3u);
+    for (const core::SubtxnSpec& sub : spec.subtxns) {
+      EXPECT_LT(sub.site, 4u);
+      EXPECT_EQ(sub.ops.size(), 4u);
+      for (const local::Operation& op : sub.ops) EXPECT_LT(op.key, 64u);
+    }
+  }
+}
+
+TEST(GeneratorTest, SemanticTxnsAreZeroSum) {
+  WorkloadGenerator generator(4, 64, BaseOptions());
+  for (int i = 0; i < 200; ++i) {
+    core::GlobalTxnSpec spec = generator.NextGlobal();
+    Value sum = 0;
+    for (const core::SubtxnSpec& sub : spec.subtxns) {
+      for (const local::Operation& op : sub.ops) {
+        if (op.type == local::OpType::kIncrement) sum += op.value;
+      }
+    }
+    EXPECT_EQ(sum, 0) << "txn " << i;
+  }
+}
+
+TEST(GeneratorTest, GenericModeUsesWrites) {
+  WorkloadOptions options = BaseOptions();
+  options.semantic_ops = false;
+  options.read_ratio = 0.0;
+  WorkloadGenerator generator(2, 16, options);
+  core::GlobalTxnSpec spec = generator.NextGlobal();
+  for (const core::SubtxnSpec& sub : spec.subtxns) {
+    for (const local::Operation& op : sub.ops) {
+      EXPECT_EQ(op.type, local::OpType::kWrite);
+    }
+  }
+}
+
+TEST(GeneratorTest, AbortInjectionRate) {
+  WorkloadOptions options = BaseOptions();
+  options.vote_abort_probability = 0.5;
+  WorkloadGenerator generator(4, 64, options);
+  int injected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    core::GlobalTxnSpec spec = generator.NextGlobal();
+    for (const core::SubtxnSpec& sub : spec.subtxns) {
+      if (sub.force_abort_vote) {
+        ++injected;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(injected, 500, 60);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  WorkloadGenerator a(4, 64, BaseOptions());
+  WorkloadGenerator b(4, 64, BaseOptions());
+  for (int i = 0; i < 20; ++i) {
+    core::GlobalTxnSpec sa = a.NextGlobal();
+    core::GlobalTxnSpec sb = b.NextGlobal();
+    ASSERT_EQ(sa.subtxns.size(), sb.subtxns.size());
+    for (std::size_t s = 0; s < sa.subtxns.size(); ++s) {
+      EXPECT_EQ(sa.subtxns[s].site, sb.subtxns[s].site);
+      for (std::size_t o = 0; o < sa.subtxns[s].ops.size(); ++o) {
+        EXPECT_EQ(sa.subtxns[s].ops[o].key, sb.subtxns[s].ops[o].key);
+        EXPECT_EQ(sa.subtxns[s].ops[o].value, sb.subtxns[s].ops[o].value);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, LocalsAreSingleSiteAndZeroSum) {
+  WorkloadGenerator generator(4, 64, BaseOptions());
+  for (int i = 0; i < 100; ++i) {
+    auto [site, ops] = generator.NextLocal();
+    EXPECT_LT(site, 4u);
+    Value sum = 0;
+    for (const local::Operation& op : ops) {
+      if (op.type == local::OpType::kIncrement) sum += op.value;
+    }
+    EXPECT_EQ(sum, 0);
+  }
+}
+
+TEST(GeneratorTest, SingleSiteSystemClampsSitesPerTxn) {
+  WorkloadGenerator generator(1, 16, BaseOptions());
+  core::GlobalTxnSpec spec = generator.NextGlobal();
+  EXPECT_EQ(spec.subtxns.size(), 1u);
+}
+
+TEST(SpecTest, ValidityRules) {
+  core::GlobalTxnSpec empty;
+  EXPECT_FALSE(empty.Valid());
+  core::GlobalTxnSpec dup;
+  dup.subtxns.push_back({0, {local::Operation{}}, false});
+  dup.subtxns.push_back({0, {local::Operation{}}, false});
+  EXPECT_FALSE(dup.Valid());  // duplicate sites
+  core::GlobalTxnSpec no_ops;
+  no_ops.subtxns.push_back({0, {}, false});
+  EXPECT_FALSE(no_ops.Valid());
+}
+
+TEST(ScenarioTest, TransferShape) {
+  core::GlobalTxnSpec spec = MakeTransfer(0, 1, 1, 2, 100);
+  ASSERT_TRUE(spec.Valid());
+  ASSERT_EQ(spec.subtxns.size(), 2u);
+  EXPECT_EQ(spec.subtxns[0].ops[1].value, -100);
+  EXPECT_EQ(spec.subtxns[1].ops[0].value, 100);
+}
+
+TEST(ScenarioTest, TripBookingRealActionOnlyWhenRequested) {
+  core::GlobalTxnSpec with = MakeTripBooking(0, 1, 1, 2, 2, 3, true);
+  core::GlobalTxnSpec without = MakeTripBooking(0, 1, 1, 2, 2, 3, false);
+  auto has_real = [](const core::GlobalTxnSpec& spec) {
+    for (const auto& sub : spec.subtxns) {
+      for (const auto& op : sub.ops) {
+        if (op.type == local::OpType::kRealAction) return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_real(with));
+  EXPECT_FALSE(has_real(without));
+}
+
+TEST(ScenarioTest, OrderUsesInsert) {
+  core::GlobalTxnSpec spec = MakeOrder(0, 500, 1, 7, 3);
+  EXPECT_EQ(spec.subtxns[0].ops[0].type, local::OpType::kInsert);
+  EXPECT_EQ(spec.subtxns[1].ops[1].value, -3);
+}
+
+}  // namespace
+}  // namespace o2pc::workload

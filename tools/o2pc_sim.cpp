@@ -1,0 +1,183 @@
+// o2pc_sim — command-line experiment runner.
+//
+// Runs one simulated workload under a chosen protocol/governance
+// configuration and prints the aggregate metrics (or CSV for scripting).
+//
+//   o2pc_sim [--protocol=2pc|o2pc] [--governance=none|p1|p2|p2lit|simple]
+//            [--directory=piggyback|oracle]
+//            [--sites=N] [--keys=N] [--txns=N] [--locals=N]
+//            [--abort-prob=P] [--zipf=T] [--latency-ms=L]
+//            [--interarrival-us=U] [--crash-prob=P] [--seed=S]
+//            [--analyze] [--csv]
+//
+// Examples:
+//   o2pc_sim --protocol=o2pc --governance=p1 --abort-prob=0.1 --analyze
+//   o2pc_sim --protocol=2pc --sites=8 --txns=500 --csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+struct CliArgs {
+  harness::ExperimentConfig config;
+  bool csv = false;
+  bool ok = true;
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string ValueOf(const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  return eq == std::string::npos ? "" : arg.substr(eq + 1);
+}
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  harness::ExperimentConfig& config = args.config;
+  config.label = "cli";
+  config.analyze = false;
+  // Defaults that keep the offered load feasible; override via flags.
+  config.workload.mean_global_interarrival = Millis(8);
+  config.workload.mean_local_interarrival = Millis(4);
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string value = ValueOf(arg);
+    if (StartsWith(arg, "--protocol=")) {
+      if (value == "2pc") {
+        config.system.protocol.protocol = core::CommitProtocol::kTwoPhaseCommit;
+      } else if (value == "o2pc") {
+        config.system.protocol.protocol = core::CommitProtocol::kOptimistic;
+      } else {
+        std::fprintf(stderr, "unknown protocol '%s'\n", value.c_str());
+        args.ok = false;
+      }
+    } else if (StartsWith(arg, "--governance=")) {
+      if (value == "none") {
+        config.system.protocol.governance = core::GovernancePolicy::kNone;
+      } else if (value == "p1") {
+        config.system.protocol.governance = core::GovernancePolicy::kP1;
+      } else if (value == "p2") {
+        config.system.protocol.governance = core::GovernancePolicy::kP2;
+      } else if (value == "p2lit") {
+        config.system.protocol.governance = core::GovernancePolicy::kP2Literal;
+      } else if (value == "simple") {
+        config.system.protocol.governance = core::GovernancePolicy::kSimple;
+      } else {
+        std::fprintf(stderr, "unknown governance '%s'\n", value.c_str());
+        args.ok = false;
+      }
+    } else if (StartsWith(arg, "--directory=")) {
+      config.system.protocol.directory = value == "oracle"
+                                             ? core::DirectoryMode::kOracle
+                                             : core::DirectoryMode::kPiggyback;
+    } else if (StartsWith(arg, "--sites=")) {
+      config.system.num_sites = std::atoi(value.c_str());
+    } else if (StartsWith(arg, "--keys=")) {
+      config.system.keys_per_site =
+          static_cast<DataKey>(std::atoll(value.c_str()));
+    } else if (StartsWith(arg, "--txns=")) {
+      config.workload.num_global_txns = std::atoi(value.c_str());
+    } else if (StartsWith(arg, "--locals=")) {
+      config.workload.num_local_txns = std::atoi(value.c_str());
+    } else if (StartsWith(arg, "--abort-prob=")) {
+      config.workload.vote_abort_probability = std::atof(value.c_str());
+    } else if (StartsWith(arg, "--zipf=")) {
+      config.workload.zipf_theta = std::atof(value.c_str());
+    } else if (StartsWith(arg, "--latency-ms=")) {
+      config.system.network.base_latency = Millis(std::atoll(value.c_str()));
+    } else if (StartsWith(arg, "--interarrival-us=")) {
+      config.workload.mean_global_interarrival = std::atoll(value.c_str());
+      config.workload.mean_local_interarrival =
+          config.workload.mean_global_interarrival / 2;
+    } else if (StartsWith(arg, "--crash-prob=")) {
+      config.system.protocol.coordinator_crash_probability =
+          std::atof(value.c_str());
+    } else if (StartsWith(arg, "--seed=")) {
+      config.system.seed = std::strtoull(value.c_str(), nullptr, 10);
+      config.workload.seed = config.system.seed * 31 + 7;
+    } else if (arg == "--analyze") {
+      config.analyze = true;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args.ok = false;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: o2pc_sim [--protocol=2pc|o2pc] "
+      "[--governance=none|p1|p2|p2lit|simple]\n"
+      "                [--directory=piggyback|oracle] [--sites=N] "
+      "[--keys=N]\n"
+      "                [--txns=N] [--locals=N] [--abort-prob=P] [--zipf=T]\n"
+      "                [--latency-ms=L] [--interarrival-us=U] "
+      "[--crash-prob=P]\n"
+      "                [--seed=S] [--analyze] [--csv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args = Parse(argc, argv);
+  if (!args.ok) {
+    PrintUsage();
+    return 2;
+  }
+  const harness::RunResult result = harness::RunExperiment(args.config);
+
+  metrics::TablePrinter table({"metric", "value"});
+  table.AddRow({"protocol",
+                core::CommitProtocolName(args.config.system.protocol.protocol)});
+  table.AddRow({"governance", core::GovernancePolicyName(
+                                  args.config.system.protocol.governance)});
+  table.AddRow({"makespan", FormatDuration(result.makespan)});
+  table.AddRow({"throughput (txn/s)", FormatDouble(result.throughput_tps, 2)});
+  table.AddRow({"committed", std::to_string(result.committed)});
+  table.AddRow({"aborted", std::to_string(result.aborted)});
+  table.AddRow({"mean latency",
+                FormatDuration(static_cast<Duration>(result.mean_latency_us))});
+  table.AddRow({"p99 latency",
+                FormatDuration(static_cast<Duration>(result.p99_latency_us))});
+  table.AddRow(
+      {"mean X-lock hold",
+       FormatDuration(static_cast<Duration>(result.mean_xlock_hold_us))});
+  table.AddRow(
+      {"mean lock wait",
+       FormatDuration(static_cast<Duration>(result.mean_lock_wait_us))});
+  table.AddRow({"deadlocks", std::to_string(result.deadlocks)});
+  table.AddRow({"restarts", std::to_string(result.restarts)});
+  table.AddRow({"compensations", std::to_string(result.compensations)});
+  table.AddRow({"R1 rejections", std::to_string(result.r1_rejections)});
+  table.AddRow({"UDUM unmarks", std::to_string(result.udum_unmarks)});
+  table.AddRow({"messages", std::to_string(result.messages_total)});
+  if (args.config.analyze) {
+    table.AddRow({"history correct", result.report.correct ? "yes" : "NO"});
+    table.AddRow({"regular cycles",
+                  result.report.has_regular_cycle ? "YES" : "no"});
+    table.AddRow({"atomic compensation",
+                  result.report.atomic_compensation ? "yes" : "NO"});
+  }
+  std::fputs(args.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  if (args.config.analyze && !result.report.correct) return 1;
+  return 0;
+}
