@@ -50,12 +50,20 @@ int main() {
   metrics::TablePrinter table(
       {"abort prob", "2PC txn/s", "O2PC+P1 txn/s", "O2PC saga txn/s",
        "P1/2PC", "saga/2PC", "compensations", "R1 rejections"});
+  std::vector<harness::RunResult> results;
   for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
     harness::RunResult two_pc = Run(core::CommitProtocol::kTwoPhaseCommit, p);
     harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, p);
     harness::RunResult saga = Run(core::CommitProtocol::kOptimistic, p,
                                   core::GovernancePolicy::kNone);
-    table.AddRow({FormatDouble(p * 100, 0) + "%",
+    const std::string prob = FormatDouble(p * 100, 0) + "%";
+    two_pc.label = "2PC / " + prob;
+    o2pc.label = "O2PC+P1 / " + prob;
+    saga.label = "O2PC saga / " + prob;
+    results.push_back(two_pc);
+    results.push_back(o2pc);
+    results.push_back(saga);
+    table.AddRow({prob,
                   FormatDouble(two_pc.throughput_tps, 1),
                   FormatDouble(o2pc.throughput_tps, 1),
                   FormatDouble(saga.throughput_tps, 1),
@@ -75,5 +83,6 @@ int main() {
       "compensation cost); with P1 the marking churn dominates at high\n"
       "abort rates — the paper's warning that the optimistic assumption\n"
       "must hold, quantified.\n");
+  harness::WriteBenchJson("abort_crossover", results);
   return 0;
 }

@@ -52,11 +52,15 @@ int main() {
   metrics::TablePrinter table({"crash prob", "protocol", "p99 X-hold",
                                "max X-hold", "p99 txn latency",
                                "crashes"});
+  std::vector<harness::RunResult> results;
   for (double p : {0.0, 0.05, 0.2}) {
     for (core::CommitProtocol protocol :
          {core::CommitProtocol::kTwoPhaseCommit,
           core::CommitProtocol::kOptimistic}) {
       harness::RunResult result = Run(protocol, p, outage);
+      result.label = StrCat(core::CommitProtocolName(protocol), " / crash ",
+                            FormatDouble(p * 100, 0), "%");
+      results.push_back(result);
       table.AddRow(
           {FormatDouble(p * 100, 0) + "%",
            core::CommitProtocolName(protocol),
@@ -71,5 +75,6 @@ int main() {
       "Expected shape: under crashes, 2PC's max lock hold jumps to the\n"
       "outage length (and conflicting traffic queues behind it); O2PC's\n"
       "hold times barely move.\n");
+  harness::WriteBenchJson("blocking", results);
   return 0;
 }

@@ -76,6 +76,7 @@ int main() {
   metrics::TablePrinter table({"policy", "txn/s", "committed", "rejections",
                                "unmarks", "restarts", "regular cycles",
                                "correct"});
+  std::vector<harness::RunResult> results;
   for (const Row& row : rows) {
     double tps = 0;
     std::uint64_t committed = 0;
@@ -87,6 +88,8 @@ int main() {
     const int kSeeds = 3;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       harness::RunResult result = Run(row.policy, row.directory, seed);
+      result.label = StrCat(row.name, " / seed ", seed);
+      results.push_back(result);
       tps += result.throughput_tps / kSeeds;
       committed += result.committed;
       rejections += result.r1_rejections;
@@ -107,5 +110,6 @@ int main() {
       "the strengthened P2 pay rejections+restarts for a correct history;\n"
       "the oracle directory shows how much of that cost is knowledge "
       "latency.\n");
+  harness::WriteBenchJson("governance", results);
   return 0;
 }

@@ -50,11 +50,16 @@ int main() {
 
   metrics::TablePrinter table({"latency", "2PC mean", "2PC p99", "O2PC mean",
                                "O2PC p99", "2PC/O2PC"});
+  std::vector<harness::RunResult> results;
   for (Duration latency :
        {Millis(1), Millis(5), Millis(10), Millis(20), Millis(50)}) {
     harness::RunResult two_pc =
         Run(core::CommitProtocol::kTwoPhaseCommit, latency);
     harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, latency);
+    two_pc.label = "2PC / " + FormatDuration(latency);
+    o2pc.label = "O2PC / " + FormatDuration(latency);
+    results.push_back(two_pc);
+    results.push_back(o2pc);
     table.AddRow(
         {FormatDuration(latency),
          FormatDuration(static_cast<Duration>(two_pc.mean_xlock_hold_us)),
@@ -69,5 +74,6 @@ int main() {
   std::printf(
       "Expected shape: the 2PC/O2PC ratio grows with latency — O2PC's hold\n"
       "time stops depending on the decision round trip.\n");
+  harness::WriteBenchJson("lock_hold", results);
   return 0;
 }

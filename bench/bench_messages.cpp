@@ -58,6 +58,7 @@ int main() {
       "(100 global txns, 3 sites each => expected 300 of each type)\n"
       "claim: O2PC incurs no messages beyond the standard 2PC exchange\n\n");
 
+  std::vector<harness::RunResult> results;
   for (double abort_prob : {0.0, 0.2}) {
     harness::RunResult two_pc = Run(core::CommitProtocol::kTwoPhaseCommit,
                                     core::GovernancePolicy::kNone,
@@ -66,6 +67,13 @@ int main() {
                                   core::GovernancePolicy::kNone, abort_prob);
     harness::RunResult o2pc_p1 = Run(core::CommitProtocol::kOptimistic,
                                      core::GovernancePolicy::kP1, abort_prob);
+    const std::string prob = FormatDouble(abort_prob * 100, 0) + "%";
+    two_pc.label = "2PC / abort " + prob;
+    o2pc.label = "O2PC / abort " + prob;
+    o2pc_p1.label = "O2PC+P1 / abort " + prob;
+    results.push_back(two_pc);
+    results.push_back(o2pc);
+    results.push_back(o2pc_p1);
 
     std::printf("vote-abort probability = %.0f%%\n", abort_prob * 100);
     metrics::TablePrinter table(
@@ -86,5 +94,6 @@ int main() {
                   std::to_string(o2pc_p1.compensations)});
     std::printf("%s\n", table.ToString().c_str());
   }
+  harness::WriteBenchJson("messages", results);
   return 0;
 }

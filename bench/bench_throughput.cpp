@@ -71,12 +71,15 @@ int main() {
       {core::CommitProtocol::kOptimistic, core::GovernancePolicy::kP1,
        "O2PC+P1"},
   };
+  std::vector<harness::RunResult> results;
   for (const Level& level : {Level{"low (512 keys, uniform)", 512, 0.0},
                              Level{"medium (96 keys, z0.7)", 96, 0.7},
                              Level{"high (32 keys, z0.9)", 32, 0.9}}) {
     for (const Proto& proto : protos) {
       harness::RunResult result =
           Run(proto.protocol, proto.governance, level.theta, level.keys);
+      result.label = StrCat(proto.name, " / ", level.name);
+      results.push_back(result);
       table.AddRow(
           {level.name, proto.name, FormatDouble(result.throughput_tps, 1),
            FormatDuration(static_cast<Duration>(result.mean_lock_wait_us)),
@@ -90,5 +93,6 @@ int main() {
       "Expected shape: near parity at low contention; O2PC's shorter lock\n"
       "windows win as contention grows; P1's governance charges some of\n"
       "that back when rollbacks (deadlocks) create marks.\n");
+  harness::WriteBenchJson("throughput", results);
   return 0;
 }

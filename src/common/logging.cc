@@ -4,9 +4,8 @@
 #include <cstdlib>
 
 namespace o2pc {
-namespace {
 
-const char* LevelName(LogLevel level) {
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace:
       return "TRACE";
@@ -24,8 +23,6 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 Logger::Logger() = default;
 
 Logger& Logger::Global() {
@@ -35,26 +32,30 @@ Logger& Logger::Global() {
 
 void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
 
-void Logger::Write(LogLevel level, const std::string& message) {
+void Logger::Write(const LogRecord& record) {
   if (sink_) {
-    sink_(level, message);
+    sink_(record);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LogLevelName(record.level),
+               record.file, record.line, record.message.c_str());
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  // Keep the prefix short: basename only.
-  const char* base = file;
+    : level_(level), file_(file), line_(line) {
+  // Keep the record short: basename only.
   for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') file_ = p + 1;
   }
-  stream_ << base << ":" << line << " ";
 }
 
 LogMessage::~LogMessage() {
-  Logger::Global().Write(level_, stream_.str());
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.message = stream_.str();
+  Logger::Global().Write(record);
 }
 
 namespace log_internal {

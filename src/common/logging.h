@@ -11,6 +11,10 @@
 ///
 ///   O2PC_LOG(kInfo) << "site " << site << " voted " << vote;
 ///
+/// Every message reaches the sink as a structured LogRecord (level, source
+/// file, line, text), so custom sinks can filter or format on the call
+/// site instead of re-parsing a prefix out of the text.
+///
 /// `O2PC_CHECK(cond)` aborts the process on violated invariants (there are
 /// no exceptions in this codebase).
 
@@ -25,9 +29,21 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
+/// Short upper-case name ("TRACE", "WARN", ...).
+const char* LogLevelName(LogLevel level);
+
+/// One log statement, delivered to the sink with its call site intact.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  /// Source basename (no directories) and line of the O2PC_LOG statement.
+  const char* file = "";
+  int line = 0;
+  std::string message;
+};
+
 class Logger {
  public:
-  using Sink = std::function<void(LogLevel, const std::string&)>;
+  using Sink = std::function<void(const LogRecord&)>;
 
   /// Process-wide logger instance.
   static Logger& Global();
@@ -41,7 +57,7 @@ class Logger {
   void set_sink(Sink sink);
 
   bool Enabled(LogLevel level) const { return level >= level_; }
-  void Write(LogLevel level, const std::string& message);
+  void Write(const LogRecord& record);
 
  private:
   Logger();
@@ -58,6 +74,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

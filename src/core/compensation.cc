@@ -1,6 +1,7 @@
 #include "core/compensation.h"
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace o2pc::core {
 
@@ -26,6 +27,8 @@ void CompensationExecutor::Run(Request request) {
   auto attempt = std::make_shared<Attempt>();
   attempt->request = std::move(request);
   attempt->epoch = db_->epoch();
+  O2PC_TRACE(kCompensationBegin, db_->site(), attempt->request.forward_id,
+             static_cast<std::int64_t>(attempt->request.plan.size()));
   StartAttempt(std::move(attempt));
 }
 
@@ -49,6 +52,10 @@ void CompensationExecutor::NextOp(std::shared_ptr<Attempt> attempt) {
   if (attempt->next_op >= attempt->request.plan.size()) {
     db_->CommitLocal(attempt->ct_id);
     ++completed_;
+    // Journaled before done(): rule R2's mark insert (fired from done)
+    // must observe a completed compensation.
+    O2PC_TRACE(kCompensationEnd, db_->site(), attempt->request.forward_id,
+               attempt->attempt_number);
     if (stats_ != nullptr) stats_->Incr("compensations_committed");
     auto done = std::move(attempt->request.done);
     if (done) done();
@@ -73,6 +80,8 @@ void CompensationExecutor::NextOp(std::shared_ptr<Attempt> attempt) {
                      << " attempt " << attempt->attempt_number
                      << " failed: " << result.status().ToString();
     if (stats_ != nullptr) stats_->Incr("compensation_retries");
+    O2PC_TRACE(kCompensationRetry, db_->site(), attempt->request.forward_id,
+               attempt->attempt_number);
     db_->AbortLocal(attempt->ct_id);
     O2PC_CHECK(attempt->attempt_number < 10000)
         << "compensation is not converging";

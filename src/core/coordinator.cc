@@ -1,6 +1,7 @@
 #include "core/coordinator.h"
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace o2pc::core {
 
@@ -28,6 +29,7 @@ void Coordinator::Start(TxnId id, GlobalTxnSpec spec,
   spec_ = std::move(spec);
   done_ = std::move(done);
   submit_time_ = simulator_->Now();
+  O2PC_TRACE(kTxnSubmit, options_.home, id_);
   invoke_index_ = 0;
   invoke_attempt_ = 0;
   invoke_retries_ = 0;
@@ -140,6 +142,7 @@ void Coordinator::AbortEarly(const Status& status, bool restartable) {
   restartable_ = restartable;
   log_.LogDecision(id_, /*commit=*/false);
   decide_time_ = simulator_->Now();
+  O2PC_TRACE(kDecide, options_.home, id_, /*commit=*/0, /*early=*/1);
   if (stats_ != nullptr) stats_->Incr("global_aborts_early");
   BroadcastDecision();
 }
@@ -195,6 +198,8 @@ void Coordinator::Decide() {
   // Force-log the decision; it survives the crash window below.
   log_.LogDecision(id_, decision_commit_);
   decide_time_ = simulator_->Now();
+  O2PC_TRACE(kDecide, options_.home, id_, decision_commit_ ? 1 : 0,
+             /*early=*/0);
   if (stats_ != nullptr) {
     stats_->Incr(decision_commit_ ? "decisions_commit" : "decisions_abort");
   }
@@ -206,6 +211,7 @@ void Coordinator::Decide() {
     // participants have already released their locks.
     phase_ = Phase::kCrashed;
     if (stats_ != nullptr) stats_->Incr("coordinator_crashes");
+    O2PC_TRACE(kCoordinatorCrash, options_.home, id_);
     O2PC_LOG(kDebug) << "coordinator of T" << id_ << " crashed; recovery in "
                      << options_.protocol.coordinator_recovery_delay << "us";
     simulator_->Schedule(options_.protocol.coordinator_recovery_delay,
@@ -213,6 +219,8 @@ void Coordinator::Decide() {
                            std::optional<bool> logged = log_.DecisionFor(id_);
                            O2PC_CHECK(logged.has_value());
                            decision_commit_ = *logged;
+                           O2PC_TRACE(kCoordinatorRecover, options_.home, id_,
+                                      decision_commit_ ? 1 : 0);
                            BroadcastDecision();
                          });
     return;
@@ -249,6 +257,8 @@ void Coordinator::OnDecisionAck(const net::Message& message) {
 
 void Coordinator::Finish() {
   phase_ = Phase::kDone;
+  O2PC_TRACE(kTxnFinish, options_.home, id_, decision_commit_ ? 1 : 0,
+             Exposed() ? 1 : 0);
   if (resend_event_ != sim::kInvalidEvent) {
     simulator_->Cancel(resend_event_);
     resend_event_ = sim::kInvalidEvent;

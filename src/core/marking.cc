@@ -1,6 +1,7 @@
 #include "core/marking.h"
 
 #include "common/string_util.h"
+#include "trace/trace.h"
 
 namespace o2pc::core {
 
@@ -99,6 +100,13 @@ void MergeMarks(const SiteMarks& site_marks, SiteId site, TransMarks& tm) {
   tm.visited_sites.push_back(site);
   for (TxnId ti : site_marks.undone) tm.undone_seen[ti].insert(site);
   for (TxnId ti : site_marks.locally_committed) tm.lc_seen[ti].insert(site);
+}
+
+void WitnessKnowledge::Add(const WitnessFact& fact) {
+  // Journaled only on first-hand registration; gossiped copies (Merge)
+  // trace back to an earlier Add at the witnessing vantage point.
+  O2PC_TRACE(kWitness, fact.site, fact.ti);
+  facts_.insert(fact);
 }
 
 void WitnessKnowledge::Merge(const MarkingGossip& gossip) {

@@ -105,7 +105,9 @@ class WitnessKnowledge {
  public:
   WitnessKnowledge() = default;
 
-  void Add(const WitnessFact& fact) { facts_.insert(fact); }
+  /// Registers a first-hand witness observation (gossiped facts arrive
+  /// via Merge and are not re-journaled).
+  void Add(const WitnessFact& fact);
   void Merge(const MarkingGossip& gossip);
 
   /// Records where an aborted transaction executed (from the DECISION).

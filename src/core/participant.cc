@@ -78,6 +78,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
   if (!MarkingActive()) {
     sub.merged_marks = sub.invoke_marks;
     sub.merged_marks.visited_sites.push_back(site());
+    O2PC_TRACE(kSubtxnAdmit, site(), message.txn, sub.attempt);
     ExecuteNext(message.txn);
     return;
   }
@@ -105,6 +106,8 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
         MarkCheck check = EvaluateMarkCheck(sub.invoke_marks, sub.txn_start);
         if (!check.ok) {
           if (stats_ != nullptr) stats_->Incr("r1_rejections");
+          O2PC_TRACE(kR1Reject, site(), gid, sub.attempt,
+                     check.fatal ? 1 : 0);
           O2PC_LOG(kDebug) << "site " << site() << " rejects T" << gid
                            << (check.fatal ? " (fatal): " : ": ")
                            << check.reason;
@@ -130,6 +133,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
           (void)tombstone;
           sub.merged_marks.retired_seen[retired_ti].insert(site());
         }
+        O2PC_TRACE(kSubtxnAdmit, site(), gid, sub.attempt);
         O2PC_LOG(kDebug) << "site " << site() << " admits T" << gid << " ["
                          << sub.merged_marks.ToString() << "] at "
                          << simulator_->Now();
@@ -199,6 +203,8 @@ void Participant::FinishExecution(TxnId global_id) {
                                               /*fence_since=*/sub.admit_time);
           if (!check.ok) {
             if (stats_ != nullptr) stats_->Incr("r1_revalidation_failures");
+            O2PC_TRACE(kR1Reject, site(), global_id, sub.attempt,
+                       check.fatal ? 1 : 0);
             O2PC_LOG(kDebug) << "site " << site() << " revalidation fails T"
                              << global_id << (check.fatal ? " (fatal): " : ": ")
                              << check.reason;
@@ -233,6 +239,7 @@ void Participant::CompleteExecution(Subtxn& sub) {
 
 void Participant::FailSubtxn(TxnId global_id, const Status& status) {
   Subtxn& sub = subtxns_.at(global_id);
+  O2PC_TRACE(kSubtxnFail, site(), global_id);
   O2PC_LOG(kDebug) << "site " << site() << " subtxn of T" << global_id
                    << " failed: " << status.ToString();
   // Roll back the partial execution. The rollback is the degenerate
@@ -241,7 +248,8 @@ void Participant::FailSubtxn(TxnId global_id, const Status& status) {
   // even a pre-vote rollback's undo writes can seed regular cycles through
   // conflict chains, so the mark is not optional.
   db_->RollbackSubtxn(sub.local_id);
-  AddUndoneMark(global_id, /*exposed=*/false);  // pre-vote: nothing exposed
+  AddUndoneMark(global_id, /*exposed=*/false,  // pre-vote: nothing exposed
+                trace::MarkReason::kRollback);
   if (stats_ != nullptr) stats_->Incr("subtxn_failures");
   auto ack = std::make_shared<SubtxnAckPayload>();
   ack->status = status;
@@ -287,7 +295,7 @@ void Participant::OnCrash(const std::vector<TxnId>& rolled_back_globals) {
   subtxns_.clear();
   for (TxnId gid : rolled_back_globals) {
     // Conservatively exposed; the (resent) DECISION clarifies.
-    AddUndoneMark(gid, /*exposed=*/true);
+    AddUndoneMark(gid, /*exposed=*/true, trace::MarkReason::kCrashRecovery);
   }
   if (stats_ != nullptr) stats_->Incr("participant_crashes");
 }
@@ -362,7 +370,7 @@ void Participant::OnVoteRequest(const net::Message& message) {
       sub.vote_commit = false;
       db_->RollbackSubtxn(sub.local_id);
       // Sibling votes are concurrent: exposure unknown until the DECISION.
-      AddUndoneMark(gid, /*exposed=*/true);
+      AddUndoneMark(gid, /*exposed=*/true, trace::MarkReason::kVoteAbort);
       if (stats_ != nullptr) stats_->Incr("votes_abort");
       SendVote(sub, false);
       return;
@@ -390,6 +398,8 @@ void Participant::SendVote(Subtxn& sub, bool commit, bool recovery_abort) {
   payload->recovery_abort = recovery_abort;
   payload->gossip = Gossip();
   sub.last_vote = payload;
+  O2PC_TRACE(kVote, site(), sub.global_id, commit ? 1 : 0,
+             recovery_abort ? 1 : 0);
   net::Message message;
   message.from = site();
   message.to = sub.coordinator;
@@ -480,7 +490,8 @@ void Participant::OnDecision(const net::Message& message) {
             request.done = [this, gid] {
               Subtxn& sub = subtxns_.at(gid);
               db_->MarkCompensated(sub.local_id);
-              AddUndoneMark(gid, /*exposed=*/true);  // this site exposed
+              AddUndoneMark(gid, /*exposed=*/true,  // this site exposed
+                            trace::MarkReason::kCompensation);
               if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
               SendDecisionAck(sub, /*compensated=*/true);
             };
@@ -492,7 +503,7 @@ void Participant::OnDecision(const net::Message& message) {
             // 2PC path (or a real-action site): locks still held, standard
             // rollback.
             db_->RollbackSubtxn(sub.local_id);
-            AddUndoneMark(gid, exposed);
+            AddUndoneMark(gid, exposed, trace::MarkReason::kDecisionRollback);
             if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
             SendDecisionAck(sub, /*compensated=*/false);
             return;
@@ -522,8 +533,11 @@ void Participant::SendDecisionAck(Subtxn& sub, bool compensated) {
   network_->Send(std::move(message));
 }
 
-void Participant::AddUndoneMark(TxnId forward, bool exposed) {
+void Participant::AddUndoneMark(TxnId forward, bool exposed,
+                                trace::MarkReason reason) {
   if (!MarkingActive()) return;
+  O2PC_TRACE(kMarkInsert, site(), forward,
+             static_cast<std::int64_t>(reason), exposed ? 1 : 0);
   O2PC_LOG(kDebug) << "site " << site() << " marks undone wrt T" << forward
                    << (exposed ? " (exposed)" : " (unexposed)") << " at "
                    << simulator_->Now();
@@ -585,6 +599,9 @@ void Participant::RetireMark(TxnId ti, bool self_witness) {
   marks_.undone.erase(ti);
   marks_.exposed_undone.erase(ti);
   marks_.exec_sites.erase(ti);
+  // Journaled after the (possible) self-witness Add, so the checker's
+  // witness-before-retire replay sees the UDUM1 evidence first.
+  O2PC_TRACE(kMarkRetire, site(), ti, self_witness ? 1 : 0);
   O2PC_LOG(kDebug) << "site " << site() << " retires mark T" << ti << " at "
                    << simulator_->Now();
   retired_marks_.emplace(ti, std::move(tombstone));

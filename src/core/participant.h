@@ -16,6 +16,7 @@
 #include "metrics/stats.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 /// \file
 /// The participant role of one site: executes subtransactions (applying
@@ -161,7 +162,8 @@ class Participant {
   /// set under the CT's lock; this mirrors it into the fast structure).
   /// `exposed` = T_i locally committed somewhere (or might have —
   /// vote-abort marks pass true conservatively until the DECISION says).
-  void AddUndoneMark(TxnId forward, bool exposed);
+  void AddUndoneMark(TxnId forward, bool exposed,
+                     trace::MarkReason reason);
   /// Registers witness facts for a transaction that executed while this
   /// site was undone w.r.t. `entry_undone`, then applies rule R3.
   void Witness(const std::set<TxnId>& entry_undone);

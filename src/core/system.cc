@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace o2pc::core {
 
@@ -133,7 +134,9 @@ void DistributedSystem::OnGlobalDone(std::shared_ptr<PendingGlobal> pending,
         options_.restart_backoff * pending->restarts +
         rng_.Uniform(0, options_.restart_backoff);
     simulator_.Schedule(backoff, [this, pending] {
-      LaunchGlobal(pending, ids_.Next());
+      const TxnId id = ids_.Next();
+      O2PC_TRACE(kTxnRestart, pending->spec.subtxns.front().site, id, id);
+      LaunchGlobal(pending, id);
     });
     return;
   }
@@ -220,9 +223,12 @@ void DistributedSystem::CrashSite(SiteId site, Duration outage) {
       loser_globals.push_back(runtime.db.GlobalIdOf(local_id));
     }
   }
+  O2PC_TRACE(kSiteCrash, site, kInvalidTxn,
+             static_cast<std::int64_t>(loser_globals.size()));
   runtime.participant.OnCrash(loser_globals);
   stats_.Incr("site_crashes");
   simulator_.Schedule(outage, [this, site] {
+    O2PC_TRACE(kSiteRecover, site, kInvalidTxn);
     network_.SetNodeDown(site, false);
   });
 }

@@ -1,16 +1,131 @@
 #include "harness/experiment.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.h"
 #include "metrics/histogram.h"
+#include "trace/export.h"
 
 namespace o2pc::harness {
+
+namespace {
+
+void JsonField(std::ostream& out, bool& first, const char* name) {
+  if (!first) out << ",";
+  first = false;
+  out << "\n  \"" << name << "\": ";
+}
+
+void Put(std::ostream& out, bool& first, const char* name, double value) {
+  JsonField(out, first, name);
+  out << value;
+}
+
+void Put(std::ostream& out, bool& first, const char* name,
+         std::uint64_t value) {
+  JsonField(out, first, name);
+  out << value;
+}
+
+void Put(std::ostream& out, bool& first, const char* name, bool value) {
+  JsonField(out, first, name);
+  out << (value ? "true" : "false");
+}
+
+}  // namespace
+
+std::string RunResult::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  JsonField(out, first, "label");
+  out << "\"" << label << "\"";
+  Put(out, first, "makespan_us", static_cast<std::uint64_t>(makespan));
+  Put(out, first, "throughput_tps", throughput_tps);
+  Put(out, first, "mean_latency_us", mean_latency_us);
+  Put(out, first, "p99_latency_us", p99_latency_us);
+  Put(out, first, "mean_xlock_hold_us", mean_xlock_hold_us);
+  Put(out, first, "p99_xlock_hold_us", p99_xlock_hold_us);
+  Put(out, first, "max_xlock_hold_us", max_xlock_hold_us);
+  Put(out, first, "mean_lock_wait_us", mean_lock_wait_us);
+  Put(out, first, "committed", committed);
+  Put(out, first, "aborted", aborted);
+  Put(out, first, "compensations", compensations);
+  Put(out, first, "compensation_retries", compensation_retries);
+  Put(out, first, "r1_rejections", r1_rejections);
+  Put(out, first, "restarts", restarts);
+  Put(out, first, "deadlocks", deadlocks);
+  Put(out, first, "coordinator_crashes", coordinator_crashes);
+  Put(out, first, "udum_unmarks", udum_unmarks);
+  Put(out, first, "locals_committed", locals_committed);
+  Put(out, first, "messages_total", messages_total);
+  JsonField(out, first, "messages_by_type");
+  out << "[";
+  for (std::size_t i = 0; i < messages_by_type.size(); ++i) {
+    if (i != 0) out << ",";
+    out << messages_by_type[i];
+  }
+  out << "]";
+  Put(out, first, "locally_serializable", report.locally_serializable);
+  Put(out, first, "has_regular_cycle", report.has_regular_cycle);
+  Put(out, first, "correct", report.correct);
+  Put(out, first, "atomic_compensation", report.atomic_compensation);
+  Put(out, first, "regular_cycle_pivots",
+      static_cast<std::uint64_t>(regular_cycle_pivots));
+  Put(out, first, "trace_events", trace_events);
+  out << "\n}\n";
+  return out.str();
+}
+
+bool WriteResultJson(const RunResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    O2PC_LOG(kError) << "cannot open result output file '" << path << "'";
+    return false;
+  }
+  out << result.ToJson();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool WriteBenchJson(const std::string& name,
+                    const std::vector<RunResult>& results) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    O2PC_LOG(kError) << "cannot open bench output file '" << path << "'";
+    return false;
+  }
+  out << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n" << results[i].ToJson();
+  }
+  out << "]\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
 
 RunResult RunExperiment(const ExperimentConfig& config) {
   core::DistributedSystem system(config.system);
   workload::WorkloadGenerator generator(
       config.system.num_sites, config.system.keys_per_site, config.workload);
-  generator.Drive(system);
-  system.Run();
+
+  const bool want_export = !config.trace_jsonl_path.empty() ||
+                           !config.trace_chrome_path.empty();
+  trace::TraceRecorder own_recorder;
+  trace::TraceRecorder* recorder = config.recorder;
+  if (recorder == nullptr && want_export) recorder = &own_recorder;
+
+  if (recorder != nullptr) {
+    trace::ScopedTrace scope(recorder, &system.simulator());
+    generator.Drive(system);
+    system.Run();
+  } else {
+    generator.Drive(system);
+    system.Run();
+  }
 
   RunResult result;
   result.label = config.label;
@@ -54,6 +169,17 @@ RunResult RunExperiment(const ExperimentConfig& config) {
     result.report = system.Analyze();
     result.regular_cycle_pivots =
         static_cast<int>(result.report.regular_pivots.size());
+  }
+
+  if (recorder != nullptr) {
+    result.trace_events = recorder->size();
+    if (!config.trace_jsonl_path.empty()) {
+      trace::WriteJsonlFile(recorder->events(), config.trace_jsonl_path);
+    }
+    if (!config.trace_chrome_path.empty()) {
+      trace::WriteChromeTraceFile(recorder->events(),
+                                  config.trace_chrome_path);
+    }
   }
   return result;
 }

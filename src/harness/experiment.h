@@ -3,10 +3,12 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "core/system.h"
 #include "net/message.h"
 #include "sg/correctness.h"
+#include "trace/trace.h"
 #include "workload/generator.h"
 
 /// \file
@@ -24,6 +26,20 @@ struct ExperimentConfig {
   /// If true (default), run the post-hoc serialization-graph analysis
   /// (can be disabled for very large runs).
   bool analyze = true;
+
+  /// Protocol event tracing. Events are recorded while the run executes and
+  /// exported afterwards; with every field at its default the run pays only
+  /// the dormant-hook cost (one load+branch per emit point).
+  ///
+  /// Caller-owned recorder to capture into (e.g. to run the TraceChecker or
+  /// assert on the journal in tests). If null but an export path is set, an
+  /// internal recorder is used for the duration of the run.
+  trace::TraceRecorder* recorder = nullptr;
+  /// Write the journal as JSONL to this path after the run ("" = off).
+  std::string trace_jsonl_path;
+  /// Write the journal in Chrome trace-event format ("" = off); load the
+  /// file via chrome://tracing or https://ui.perfetto.dev.
+  std::string trace_chrome_path;
 };
 
 struct RunResult {
@@ -56,7 +72,24 @@ struct RunResult {
 
   sg::CorrectnessReport report;
   int regular_cycle_pivots = 0;
+
+  /// Number of protocol events journaled (0 when tracing was off).
+  std::uint64_t trace_events = 0;
+
+  /// The result as a single pretty-printed JSON object (metrics only; the
+  /// correctness report is summarized as pass/fail counts).
+  std::string ToJson() const;
 };
+
+/// Writes `result.ToJson()` to `path`. Returns false (and logs) on I/O
+/// failure.
+bool WriteResultJson(const RunResult& result, const std::string& path);
+
+/// Writes every run of one benchmark as a JSON array to BENCH_<name>.json
+/// in the working directory, so a bench binary leaves a machine-readable
+/// record next to its printed tables. Returns false (and logs) on failure.
+bool WriteBenchJson(const std::string& name,
+                    const std::vector<RunResult>& results);
 
 /// Builds, drives, drains, aggregates.
 RunResult RunExperiment(const ExperimentConfig& config);

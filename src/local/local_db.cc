@@ -6,8 +6,20 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "trace/trace.h"
 
 namespace o2pc::local {
+
+namespace {
+
+/// The lock manager labels its trace events with the owning site.
+lock::LockManager::Options LockOptionsFor(const LocalDb::Options& options) {
+  lock::LockManager::Options lock_options = options.lock_options;
+  lock_options.site = options.site;
+  return lock_options;
+}
+
+}  // namespace
 
 LocalDb::LocalDb(sim::Simulator* simulator, Options options)
     : simulator_(simulator),
@@ -15,7 +27,7 @@ LocalDb::LocalDb(sim::Simulator* simulator, Options options)
       rng_(options.seed ^ (static_cast<std::uint64_t>(options.site) * 7919 +
                            0x5bd1e995ULL)),
       locks_(std::make_unique<lock::LockManager>(simulator,
-                                                 options.lock_options)),
+                                                 LockOptionsFor(options))),
       tracker_(options.site) {
   O2PC_CHECK(simulator != nullptr);
 }
@@ -262,6 +274,9 @@ void LocalDb::PrepareAndReleaseShared(TxnId id) {
     r.aux = static_cast<std::int64_t>(rec.global_id);
     wal_.Append(std::move(r));
   }
+  // Journal the prepared transition before the shared-lock releases it
+  // permits: only exclusive locks are pinned until the DECISION.
+  O2PC_TRACE(kPrepare, options_.site, rec.global_id, id);
   locks_->ReleaseShared(id);
 }
 
@@ -281,6 +296,9 @@ void LocalDb::LocallyCommit(TxnId id) {
   }
   FlushSgRecords(rec);
   locks_->ReleaseAll(id);
+  // Journaled after the releases: at this instant the subtxn holds nothing
+  // (the O2PC early-release invariant the trace checker replays).
+  O2PC_TRACE(kLocalCommit, options_.site, rec.global_id, id);
   rec.state = LocalTxnState::kLocallyCommitted;
 }
 
@@ -293,6 +311,7 @@ std::vector<Operation> LocalDb::FinalizeCommit(TxnId id) {
     r.txn = id;
     r.aux = static_cast<std::int64_t>(rec.global_id);
     wal_.Append(std::move(r));
+    O2PC_TRACE(kFinalCommit, options_.site, rec.global_id, id);
     rec.state = LocalTxnState::kCommitted;
     return {};
   }
@@ -312,6 +331,7 @@ std::vector<Operation> LocalDb::FinalizeCommit(TxnId id) {
   rec.deferred_real_actions.clear();
   real_actions_performed_ += actions.size();
   locks_->ReleaseAll(id);
+  O2PC_TRACE(kFinalCommit, options_.site, rec.global_id, id);
   rec.state = LocalTxnState::kCommitted;
   return actions;
 }
@@ -336,6 +356,7 @@ void LocalDb::RollbackSubtxn(TxnId id) {
   rec.compensation_log.clear();
   rec.deferred_real_actions.clear();
   locks_->ReleaseAll(id);
+  O2PC_TRACE(kRollback, options_.site, rec.global_id, id);
   rec.state = LocalTxnState::kAborted;
 }
 
@@ -415,7 +436,7 @@ std::vector<TxnId> LocalDb::Crash() {
   ++epoch_;
   // Volatile state is gone: fresh lock table.
   locks_ = std::make_unique<lock::LockManager>(simulator_,
-                                               options_.lock_options);
+                                               LockOptionsFor(options_));
 
   // Survivors, per the durable log.
   std::set<TxnId> prepared;
@@ -447,6 +468,7 @@ std::vector<TxnId> LocalDb::Crash() {
     storage::RollbackTxn(wal_, table_, id, storage::WriterTag{});
     rec.compensation_log.clear();
     rec.deferred_real_actions.clear();
+    O2PC_TRACE(kRollback, options_.site, rec.global_id, id);
     rec.state = LocalTxnState::kAborted;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace o2pc::lock {
 
@@ -38,10 +39,14 @@ void LockManager::Acquire(TxnId txn, DataKey key, LockMode mode,
     if (queue.holders.size() == 1) {
       holder_it->mode = LockMode::kExclusive;
       ++stats_.immediate_grants;
+      O2PC_TRACE(kLockAcquire, options_.site, txn, key,
+                 static_cast<std::int64_t>(LockMode::kExclusive));
       simulator_->Schedule(0, [cb = std::move(callback)] { cb(Status::OK()); });
       return;
     }
     ++stats_.waits;
+    O2PC_TRACE(kLockWait, options_.site, txn, key,
+               static_cast<std::int64_t>(mode));
     queue.waiters.push_front(Request{txn, mode, std::move(callback),
                                      simulator_->Now(), /*is_upgrade=*/true});
     waiting_on_[txn] = key;
@@ -57,6 +62,8 @@ void LockManager::Acquire(TxnId txn, DataKey key, LockMode mode,
   }
 
   ++stats_.waits;
+  O2PC_TRACE(kLockWait, options_.site, txn, key,
+             static_cast<std::int64_t>(mode));
   queue.waiters.push_back(Request{txn, mode, std::move(callback),
                                   simulator_->Now(), /*is_upgrade=*/false});
   waiting_on_[txn] = key;
@@ -88,6 +95,10 @@ void LockManager::Grant(DataKey key, Queue& queue, Request request) {
         Holder{request.txn, request.mode, simulator_->Now()});
     held_[request.txn].insert(key);
   }
+  O2PC_TRACE(kLockAcquire, options_.site, request.txn, key,
+             static_cast<std::int64_t>(request.is_upgrade
+                                           ? LockMode::kExclusive
+                                           : request.mode));
   simulator_->Schedule(
       0, [cb = std::move(request.callback)] { cb(Status::OK()); });
 }
@@ -212,6 +223,8 @@ void LockManager::Release(TxnId txn, DataKey key) {
                          [txn](const Holder& h) { return h.txn == txn; });
   if (it == queue.holders.end()) return;
   RecordHold(*it);
+  O2PC_TRACE(kLockRelease, options_.site, txn, key,
+             static_cast<std::int64_t>(it->mode));
   queue.holders.erase(it);
   auto hit = held_.find(txn);
   if (hit != held_.end()) {

@@ -64,6 +64,8 @@ class LockManager {
     bool detect_deadlocks = true;
     /// If true, hold/wait duration samples are recorded (costs memory).
     bool record_samples = true;
+    /// Site this manager belongs to; only used to label trace events.
+    SiteId site = kInvalidSite;
   };
 
   LockManager(sim::Simulator* simulator, Options options);

@@ -18,6 +18,12 @@ void Histogram::AddAll(const std::vector<std::int64_t>& samples) {
   sorted_ = false;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 void Histogram::EnsureSorted() const {
   if (sorted_) return;
   auto* self = const_cast<Histogram*>(this);

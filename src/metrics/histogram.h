@@ -17,6 +17,8 @@ class Histogram {
 
   void Add(double sample);
   void AddAll(const std::vector<std::int64_t>& samples);
+  /// Appends every sample of `other` (multi-run aggregation).
+  void Merge(const Histogram& other);
 
   std::uint64_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -2,6 +2,16 @@
 
 namespace o2pc::metrics {
 
+void StatsCollector::Merge(const StatsCollector& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].Merge(hist);
+  }
+  txns_.insert(txns_.end(), other.txns_.begin(), other.txns_.end());
+}
+
 double StatsCollector::Throughput(SimTime makespan) const {
   if (makespan <= 0) return 0.0;
   std::uint64_t committed = 0;

@@ -57,6 +57,18 @@ class StatsCollector {
     return it == histograms_.end() ? nullptr : &it->second;
   }
 
+  /// Counter lookup without creating the entry (Count() hides absence by
+  /// returning 0; this distinguishes "absent" from "zero").
+  const std::uint64_t* FindCounter(const std::string& counter) const {
+    auto it = counters_.find(counter);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+
+  /// Folds `other` into this collector: counters add, histograms append
+  /// their samples, transaction records concatenate. Used to aggregate
+  /// multi-run (e.g. multi-seed) experiments.
+  void Merge(const StatsCollector& other);
+
   void AddGlobalTxn(GlobalTxnRecord record) {
     txns_.push_back(std::move(record));
   }

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace o2pc::net {
 
@@ -35,6 +36,8 @@ void Network::Send(Message message) {
       << "send to unregistered node " << message.to;
   stats_.sent_by_type[static_cast<int>(message.type)]++;
   stats_.sent_total++;
+  O2PC_TRACE(kMsgSend, message.from, message.txn,
+             static_cast<std::int64_t>(message.type), message.to);
 
   if (down_.contains(message.to) || down_.contains(message.from) ||
       Severed(message.from, message.to) ||
@@ -42,6 +45,8 @@ void Network::Send(Message message) {
        message.from != message.to &&
        rng_.Bernoulli(options_.drop_probability))) {
     stats_.dropped++;
+    O2PC_TRACE(kMsgDrop, message.from, message.txn,
+               static_cast<std::int64_t>(message.type), message.to);
     O2PC_LOG(kDebug) << "dropped " << MessageTypeName(message.type) << " "
                      << message.from << "->" << message.to;
     return;
@@ -50,6 +55,8 @@ void Network::Send(Message message) {
   const Duration latency = DeliveryLatency(message.from, message.to);
   Handler* handler = &it->second;
   simulator_->Schedule(latency, [handler, msg = std::move(message)]() {
+    O2PC_TRACE(kMsgRecv, msg.to, msg.txn,
+               static_cast<std::int64_t>(msg.type), msg.from);
     (*handler)(msg);
   });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "trace/trace.h"
+
 namespace o2pc::storage {
 
 std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
@@ -69,7 +71,12 @@ std::vector<TxnId> RecoverSite(Wal& wal, Table& table) {
       table.Restore(it->key, std::nullopt);
     }
   }
-  for (TxnId txn : losers) wal.LogAbort(txn);
+  for (TxnId txn : losers) {
+    wal.LogAbort(txn);
+    // The storage layer does not know its site; the rollback lands on the
+    // exporter's "system" track.
+    O2PC_TRACE(kRollback, kInvalidSite, txn, txn);
+  }
   return losers;
 }
 

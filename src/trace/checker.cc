@@ -1,0 +1,240 @@
+#include "trace/checker.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace o2pc::trace {
+
+namespace {
+
+/// net::MessageType::kDecision — mirrored locally so the trace library does
+/// not depend on net (which links against trace for its emit points).
+constexpr std::int64_t kDecisionMsg = 4;
+constexpr std::int64_t kExclusiveMode = 1;  // lock::LockMode::kExclusive
+
+/// (site, transaction-id) — the unit most replay state is keyed by. The
+/// txn component is a *local* id for lock-plane state and a *global* id
+/// for commit-plane state; the two planes never share a map.
+using SiteTxn = std::pair<SiteId, TxnId>;
+
+struct Replay {
+  /// Locks currently held, per (site, local txn): key -> mode.
+  std::map<SiteTxn, std::map<std::int64_t, std::int64_t>> held;
+  /// 2PC-prepared locals: (site, local txn) -> global txn.
+  std::map<SiteTxn, TxnId> prepared;
+  /// DECISION messages received, per (site, global txn).
+  std::set<SiteTxn> decisions_received;
+  /// Coordinator decision outcome per global txn (true = commit).
+  std::map<TxnId, bool> decide_commit;
+  /// Locally-committed subtxns: (site, global txn) -> kLocalCommit index.
+  std::map<SiteTxn, std::size_t> local_commits;
+  /// Completed compensations per (site, global txn).
+  std::map<SiteTxn, std::size_t> comp_ends;
+  /// Initiated-but-unfinished compensations: (site, global) -> begin index.
+  std::map<SiteTxn, std::size_t> open_comps;
+  /// Transactions with at least one registered UDUM1 witness fact.
+  std::set<TxnId> witnessed;
+};
+
+void Violate(CheckReport& report, std::size_t index, const char* invariant,
+             std::string message) {
+  report.violations.push_back(
+      TraceViolation{index, invariant, std::move(message)});
+}
+
+/// Drops the volatile lock-plane state of a crashed site: its lock tables
+/// are rebuilt empty on recovery, so no kLockRelease events will ever
+/// close the pre-crash holds. Prepared-state is durable and is kept — the
+/// survivors' recovery locks are journaled as fresh kLockAcquire events,
+/// so I2 keeps watching them until the DECISION lands.
+void ForgetSite(Replay& replay, SiteId site) {
+  auto erase_site = [site](auto& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      it = it->first.first == site ? map.erase(it) : std::next(it);
+    }
+  };
+  erase_site(replay.held);
+  // A crash supersedes any in-flight compensation attempt at the site
+  // (its epoch check abandons the attempt); recovery re-initiates, so the
+  // open entry is closed rather than flagged by I6.
+  erase_site(replay.open_comps);
+}
+
+}  // namespace
+
+std::string TraceViolation::ToString() const {
+  return StrCat("[", invariant, "] event #", event_index, ": ", message);
+}
+
+std::string CheckReport::Summary() const {
+  return StrCat(violations.size(), " violation(s) over ", events_checked,
+                " events (", local_commits, " local commits, ", prepares,
+                " prepares, ", compensations, " compensations)");
+}
+
+CheckReport CheckTrace(const std::vector<TraceEvent>& events) {
+  CheckReport report;
+  report.events_checked = events.size();
+  Replay replay;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.type) {
+      case EventType::kLockAcquire:
+        // An upgrade re-grant overwrites the mode in place.
+        replay.held[{e.site, e.txn}][e.a] = e.b;
+        break;
+
+      case EventType::kLockRelease: {
+        const SiteTxn local{e.site, e.txn};
+        // I2: a prepared participant may not give up an exclusive lock
+        // before its site has heard the DECISION.
+        auto pit = replay.prepared.find(local);
+        if (pit != replay.prepared.end() && e.b == kExclusiveMode &&
+            !replay.decisions_received.contains({e.site, pit->second})) {
+          Violate(report, i, "I2",
+                  StrCat("site ", e.site, " released exclusive lock on key ",
+                         e.a, " while local txn ", e.txn,
+                         " was prepared for global txn ", pit->second,
+                         " with no DECISION received yet"));
+        }
+        auto hit = replay.held.find(local);
+        if (hit != replay.held.end()) {
+          hit->second.erase(e.a);
+          if (hit->second.empty()) replay.held.erase(hit);
+        }
+        break;
+      }
+
+      case EventType::kLocalCommit: {
+        ++report.local_commits;
+        // I1: O2PC's early release means *zero* locks survive the local
+        // commit instant (releases are journaled just before this event).
+        const SiteTxn local{e.site, e.a};
+        auto hit = replay.held.find(local);
+        if (hit != replay.held.end() && !hit->second.empty()) {
+          Violate(report, i, "I1",
+                  StrCat("site ", e.site, " locally committed global txn ",
+                         e.txn, " (local ", e.a, ") while still holding ",
+                         hit->second.size(), " lock(s)"));
+        }
+        replay.held.erase(local);
+        replay.local_commits.emplace(SiteTxn{e.site, e.txn}, i);
+        break;
+      }
+
+      case EventType::kPrepare:
+        ++report.prepares;
+        replay.prepared[{e.site, e.a}] = e.txn;
+        break;
+
+      case EventType::kFinalCommit:
+      case EventType::kRollback:
+        // Terminal verbs end the prepared window; their own lock releases
+        // were already checked as they streamed past.
+        replay.prepared.erase({e.site, e.a});
+        break;
+
+      case EventType::kMsgRecv:
+        if (e.a == kDecisionMsg) {
+          replay.decisions_received.insert({e.site, e.txn});
+        }
+        break;
+
+      case EventType::kDecide:
+        replay.decide_commit[e.txn] = e.a != 0;
+        break;
+
+      case EventType::kCompensationBegin:
+        ++report.compensations;
+        replay.open_comps.emplace(SiteTxn{e.site, e.txn}, i);
+        break;
+
+      case EventType::kCompensationEnd: {
+        const SiteTxn st{e.site, e.txn};
+        replay.open_comps.erase(st);
+        const std::size_t count = ++replay.comp_ends[st];
+        if (count > 1) {
+          Violate(report, i, "I3",
+                  StrCat("site ", e.site, " completed compensation for txn ",
+                         e.txn, " ", count, " times"));
+        }
+        if (!replay.local_commits.contains(st)) {
+          Violate(report, i, "I3",
+                  StrCat("site ", e.site, " completed a compensation for txn ",
+                         e.txn, " that never locally committed there"));
+        }
+        break;
+      }
+
+      case EventType::kMarkInsert:
+        // I4: rule R2 — the compensation-completion mark may not precede
+        // the compensation it reports.
+        if (static_cast<MarkReason>(e.a) == MarkReason::kCompensation &&
+            !replay.comp_ends.contains({e.site, e.txn})) {
+          Violate(report, i, "I4",
+                  StrCat("site ", e.site, " inserted an R2 (compensation) ",
+                         "mark for txn ", e.txn,
+                         " before any compensation completed there"));
+        }
+        break;
+
+      case EventType::kMarkRetire:
+        // I5: rule R3 — retirement requires UDUM1 evidence; at minimum
+        // some witness fact for T_i must have been registered first.
+        if (!replay.witnessed.contains(e.txn)) {
+          Violate(report, i, "I5",
+                  StrCat("site ", e.site, " retired the mark for txn ", e.txn,
+                         " with no UDUM1 witness registered anywhere"));
+        }
+        break;
+
+      case EventType::kWitness:
+        replay.witnessed.insert(e.txn);
+        break;
+
+      case EventType::kSiteCrash:
+        ForgetSite(replay, e.site);
+        break;
+
+      default:
+        break;
+    }
+  }
+
+  // I3, absence half: pair every locally-committed subtransaction with its
+  // coordinator's decision.
+  for (const auto& [st, index] : replay.local_commits) {
+    auto dit = replay.decide_commit.find(st.second);
+    if (dit == replay.decide_commit.end()) continue;  // never decided
+    const std::size_t ends =
+        replay.comp_ends.contains(st) ? replay.comp_ends.at(st) : 0;
+    if (!dit->second && ends == 0) {
+      Violate(report, events.size(), "I3",
+              StrCat("site ", st.first, " locally committed txn ", st.second,
+                     " (event #", index, "), the decision was abort, but no ",
+                     "compensation ever completed there"));
+    } else if (dit->second && ends != 0) {
+      Violate(report, events.size(), "I3",
+              StrCat("site ", st.first, " compensated txn ", st.second,
+                     " although the decision was commit"));
+    }
+  }
+
+  // I6: no compensation may be left dangling (crash supersession already
+  // closed the legitimate cases).
+  for (const auto& [st, index] : replay.open_comps) {
+    Violate(report, index, "I6",
+            StrCat("site ", st.first, " initiated a compensation for txn ",
+                   st.second, " that neither completed nor was superseded ",
+                   "by a crash"));
+  }
+
+  return report;
+}
+
+}  // namespace o2pc::trace

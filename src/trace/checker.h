@@ -1,0 +1,66 @@
+#ifndef O2PC_TRACE_CHECKER_H_
+#define O2PC_TRACE_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+/// \file
+/// Post-hoc protocol-invariant checking over a recorded trace — a second,
+/// independent oracle next to the §5 serialization-graph analysis. The
+/// checker replays the event journal and asserts the *ordering* claims the
+/// paper rests on:
+///
+///  I1  O2PC early release: a locally-committed subtransaction holds no
+///      lock past its local commit (every granted lock of that local
+///      transaction is released by the kLocalCommit instant).
+///  I2  2PC blocking: a *prepared* subtransaction releases no exclusive
+///      lock before its site has received the DECISION for its global
+///      transaction.
+///  I3  Atomic compensation: every subtransaction that locally committed
+///      and whose global transaction was decided abort gets **exactly
+///      one** completed compensation at that site; a commit decision gets
+///      none.
+///  I4  Rule R2 ordering: a compensation-reason undone mark appears only
+///      at/after the corresponding compensation's completion.
+///  I5  Rule R3 ordering: a mark for T_i is retired only after at least
+///      one UDUM1 witness fact for T_i has been registered.
+///  I6  Compensation persistence: every initiated compensation either
+///      completes or is superseded by a site crash (no silent drop).
+///
+/// Violations carry the offending event's index so tests (and humans) can
+/// jump straight to the spot in the exported JSONL.
+
+namespace o2pc::trace {
+
+struct TraceViolation {
+  /// Index into the checked event vector (size() when the violation is an
+  /// absence, e.g. a missing compensation).
+  std::size_t event_index = 0;
+  /// Which invariant failed ("I1".."I6").
+  std::string invariant;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct CheckReport {
+  std::vector<TraceViolation> violations;
+  /// Replay statistics (sanity that the checker actually saw protocol
+  /// traffic; a trivially empty trace passes vacuously).
+  std::size_t events_checked = 0;
+  std::size_t local_commits = 0;
+  std::size_t prepares = 0;
+  std::size_t compensations = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Replays `events` (in recorded order) and checks invariants I1–I6.
+CheckReport CheckTrace(const std::vector<TraceEvent>& events);
+
+}  // namespace o2pc::trace
+
+#endif  // O2PC_TRACE_CHECKER_H_

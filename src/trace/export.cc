@@ -1,0 +1,155 @@
+#include "trace/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace o2pc::trace {
+
+namespace {
+
+/// Message-type names matching net::MessageTypeName. Kept as a local table
+/// so the trace library (which net itself links against for its emit
+/// points) does not depend back on net.
+const char* MsgName(std::int64_t type) {
+  switch (type) {
+    case 0:
+      return "SUBTXN-INVOKE";
+    case 1:
+      return "SUBTXN-ACK";
+    case 2:
+      return "VOTE-REQ";
+    case 3:
+      return "VOTE";
+    case 4:
+      return "DECISION";
+    case 5:
+      return "DECISION-ACK";
+    case 6:
+      return "USER";
+  }
+  return "?";
+}
+
+bool IsMsgEvent(EventType type) {
+  return type == EventType::kMsgSend || type == EventType::kMsgRecv ||
+         type == EventType::kMsgDrop;
+}
+
+std::int64_t SiteField(SiteId site) {
+  return site == kInvalidSite ? -1 : static_cast<std::int64_t>(site);
+}
+
+/// Human-oriented display name for the Chrome timeline: message events get
+/// their protocol message name ("VOTE-REQ send"), the rest the event name.
+std::string DisplayName(const TraceEvent& event) {
+  switch (event.type) {
+    case EventType::kMsgSend:
+      return StrCat(MsgName(event.a), " send");
+    case EventType::kMsgRecv:
+      return StrCat(MsgName(event.a), " recv");
+    case EventType::kMsgDrop:
+      return StrCat(MsgName(event.a), " drop");
+    case EventType::kMarkInsert:
+      return StrCat("mark_insert (",
+                    MarkReasonName(static_cast<MarkReason>(event.a)), ")");
+    default:
+      return EventTypeName(event.type);
+  }
+}
+
+}  // namespace
+
+std::string ToJsonLine(const TraceEvent& event) {
+  std::ostringstream out;
+  out << "{\"t\":" << event.time << ",\"type\":\""
+      << EventTypeName(event.type) << "\",\"site\":" << SiteField(event.site)
+      << ",\"txn\":" << event.txn << ",\"a\":" << event.a
+      << ",\"b\":" << event.b;
+  if (IsMsgEvent(event.type)) {
+    out << ",\"msg\":\"" << MsgName(event.a) << "\"";
+  } else if (event.type == EventType::kMarkInsert) {
+    out << ",\"reason\":\""
+        << MarkReasonName(static_cast<MarkReason>(event.a)) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+void ExportJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  for (const TraceEvent& event : events) {
+    out << ToJsonLine(event) << "\n";
+  }
+}
+
+void ExportChromeTrace(const std::vector<TraceEvent>& events,
+                       std::ostream& out) {
+  // Track layout: pid 1 = the simulated system; tid = site + 1 (tid 0 is
+  // the "system" track for site-less events, e.g. a coordinator-side event
+  // recorded with kInvalidSite).
+  SiteId max_site = 0;
+  for (const TraceEvent& event : events) {
+    if (event.site != kInvalidSite && event.site > max_site) {
+      max_site = event.site;
+    }
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& object) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << object;
+  };
+  // Thread-name metadata labels each site's track.
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+       "\"args\":{\"name\":\"system\"}}");
+  for (SiteId site = 0; site <= max_site; ++site) {
+    emit(StrCat("{\"ph\":\"M\",\"pid\":1,\"tid\":", site + 1,
+                ",\"name\":\"thread_name\",\"args\":{\"name\":\"site ", site,
+                "\"}}"));
+  }
+  for (const TraceEvent& event : events) {
+    const std::int64_t tid =
+        event.site == kInvalidSite ? 0 : static_cast<std::int64_t>(event.site) + 1;
+    std::ostringstream object;
+    object << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << event.time << ",\"name\":\""
+           << DisplayName(event)
+           << "\",\"cat\":\"o2pc\",\"args\":{\"txn\":" << event.txn
+           << ",\"a\":" << event.a << ",\"b\":" << event.b << "}}";
+    emit(object.str());
+  }
+  out << "\n]}\n";
+}
+
+namespace {
+
+bool WriteFileWith(const std::vector<TraceEvent>& events,
+                   const std::string& path,
+                   void (*exporter)(const std::vector<TraceEvent>&,
+                                    std::ostream&)) {
+  std::ofstream out(path);
+  if (!out) {
+    O2PC_LOG(kError) << "cannot open trace output file '" << path << "'";
+    return false;
+  }
+  exporter(events, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool WriteJsonlFile(const std::vector<TraceEvent>& events,
+                    const std::string& path) {
+  return WriteFileWith(events, path, &ExportJsonl);
+}
+
+bool WriteChromeTraceFile(const std::vector<TraceEvent>& events,
+                          const std::string& path) {
+  return WriteFileWith(events, path, &ExportChromeTrace);
+}
+
+}  // namespace o2pc::trace

@@ -118,16 +118,26 @@ TEST(WorkloadDriveTest, SchedulesEveryTransaction) {
 }
 
 TEST(LoggingTest, SinkCapturesAtConfiguredLevel) {
-  std::vector<std::string> lines;
+  std::vector<LogRecord> records;
   Logger::Global().set_sink(
-      [&](LogLevel, const std::string& message) { lines.push_back(message); });
+      [&](const LogRecord& record) { records.push_back(record); });
   Logger::Global().set_level(LogLevel::kInfo);
   O2PC_LOG(kInfo) << "visible " << 42;
+  const int log_line = __LINE__ - 1;
   O2PC_LOG(kDebug) << "hidden";
   Logger::Global().set_sink(nullptr);
   Logger::Global().set_level(LogLevel::kWarn);
-  ASSERT_EQ(lines.size(), 1u);
-  EXPECT_NE(lines[0].find("visible 42"), std::string::npos);
+  ASSERT_EQ(records.size(), 1u);
+  // The record carries the call site structurally — no prefix parsing.
+  EXPECT_EQ(records[0].message, "visible 42");
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(std::string(records[0].file), "edge_cases_test.cc");
+  EXPECT_EQ(records[0].line, log_line);
+}
+
+TEST(LoggingTest, LogLevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
 }
 
 TEST(SingleSiteGlobalTest, DegenerateGlobalStillRunsProtocol) {

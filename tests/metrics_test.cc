@@ -77,6 +77,74 @@ TEST(StatsCollectorTest, NamedHistograms) {
   EXPECT_EQ(stats.FindHist("other"), nullptr);
 }
 
+TEST(StatsCollectorTest, FindCounterDistinguishesAbsentFromZero) {
+  StatsCollector stats;
+  EXPECT_EQ(stats.FindCounter("commits"), nullptr);
+  EXPECT_EQ(stats.Count("commits"), 0u);  // Count() hides absence
+
+  stats.Incr("commits", 0);  // touch without incrementing
+  ASSERT_NE(stats.FindCounter("commits"), nullptr);
+  EXPECT_EQ(*stats.FindCounter("commits"), 0u);
+
+  stats.Incr("commits", 3);
+  EXPECT_EQ(*stats.FindCounter("commits"), 3u);
+}
+
+TEST(HistogramTest, MergeAppendsSamples) {
+  Histogram a;
+  a.Add(1.0);
+  a.Add(3.0);
+  Histogram b;
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 5.0);
+  EXPECT_EQ(b.count(), 1u);  // source untouched
+
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatsCollectorTest, MergeFoldsCountersHistogramsAndTxns) {
+  StatsCollector a;
+  a.Incr("commits", 2);
+  a.Incr("aborts", 1);
+  a.Hist("wait").Add(10.0);
+  GlobalTxnRecord txn_a;
+  txn_a.id = 1;
+  txn_a.committed = true;
+  txn_a.finish_time = Millis(4);
+  a.AddGlobalTxn(txn_a);
+
+  StatsCollector b;
+  b.Incr("commits", 3);
+  b.Incr("deadlocks", 7);
+  b.Hist("wait").Add(30.0);
+  b.Hist("hold").Add(2.0);
+  GlobalTxnRecord txn_b;
+  txn_b.id = 2;
+  b.AddGlobalTxn(txn_b);
+
+  a.Merge(b);
+  EXPECT_EQ(a.Count("commits"), 5u);
+  EXPECT_EQ(a.Count("aborts"), 1u);
+  EXPECT_EQ(a.Count("deadlocks"), 7u);
+  ASSERT_NE(a.FindHist("wait"), nullptr);
+  EXPECT_EQ(a.FindHist("wait")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.FindHist("wait")->Mean(), 20.0);
+  ASSERT_NE(a.FindHist("hold"), nullptr);
+  EXPECT_EQ(a.FindHist("hold")->count(), 1u);
+  ASSERT_EQ(a.global_txns().size(), 2u);
+  EXPECT_EQ(a.global_txns()[0].id, 1u);
+  EXPECT_EQ(a.global_txns()[1].id, 2u);
+
+  // Merging b is additive, not destructive: b is unchanged.
+  EXPECT_EQ(b.Count("commits"), 3u);
+  EXPECT_EQ(b.global_txns().size(), 1u);
+}
+
 TEST(TablePrinterTest, AlignsColumns) {
   TablePrinter table({"name", "value"});
   table.AddRow({"alpha", "1"});

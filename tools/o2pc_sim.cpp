@@ -9,10 +9,16 @@
 //            [--abort-prob=P] [--zipf=T] [--latency-ms=L]
 //            [--interarrival-us=U] [--crash-prob=P] [--seed=S]
 //            [--analyze] [--csv]
+//            [--trace=FILE] [--trace-jsonl=FILE] [--json=FILE]
 //
 // Examples:
 //   o2pc_sim --protocol=o2pc --governance=p1 --abort-prob=0.1 --analyze
 //   o2pc_sim --protocol=2pc --sites=8 --txns=500 --csv
+//   o2pc_sim --protocol=o2pc --trace=run.json   # open in chrome://tracing
+//
+// --trace / --trace-jsonl also run the trace-driven invariant checker
+// (trace/checker.h) over the recorded journal; violations are printed and
+// fail the run with exit code 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +27,8 @@
 #include "common/string_util.h"
 #include "harness/experiment.h"
 #include "metrics/table.h"
+#include "trace/checker.h"
+#include "trace/trace.h"
 
 using namespace o2pc;
 
@@ -30,6 +38,7 @@ struct CliArgs {
   harness::ExperimentConfig config;
   bool csv = false;
   bool ok = true;
+  std::string json_path;
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -107,6 +116,12 @@ CliArgs Parse(int argc, char** argv) {
     } else if (StartsWith(arg, "--seed=")) {
       config.system.seed = std::strtoull(value.c_str(), nullptr, 10);
       config.workload.seed = config.system.seed * 31 + 7;
+    } else if (StartsWith(arg, "--trace=")) {
+      config.trace_chrome_path = value;
+    } else if (StartsWith(arg, "--trace-jsonl=")) {
+      config.trace_jsonl_path = value;
+    } else if (StartsWith(arg, "--json=")) {
+      args.json_path = value;
     } else if (arg == "--analyze") {
       config.analyze = true;
     } else if (arg == "--csv") {
@@ -131,7 +146,15 @@ void PrintUsage() {
       "                [--txns=N] [--locals=N] [--abort-prob=P] [--zipf=T]\n"
       "                [--latency-ms=L] [--interarrival-us=U] "
       "[--crash-prob=P]\n"
-      "                [--seed=S] [--analyze] [--csv]\n");
+      "                [--seed=S] [--analyze] [--csv]\n"
+      "                [--trace=FILE.json] [--trace-jsonl=FILE.jsonl] "
+      "[--json=FILE]\n"
+      "\n"
+      "  --trace        record protocol events, export Chrome trace format\n"
+      "                 (open in chrome://tracing), and run the invariant\n"
+      "                 checker over the journal\n"
+      "  --trace-jsonl  same journal as one JSON object per line\n"
+      "  --json         write the aggregate metrics as JSON\n");
 }
 
 }  // namespace
@@ -142,7 +165,13 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  const bool tracing = !args.config.trace_chrome_path.empty() ||
+                       !args.config.trace_jsonl_path.empty();
+  trace::TraceRecorder recorder;
+  if (tracing) args.config.recorder = &recorder;
   const harness::RunResult result = harness::RunExperiment(args.config);
+  trace::CheckReport check;
+  if (tracing) check = trace::CheckTrace(recorder.events());
 
   metrics::TablePrinter table({"metric", "value"});
   table.AddRow({"protocol",
@@ -176,8 +205,24 @@ int main(int argc, char** argv) {
     table.AddRow({"atomic compensation",
                   result.report.atomic_compensation ? "yes" : "NO"});
   }
+  if (tracing) {
+    table.AddRow({"trace events", std::to_string(result.trace_events)});
+    table.AddRow({"trace invariants",
+                  check.ok() ? "ok" : std::to_string(check.violations.size()) +
+                                          " VIOLATION(S)"});
+  }
   std::fputs(args.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
              stdout);
+  if (tracing) {
+    for (const trace::TraceViolation& violation : check.violations) {
+      std::fprintf(stderr, "trace: %s\n", violation.ToString().c_str());
+    }
+    std::fprintf(stderr, "trace: %s\n", check.Summary().c_str());
+  }
+  if (!args.json_path.empty()) {
+    harness::WriteResultJson(result, args.json_path);
+  }
   if (args.config.analyze && !result.report.correct) return 1;
+  if (tracing && !check.ok()) return 1;
   return 0;
 }
