@@ -1,0 +1,140 @@
+#include "campaign/audit.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sg/correctness.h"
+#include "trace/checker.h"
+
+namespace o2pc::campaign {
+
+std::string OracleReport::Summary() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << violations[i];
+  }
+  return out.str();
+}
+
+namespace {
+
+/// audit: commit durability, reconstructed from the journal. For every
+/// incarnation the coordinator finished as committed, every site that
+/// locally committed (O2PC) or prepared (2PC) its subtransaction must show
+/// a final commit there, and no compensation may ever have completed for it.
+void CheckCommitDurability(const std::vector<trace::TraceEvent>& events,
+                           std::vector<std::string>* violations) {
+  std::set<TxnId> committed;
+  std::map<TxnId, std::set<SiteId>> exposed_sites;  // kLocalCommit/kPrepare
+  std::map<TxnId, std::set<SiteId>> final_sites;    // kFinalCommit
+  std::map<TxnId, std::set<SiteId>> compensated;    // kCompensationEnd
+  for (const trace::TraceEvent& event : events) {
+    switch (event.type) {
+      case trace::EventType::kTxnFinish:
+        if (event.a != 0) committed.insert(event.txn);
+        break;
+      case trace::EventType::kLocalCommit:
+      case trace::EventType::kPrepare:
+        exposed_sites[event.txn].insert(event.site);
+        break;
+      case trace::EventType::kFinalCommit:
+        final_sites[event.txn].insert(event.site);
+        break;
+      case trace::EventType::kCompensationEnd:
+        compensated[event.txn].insert(event.site);
+        break;
+      default:
+        break;
+    }
+  }
+  for (TxnId txn : committed) {
+    if (auto it = exposed_sites.find(txn); it != exposed_sites.end()) {
+      for (SiteId site : it->second) {
+        if (!final_sites[txn].contains(site)) {
+          std::ostringstream out;
+          out << "audit: T" << txn << " committed but site " << site
+              << " never finalized its local commit/prepare";
+          violations->push_back(out.str());
+        }
+      }
+    }
+    if (auto it = compensated.find(txn); it != compensated.end()) {
+      for (SiteId site : it->second) {
+        std::ostringstream out;
+        out << "audit: T" << txn << " committed but site " << site
+            << " ran a compensation for it";
+        violations->push_back(out.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OracleReport RunOracles(const core::DistributedSystem& system,
+                        const std::vector<trace::TraceEvent>& events,
+                        Value initial_total) {
+  OracleReport report;
+
+  // Oracle 1: protocol-invariant checker over the journal.
+  const trace::CheckReport trace_report = trace::CheckTrace(events);
+  for (const trace::TraceViolation& violation : trace_report.violations) {
+    report.violations.push_back("trace: " + violation.ToString());
+  }
+
+  // Oracle 2: the §5 serialization-graph criterion.
+  const sg::CorrectnessReport sg_report = system.Analyze();
+  if (!sg_report.locally_serializable) {
+    report.violations.push_back("sg: a local history is not serializable");
+  }
+  if (!sg_report.correct) {
+    report.violations.push_back(
+        "sg: global SG violates the paper's criterion (regular cycle)");
+  }
+  if (!sg_report.atomic_compensation) {
+    report.violations.push_back(
+        "sg: atomicity of compensation violated (dual read of T_i and CT_i)");
+  }
+  for (const std::string& violation : sg_report.violations) {
+    report.violations.push_back("sg: " + violation);
+  }
+
+  // Oracle 3: cross-site end-state audit.
+  if (system.globals_finished() != system.globals_submitted()) {
+    std::ostringstream out;
+    out << "audit: protocol did not drain (" << system.globals_finished()
+        << "/" << system.globals_submitted() << " globals finished)";
+    report.violations.push_back(out.str());
+  }
+  for (int i = 0; i < system.options().num_sites; ++i) {
+    const SiteId site = static_cast<SiteId>(i);
+    for (const auto& pending : system.db(site).PendingExposedSubtxns()) {
+      std::ostringstream out;
+      out << "audit: site " << site << " left in doubt: T"
+          << pending.global_id
+          << " locally committed without a terminal decision";
+      report.violations.push_back(out.str());
+    }
+    for (const auto& pending : system.db(site).PendingPreparedSubtxns()) {
+      std::ostringstream out;
+      out << "audit: site " << site << " left in doubt: T"
+          << pending.global_id << " prepared without a terminal decision";
+      report.violations.push_back(out.str());
+    }
+  }
+  const Value final_total = system.TotalValue();
+  if (final_total != initial_total) {
+    std::ostringstream out;
+    out << "audit: conservation violated: total value " << final_total
+        << " != initial " << initial_total;
+    report.violations.push_back(out.str());
+  }
+  CheckCommitDurability(events, &report.violations);
+
+  return report;
+}
+
+}  // namespace o2pc::campaign

@@ -1,0 +1,50 @@
+#ifndef O2PC_CAMPAIGN_AUDIT_H_
+#define O2PC_CAMPAIGN_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/system.h"
+#include "trace/trace.h"
+
+/// \file
+/// The campaign's oracle battery. One fleet run is judged by three
+/// independent oracles, each contributing prefixed violation strings:
+///
+///   trace:  the I1–I6 protocol-invariant checker over the event journal
+///           (trace/checker.h);
+///   sg:     the paper's §5 serialization-graph criterion + atomicity of
+///           compensation (sg/correctness.h);
+///   audit:  a cross-site end-state audit new to the campaign — the
+///           protocol drained (every submitted global finished), no site
+///           retains an in-doubt (pending-exposed or pending-prepared)
+///           subtransaction, semantic conservation holds (the sum of all
+///           values equals the initial sum), and commit durability: every
+///           global the trace shows as committed has a kFinalCommit at
+///           every site where it locally committed or prepared, and no
+///           compensation ever ran for it.
+///
+/// A run passes only when all three lists are empty.
+
+namespace o2pc::campaign {
+
+/// Combined verdict of one run.
+struct OracleReport {
+  /// Violations from all oracles, prefixed "trace:", "sg:" or "audit:".
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// "ok" or the violations joined by newlines.
+  std::string Summary() const;
+};
+
+/// Runs the full oracle battery over a drained system. `events` is the
+/// run's trace journal; `initial_total` the pre-run TotalValue().
+OracleReport RunOracles(const core::DistributedSystem& system,
+                        const std::vector<trace::TraceEvent>& events,
+                        Value initial_total);
+
+}  // namespace o2pc::campaign
+
+#endif  // O2PC_CAMPAIGN_AUDIT_H_

@@ -1,0 +1,409 @@
+#include "campaign/fault_plan.h"
+
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "net/message.h"
+
+namespace o2pc::campaign {
+namespace {
+
+/// site/from/to fields serialize kInvalidSite as "any".
+std::string SiteToken(SiteId site) {
+  return site == kInvalidSite ? "any" : std::to_string(site);
+}
+
+bool ParseSiteToken(const std::string& token, SiteId* site) {
+  if (token == "any") {
+    *site = kInvalidSite;
+    return true;
+  }
+  try {
+    *site = static_cast<SiteId>(std::stoll(token));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool ParseInt64(const std::string& token, std::int64_t* value) {
+  try {
+    *value = std::stoll(token);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string MsgTypeToken(int msg_type) {
+  if (msg_type < 0 || msg_type >= net::kNumMessageTypes) return "any";
+  return net::MessageTypeName(static_cast<net::MessageType>(msg_type));
+}
+
+bool ParseMsgTypeToken(const std::string& token, int* msg_type) {
+  if (token == "any") {
+    *msg_type = -1;
+    return true;
+  }
+  for (int i = 0; i < net::kNumMessageTypes; ++i) {
+    if (token == net::MessageTypeName(static_cast<net::MessageType>(i))) {
+      *msg_type = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Splits "key=value" tokens of one plan line into an ordered list.
+struct KvList {
+  std::vector<std::pair<std::string, std::string>> pairs;
+
+  const std::string* Find(const std::string& key) const {
+    for (const auto& [k, v] : pairs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+bool SplitKv(std::istringstream& in, KvList* kv, std::string* error) {
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "malformed token '" + token + "'";
+      return false;
+    }
+    kv->pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSiteCrashAtStep:
+      return "crash";
+    case FaultKind::kSiteCrashAtTime:
+      return "crash_at";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kDropMessage:
+      return "drop";
+    case FaultKind::kDelayMessage:
+      return "delay";
+    case FaultKind::kCoordinatorCrash:
+      return "coordinator_crash";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream out;
+  out << FaultKindName(kind);
+  switch (kind) {
+    case FaultKind::kSiteCrashAtStep:
+      out << " site=" << site << " step=" << core::ProtocolStepName(step)
+          << " occurrence=" << occurrence << " outage_us=" << duration;
+      break;
+    case FaultKind::kSiteCrashAtTime:
+      out << " site=" << site << " at_us=" << at << " outage_us=" << duration;
+      break;
+    case FaultKind::kPartition:
+      out << " a=" << site << " b=" << peer << " at_us=" << at
+          << " heal_us=" << duration;
+      break;
+    case FaultKind::kDropMessage:
+      out << " type=" << MsgTypeToken(msg_type) << " from=" << SiteToken(msg_from)
+          << " to=" << SiteToken(msg_to) << " occurrence=" << occurrence;
+      break;
+    case FaultKind::kDelayMessage:
+      out << " type=" << MsgTypeToken(msg_type) << " from=" << SiteToken(msg_from)
+          << " to=" << SiteToken(msg_to) << " occurrence=" << occurrence
+          << " extra_us=" << duration;
+      break;
+    case FaultKind::kCoordinatorCrash:
+      out << " occurrence=" << occurrence;
+      break;
+  }
+  return out.str();
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : events) {
+    out << event.ToString() << "\n";
+  }
+  return out.str();
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
+                      std::string* error) {
+  FaultPlan parsed;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream in(line);
+    std::string kind_token;
+    if (!(in >> kind_token) || kind_token[0] == '#') continue;
+
+    const std::string where = "line " + std::to_string(line_no) + ": ";
+    KvList kv;
+    if (!SplitKv(in, &kv, error)) {
+      if (error != nullptr) *error = where + *error;
+      return false;
+    }
+    auto need = [&](const char* key) { return kv.Find(key); };
+
+    FaultEvent event;
+    std::int64_t value = 0;
+    if (kind_token == "crash") {
+      event.kind = FaultKind::kSiteCrashAtStep;
+      const std::string* site = need("site");
+      const std::string* step = need("step");
+      const std::string* occurrence = need("occurrence");
+      const std::string* outage = need("outage_us");
+      if (site == nullptr || step == nullptr || occurrence == nullptr ||
+          outage == nullptr) {
+        return Fail(error, where + "crash needs site/step/occurrence/outage_us");
+      }
+      if (!ParseSiteToken(*site, &event.site) ||
+          !core::ParseProtocolStep(*step, &event.step) ||
+          !ParseInt64(*occurrence, &value)) {
+        return Fail(error, where + "bad crash fields");
+      }
+      event.occurrence = static_cast<int>(value);
+      if (!ParseInt64(*outage, &event.duration)) {
+        return Fail(error, where + "bad outage_us");
+      }
+    } else if (kind_token == "crash_at") {
+      event.kind = FaultKind::kSiteCrashAtTime;
+      const std::string* site = need("site");
+      const std::string* at = need("at_us");
+      const std::string* outage = need("outage_us");
+      if (site == nullptr || at == nullptr || outage == nullptr) {
+        return Fail(error, where + "crash_at needs site/at_us/outage_us");
+      }
+      if (!ParseSiteToken(*site, &event.site) || !ParseInt64(*at, &event.at) ||
+          !ParseInt64(*outage, &event.duration)) {
+        return Fail(error, where + "bad crash_at fields");
+      }
+    } else if (kind_token == "partition") {
+      event.kind = FaultKind::kPartition;
+      const std::string* a = need("a");
+      const std::string* b = need("b");
+      const std::string* at = need("at_us");
+      const std::string* heal = need("heal_us");
+      if (a == nullptr || b == nullptr || at == nullptr || heal == nullptr) {
+        return Fail(error, where + "partition needs a/b/at_us/heal_us");
+      }
+      if (!ParseSiteToken(*a, &event.site) || !ParseSiteToken(*b, &event.peer) ||
+          !ParseInt64(*at, &event.at) || !ParseInt64(*heal, &event.duration)) {
+        return Fail(error, where + "bad partition fields");
+      }
+    } else if (kind_token == "drop" || kind_token == "delay") {
+      event.kind = kind_token == "drop" ? FaultKind::kDropMessage
+                                        : FaultKind::kDelayMessage;
+      const std::string* type = need("type");
+      const std::string* from = need("from");
+      const std::string* to = need("to");
+      const std::string* occurrence = need("occurrence");
+      if (type == nullptr || from == nullptr || to == nullptr ||
+          occurrence == nullptr) {
+        return Fail(error, where + kind_token + " needs type/from/to/occurrence");
+      }
+      if (!ParseMsgTypeToken(*type, &event.msg_type) ||
+          !ParseSiteToken(*from, &event.msg_from) ||
+          !ParseSiteToken(*to, &event.msg_to) ||
+          !ParseInt64(*occurrence, &value)) {
+        return Fail(error, where + "bad " + kind_token + " fields");
+      }
+      event.occurrence = static_cast<int>(value);
+      if (event.kind == FaultKind::kDelayMessage) {
+        const std::string* extra = need("extra_us");
+        if (extra == nullptr || !ParseInt64(*extra, &event.duration)) {
+          return Fail(error, where + "delay needs extra_us");
+        }
+      }
+    } else if (kind_token == "coordinator_crash") {
+      event.kind = FaultKind::kCoordinatorCrash;
+      const std::string* occurrence = need("occurrence");
+      if (occurrence == nullptr || !ParseInt64(*occurrence, &value)) {
+        return Fail(error, where + "coordinator_crash needs occurrence");
+      }
+      event.occurrence = static_cast<int>(value);
+    } else {
+      return Fail(error, where + "unknown fault kind '" + kind_token + "'");
+    }
+    parsed.events.push_back(event);
+  }
+  *plan = std::move(parsed);
+  return true;
+}
+
+const std::vector<std::string>& DefaultTemplateNames() {
+  static const std::vector<std::string> kNames = {
+      "none",   "crashes",     "partitions", "drops",
+      "delays", "coordinator", "mixed",
+  };
+  return kNames;
+}
+
+namespace {
+
+SiteId PickSite(Rng& rng, int num_sites) {
+  return static_cast<SiteId>(rng.Uniform(0, num_sites - 1));
+}
+
+/// A step crash pinned to one of the protocol windows the paper cares
+/// about: before the vote, between local commit and DECISION (O2PC's
+/// exposure window), the prepared window (2PC's blocking window), and
+/// mid-compensation.
+FaultEvent RandomStepCrash(Rng& rng, int num_sites) {
+  static const core::ProtocolStep kCrashSteps[] = {
+      core::ProtocolStep::kSubtxnAdmit,       core::ProtocolStep::kBeforeVote,
+      core::ProtocolStep::kLocalCommit,       core::ProtocolStep::kPrepare,
+      core::ProtocolStep::kAfterVote,         core::ProtocolStep::kBeforeDecision,
+      core::ProtocolStep::kCompensationBegin,
+  };
+  FaultEvent event;
+  event.kind = FaultKind::kSiteCrashAtStep;
+  event.site = PickSite(rng, num_sites);
+  event.step = kCrashSteps[rng.Uniform(
+      0, static_cast<std::int64_t>(std::size(kCrashSteps)) - 1)];
+  event.occurrence = static_cast<int>(rng.Uniform(0, 3));
+  event.duration = Millis(rng.Uniform(10, 80));
+  return event;
+}
+
+FaultEvent RandomPartition(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kPartition;
+  event.site = PickSite(rng, num_sites);
+  do {
+    event.peer = PickSite(rng, num_sites);
+  } while (num_sites > 1 && event.peer == event.site);
+  event.at = Millis(rng.Uniform(5, 150));
+  event.duration = Millis(rng.Uniform(10, 80));
+  return event;
+}
+
+FaultEvent RandomDrop(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kDropMessage;
+  // Protocol messages only (dropping USER traffic exercises nothing).
+  event.msg_type = static_cast<int>(rng.Uniform(0, net::kNumMessageTypes - 2));
+  event.msg_from = rng.Bernoulli(0.5) ? kInvalidSite : PickSite(rng, num_sites);
+  event.msg_to = rng.Bernoulli(0.5) ? kInvalidSite : PickSite(rng, num_sites);
+  event.occurrence = static_cast<int>(rng.Uniform(0, 5));
+  return event;
+}
+
+FaultEvent RandomDelay(Rng& rng, int num_sites) {
+  FaultEvent event = RandomDrop(rng, num_sites);
+  event.kind = FaultKind::kDelayMessage;
+  event.duration = Millis(rng.Uniform(10, 60));
+  return event;
+}
+
+}  // namespace
+
+FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
+                       int num_sites) {
+  // Fold the template name into the seed so "crashes"/seed 7 and
+  // "partitions"/seed 7 draw independent schedules.
+  std::uint64_t folded = seed;
+  for (char c : template_name) {
+    folded = folded * 1099511628211ULL + static_cast<unsigned char>(c);
+  }
+  Rng rng(folded ^ 0xfa017b1a6ULL);
+  FaultPlan plan;
+  if (template_name == "crashes") {
+    const int n = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomStepCrash(rng, num_sites));
+    }
+  } else if (template_name == "partitions") {
+    const int n = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomPartition(rng, num_sites));
+    }
+  } else if (template_name == "drops") {
+    const int n = static_cast<int>(rng.Uniform(2, 5));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomDrop(rng, num_sites));
+    }
+  } else if (template_name == "delays") {
+    const int n = static_cast<int>(rng.Uniform(2, 5));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomDelay(rng, num_sites));
+    }
+  } else if (template_name == "coordinator") {
+    FaultEvent event;
+    event.kind = FaultKind::kCoordinatorCrash;
+    event.occurrence = static_cast<int>(rng.Uniform(0, 4));
+    plan.events.push_back(event);
+  } else if (template_name == "mixed") {
+    plan.events.push_back(RandomStepCrash(rng, num_sites));
+    plan.events.push_back(RandomPartition(rng, num_sites));
+    plan.events.push_back(RandomDrop(rng, num_sites));
+    plan.events.push_back(RandomDrop(rng, num_sites));
+  }
+  // "none" and unknown templates: empty plan (fault-free control run).
+  return plan;
+}
+
+FaultPlan KnownBadPlan(int num_sites) {
+  FaultPlan plan;
+  // The lethal event: site 0 dies forever the moment it first locally
+  // commits a subtransaction — its exposed updates can never be finalized
+  // or compensated, so the in-doubt/durability oracle must fire.
+  FaultEvent crash;
+  crash.kind = FaultKind::kSiteCrashAtStep;
+  crash.site = 0;
+  crash.step = core::ProtocolStep::kLocalCommit;
+  crash.occurrence = 0;
+  crash.duration = 0;  // never recover
+  plan.events.push_back(crash);
+
+  // Noise the shrinker should strip: a late heal-quick partition between
+  // the two highest sites and two one-shot drops of rarely-matching
+  // messages.
+  FaultEvent partition;
+  partition.kind = FaultKind::kPartition;
+  partition.site = static_cast<SiteId>(num_sites > 1 ? num_sites - 1 : 0);
+  partition.peer = static_cast<SiteId>(num_sites > 2 ? num_sites - 2 : 0);
+  partition.at = Millis(400);
+  partition.duration = Millis(5);
+  plan.events.push_back(partition);
+
+  FaultEvent drop;
+  drop.kind = FaultKind::kDropMessage;
+  drop.msg_type = static_cast<int>(net::MessageType::kVoteRequest);
+  drop.msg_from = kInvalidSite;
+  drop.msg_to = static_cast<SiteId>(num_sites > 1 ? num_sites - 1 : 0);
+  drop.occurrence = 7;
+  plan.events.push_back(drop);
+
+  FaultEvent delay;
+  delay.kind = FaultKind::kDelayMessage;
+  delay.msg_type = static_cast<int>(net::MessageType::kSubtxnAck);
+  delay.msg_from = kInvalidSite;
+  delay.msg_to = kInvalidSite;
+  delay.occurrence = 3;
+  delay.duration = Millis(2);
+  plan.events.push_back(delay);
+  return plan;
+}
+
+}  // namespace o2pc::campaign

@@ -1,0 +1,117 @@
+#ifndef O2PC_CAMPAIGN_FAULT_PLAN_H_
+#define O2PC_CAMPAIGN_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/step_hook.h"
+
+/// \file
+/// Fault plans: declarative, serializable schedules of faults injected into
+/// one simulation run. A plan is a list of FaultEvents; each event is either
+/// pinned to simulated time (partitions, timed crashes) or to a *protocol
+/// step occurrence* (crash site 2 the first time it locally commits, crash
+/// the coordinator at its third decision, drop the second DECISION message
+/// from site 0) — the step-indexed pins are what make "crash between local
+/// commit and DECISION" a first-class, replayable schedule rather than a
+/// lucky timing.
+///
+/// Plans round-trip through a line-oriented text grammar (ToString/Parse),
+/// so a failing `{seed, plan}` pair can be written to disk, attached to a
+/// bug report, replayed bit-identically, and shrunk. One event per line:
+///
+///     crash site=2 step=local_commit occurrence=0 outage_us=40000
+///     crash_at site=1 at_us=12000 outage_us=30000
+///     partition a=0 b=1 at_us=8000 heal_us=50000
+///     drop type=DECISION from=any to=2 occurrence=1
+///     delay type=VOTE from=any to=any occurrence=0 extra_us=20000
+///     coordinator_crash occurrence=2
+///
+/// Lines starting with '#' and blank lines are ignored.
+
+namespace o2pc::campaign {
+
+/// What kind of fault one event injects.
+enum class FaultKind : std::uint8_t {
+  /// Crash `site` at the `occurrence`-th announcement of `step` at it.
+  kSiteCrashAtStep = 0,
+  /// Crash `site` at simulated time `at`.
+  kSiteCrashAtTime,
+  /// Sever the link `site`<->`peer` at `at`, heal it `duration` later
+  /// (duration <= 0: never heal).
+  kPartition,
+  /// Drop the `occurrence`-th matching message (type/from/to filters).
+  kDropMessage,
+  /// Delay the `occurrence`-th matching message by `duration` extra.
+  kDelayMessage,
+  /// Crash the coordinator at its `occurrence`-th decision, system-wide.
+  kCoordinatorCrash,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault. Fields beyond `kind` are interpreted per kind;
+/// unused fields keep their defaults (and are not serialized).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSiteCrashAtTime;
+  /// Crash target / partition endpoint A.
+  SiteId site = kInvalidSite;
+  /// Partition endpoint B.
+  SiteId peer = kInvalidSite;
+  /// Step pin for kSiteCrashAtStep.
+  core::ProtocolStep step = core::ProtocolStep::kLocalCommit;
+  /// Which occurrence of the pin fires the event (0 = first).
+  int occurrence = 0;
+  /// Message-type filter for drop/delay (-1 = any type); values are
+  /// net::MessageType casts.
+  int msg_type = -1;
+  /// Sender/receiver filters for drop/delay (kInvalidSite = any).
+  SiteId msg_from = kInvalidSite;
+  SiteId msg_to = kInvalidSite;
+  /// Absolute simulated time for time-pinned events.
+  SimTime at = 0;
+  /// Outage length (crashes; <= 0 = never recover), heal delay
+  /// (partitions; <= 0 = never heal), or extra delay (kDelayMessage).
+  Duration duration = 0;
+
+  /// One-line serialization in the plan grammar.
+  std::string ToString() const;
+};
+
+/// A full fault schedule for one run.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Multi-line serialization (one event per line, trailing newline).
+  std::string ToString() const;
+
+  /// Parses the grammar above. Returns false (and sets `error` if non-null)
+  /// on the first malformed line; `plan` is untouched on failure.
+  static bool Parse(const std::string& text, FaultPlan* plan,
+                    std::string* error = nullptr);
+};
+
+/// Names of the built-in plan templates swept by the campaign:
+/// "none", "crashes", "partitions", "drops", "delays", "coordinator",
+/// "mixed".
+const std::vector<std::string>& DefaultTemplateNames();
+
+/// Generates a randomized plan from `template_name` for a system of
+/// `num_sites` sites, deterministically from `seed`. Unknown template
+/// names yield an empty plan.
+FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
+                       int num_sites);
+
+/// A deliberately lethal plan: site 0 crashes permanently the first time it
+/// locally commits (recovery disabled via outage <= 0), burying an exposed
+/// in-doubt subtransaction forever — plus a little irrelevant noise for the
+/// shrinker to strip. The durability/in-doubt oracle must flag it.
+FaultPlan KnownBadPlan(int num_sites);
+
+}  // namespace o2pc::campaign
+
+#endif  // O2PC_CAMPAIGN_FAULT_PLAN_H_

@@ -1,0 +1,132 @@
+#include "campaign/injector.h"
+
+#include "common/logging.h"
+
+namespace o2pc::campaign {
+
+FaultInjector::FaultInjector(core::DistributedSystem* system, FaultPlan plan)
+    : system_(system), plan_(std::move(plan)) {
+  O2PC_CHECK(system != nullptr);
+  matches_.assign(plan_.events.size(), 0);
+  fired_.assign(plan_.events.size(), false);
+}
+
+FaultInjector::~FaultInjector() {
+  if (armed_) {
+    // The system may outlive the injector; leave no dangling hooks behind.
+    system_->SetStepHook(nullptr);
+    system_->network().SetFaultHook(nullptr);
+  }
+}
+
+void FaultInjector::Arm() {
+  O2PC_CHECK(!armed_) << "injector armed twice";
+  armed_ = true;
+  system_->SetStepHook(
+      [this](const core::StepContext& context) { OnStep(context); });
+  system_->network().SetFaultHook(
+      [this](const net::Message& message) { return OnMessage(message); });
+
+  sim::Simulator& simulator = system_->simulator();
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    switch (event.kind) {
+      case FaultKind::kSiteCrashAtTime:
+        simulator.Schedule(event.at, [this, i] {
+          const FaultEvent& e = plan_.events[i];
+          if (system_->network().NodeDown(e.site)) return;  // already down
+          fired_[i] = true;
+          ++faults_triggered_;
+          system_->CrashSite(e.site, e.duration);
+        });
+        break;
+      case FaultKind::kPartition:
+        simulator.Schedule(event.at, [this, i] {
+          const FaultEvent& e = plan_.events[i];
+          fired_[i] = true;
+          ++faults_triggered_;
+          system_->network().SeverLink(e.site, e.peer);
+          if (e.duration > 0) {
+            system_->simulator().Schedule(e.duration, [this, i] {
+              const FaultEvent& healed = plan_.events[i];
+              system_->network().HealLink(healed.site, healed.peer);
+            });
+          }
+        });
+        break;
+      case FaultKind::kSiteCrashAtStep:
+      case FaultKind::kDropMessage:
+      case FaultKind::kDelayMessage:
+      case FaultKind::kCoordinatorCrash:
+        break;  // hook-driven
+    }
+  }
+}
+
+void FaultInjector::OnStep(const core::StepContext& context) {
+  if (context.step == core::ProtocolStep::kCoordinatorDecide) {
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+      const FaultEvent& event = plan_.events[i];
+      if (event.kind != FaultKind::kCoordinatorCrash || fired_[i]) continue;
+      if (decide_count_ == event.occurrence) {
+        fired_[i] = true;
+        ++faults_triggered_;
+        // Only sets a flag; the coordinator crashes on its way into the
+        // decision broadcast, after this hook returns.
+        system_->InjectCoordinatorCrash(context.txn);
+      }
+    }
+    ++decide_count_;
+    return;
+  }
+
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.kind != FaultKind::kSiteCrashAtStep || fired_[i]) continue;
+    if (event.step != context.step) continue;
+    if (event.site != kInvalidSite && event.site != context.site) continue;
+    if (matches_[i]++ != event.occurrence) continue;
+    fired_[i] = true;
+    ++faults_triggered_;
+    // Crash *after* the current protocol step unwinds: a zero-delay event
+    // runs once the participant's in-progress handler returns, so the step
+    // completes and the crash lands exactly in the window after it.
+    const SiteId victim = context.site;
+    const Duration outage = event.duration;
+    system_->simulator().Schedule(0, [this, victim, outage] {
+      if (system_->network().NodeDown(victim)) return;  // already down
+      system_->CrashSite(victim, outage);
+    });
+  }
+}
+
+net::FaultDecision FaultInjector::OnMessage(const net::Message& message) {
+  net::FaultDecision decision;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.kind != FaultKind::kDropMessage &&
+        event.kind != FaultKind::kDelayMessage) {
+      continue;
+    }
+    if (fired_[i]) continue;
+    if (event.msg_type >= 0 &&
+        event.msg_type != static_cast<int>(message.type)) {
+      continue;
+    }
+    if (event.msg_from != kInvalidSite && event.msg_from != message.from) {
+      continue;
+    }
+    if (event.msg_to != kInvalidSite && event.msg_to != message.to) continue;
+    if (matches_[i]++ != event.occurrence) continue;
+    fired_[i] = true;
+    ++faults_triggered_;
+    if (event.kind == FaultKind::kDropMessage) {
+      decision.drop = true;
+    } else {
+      decision.extra_delay += event.duration;
+    }
+  }
+  return decision;
+}
+
+}  // namespace o2pc::campaign

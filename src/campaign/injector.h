@@ -1,0 +1,55 @@
+#ifndef O2PC_CAMPAIGN_INJECTOR_H_
+#define O2PC_CAMPAIGN_INJECTOR_H_
+
+#include <vector>
+
+#include "campaign/fault_plan.h"
+#include "core/system.h"
+
+/// \file
+/// FaultInjector: executes one FaultPlan against one DistributedSystem by
+/// installing the system's StepHook and the network's FaultHook and
+/// scheduling the plan's time-pinned events. All matching is counter-based
+/// and purely a function of the deterministic simulation, so the same
+/// `{seed, plan}` pair injects the identical faults on every run.
+
+namespace o2pc::campaign {
+
+class FaultInjector {
+ public:
+  /// Binds the injector to `system` (not owned; must outlive the injector).
+  FaultInjector(core::DistributedSystem* system, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// Installs the hooks and schedules time-pinned events. Call once,
+  /// before submitting workload.
+  void Arm();
+
+  /// How many of the plan's events actually fired.
+  int faults_triggered() const { return faults_triggered_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void OnStep(const core::StepContext& context);
+  net::FaultDecision OnMessage(const net::Message& message);
+
+  core::DistributedSystem* system_;  // not owned
+  FaultPlan plan_;
+  bool armed_ = false;
+  /// Per-event match counters (step announcements seen / messages matched),
+  /// indexed like plan_.events.
+  std::vector<int> matches_;
+  /// Per-event one-shot latches.
+  std::vector<bool> fired_;
+  /// Global kCoordinatorDecide announcement counter (coordinator-crash
+  /// events pin against the system-wide decision sequence).
+  int decide_count_ = 0;
+  int faults_triggered_ = 0;
+};
+
+}  // namespace o2pc::campaign
+
+#endif  // O2PC_CAMPAIGN_INJECTOR_H_

@@ -1,0 +1,286 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "campaign/injector.h"
+#include "campaign/shrink.h"
+#include "common/logging.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "workload/generator.h"
+
+namespace o2pc::campaign {
+
+std::uint64_t Fingerprint(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// The campaign's system tuning. Outages and heals in the built-in
+/// templates stay under ~80ms, so a ~4.5s resend budget (300 x 15ms)
+/// guarantees every survivable fault drains — oracle violations then mean
+/// protocol bugs, not an injector that out-lasted the retransmission
+/// safety net.
+core::SystemOptions MakeSystemOptions(const CampaignRunConfig& config) {
+  core::SystemOptions options;
+  options.num_sites = config.num_sites;
+  options.keys_per_site = config.keys_per_site;
+  options.seed = config.seed;
+  options.protocol.protocol = config.protocol;
+  options.protocol.resend_timeout = Millis(15);
+  options.protocol.max_resends = 300;
+  options.protocol.coordinator_crash_probability = 0.0;
+  options.protocol.coordinator_recovery_delay = Millis(40);
+  return options;
+}
+
+workload::WorkloadOptions MakeWorkloadOptions(const CampaignRunConfig& config) {
+  workload::WorkloadOptions options;
+  options.num_global_txns = config.num_globals;
+  options.num_local_txns = config.num_locals;
+  options.min_sites_per_txn = std::min(2, config.num_sites);
+  options.max_sites_per_txn = std::min(3, config.num_sites);
+  options.vote_abort_probability = config.vote_abort_probability;
+  options.semantic_ops = true;
+  options.mean_global_interarrival = Millis(8);
+  options.mean_local_interarrival = Millis(4);
+  options.seed = config.seed * 31 + 7;
+  return options;
+}
+
+}  // namespace
+
+CampaignRunResult RunOne(const CampaignRunConfig& config) {
+  core::DistributedSystem system(MakeSystemOptions(config));
+  const Value initial_total = system.TotalValue();
+
+  trace::TraceRecorder recorder;
+  CampaignRunResult result;
+  {
+    trace::ScopedTrace scope(&recorder, &system.simulator());
+    FaultInjector injector(&system, config.plan);
+    injector.Arm();
+    workload::WorkloadGenerator generator(config.num_sites,
+                                          config.keys_per_site,
+                                          MakeWorkloadOptions(config));
+    generator.Drive(system);
+    system.Run();
+    result.faults_triggered = injector.faults_triggered();
+  }
+
+  result.oracle = RunOracles(system, recorder.events(), initial_total);
+  std::ostringstream journal;
+  trace::ExportJsonl(recorder.events(), journal);
+  result.journal = journal.str();
+  result.fingerprint = Fingerprint(result.journal);
+  result.committed = system.stats().Count("globals_committed");
+  result.aborted = system.stats().Count("globals_aborted");
+  result.compensations = system.stats().Count("compensations_committed");
+  result.site_crashes = system.stats().Count("site_crashes");
+  result.coordinator_crashes = system.stats().Count("coordinator_crashes");
+  result.messages_dropped = system.network().stats().dropped;
+  result.makespan = system.simulator().Now();
+  return result;
+}
+
+std::string ArtifactToString(const CampaignRunConfig& config) {
+  std::ostringstream out;
+  out << "protocol=" << (config.protocol == core::CommitProtocol::kOptimistic
+                             ? "o2pc"
+                             : "2pc")
+      << "\n";
+  out << "seed=" << config.seed << "\n";
+  out << "sites=" << config.num_sites << "\n";
+  out << "keys=" << config.keys_per_site << "\n";
+  out << "globals=" << config.num_globals << "\n";
+  out << "locals=" << config.num_locals << "\n";
+  out << "abort_prob=" << config.vote_abort_probability << "\n";
+  if (!config.template_name.empty()) {
+    out << "template=" << config.template_name << "\n";
+  }
+  out << "plan_begin\n" << config.plan.ToString() << "plan_end\n";
+  return out.str();
+}
+
+bool ParseArtifact(const std::string& text, CampaignRunConfig* config,
+                   std::string* error) {
+  CampaignRunConfig parsed;
+  std::istringstream lines(text);
+  std::string line;
+  std::ostringstream plan_text;
+  bool in_plan = false;
+  bool saw_plan = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "plan_begin") {
+      in_plan = true;
+      saw_plan = true;
+      continue;
+    }
+    if (line == "plan_end") {
+      in_plan = false;
+      continue;
+    }
+    if (in_plan) {
+      plan_text << line << "\n";
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) *error = "malformed artifact line: " + line;
+      return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "protocol") {
+        if (value == "o2pc") {
+          parsed.protocol = core::CommitProtocol::kOptimistic;
+        } else if (value == "2pc") {
+          parsed.protocol = core::CommitProtocol::kTwoPhaseCommit;
+        } else {
+          if (error != nullptr) *error = "unknown protocol: " + value;
+          return false;
+        }
+      } else if (key == "seed") {
+        parsed.seed = std::stoull(value);
+      } else if (key == "sites") {
+        parsed.num_sites = std::stoi(value);
+      } else if (key == "keys") {
+        parsed.keys_per_site = std::stoll(value);
+      } else if (key == "globals") {
+        parsed.num_globals = std::stoi(value);
+      } else if (key == "locals") {
+        parsed.num_locals = std::stoi(value);
+      } else if (key == "abort_prob") {
+        parsed.vote_abort_probability = std::stod(value);
+      } else if (key == "template") {
+        parsed.template_name = value;
+      } else {
+        if (error != nullptr) *error = "unknown artifact key: " + key;
+        return false;
+      }
+    } catch (...) {
+      if (error != nullptr) *error = "bad artifact value: " + line;
+      return false;
+    }
+  }
+  if (!saw_plan) {
+    if (error != nullptr) *error = "artifact has no plan_begin section";
+    return false;
+  }
+  if (!FaultPlan::Parse(plan_text.str(), &parsed.plan, error)) return false;
+  *config = std::move(parsed);
+  return true;
+}
+
+std::string WriteArtifact(const CampaignRunConfig& config,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ostringstream name;
+  name << "campaign_fail_" << config.seed << "_"
+       << (config.template_name.empty() ? "adhoc" : config.template_name)
+       << "_"
+       << (config.protocol == core::CommitProtocol::kOptimistic ? "o2pc"
+                                                                : "2pc")
+       << ".plan";
+  const std::string path = (std::filesystem::path(dir) / name.str()).string();
+  std::ofstream out(path);
+  if (!out) return "";
+  out << ArtifactToString(config);
+  return out ? path : "";
+}
+
+bool LoadArtifact(const std::string& path, CampaignRunConfig* config,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseArtifact(text.str(), config, error);
+}
+
+CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
+  CampaignReport report;
+  const std::vector<std::string>& templates =
+      options.templates.empty() ? DefaultTemplateNames() : options.templates;
+  O2PC_CHECK(!options.protocols.empty());
+  const int num_protocols = static_cast<int>(options.protocols.size());
+  const int num_templates = static_cast<int>(templates.size());
+  const auto start = std::chrono::steady_clock::now();
+
+  for (int i = 0; i < options.runs; ++i) {
+    if (options.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.time_budget_seconds) {
+        report.budget_exhausted = true;
+        break;
+      }
+    }
+    // Mixed-radix sweep: protocol fastest, then template, then seed — every
+    // {seed, template} is exercised under both protocols back to back.
+    CampaignRunConfig config;
+    config.protocol = options.protocols[i % num_protocols];
+    config.template_name = templates[(i / num_protocols) % num_templates];
+    config.seed =
+        options.base_seed +
+        static_cast<std::uint64_t>(i / (num_protocols * num_templates));
+    config.num_sites = options.num_sites;
+    config.keys_per_site = options.keys_per_site;
+    config.num_globals = options.num_globals;
+    config.num_locals = options.num_locals;
+    config.vote_abort_probability = options.vote_abort_probability;
+    config.plan =
+        GeneratePlan(config.template_name, config.seed, config.num_sites);
+
+    const CampaignRunResult result = RunOne(config);
+    ++report.runs_completed;
+    report.total_faults_triggered +=
+        static_cast<std::uint64_t>(result.faults_triggered);
+    if (verbose) {
+      std::cerr << "[campaign] run " << i << " seed=" << config.seed
+                << " template=" << config.template_name << " protocol="
+                << (config.protocol == core::CommitProtocol::kOptimistic
+                        ? "o2pc"
+                        : "2pc")
+                << " faults=" << result.faults_triggered
+                << (result.ok() ? " ok" : " FAIL") << "\n";
+    }
+    if (result.ok()) continue;
+
+    ++report.runs_failed;
+    CampaignFailure failure;
+    failure.config = config;
+    failure.oracle = result.oracle;
+    failure.shrunk_plan = config.plan;
+    if (options.shrink_failures) {
+      failure.shrunk_plan = ShrinkFaultPlan(config).plan;
+    }
+    if (!options.artifact_dir.empty()) {
+      CampaignRunConfig artifact_config = config;
+      artifact_config.plan = failure.shrunk_plan;
+      failure.artifact_path =
+          WriteArtifact(artifact_config, options.artifact_dir);
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+}  // namespace o2pc::campaign

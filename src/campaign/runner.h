@@ -1,0 +1,132 @@
+#ifndef O2PC_CAMPAIGN_RUNNER_H_
+#define O2PC_CAMPAIGN_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/audit.h"
+#include "campaign/fault_plan.h"
+#include "core/protocol.h"
+
+/// \file
+/// The fault-campaign runner: sweeps randomized fleets of simulations —
+/// seeds x fault-plan templates x {O2PC, 2PC} — with a FaultInjector
+/// executing each plan and the oracle battery (campaign/audit.h) judging
+/// each run. Every run is identified by its `{seed, plan}` pair and its
+/// JSONL journal fingerprint; a failing pair is written as a replayable
+/// artifact and greedily shrunk (campaign/shrink.h) to a minimal plan.
+
+namespace o2pc::campaign {
+
+/// Everything needed to reproduce one run bit-identically.
+struct CampaignRunConfig {
+  core::CommitProtocol protocol = core::CommitProtocol::kOptimistic;
+  std::uint64_t seed = 1;
+  FaultPlan plan;
+  int num_sites = 4;
+  DataKey keys_per_site = 24;
+  int num_globals = 24;
+  int num_locals = 12;
+  double vote_abort_probability = 0.15;
+  /// Campaign provenance, carried into artifacts (informational).
+  std::string template_name;
+};
+
+/// Outcome of one run.
+struct CampaignRunResult {
+  OracleReport oracle;
+  /// The run's full JSONL trace journal (the replay-comparison artifact).
+  std::string journal;
+  /// FNV-1a 64-bit fingerprint of `journal`; equal fingerprints across
+  /// replays certify deterministic reproduction.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t compensations = 0;
+  std::uint64_t site_crashes = 0;
+  std::uint64_t coordinator_crashes = 0;
+  std::uint64_t messages_dropped = 0;
+  int faults_triggered = 0;
+  SimTime makespan = 0;
+
+  bool ok() const { return oracle.ok(); }
+};
+
+/// FNV-1a 64-bit (for journal fingerprints).
+std::uint64_t Fingerprint(const std::string& text);
+
+/// Executes one run: builds the system, arms the injector, drives the
+/// workload, drains the simulation, runs the oracles, and exports the
+/// journal.
+CampaignRunResult RunOne(const CampaignRunConfig& config);
+
+/// Campaign sweep parameters.
+struct CampaignOptions {
+  /// Total runs across the protocol x template x seed grid.
+  int runs = 100;
+  std::uint64_t base_seed = 1;
+  /// Templates swept round-robin; empty = DefaultTemplateNames().
+  std::vector<std::string> templates;
+  /// Protocols swept round-robin.
+  std::vector<core::CommitProtocol> protocols = {
+      core::CommitProtocol::kOptimistic,
+      core::CommitProtocol::kTwoPhaseCommit,
+  };
+  /// Wall-clock budget in seconds (0 = unlimited); the sweep stops early —
+  /// reporting how many runs it covered — when exceeded.
+  double time_budget_seconds = 0.0;
+  /// Directory for failure artifacts (empty = don't write).
+  std::string artifact_dir;
+  /// Shrink each failing plan before reporting it.
+  bool shrink_failures = true;
+  /// Per-run workload sizing.
+  int num_sites = 4;
+  DataKey keys_per_site = 24;
+  int num_globals = 24;
+  int num_locals = 12;
+  double vote_abort_probability = 0.15;
+};
+
+/// One failing run, with its (possibly shrunk) reproduction recipe.
+struct CampaignFailure {
+  CampaignRunConfig config;
+  /// The minimal failing plan (== config.plan when shrinking is off).
+  FaultPlan shrunk_plan;
+  OracleReport oracle;
+  /// Path of the written artifact (empty when artifact_dir was empty).
+  std::string artifact_path;
+};
+
+struct CampaignReport {
+  int runs_completed = 0;
+  int runs_failed = 0;
+  bool budget_exhausted = false;
+  std::uint64_t total_faults_triggered = 0;
+  std::vector<CampaignFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the sweep. Progress lines go to stderr when `verbose`.
+CampaignReport RunCampaign(const CampaignOptions& options,
+                           bool verbose = false);
+
+/// Serializes `config` (header + plan) as a self-contained replay artifact.
+std::string ArtifactToString(const CampaignRunConfig& config);
+
+/// Parses an artifact produced by ArtifactToString. Returns false (setting
+/// `error` if non-null) on malformed input.
+bool ParseArtifact(const std::string& text, CampaignRunConfig* config,
+                   std::string* error = nullptr);
+
+/// Writes/reads an artifact file. WriteArtifact returns the path written
+/// (empty on I/O failure).
+std::string WriteArtifact(const CampaignRunConfig& config,
+                          const std::string& dir);
+bool LoadArtifact(const std::string& path, CampaignRunConfig* config,
+                  std::string* error = nullptr);
+
+}  // namespace o2pc::campaign
+
+#endif  // O2PC_CAMPAIGN_RUNNER_H_

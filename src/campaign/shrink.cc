@@ -1,0 +1,38 @@
+#include "campaign/shrink.h"
+
+namespace o2pc::campaign {
+
+ShrinkResult ShrinkFaultPlan(const CampaignRunConfig& config, int max_runs) {
+  ShrinkResult result;
+  result.plan = config.plan;
+  ++result.runs_used;
+  if (RunOne(config).ok()) return result;  // not failing: nothing to shrink
+
+  bool removed_any = true;
+  while (removed_any) {
+    removed_any = false;
+    std::size_t i = 0;
+    while (i < result.plan.events.size()) {
+      if (result.runs_used >= max_runs) {
+        result.reached_fixpoint = false;
+        return result;
+      }
+      CampaignRunConfig probe = config;
+      probe.plan = result.plan;
+      probe.plan.events.erase(probe.plan.events.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      ++result.runs_used;
+      if (!RunOne(probe).ok()) {
+        // Still fails without this event: it was not needed. Stay at `i`,
+        // which now indexes the next candidate.
+        result.plan = std::move(probe.plan);
+        removed_any = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace o2pc::campaign

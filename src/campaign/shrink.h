@@ -1,0 +1,32 @@
+#ifndef O2PC_CAMPAIGN_SHRINK_H_
+#define O2PC_CAMPAIGN_SHRINK_H_
+
+#include "campaign/runner.h"
+
+/// \file
+/// Greedy fault-plan shrinking: given a failing `{seed, plan}` run, remove
+/// one fault event at a time, keeping each removal that still reproduces an
+/// oracle violation, until a fixpoint (no single event can be removed) or
+/// the run budget is exhausted. The simulation is deterministic, so every
+/// probe is exact — no flaky-reproduction heuristics needed.
+
+namespace o2pc::campaign {
+
+struct ShrinkResult {
+  /// A minimal still-failing plan (1-minimal w.r.t. event removal when the
+  /// budget sufficed).
+  FaultPlan plan;
+  /// Simulation runs spent probing.
+  int runs_used = 0;
+  /// False when max_runs cut the search short of the fixpoint.
+  bool reached_fixpoint = true;
+};
+
+/// Shrinks `config.plan`. `config` must currently fail its oracles; if it
+/// does not, the original plan is returned untouched (runs_used = 1).
+ShrinkResult ShrinkFaultPlan(const CampaignRunConfig& config,
+                             int max_runs = 64);
+
+}  // namespace o2pc::campaign
+
+#endif  // O2PC_CAMPAIGN_SHRINK_H_

@@ -63,6 +63,9 @@ void CompensationExecutor::NextOp(std::shared_ptr<Attempt> attempt) {
   }
   const local::Operation op = attempt->request.plan[attempt->next_op];
   db_->Execute(attempt->ct_id, op, [this, attempt](Result<Value> result) {
+    // A crash rolled this CT attempt back already (and recovery owns the
+    // redo, from the WAL's counter-operations): abandon the stale callback.
+    if (Superseded(attempt)) return;
     if (result.ok() || result.status().IsNotFound() ||
         result.status().IsConflict()) {
       // NotFound/Conflict: the counter-operation is semantically moot

@@ -136,6 +136,13 @@ void Coordinator::OnSubtxnAck(const net::Message& message) {
   AbortEarly(payload->status, restartable);
 }
 
+void Coordinator::AnnounceDecide() {
+  if (options_.step_hook != nullptr && *options_.step_hook) {
+    (*options_.step_hook)(
+        StepContext{ProtocolStep::kCoordinatorDecide, options_.home, id_});
+  }
+}
+
 void Coordinator::AbortEarly(const Status& status, bool restartable) {
   decision_commit_ = false;
   abort_status_ = status;
@@ -144,6 +151,7 @@ void Coordinator::AbortEarly(const Status& status, bool restartable) {
   decide_time_ = simulator_->Now();
   O2PC_TRACE(kDecide, options_.home, id_, /*commit=*/0, /*early=*/1);
   if (stats_ != nullptr) stats_->Incr("global_aborts_early");
+  AnnounceDecide();
   BroadcastDecision();
 }
 
@@ -203,6 +211,7 @@ void Coordinator::Decide() {
   if (stats_ != nullptr) {
     stats_->Incr(decision_commit_ ? "decisions_commit" : "decisions_abort");
   }
+  AnnounceDecide();
 
   if (options_.protocol.coordinator_crash_probability > 0.0 &&
       rng_.Bernoulli(options_.protocol.coordinator_crash_probability)) {
@@ -229,6 +238,28 @@ void Coordinator::Decide() {
 }
 
 void Coordinator::BroadcastDecision() {
+  if (crash_requested_) {
+    // Injected crash: the decision is already force-logged, but no DECISION
+    // message leaves before recovery — the exact window the probabilistic
+    // crash in Decide() samples, pinned deterministically.
+    crash_requested_ = false;
+    phase_ = Phase::kCrashed;
+    if (stats_ != nullptr) stats_->Incr("coordinator_crashes");
+    O2PC_TRACE(kCoordinatorCrash, options_.home, id_);
+    O2PC_LOG(kDebug) << "coordinator of T" << id_
+                     << " crashed (injected); recovery in "
+                     << options_.protocol.coordinator_recovery_delay << "us";
+    simulator_->Schedule(options_.protocol.coordinator_recovery_delay,
+                         [this] {
+                           std::optional<bool> logged = log_.DecisionFor(id_);
+                           O2PC_CHECK(logged.has_value());
+                           decision_commit_ = *logged;
+                           O2PC_TRACE(kCoordinatorRecover, options_.home, id_,
+                                      decision_commit_ ? 1 : 0);
+                           BroadcastDecision();
+                         });
+    return;
+  }
   phase_ = Phase::kBroadcasting;
   resend_count_ = 0;
   decision_acks_.clear();

@@ -13,6 +13,7 @@
 #include "core/marking.h"
 #include "core/messages.h"
 #include "core/protocol.h"
+#include "core/step_hook.h"
 #include "metrics/stats.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -42,6 +43,9 @@ class Coordinator {
   struct Options {
     ProtocolConfig protocol;
     SiteId home = 0;
+    /// Optional step-indexed instrumentation (fault injection); announced
+    /// at kCoordinatorDecide, right after the decision is force-logged.
+    const StepHook* step_hook = nullptr;
   };
 
   Coordinator(sim::Simulator* simulator, net::Network* network,
@@ -64,6 +68,15 @@ class Coordinator {
   /// Decision log (a kDecision record is force-written before broadcast).
   const storage::Wal& log() const { return log_; }
 
+  /// Deterministic crash injection: the next decision broadcast crashes
+  /// the coordinator instead (after its decision is force-logged, before
+  /// any DECISION message leaves), and recovery re-reads the log and
+  /// resends after `coordinator_recovery_delay` — the same window the
+  /// probabilistic `coordinator_crash_probability` models, but pinned to
+  /// an exact protocol step. Typically called from a StepHook at
+  /// kCoordinatorDecide (see DistributedSystem::InjectCoordinatorCrash).
+  void RequestCrash() { crash_requested_ = true; }
+
  private:
   enum class Phase {
     kIdle,
@@ -73,6 +86,9 @@ class Coordinator {
     kBroadcasting,
     kDone,
   };
+
+  /// Announces kCoordinatorDecide to the installed StepHook (if any).
+  void AnnounceDecide();
 
   void InvokeCurrent();
   void OnSubtxnAck(const net::Message& message);
@@ -117,6 +133,7 @@ class Coordinator {
   // Voting / broadcast state.
   std::map<SiteId, bool> votes_;
   bool recovery_abort_seen_ = false;
+  bool crash_requested_ = false;
   bool decision_commit_ = false;
   Status abort_status_;
   bool restartable_ = false;

@@ -25,6 +25,12 @@ Participant::Participant(sim::Simulator* simulator, net::Network* network,
   O2PC_CHECK(knowledge != nullptr);
 }
 
+void Participant::Step(ProtocolStep step, TxnId txn) {
+  if (options_.step_hook != nullptr && *options_.step_hook) {
+    (*options_.step_hook)(StepContext{step, site(), txn});
+  }
+}
+
 void Participant::OnMessage(const net::Message& message) {
   switch (message.type) {
     case net::MessageType::kSubtxnInvoke:
@@ -79,6 +85,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
     sub.merged_marks = sub.invoke_marks;
     sub.merged_marks.visited_sites.push_back(site());
     O2PC_TRACE(kSubtxnAdmit, site(), message.txn, sub.attempt);
+    Step(ProtocolStep::kSubtxnAdmit, message.txn);
     ExecuteNext(message.txn);
     return;
   }
@@ -134,6 +141,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
           sub.merged_marks.retired_seen[retired_ti].insert(site());
         }
         O2PC_TRACE(kSubtxnAdmit, site(), gid, sub.attempt);
+        Step(ProtocolStep::kSubtxnAdmit, gid);
         O2PC_LOG(kDebug) << "site " << site() << " admits T" << gid << " ["
                          << sub.merged_marks.ToString() << "] at "
                          << simulator_->Now();
@@ -242,11 +250,14 @@ void Participant::FailSubtxn(TxnId global_id, const Status& status) {
   O2PC_TRACE(kSubtxnFail, site(), global_id);
   O2PC_LOG(kDebug) << "site " << site() << " subtxn of T" << global_id
                    << " failed: " << status.ToString();
-  // Roll back the partial execution. The rollback is the degenerate
-  // CT_ik: the forward accesses and the undo writes both enter the SG, and
-  // per Figure 2 the site becomes undone w.r.t. the dying transaction —
-  // even a pre-vote rollback's undo writes can seed regular cycles through
-  // conflict chains, so the mark is not optional.
+  // Roll back the partial execution. The forward accesses stay in the SG
+  // (aborted globals are §5 nodes); the undo itself is invisible (exact
+  // restore behind the subtransaction's own locks). Per Figure 2 the site
+  // still becomes undone w.r.t. the dying transaction: the mark tracks the
+  // *protocol* state for admission control, conservatively — the
+  // transaction may be exposed at other sites, and undone-dependence must
+  // stay visible to the stratification checks regardless of what this
+  // site's oracle graph records.
   db_->RollbackSubtxn(sub.local_id);
   AddUndoneMark(global_id, /*exposed=*/false,  // pre-vote: nothing exposed
                 trace::MarkReason::kRollback);
@@ -360,10 +371,18 @@ void Participant::OnVoteRequest(const net::Message& message) {
   }
   O2PC_CHECK(sub.executed) << "VOTE-REQ before subtxn completion";
   const TxnId gid = message.txn;
-  simulator_->Schedule(options_.protocol.vote_processing_delay, [this, gid] {
-    Subtxn& sub = subtxns_.at(gid);
+  const std::uint64_t epoch = db_->epoch();
+  simulator_->Schedule(options_.protocol.vote_processing_delay,
+                       [this, gid, epoch] {
+    // A crash in the processing window wiped the runtime; the coordinator's
+    // resent VOTE-REQ will be answered from the WAL instead.
+    if (db_->epoch() != epoch) return;
+    auto it = subtxns_.find(gid);
+    if (it == subtxns_.end()) return;
+    Subtxn& sub = it->second;
     if (sub.voted) return;
     sub.voted = true;
+    Step(ProtocolStep::kBeforeVote, gid);
     if (sub.force_abort_vote) {
       // Unilateral local abort at vote time (autonomy / local integrity):
       // roll back now — this is the undone transition of Figure 2.
@@ -373,6 +392,7 @@ void Participant::OnVoteRequest(const net::Message& message) {
       AddUndoneMark(gid, /*exposed=*/true, trace::MarkReason::kVoteAbort);
       if (stats_ != nullptr) stats_->Incr("votes_abort");
       SendVote(sub, false);
+      Step(ProtocolStep::kAfterVote, gid);
       return;
     }
     sub.vote_commit = true;
@@ -382,13 +402,16 @@ void Participant::OnVoteRequest(const net::Message& message) {
       // O2PC's crux: the site locally commits and releases everything.
       db_->LocallyCommit(sub.local_id);
       if (MaintainLcMarks()) marks_.locally_committed.insert(gid);
+      Step(ProtocolStep::kLocalCommit, gid);
     } else {
       // 2PC (or a pending real action): keep exclusive locks, release
       // shared ones.
       db_->PrepareAndReleaseShared(sub.local_id);
+      Step(ProtocolStep::kPrepare, gid);
     }
     if (stats_ != nullptr) stats_->Incr("votes_commit");
     SendVote(sub, true);
+    Step(ProtocolStep::kAfterVote, gid);
   });
 }
 
@@ -451,14 +474,22 @@ void Participant::OnDecision(const net::Message& message) {
   const bool commit = raw->commit;
   const bool exposed = raw->exposed;
   const std::vector<SiteId> exec_sites = raw->exec_sites;
+  const std::uint64_t epoch = db_->epoch();
   simulator_->Schedule(
       options_.protocol.decision_processing_delay,
-      [this, gid, commit, exposed, exec_sites] {
-        Subtxn& sub = subtxns_.at(gid);
+      [this, gid, commit, exposed, exec_sites, epoch] {
+        // A crash in the processing window wiped the runtime; the resent
+        // DECISION resolves the transaction from the WAL instead.
+        if (db_->epoch() != epoch) return;
+        auto decision_it = subtxns_.find(gid);
+        if (decision_it == subtxns_.end()) return;
+        Subtxn& sub = decision_it->second;
+        Step(ProtocolStep::kBeforeDecision, gid);
         if (commit) {
           db_->FinalizeCommit(sub.local_id);
           if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
           SendDecisionAck(sub, /*compensated=*/false);
+          Step(ProtocolStep::kAfterDecision, gid);
           return;
         }
         // DECISION = abort. Remember where the transaction executed —
@@ -494,7 +525,9 @@ void Participant::OnDecision(const net::Message& message) {
                             trace::MarkReason::kCompensation);
               if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
               SendDecisionAck(sub, /*compensated=*/true);
+              Step(ProtocolStep::kAfterDecision, gid);
             };
+            Step(ProtocolStep::kCompensationBegin, gid);
             compensator_.Run(std::move(request));
             return;
           }
@@ -506,10 +539,12 @@ void Participant::OnDecision(const net::Message& message) {
             AddUndoneMark(gid, exposed, trace::MarkReason::kDecisionRollback);
             if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
             SendDecisionAck(sub, /*compensated=*/false);
+            Step(ProtocolStep::kAfterDecision, gid);
             return;
           case local::LocalTxnState::kAborted:
             // Abort-voter or failed subtransaction: already rolled back.
             SendDecisionAck(sub, /*compensated=*/false);
+            Step(ProtocolStep::kAfterDecision, gid);
             return;
           case local::LocalTxnState::kCommitted:
             O2PC_CHECK(false) << "abort decision for committed subtxn";

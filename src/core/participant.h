@@ -12,6 +12,7 @@
 #include "core/marking.h"
 #include "core/messages.h"
 #include "core/protocol.h"
+#include "core/step_hook.h"
 #include "local/local_db.h"
 #include "metrics/stats.h"
 #include "net/network.h"
@@ -41,6 +42,9 @@ class Participant {
     /// Reserved key whose lock serializes access to the marking sets
     /// (the paper stores `sitemarks.k` in the local database, §6.2).
     DataKey marks_key = 0;
+    /// Optional step-indexed instrumentation (fault injection). Points at
+    /// the owner's hook slot so it can be (re)installed after construction.
+    const StepHook* step_hook = nullptr;
   };
 
   Participant(sim::Simulator* simulator, net::Network* network,
@@ -134,6 +138,9 @@ class Participant {
             options_.protocol.governance == GovernancePolicy::kSimple);
   }
 
+  /// Announces a protocol step to the installed StepHook (if any).
+  void Step(ProtocolStep step, TxnId txn);
+
   void OnSubtxnInvoke(const net::Message& message);
   void OnVoteRequest(const net::Message& message);
   void OnDecision(const net::Message& message);
@@ -151,7 +158,7 @@ class Participant {
   /// Records witnesses and sends the OK ack.
   void CompleteExecution(Subtxn& sub);
   /// The subtransaction failed locally (deadlock, semantic error):
-  /// roll back, mark undone (rollback is the degenerate CT_ik), ack.
+  /// roll back (invisible exact restore), mark undone, ack.
   void FailSubtxn(TxnId global_id, const Status& status);
   void SendAck(Subtxn& sub, std::shared_ptr<const SubtxnAckPayload> payload);
 

@@ -1,0 +1,97 @@
+#ifndef O2PC_CORE_STEP_HOOK_H_
+#define O2PC_CORE_STEP_HOOK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+/// \file
+/// Step-indexed protocol instrumentation points for deterministic fault
+/// injection. The commit layer announces every protocol step it takes
+/// (subtransaction admission, votes, local commits, decisions,
+/// compensation starts) through an optional StepHook; the campaign
+/// subsystem's FaultInjector counts occurrences of each (step, site) pair
+/// and pins faults — "crash site 2 at its first local commit", "crash the
+/// coordinator right after its third decision is logged" — to exact
+/// protocol instants, which makes a randomized fault schedule replayable
+/// from its seed.
+///
+/// Hooks run synchronously inside the protocol step that announced them,
+/// so they must not mutate protocol state directly. The two sanctioned
+/// effects are (a) scheduling work on the simulator (a zero-delay event
+/// runs after the current step completes — the right way to crash a site
+/// "at" a step) and (b) DistributedSystem::InjectCoordinatorCrash, which
+/// only marks a flag the coordinator checks before broadcasting.
+
+namespace o2pc::core {
+
+/// The instrumented protocol steps, in rough protocol order.
+enum class ProtocolStep : std::uint8_t {
+  kSubtxnAdmit = 0,    ///< rule R1 admitted a subtransaction at a site
+  kBeforeVote,         ///< VOTE-REQ accepted; vote processing starts
+  kLocalCommit,        ///< O2PC early local commit (all locks released)
+  kPrepare,            ///< 2PC prepared (exclusive locks retained)
+  kAfterVote,          ///< the VOTE message was handed to the network
+  kBeforeDecision,     ///< DECISION accepted; processing starts
+  kCompensationBegin,  ///< abort decision: compensation is about to run
+  kAfterDecision,      ///< the decision was fully processed and acked
+  kCoordinatorDecide,  ///< the coordinator force-logged its decision
+};
+inline constexpr int kNumProtocolSteps =
+    static_cast<int>(ProtocolStep::kCoordinatorDecide) + 1;
+
+/// Stable machine-readable step name ("local_commit", ...) — also the
+/// vocabulary of the campaign fault-plan grammar.
+inline const char* ProtocolStepName(ProtocolStep step) {
+  switch (step) {
+    case ProtocolStep::kSubtxnAdmit:
+      return "subtxn_admit";
+    case ProtocolStep::kBeforeVote:
+      return "before_vote";
+    case ProtocolStep::kLocalCommit:
+      return "local_commit";
+    case ProtocolStep::kPrepare:
+      return "prepare";
+    case ProtocolStep::kAfterVote:
+      return "after_vote";
+    case ProtocolStep::kBeforeDecision:
+      return "before_decision";
+    case ProtocolStep::kCompensationBegin:
+      return "compensation_begin";
+    case ProtocolStep::kAfterDecision:
+      return "after_decision";
+    case ProtocolStep::kCoordinatorDecide:
+      return "coordinator_decide";
+  }
+  return "unknown";
+}
+
+/// Inverse of ProtocolStepName. Returns false if `name` is not a step.
+inline bool ParseProtocolStep(const std::string& name, ProtocolStep* step) {
+  for (int i = 0; i < kNumProtocolSteps; ++i) {
+    const ProtocolStep candidate = static_cast<ProtocolStep>(i);
+    if (name == ProtocolStepName(candidate)) {
+      *step = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// What the hook learns about the announced step.
+struct StepContext {
+  ProtocolStep step = ProtocolStep::kSubtxnAdmit;
+  /// The site taking the step (the coordinator's home for
+  /// kCoordinatorDecide).
+  SiteId site = kInvalidSite;
+  /// The global transaction the step belongs to.
+  TxnId txn = kInvalidTxn;
+};
+
+using StepHook = std::function<void(const StepContext&)>;
+
+}  // namespace o2pc::core
+
+#endif  // O2PC_CORE_STEP_HOOK_H_

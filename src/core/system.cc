@@ -8,7 +8,7 @@ namespace o2pc::core {
 DistributedSystem::SiteRuntime::SiteRuntime(
     sim::Simulator* simulator, net::Network* network, TxnIdAllocator* ids,
     WitnessKnowledge* shared_knowledge, metrics::StatsCollector* stats,
-    SiteId site, const SystemOptions& options)
+    SiteId site, const SystemOptions& options, const StepHook* step_hook)
     : db(simulator,
          local::LocalDb::Options{site, options.op_cost,
                                  options.lock_wait_timeout,
@@ -18,7 +18,7 @@ DistributedSystem::SiteRuntime::SiteRuntime(
           simulator, network, &db, ids,
           shared_knowledge != nullptr ? shared_knowledge : &own_knowledge,
           stats,
-          Participant::Options{options.protocol, kMarksKey}) {}
+          Participant::Options{options.protocol, kMarksKey, step_hook}) {}
 
 DistributedSystem::DistributedSystem(SystemOptions options)
     : options_(options),
@@ -34,7 +34,8 @@ DistributedSystem::DistributedSystem(SystemOptions options)
   for (int i = 0; i < options_.num_sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);
     sites_.push_back(std::make_unique<SiteRuntime>(
-        &simulator_, &network_, &ids_, shared, &stats_, site, options_));
+        &simulator_, &network_, &ids_, shared, &stats_, site, options_,
+        &step_hook_));
     network_.RegisterNode(site, [this, site](const net::Message& message) {
       Dispatch(site, message);
     });
@@ -100,7 +101,8 @@ TxnId DistributedSystem::SubmitGlobal(GlobalTxnSpec spec,
 void DistributedSystem::LaunchGlobal(std::shared_ptr<PendingGlobal> pending,
                                      TxnId id) {
   const SiteId home = pending->spec.subtxns.front().site;
-  Coordinator::Options coordinator_options{options_.protocol, home};
+  Coordinator::Options coordinator_options{options_.protocol, home,
+                                           &step_hook_};
   auto coordinator = std::make_unique<Coordinator>(
       &simulator_, &network_,
       // The coordinator shares its home site's witness knowledge — it is a
@@ -174,13 +176,34 @@ void DistributedSystem::AttemptLocal(std::shared_ptr<PendingLocal> pending) {
   runtime.db.Begin(id, TxnKind::kLocal);
   auto entry_undone = std::make_shared<std::set<TxnId>>(
       runtime.participant.SnapshotUndone());
-  RunLocalOp(std::move(pending), id, std::move(entry_undone), 0);
+  RunLocalOp(std::move(pending), id, std::move(entry_undone),
+             runtime.db.epoch(), 0);
+}
+
+void DistributedSystem::RescheduleLocal(std::shared_ptr<PendingLocal> pending,
+                                        const char* counter) {
+  ++pending->attempts;
+  stats_.Incr(counter);
+  if (pending->attempts > options_.max_local_retries) {
+    stats_.Incr("locals_failed");
+    if (pending->done) pending->done(false);
+    return;
+  }
+  simulator_.Schedule(options_.local_retry_backoff * pending->attempts,
+                      [this, pending] { AttemptLocal(std::move(pending)); });
 }
 
 void DistributedSystem::RunLocalOp(
     std::shared_ptr<PendingLocal> pending, TxnId id,
-    std::shared_ptr<std::set<TxnId>> entry_undone, std::size_t index) {
+    std::shared_ptr<std::set<TxnId>> entry_undone, std::uint64_t epoch,
+    std::size_t index) {
   SiteRuntime& runtime = *sites_.at(pending->site);
+  if (runtime.db.epoch() != epoch) {
+    // The site crashed while this transaction was in flight; recovery
+    // already rolled it back. Retry as a fresh transaction.
+    RescheduleLocal(std::move(pending), "local_crash_retries");
+    return;
+  }
   if (index >= pending->ops.size()) {
     runtime.db.CommitLocal(id);
     runtime.participant.WitnessLocal(*entry_undone);
@@ -190,26 +213,21 @@ void DistributedSystem::RunLocalOp(
   }
   runtime.db.Execute(
       id, pending->ops[index],
-      [this, pending, id, entry_undone, index](Result<Value> result) {
+      [this, pending, id, entry_undone, epoch, index](Result<Value> result) {
+        if (sites_.at(pending->site)->db.epoch() != epoch) {
+          RescheduleLocal(pending, "local_crash_retries");
+          return;
+        }
         if (result.ok() || result.status().IsNotFound() ||
             result.status().IsConflict()) {
           // Semantic misses (another transaction erased/inserted the key)
           // do not abort background traffic.
-          RunLocalOp(pending, id, entry_undone, index + 1);
+          RunLocalOp(pending, id, entry_undone, epoch, index + 1);
           return;
         }
         // Deadlock victim: retry as a fresh transaction.
         sites_.at(pending->site)->db.AbortLocal(id);
-        ++pending->attempts;
-        stats_.Incr("local_deadlock_retries");
-        if (pending->attempts > options_.max_local_retries) {
-          stats_.Incr("locals_failed");
-          if (pending->done) pending->done(false);
-          return;
-        }
-        simulator_.Schedule(
-            options_.local_retry_backoff * pending->attempts,
-            [this, pending] { AttemptLocal(pending); });
+        RescheduleLocal(pending, "local_deadlock_retries");
       });
 }
 
@@ -227,10 +245,22 @@ void DistributedSystem::CrashSite(SiteId site, Duration outage) {
              static_cast<std::int64_t>(loser_globals.size()));
   runtime.participant.OnCrash(loser_globals);
   stats_.Incr("site_crashes");
-  simulator_.Schedule(outage, [this, site] {
-    O2PC_TRACE(kSiteRecover, site, kInvalidTxn);
-    network_.SetNodeDown(site, false);
-  });
+  if (outage > 0) {
+    simulator_.Schedule(outage, [this, site] {
+      O2PC_TRACE(kSiteRecover, site, kInvalidTxn);
+      network_.SetNodeDown(site, false);
+    });
+  }
+}
+
+void DistributedSystem::InjectCoordinatorCrash(TxnId txn) {
+  auto it = coordinators_.find(txn);
+  if (it == coordinators_.end()) {
+    O2PC_LOG(kWarn) << "no coordinator for T" << txn
+                    << "; injected crash ignored";
+    return;
+  }
+  it->second->RequestCrash();
 }
 
 sg::CorrectnessReport DistributedSystem::Analyze() const {

@@ -86,8 +86,22 @@ class DistributedSystem {
 
   /// Crashes `site` now (volatile state lost, WAL-driven recovery runs)
   /// and keeps it unreachable for `outage`; in-flight protocols recover
-  /// through the coordinators' retransmission timers.
+  /// through the coordinators' retransmission timers. An `outage` <= 0
+  /// means the site never recovers (permanent failure).
   void CrashSite(SiteId site, Duration outage);
+
+  /// Installs (or, with nullptr, clears) the step-indexed instrumentation
+  /// hook, announced synchronously by participants and coordinators at
+  /// each ProtocolStep. Install before submitting work; the hook slot is
+  /// shared by every site, so one injector observes the whole system.
+  void SetStepHook(StepHook hook) { step_hook_ = std::move(hook); }
+
+  /// Requests a deterministic coordinator crash for transaction `txn`: its
+  /// next decision broadcast crashes instead (decision already logged) and
+  /// recovers after `coordinator_recovery_delay`. Safe to call from a
+  /// StepHook at kCoordinatorDecide — it only sets a flag. No-op with a
+  /// warning when `txn` has no live coordinator.
+  void InjectCoordinatorCrash(TxnId txn);
 
   /// Post-run: evaluates the §5 correctness criterion, atomicity of
   /// compensation, and plain serializability over the recorded history.
@@ -99,6 +113,7 @@ class DistributedSystem {
   sim::Simulator& simulator() { return simulator_; }
   net::Network& network() { return network_; }
   local::LocalDb& db(SiteId site) { return sites_.at(site)->db; }
+  const local::LocalDb& db(SiteId site) const { return sites_.at(site)->db; }
   Participant& participant(SiteId site) {
     return sites_.at(site)->participant;
   }
@@ -115,7 +130,7 @@ class DistributedSystem {
     SiteRuntime(sim::Simulator* simulator, net::Network* network,
                 TxnIdAllocator* ids, WitnessKnowledge* shared_knowledge,
                 metrics::StatsCollector* stats, SiteId site,
-                const SystemOptions& options);
+                const SystemOptions& options, const StepHook* step_hook);
 
     local::LocalDb db;
     /// Site-local knowledge (unused when the oracle directory is shared).
@@ -146,9 +161,16 @@ class DistributedSystem {
   void OnGlobalDone(std::shared_ptr<PendingGlobal> pending,
                     const GlobalResult& result);
   void AttemptLocal(std::shared_ptr<PendingLocal> pending);
+  /// `epoch` is the site's crash epoch at Begin; callbacks landing after a
+  /// crash (which already rolled the transaction back) compare and retry
+  /// instead of touching the dead transaction.
   void RunLocalOp(std::shared_ptr<PendingLocal> pending, TxnId id,
                   std::shared_ptr<std::set<TxnId>> entry_undone,
-                  std::size_t index);
+                  std::uint64_t epoch, std::size_t index);
+  /// Retries `pending` as a fresh transaction (deadlock loss or crash
+  /// casualty), counting against the local retry budget.
+  void RescheduleLocal(std::shared_ptr<PendingLocal> pending,
+                       const char* counter);
 
   SystemOptions options_;
   sim::Simulator simulator_;
@@ -158,6 +180,9 @@ class DistributedSystem {
   metrics::StatsCollector stats_;
   /// Shared instant-knowledge directory (oracle mode).
   WitnessKnowledge oracle_knowledge_;
+  /// Step-indexed instrumentation slot; participants and coordinators hold
+  /// a pointer to it, so (re)installing after construction takes effect.
+  StepHook step_hook_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   std::map<TxnId, std::unique_ptr<Coordinator>> coordinators_;
   /// Incarnations that aborted without exposing anything — dropped from

@@ -344,15 +344,17 @@ void LocalDb::RollbackSubtxn(TxnId id) {
       << "RollbackSubtxn on " << LocalTxnStateName(rec.state);
   locks_->CancelWaits(id, Status::Aborted("subtxn rolling back"));
   // The forward accesses stay in the SG (aborted global transactions are SG
-  // nodes, per §5); the undo writes belong to the degenerate CT_ik.
+  // nodes, per §5). The undo, however, leaves no trace: this subtransaction
+  // never locally committed, so its exclusive locks covered every written
+  // key continuously from first write through the undo — no observer can
+  // distinguish the history from one where the writes never happened. CT
+  // nodes belong only to real compensation of *exposed* subtransactions;
+  // attributing this invisible undo to a CT manufactures SG edges that can
+  // close phantom regular cycles (found by the fault campaign: a partition
+  // stretching a mixed-vote window chained CT_i -> T_j through the
+  // abort-voting site even though the observable history serializes).
   FlushSgRecords(rec);
-  const storage::WriterTag ct_tag{rec.global_id, TxnKind::kCompensating};
-  std::vector<storage::UndoWrite> undone =
-      storage::RollbackTxn(wal_, table_, id, ct_tag);
-  const sg::NodeRef ct_node = sg::CompNode(rec.global_id);
-  for (const storage::UndoWrite& write : undone) {
-    tracker_.RecordAccess(ct_node, write.key, /*is_write=*/true);
-  }
+  storage::RollbackTxn(wal_, table_, id, storage::WriterTag{});
   rec.compensation_log.clear();
   rec.deferred_real_actions.clear();
   locks_->ReleaseAll(id);

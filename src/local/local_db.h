@@ -105,9 +105,11 @@ class LocalDb {
   std::vector<Operation> FinalizeCommit(TxnId id);
 
   /// Rolls back a subtransaction whose locks are still held (abort vote,
-  /// or 2PC DECISION = abort). The undo writes are attributed to CT_i and
-  /// recorded in the SG, per the paper's modelling of rollback as the
-  /// degenerate compensating subtransaction.
+  /// or 2PC DECISION = abort). The undo is an exact restore leaving no SG
+  /// or provenance trace: with exclusive locks covering every written key
+  /// from first write through the undo, the rollback is invisible — an
+  /// ordinary 2PL abort, not a compensating transaction (CTs exist only
+  /// for exposed, locally-committed subtransactions).
   void RollbackSubtxn(TxnId id);
 
   /// Counter-operations for compensating a locally-committed

@@ -30,9 +30,16 @@ Duration Network::DeliveryLatency(SiteId from, SiteId to) {
   return base + jitter;
 }
 
+void Network::CountDrop(const Message& message) {
+  stats_.dropped++;
+  O2PC_TRACE(kMsgDrop, message.from, message.txn,
+             static_cast<std::int64_t>(message.type), message.to);
+  O2PC_LOG(kDebug) << "dropped " << MessageTypeName(message.type) << " "
+                   << message.from << "->" << message.to;
+}
+
 void Network::Send(Message message) {
-  auto it = handlers_.find(message.to);
-  O2PC_CHECK(it != handlers_.end())
+  O2PC_CHECK(handlers_.contains(message.to))
       << "send to unregistered node " << message.to;
   stats_.sent_by_type[static_cast<int>(message.type)]++;
   stats_.sent_total++;
@@ -44,20 +51,31 @@ void Network::Send(Message message) {
       (options_.drop_probability > 0.0 &&
        message.from != message.to &&
        rng_.Bernoulli(options_.drop_probability))) {
-    stats_.dropped++;
-    O2PC_TRACE(kMsgDrop, message.from, message.txn,
-               static_cast<std::int64_t>(message.type), message.to);
-    O2PC_LOG(kDebug) << "dropped " << MessageTypeName(message.type) << " "
-                     << message.from << "->" << message.to;
+    CountDrop(message);
     return;
   }
 
-  const Duration latency = DeliveryLatency(message.from, message.to);
-  Handler* handler = &it->second;
-  simulator_->Schedule(latency, [handler, msg = std::move(message)]() {
+  Duration latency = DeliveryLatency(message.from, message.to);
+  if (fault_hook_) {
+    const FaultDecision decision = fault_hook_(message);
+    if (decision.drop) {
+      CountDrop(message);
+      return;
+    }
+    latency += decision.extra_delay;
+  }
+
+  simulator_->Schedule(latency, [this, msg = std::move(message)]() {
+    // Re-check the fault state at the delivery instant: a partition
+    // installed — or a destination crashed — while the message was in
+    // flight kills it deterministically.
+    if (down_.contains(msg.to) || Severed(msg.from, msg.to)) {
+      CountDrop(msg);
+      return;
+    }
     O2PC_TRACE(kMsgRecv, msg.to, msg.txn,
                static_cast<std::int64_t>(msg.type), msg.from);
-    (*handler)(msg);
+    handlers_.at(msg.to)(msg);
   });
 }
 

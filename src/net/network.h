@@ -16,8 +16,17 @@
 
 /// \file
 /// Simulated message-passing network: per-link latency with jitter, optional
-/// message loss, link partitions, and per-type delivery counters (the
-/// counters drive experiment E6, the "no extra messages" claim).
+/// message loss, link partitions, scriptable per-message fault hooks, and
+/// per-type delivery counters (the counters drive experiment E6, the "no
+/// extra messages" claim).
+///
+/// Partitions and node outages are enforced at **both** ends of a message's
+/// life: a message sent into a severed link (or to/from a down node) is
+/// dropped at send time, and a message already in flight when the link is
+/// severed — or when its destination crashes — is dropped at its delivery
+/// instant. A link healed before the delivery instant delivers normally
+/// (the packet was in the pipe). Both rules are pure functions of simulated
+/// time, so fault schedules replay deterministically.
 
 namespace o2pc::net {
 
@@ -43,9 +52,22 @@ struct NetworkStats {
   }
 };
 
+/// Verdict of a scriptable fault hook for one message.
+struct FaultDecision {
+  /// Drop the message (counted and traced like any other drop).
+  bool drop = false;
+  /// Extra one-way delay added on top of the link latency.
+  Duration extra_delay = 0;
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
+  /// Scriptable per-message fault hook, consulted at send time for every
+  /// message that passed the partition/outage/loss checks. Deterministic
+  /// hooks (e.g. "drop the 3rd DECISION from site 2") make fault schedules
+  /// replayable; see campaign::FaultInjector.
+  using FaultHook = std::function<FaultDecision(const Message&)>;
 
   Network(sim::Simulator* simulator, NetworkOptions options,
           std::uint64_t seed);
@@ -61,7 +83,8 @@ class Network {
   void Send(Message message);
 
   /// Severs both directions between `a` and `b`. Messages sent while a link
-  /// is severed are lost (counted as dropped).
+  /// is severed are lost (counted as dropped), and so are messages already
+  /// in flight whose delivery instant falls inside the partition.
   void SeverLink(SiteId a, SiteId b);
 
   /// Restores both directions between `a` and `b`.
@@ -73,9 +96,13 @@ class Network {
   /// Overrides the latency of the (directed) link a->b.
   void SetLinkLatency(SiteId a, SiteId b, Duration latency);
 
-  /// Marks a node down (crashed): messages addressed to it are dropped.
+  /// Marks a node down (crashed): messages addressed to it — including
+  /// ones already in flight — are dropped until it comes back up.
   void SetNodeDown(SiteId node, bool down);
   bool NodeDown(SiteId node) const { return down_.contains(node); }
+
+  /// Installs (or, with nullptr, clears) the scriptable fault hook.
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
@@ -83,9 +110,13 @@ class Network {
  private:
   Duration DeliveryLatency(SiteId from, SiteId to);
 
+  /// Records one drop (counter + trace event).
+  void CountDrop(const Message& message);
+
   sim::Simulator* simulator_;  // not owned
   NetworkOptions options_;
   Rng rng_;
+  FaultHook fault_hook_;
   std::map<SiteId, Handler> handlers_;
   std::set<std::pair<SiteId, SiteId>> severed_;
   std::set<SiteId> down_;

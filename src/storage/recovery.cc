@@ -15,12 +15,11 @@ std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
   for (auto it = updates.rbegin(); it != updates.rend(); ++it) {
     std::optional<Cell> before = it->before;
     if (before.has_value()) {
-      // Semantically the rollback *writes* the old value, so the restored
-      // cell is attributed to the compensating node, not the original
-      // writer (the paper models rollback as the degenerate CT_ik). An
-      // invalid undo_writer id requests an exact restore instead — used for
-      // rolled-back *local* transactions, which the paper's SG never
-      // contains and which therefore must leave no provenance trace.
+      // An invalid undo_writer id requests an exact restore (the original
+      // provenance survives) — the normal case: rollback of never-exposed
+      // work happens behind the transaction's own locks and must leave no
+      // provenance trace. A valid tag re-attributes the restored cells to
+      // that writer instead.
       Cell restored = *before;
       if (undo_writer.id != kInvalidTxn) restored.writer = undo_writer;
       table.Restore(it->key, restored);

@@ -10,10 +10,11 @@
 /// \file
 /// Undo-based recovery. Rolling back an uncommitted transaction applies its
 /// before-images in reverse LSN order — the paper's "standard roll-back
-/// using recovery techniques (e.g., undo from log)". The undo writes are
-/// attributed to the compensating node CT_i because the paper models a
-/// site-local rollback of T_ik as the degenerate compensating
-/// subtransaction CT_ik (§3.2).
+/// using recovery techniques (e.g., undo from log)". Callers that need the
+/// restored cells re-attributed to another writer can pass an `undo_writer`
+/// tag; an invalid tag requests an exact restore (original provenance),
+/// which is what every rollback of never-exposed work uses — under 2PL the
+/// undo happens behind the transaction's own locks and must leave no trace.
 
 namespace o2pc::storage {
 

@@ -92,7 +92,7 @@ const char* EventTypeName(EventType type);
 
 /// Why an undone mark was inserted (the `a` argument of kMarkInsert).
 enum class MarkReason : std::uint8_t {
-  kRollback = 0,      ///< pre-vote failure rollback (degenerate CT_ik)
+  kRollback = 0,      ///< pre-vote failure rollback (invisible undo)
   kVoteAbort = 1,     ///< unilateral abort at vote time
   kCompensation = 2,  ///< rule R2: the CT's completion marked the site
   kDecisionRollback = 3,  ///< DECISION=abort rollback with locks held

@@ -1,0 +1,247 @@
+// Tests for the fault-campaign harness: plan grammar round-trips, the
+// injector's step/message pins, oracle detection of a known-bad plan,
+// fault-plan shrinking, bit-identical seed replay, and a small healthy
+// campaign sweep.
+
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "campaign/injector.h"
+#include "campaign/shrink.h"
+
+namespace o2pc::campaign {
+namespace {
+
+CampaignRunConfig SmallConfig(core::CommitProtocol protocol,
+                              std::uint64_t seed) {
+  CampaignRunConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.num_sites = 3;
+  config.keys_per_site = 16;
+  config.num_globals = 12;
+  config.num_locals = 6;
+  config.vote_abort_probability = 0.15;
+  return config;
+}
+
+TEST(FaultPlanTest, RoundTripsThroughGrammar) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kSiteCrashAtStep;
+  crash.site = 2;
+  crash.step = core::ProtocolStep::kCompensationBegin;
+  crash.occurrence = 1;
+  crash.duration = Millis(40);
+  plan.events.push_back(crash);
+  FaultEvent timed;
+  timed.kind = FaultKind::kSiteCrashAtTime;
+  timed.site = 0;
+  timed.at = Millis(12);
+  timed.duration = Millis(30);
+  plan.events.push_back(timed);
+  FaultEvent partition;
+  partition.kind = FaultKind::kPartition;
+  partition.site = 0;
+  partition.peer = 1;
+  partition.at = Millis(8);
+  partition.duration = Millis(50);
+  plan.events.push_back(partition);
+  FaultEvent drop;
+  drop.kind = FaultKind::kDropMessage;
+  drop.msg_type = static_cast<int>(net::MessageType::kDecision);
+  drop.msg_from = kInvalidSite;
+  drop.msg_to = 2;
+  drop.occurrence = 1;
+  plan.events.push_back(drop);
+  FaultEvent delay;
+  delay.kind = FaultKind::kDelayMessage;
+  delay.msg_type = -1;
+  delay.msg_from = 1;
+  delay.msg_to = kInvalidSite;
+  delay.occurrence = 0;
+  delay.duration = Millis(20);
+  plan.events.push_back(delay);
+  FaultEvent coordinator;
+  coordinator.kind = FaultKind::kCoordinatorCrash;
+  coordinator.occurrence = 2;
+  plan.events.push_back(coordinator);
+
+  const std::string text = plan.ToString();
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.events.size(), plan.events.size());
+  EXPECT_EQ(parsed.ToString(), text);
+}
+
+TEST(FaultPlanTest, ParserIgnoresCommentsAndRejectsGarbage) {
+  FaultPlan parsed;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(
+      "# a comment\n\ncoordinator_crash occurrence=0\n", &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.events.size(), 1u);
+
+  EXPECT_FALSE(FaultPlan::Parse("explode site=1\n", &parsed, &error));
+  EXPECT_FALSE(FaultPlan::Parse("crash site=1\n", &parsed, &error));
+  EXPECT_FALSE(
+      FaultPlan::Parse("crash site=1 step=bogus occurrence=0 outage_us=1\n",
+                       &parsed, &error));
+}
+
+TEST(FaultPlanTest, TemplatesAreDeterministicPerSeed) {
+  for (const std::string& name : DefaultTemplateNames()) {
+    const FaultPlan a = GeneratePlan(name, 99, 4);
+    const FaultPlan b = GeneratePlan(name, 99, 4);
+    EXPECT_EQ(a.ToString(), b.ToString()) << name;
+    if (name != "none") {
+      EXPECT_FALSE(a.empty()) << name;
+    } else {
+      EXPECT_TRUE(a.empty());
+    }
+  }
+  // Different seeds draw different schedules (for at least one template).
+  EXPECT_NE(GeneratePlan("mixed", 1, 4).ToString(),
+            GeneratePlan("mixed", 2, 4).ToString());
+}
+
+TEST(ArtifactTest, RoundTripsConfigAndPlan) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 7);
+  config.template_name = "mixed";
+  config.plan = GeneratePlan("mixed", 7, config.num_sites);
+  const std::string text = ArtifactToString(config);
+  CampaignRunConfig parsed;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.protocol, config.protocol);
+  EXPECT_EQ(parsed.seed, config.seed);
+  EXPECT_EQ(parsed.num_sites, config.num_sites);
+  EXPECT_EQ(parsed.keys_per_site, config.keys_per_site);
+  EXPECT_EQ(parsed.num_globals, config.num_globals);
+  EXPECT_EQ(parsed.num_locals, config.num_locals);
+  EXPECT_EQ(parsed.template_name, config.template_name);
+  EXPECT_EQ(parsed.plan.ToString(), config.plan.ToString());
+
+  EXPECT_FALSE(ParseArtifact("seed=1\n", &parsed, &error));  // no plan
+}
+
+TEST(InjectorTest, StepPinnedCrashFiresExactlyOnce) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 5);
+  FaultEvent crash;
+  crash.kind = FaultKind::kSiteCrashAtStep;
+  crash.site = 0;
+  crash.step = core::ProtocolStep::kLocalCommit;
+  crash.occurrence = 0;
+  crash.duration = Millis(50);
+  config.plan.events.push_back(crash);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 1);
+  EXPECT_EQ(result.site_crashes, 1u);
+  // The site recovers and the retransmission safety net drains everything:
+  // a survivable crash must not trip any oracle.
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(InjectorTest, CoordinatorCrashPinFires) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 6);
+  FaultEvent crash;
+  crash.kind = FaultKind::kCoordinatorCrash;
+  crash.occurrence = 0;
+  config.plan.events.push_back(crash);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 1);
+  EXPECT_EQ(result.coordinator_crashes, 1u);
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(InjectorTest, MessageDropPinConsumesOneMessage) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 8);
+  FaultEvent drop;
+  drop.kind = FaultKind::kDropMessage;
+  drop.msg_type = static_cast<int>(net::MessageType::kVoteRequest);
+  drop.msg_from = kInvalidSite;
+  drop.msg_to = kInvalidSite;
+  drop.occurrence = 0;
+  config.plan.events.push_back(drop);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 1);
+  EXPECT_GE(result.messages_dropped, 1u);
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(OracleTest, KnownBadPlanIsCaught) {
+  // Site 0 crashes forever at its first local commit: the exposed
+  // subtransaction can never finalize or compensate. Both the trace
+  // checker (I3) and the in-doubt audit must fire.
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 1);
+  config.plan = KnownBadPlan(config.num_sites);
+  const CampaignRunResult result = RunOne(config);
+  ASSERT_FALSE(result.ok());
+  bool saw_audit = false;
+  bool saw_trace = false;
+  for (const std::string& violation : result.oracle.violations) {
+    if (violation.rfind("audit:", 0) == 0) saw_audit = true;
+    if (violation.rfind("trace:", 0) == 0) saw_trace = true;
+  }
+  EXPECT_TRUE(saw_audit) << result.oracle.Summary();
+  EXPECT_TRUE(saw_trace) << result.oracle.Summary();
+}
+
+TEST(ShrinkTest, KnownBadPlanShrinksToTheLethalEvent) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 1);
+  config.plan = KnownBadPlan(config.num_sites);
+  ASSERT_GE(config.plan.events.size(), 3u);  // lethal event + noise
+
+  const ShrinkResult shrunk = ShrinkFaultPlan(config);
+  EXPECT_TRUE(shrunk.reached_fixpoint);
+  ASSERT_LE(shrunk.plan.events.size(), 2u);
+  ASSERT_GE(shrunk.plan.events.size(), 1u);
+  // The surviving event is the permanent step-pinned crash.
+  const FaultEvent& survivor = shrunk.plan.events.front();
+  EXPECT_EQ(survivor.kind, FaultKind::kSiteCrashAtStep);
+  EXPECT_EQ(survivor.site, 0u);
+  EXPECT_EQ(survivor.step, core::ProtocolStep::kLocalCommit);
+  EXPECT_LE(survivor.duration, 0);
+  // The shrunk plan still fails.
+  CampaignRunConfig probe = config;
+  probe.plan = shrunk.plan;
+  EXPECT_FALSE(RunOne(probe).ok());
+}
+
+TEST(ReplayTest, SameSeedAndPlanYieldByteIdenticalJournals) {
+  for (const core::CommitProtocol protocol :
+       {core::CommitProtocol::kOptimistic,
+        core::CommitProtocol::kTwoPhaseCommit}) {
+    CampaignRunConfig config = SmallConfig(protocol, 21);
+    config.plan = GeneratePlan("mixed", 21, config.num_sites);
+    const CampaignRunResult first = RunOne(config);
+    const CampaignRunResult second = RunOne(config);
+    ASSERT_FALSE(first.journal.empty());
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.journal, second.journal);
+    EXPECT_EQ(first.faults_triggered, second.faults_triggered);
+    EXPECT_EQ(first.oracle.violations, second.oracle.violations);
+  }
+}
+
+TEST(CampaignTest, HealthySweepPassesAllOracles) {
+  CampaignOptions options;
+  options.runs = 14;  // one full template cycle under both protocols
+  options.base_seed = 3;
+  options.num_sites = 3;
+  options.keys_per_site = 16;
+  options.num_globals = 12;
+  options.num_locals = 6;
+  const CampaignReport report = RunCampaign(options);
+  EXPECT_EQ(report.runs_completed, 14);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.total_faults_triggered, 0u);
+}
+
+}  // namespace
+}  // namespace o2pc::campaign

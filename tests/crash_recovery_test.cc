@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/fault_plan.h"
+#include "campaign/injector.h"
 #include "core/system.h"
 #include "local/local_db.h"
 #include "sim/simulator.h"
@@ -315,6 +317,79 @@ TEST(SystemCrashTest, PeriodicCheckpointsTruncateAndStaySafe) {
   EXPECT_GT(system.db(0).wal().base_lsn(), 1u);
   EXPECT_EQ(system.TotalValue(), before);
   EXPECT_EQ(system.globals_finished(), 10u);
+  sg::CorrectnessReport report = system.Analyze();
+  EXPECT_TRUE(report.correct) << report.Summary();
+}
+
+// --- Step-indexed crash points (via the fault-campaign injector) -----------
+
+TEST(SystemCrashTest, CoordinatorCrashBeforeDecisionViaStepPoint) {
+  // The coordinator reaches its decision, force-logs it, and crashes
+  // before broadcasting (the classic in-doubt window). Recovery re-reads
+  // the log and rebroadcasts; the participants were never told anything
+  // contradictory, so the transfer still commits exactly once.
+  core::SystemOptions options = CrashSystemOptions();
+  core::DistributedSystem system(options);
+  campaign::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(
+      campaign::FaultPlan::Parse("coordinator_crash occurrence=0\n", &plan,
+                                 &error))
+      << error;
+  campaign::FaultInjector injector(&system, plan);
+  injector.Arm();
+  const Value before = system.TotalValue();
+  bool done = false;
+  core::GlobalResult result;
+  system.SubmitGlobal(workload::MakeTransfer(0, 1, 1, 2, 100),
+                      [&](const core::GlobalResult& r) {
+                        done = true;
+                        result = r;
+                      });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(injector.faults_triggered(), 1);
+  EXPECT_EQ(system.stats().Count("coordinator_crashes"), 1u);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 900);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1100);
+  EXPECT_EQ(system.TotalValue(), before);
+}
+
+TEST(SystemCrashTest, CrashDuringCompensationViaStepPoint) {
+  // Site 0 exposes its debit, the decision is ABORT (site 1 votes no),
+  // and the site crashes the instant its compensating transaction starts.
+  // Recovery must rebuild the CT from the WAL's counter-operations and
+  // run it to completion: conservation holds despite the crash landing
+  // inside the compensation window.
+  core::SystemOptions options = CrashSystemOptions();
+  core::DistributedSystem system(options);
+  campaign::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(campaign::FaultPlan::Parse(
+      "crash site=0 step=compensation_begin occurrence=0 outage_us=60000\n",
+      &plan, &error))
+      << error;
+  campaign::FaultInjector injector(&system, plan);
+  injector.Arm();
+  const Value before = system.TotalValue();
+  core::GlobalTxnSpec spec = workload::MakeTransfer(0, 1, 1, 2, 100);
+  spec.subtxns[1].force_abort_vote = true;
+  bool done = false;
+  core::GlobalResult result;
+  system.SubmitGlobal(spec, [&](const core::GlobalResult& r) {
+    done = true;
+    result = r;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(injector.faults_triggered(), 1);
+  EXPECT_EQ(system.stats().Count("site_crashes"), 1u);
+  EXPECT_FALSE(result.committed);
+  EXPECT_GE(system.stats().Count("compensations_committed"), 1u);
+  EXPECT_EQ(system.db(0).table().Get(1)->value, 1000);
+  EXPECT_EQ(system.db(1).table().Get(2)->value, 1000);
+  EXPECT_EQ(system.TotalValue(), before);
   sg::CorrectnessReport report = system.Analyze();
   EXPECT_TRUE(report.correct) << report.Summary();
 }

@@ -122,17 +122,21 @@ TEST_F(LocalDbTest, PrepareReleasesOnlySharedLocks) {
   EXPECT_EQ(db_.TxnState(10), LocalTxnState::kPrepared);
 }
 
-TEST_F(LocalDbTest, RollbackSubtxnAttributesUndoToCt) {
+TEST_F(LocalDbTest, RollbackSubtxnIsAnInvisibleExactRestore) {
   db_.Begin(10, TxnKind::kGlobal);
   Exec(10, {OpType::kIncrement, 1, 5});
   db_.RollbackSubtxn(10);
+  // The undo happened behind T10's own exclusive locks: value and
+  // provenance are exactly the pre-T10 cell, and no CT node enters the SG
+  // (a phantom CT10 here could close regular cycles the observable
+  // history never exhibits). The forward accesses stay — aborted globals
+  // are §5 nodes.
   EXPECT_EQ(db_.table().Get(1)->value, 100);
-  EXPECT_EQ(db_.table().Get(1)->writer.kind, TxnKind::kCompensating);
-  EXPECT_EQ(db_.table().Get(1)->writer.id, 10u);
-  // Both T10 and CT10 appear in the SG.
+  EXPECT_EQ(db_.table().Get(1)->writer.kind, TxnKind::kLocal);
+  EXPECT_EQ(db_.table().Get(1)->writer.id, 0u);  // original provenance
   sg::SerializationGraph graph = db_.tracker().BuildGraph();
   EXPECT_TRUE(graph.HasNode(sg::GlobalNode(10)));
-  EXPECT_TRUE(graph.HasNode(sg::CompNode(10)));
+  EXPECT_FALSE(graph.HasNode(sg::CompNode(10)));
 }
 
 TEST_F(LocalDbTest, FinalizeCommitRunsDeferredRealActions) {

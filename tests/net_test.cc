@@ -106,6 +106,66 @@ TEST_F(NetworkTest, CountsByType) {
   EXPECT_EQ(network_.stats().sent_total, 0u);
 }
 
+TEST_F(NetworkTest, PartitionDropsInFlightDeliveries) {
+  // Regression: the message leaves at t=0 (delivery due t=5ms) and the link
+  // is severed at t=1ms — the in-flight delivery must die at its delivery
+  // instant, not sneak through a partition installed while it was in the
+  // pipe.
+  network_.Send(Make(0, 1));
+  sim_.Schedule(Millis(1), [this] { network_.SeverLink(0, 1); });
+  sim_.Run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(network_.stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, PartitionHealedBeforeDeliveryStillDelivers) {
+  // The packet was in the pipe and the pipe is whole again at its delivery
+  // instant: sever at 1ms, heal at 3ms, delivery due at 5ms.
+  network_.Send(Make(0, 1));
+  sim_.Schedule(Millis(1), [this] { network_.SeverLink(0, 1); });
+  sim_.Schedule(Millis(3), [this] { network_.HealLink(0, 1); });
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].when, Millis(5));
+  EXPECT_EQ(network_.stats().dropped, 0u);
+}
+
+TEST_F(NetworkTest, DestinationCrashMidFlightDropsDelivery) {
+  network_.Send(Make(0, 1));
+  sim_.Schedule(Millis(2), [this] { network_.SetNodeDown(1, true); });
+  sim_.Run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(network_.stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, FaultHookDropsAndDelays) {
+  int seen = 0;
+  network_.SetFaultHook([&](const Message& message) {
+    FaultDecision decision;
+    ++seen;
+    if (seen == 1) decision.drop = true;          // first message: dropped
+    if (seen == 2) decision.extra_delay = Millis(10);  // second: +10ms
+    return decision;
+  });
+  network_.Send(Make(0, 1, 1));
+  network_.Send(Make(0, 1, 2));
+  network_.Send(Make(0, 1, 3));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(network_.stats().dropped, 1u);
+  // Third message (undelayed) arrives at 5ms, second at 15ms.
+  EXPECT_EQ(received_[0].when, Millis(5));
+  EXPECT_EQ(
+      static_cast<const TestPayload*>(received_[0].message.payload.get())
+          ->value,
+      3);
+  EXPECT_EQ(received_[1].when, Millis(15));
+  EXPECT_EQ(
+      static_cast<const TestPayload*>(received_[1].message.payload.get())
+          ->value,
+      2);
+}
+
 TEST(NetworkDropTest, DropProbabilityLosesRoughlyThatFraction) {
   sim::Simulator sim;
   NetworkOptions options;
