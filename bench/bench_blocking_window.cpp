@@ -1,0 +1,112 @@
+// E7 — the blocking *window* under coordinator outages, measured directly.
+//
+// Every coordinator crashes right after force-logging its decision
+// (probability 1.0) and stays down for a swept outage. The new
+// `blocked_prepared_ns` metric integrates the time each voted participant
+// spends with its subtransaction's locks still held waiting for the
+// DECISION:
+//
+//   - plain 2PC: the window tracks the outage — participants sit prepared
+//     until the coordinator comes back (paper §1's unbounded blocking);
+//   - 2PC + termination: DECISION-REQ to the home site's recovery agent
+//     (and, if that fails, cooperative termination against the peers)
+//     bounds the window at the decision timeout, independent of outage;
+//   - O2PC: ~0 — locks were released when the participant locally
+//     committed at its vote, so there is nothing left to block.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+enum class Variant { kTwoPhase, kTwoPhaseTermination, kOptimistic };
+
+const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kTwoPhase:
+      return "2pc";
+    case Variant::kTwoPhaseTermination:
+      return "2pc+term";
+    case Variant::kOptimistic:
+      return "o2pc";
+  }
+  return "?";
+}
+
+harness::RunResult Run(Variant variant, Duration outage) {
+  harness::ExperimentConfig config;
+  config.system.num_sites = 3;
+  config.system.keys_per_site = 128;
+  config.system.seed = 23;
+  config.system.protocol.protocol = variant == Variant::kOptimistic
+                                        ? core::CommitProtocol::kOptimistic
+                                        : core::CommitProtocol::kTwoPhaseCommit;
+  config.system.protocol.coordinator_crash_probability = 1.0;
+  config.system.protocol.coordinator_recovery_delay = outage;
+  // Keep retransmissions out of the picture: the run is outage-dominated.
+  config.system.protocol.resend_timeout = Seconds(10);
+  config.system.lock_wait_timeout = Seconds(2);
+  if (variant == Variant::kTwoPhaseTermination) {
+    config.system.protocol.decision_timeout = Millis(30);
+    config.system.protocol.retry_backoff_multiplier = 2.0;
+    config.system.protocol.retry_backoff_cap = Millis(120);
+  }
+  config.workload.num_global_txns = 80;
+  config.workload.num_local_txns = 80;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.zipf_theta = 0.4;
+  config.workload.mean_global_interarrival = Millis(10);
+  config.workload.mean_local_interarrival = Millis(5);
+  config.workload.seed = 51;
+  config.analyze = false;
+  harness::RunResult result = harness::RunExperiment(config);
+  result.label = StrCat(VariantName(variant), " / outage ",
+                        FormatDuration(outage));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7: blocking window vs coordinator outage (every decision crashes "
+      "the coordinator)\n"
+      "claim: 2PC's blocked-prepared time grows with the outage; the "
+      "termination protocol caps it; O2PC's is ~0\n\n");
+
+  metrics::TablePrinter table({"outage", "variant", "blocked total",
+                               "blocked mean", "blocked max",
+                               "decision-reqs", "ctp"});
+  std::vector<harness::RunResult> results;
+  for (Duration outage : {Millis(50), Millis(200), Millis(800)}) {
+    for (Variant variant : {Variant::kTwoPhase, Variant::kTwoPhaseTermination,
+                            Variant::kOptimistic}) {
+      harness::RunResult result = Run(variant, outage);
+      results.push_back(result);
+      table.AddRow(
+          {FormatDuration(outage), VariantName(variant),
+           FormatDuration(
+               static_cast<Duration>(result.blocked_prepared_ns / 1000)),
+           FormatDuration(
+               static_cast<Duration>(result.mean_blocked_prepared_us)),
+           FormatDuration(
+               static_cast<Duration>(result.max_blocked_prepared_us)),
+           std::to_string(result.decision_reqs),
+           std::to_string(result.ctp_resolutions)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: plain 2PC's max blocked window equals the outage;\n"
+      "2PC+termination flattens it near the decision timeout; O2PC stays\n"
+      "at zero because its locks are gone by the time the coordinator "
+      "dies.\n");
+  harness::WriteBenchJson("blocking_window", results);
+  return 0;
+}

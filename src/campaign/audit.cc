@@ -102,13 +102,68 @@ OracleReport RunOracles(const core::DistributedSystem& system,
     report.violations.push_back("sg: " + violation);
   }
 
-  // Oracle 3: cross-site end-state audit.
-  if (system.globals_finished() != system.globals_submitted()) {
+  // Oracle 3: liveness. Heal-able-fault runs must fully drain. The one
+  // tolerated wedge is a *permanently* crashed coordinator: nobody is left
+  // to fire its completion callback, so its own incarnation may hang — but
+  // nothing else may. Participants of such a transaction must still
+  // terminate via DECISION-REQ / cooperative termination, which the
+  // in-doubt audit below verifies (it runs unconditionally, at every site).
+  std::set<TxnId> orphaned;
+  {
+    std::set<TxnId> finished;
+    for (const trace::TraceEvent& event : events) {
+      if (event.type == trace::EventType::kTxnFinish) {
+        finished.insert(event.txn);
+      }
+    }
+    for (const trace::TraceEvent& event : events) {
+      if (event.type == trace::EventType::kCoordinatorCrash &&
+          event.b == 1 && !finished.contains(event.txn)) {
+        orphaned.insert(event.txn);
+      }
+    }
+  }
+  if (system.globals_finished() + orphaned.size() !=
+      system.globals_submitted()) {
     std::ostringstream out;
-    out << "audit: protocol did not drain (" << system.globals_finished()
-        << "/" << system.globals_submitted() << " globals finished)";
+    out << "liveness: protocol did not drain (" << system.globals_finished()
+        << " finished + " << orphaned.size()
+        << " orphaned by permanent coordinator crashes != "
+        << system.globals_submitted() << " submitted)";
     report.violations.push_back(out.str());
   }
+  // The orphan tolerance covers only the coordinator's own incarnation. An
+  // orphaned transaction whose *decision was force-logged* is recoverable —
+  // any up participant can learn it via DECISION-REQ to the home site's
+  // recovery agent or via cooperative termination against its peers — so a
+  // subtransaction still in doubt at an up site is a termination failure,
+  // not an excusable casualty of the crash.
+  {
+    std::set<TxnId> decided;
+    for (const trace::TraceEvent& event : events) {
+      if (event.type == trace::EventType::kDecide) decided.insert(event.txn);
+    }
+    for (int i = 0; i < system.options().num_sites; ++i) {
+      const SiteId site = static_cast<SiteId>(i);
+      if (system.network().NodeDown(site)) continue;
+      const auto flag = [&](TxnId txn) {
+        if (!orphaned.contains(txn) || !decided.contains(txn)) return;
+        std::ostringstream out;
+        out << "liveness: T" << txn << " wedged at up site " << site
+            << " though its logged decision is recoverable "
+               "(DECISION-REQ / cooperative termination)";
+        report.violations.push_back(out.str());
+      };
+      for (const auto& pending : system.db(site).PendingExposedSubtxns()) {
+        flag(pending.global_id);
+      }
+      for (const auto& pending : system.db(site).PendingPreparedSubtxns()) {
+        flag(pending.global_id);
+      }
+    }
+  }
+
+  // Oracle 4: cross-site end-state audit.
   for (int i = 0; i < system.options().num_sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);
     for (const auto& pending : system.db(site).PendingExposedSubtxns()) {

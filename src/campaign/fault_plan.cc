@@ -132,6 +132,9 @@ std::string FaultEvent::ToString() const {
       break;
     case FaultKind::kCoordinatorCrash:
       out << " occurrence=" << occurrence;
+      // Outage is optional in the grammar; only non-default values are
+      // serialized so seed-era plans round-trip byte-identically.
+      if (duration != 0) out << " outage_us=" << duration;
       break;
   }
   return out.str();
@@ -242,6 +245,11 @@ bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
         return Fail(error, where + "coordinator_crash needs occurrence");
       }
       event.occurrence = static_cast<int>(value);
+      if (const std::string* outage = need("outage_us"); outage != nullptr) {
+        if (!ParseInt64(*outage, &event.duration)) {
+          return Fail(error, where + "bad outage_us");
+        }
+      }
     } else {
       return Fail(error, where + "unknown fault kind '" + kind_token + "'");
     }
@@ -253,8 +261,8 @@ bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
 
 const std::vector<std::string>& DefaultTemplateNames() {
   static const std::vector<std::string> kNames = {
-      "none",   "crashes",     "partitions", "drops",
-      "delays", "coordinator", "mixed",
+      "none",   "crashes",     "partitions",         "drops",
+      "delays", "coordinator", "coordinator_outage", "mixed",
   };
   return kNames;
 }
@@ -352,6 +360,16 @@ FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
     FaultEvent event;
     event.kind = FaultKind::kCoordinatorCrash;
     event.occurrence = static_cast<int>(rng.Uniform(0, 4));
+    plan.events.push_back(event);
+  } else if (template_name == "coordinator_outage") {
+    // A coordinator that never comes back: the decision is force-logged at
+    // its home site but no DECISION ever leaves. 2PC participants sit
+    // prepared until DECISION-REQ / cooperative termination resolves them;
+    // the liveness oracle insists that they all do terminate.
+    FaultEvent event;
+    event.kind = FaultKind::kCoordinatorCrash;
+    event.occurrence = static_cast<int>(rng.Uniform(0, 4));
+    event.duration = -1;  // never recover
     plan.events.push_back(event);
   } else if (template_name == "mixed") {
     plan.events.push_back(RandomStepCrash(rng, num_sites));

@@ -28,6 +28,12 @@
 ///     drop type=DECISION from=any to=2 occurrence=1
 ///     delay type=VOTE from=any to=any occurrence=0 extra_us=20000
 ///     coordinator_crash occurrence=2
+///     coordinator_crash occurrence=0 outage_us=-1
+///
+/// `coordinator_crash` takes an optional `outage_us` (omitted or 0: the
+/// configured recovery delay; > 0: that outage; < 0: the coordinator never
+/// recovers — participants must terminate via DECISION-REQ or the
+/// cooperative termination protocol).
 ///
 /// Lines starting with '#' and blank lines are ignored.
 
@@ -47,6 +53,8 @@ enum class FaultKind : std::uint8_t {
   /// Delay the `occurrence`-th matching message by `duration` extra.
   kDelayMessage,
   /// Crash the coordinator at its `occurrence`-th decision, system-wide.
+  /// `duration` = 0 uses the configured recovery delay, > 0 overrides it,
+  /// < 0 makes the outage permanent.
   kCoordinatorCrash,
 };
 
@@ -97,7 +105,8 @@ struct FaultPlan {
 
 /// Names of the built-in plan templates swept by the campaign:
 /// "none", "crashes", "partitions", "drops", "delays", "coordinator",
-/// "mixed".
+/// "coordinator_outage" (a *permanent* coordinator crash — the liveness
+/// oracle checks that every blocked participant still terminates), "mixed".
 const std::vector<std::string>& DefaultTemplateNames();
 
 /// Generates a randomized plan from `template_name` for a system of

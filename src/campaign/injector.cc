@@ -73,7 +73,7 @@ void FaultInjector::OnStep(const core::StepContext& context) {
         ++faults_triggered_;
         // Only sets a flag; the coordinator crashes on its way into the
         // decision broadcast, after this hook returns.
-        system_->InjectCoordinatorCrash(context.txn);
+        system_->InjectCoordinatorCrash(context.txn, event.duration);
       }
     }
     ++decide_count_;

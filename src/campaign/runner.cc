@@ -28,10 +28,15 @@ std::uint64_t Fingerprint(const std::string& text) {
 namespace {
 
 /// The campaign's system tuning. Outages and heals in the built-in
-/// templates stay under ~80ms, so a ~4.5s resend budget (300 x 15ms)
-/// guarantees every survivable fault drains — oracle violations then mean
-/// protocol bugs, not an injector that out-lasted the retransmission
-/// safety net.
+/// templates stay under ~80ms, so a generous resend budget (300 retries
+/// starting at 15ms, exponential with a 120ms cap) guarantees every
+/// survivable fault drains — oracle violations then mean protocol bugs,
+/// not an injector that out-lasted the retransmission safety net. The
+/// participant-side termination protocol is armed so that a *permanent*
+/// coordinator outage ("coordinator_outage" template) leaves no
+/// participant wedged: after ~30ms without a DECISION the participant
+/// asks the coordinator's recovery agent (DECISION-REQ), then escalates
+/// to cooperative termination against its peers.
 core::SystemOptions MakeSystemOptions(const CampaignRunConfig& config) {
   core::SystemOptions options;
   options.num_sites = config.num_sites;
@@ -40,8 +45,16 @@ core::SystemOptions MakeSystemOptions(const CampaignRunConfig& config) {
   options.protocol.protocol = config.protocol;
   options.protocol.resend_timeout = Millis(15);
   options.protocol.max_resends = 300;
+  options.protocol.retry_backoff_multiplier = 2.0;
+  options.protocol.retry_backoff_cap = Millis(120);
   options.protocol.coordinator_crash_probability = 0.0;
   options.protocol.coordinator_recovery_delay = Millis(40);
+  options.protocol.decision_timeout = Millis(30);
+  options.protocol.decision_req_attempts = 2;
+  options.protocol.termination_budget = 20;
+  // Well above lock_wait_timeout (300ms) times the sites-per-txn fan-out,
+  // so only a genuinely vanished coordinator trips the pre-vote abort.
+  options.protocol.prevote_timeout = Seconds(2);
   return options;
 }
 

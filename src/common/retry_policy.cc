@@ -1,0 +1,38 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace o2pc::common {
+
+RetryPolicy::RetryPolicy(RetryPolicyConfig config, Rng rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (config_.initial <= 0) config_.initial = 1;
+  if (config_.multiplier < 1.0) config_.multiplier = 1.0;
+}
+
+Duration RetryPolicy::NextDelay() {
+  O2PC_CHECK(!Exhausted()) << "RetryPolicy asked past its budget";
+  double delay = static_cast<double>(config_.initial) *
+                 std::pow(config_.multiplier, attempt_);
+  const Duration cap = config_.cap > 0
+                           ? std::max(config_.cap, config_.initial)
+                           : kSimTimeMax / 4;  // overflow guard, uncapped
+  if (delay > static_cast<double>(cap)) delay = static_cast<double>(cap);
+  Duration result = static_cast<Duration>(delay);
+  if (config_.jitter > 0.0) {
+    const double span = config_.jitter * delay;
+    result += static_cast<Duration>(span * rng_.NextDouble());
+  }
+  ++attempt_;
+  return std::max<Duration>(result, 1);
+}
+
+bool RetryPolicy::Exhausted() const {
+  return config_.budget > 0 && attempt_ >= config_.budget;
+}
+
+}  // namespace o2pc::common

@@ -1,0 +1,75 @@
+#ifndef O2PC_COMMON_RETRY_POLICY_H_
+#define O2PC_COMMON_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+/// \file
+/// Shared retry-timer shaping for every periodic resend in the system: the
+/// coordinator's DECISION/VOTE-REQ/INVOKE resends and the participant's
+/// termination timers (DECISION-REQ, cooperative termination rounds). One
+/// policy object owns one exponential-backoff schedule:
+///
+///     delay(n) = min(initial * multiplier^n, cap) + jitter_n
+///
+/// where `jitter_n` is drawn from a seeded Rng in
+/// [0, jitter * delay(n)), so two runs with the same seed produce
+/// byte-identical schedules — a requirement for the fault campaign's
+/// `--replay` determinism. A retry *budget* bounds the number of delays the
+/// policy hands out; when it is exhausted the caller stops retrying and
+/// falls back to its terminal behavior (abort early, log-and-retire, or
+/// lean on cooperative termination).
+
+namespace o2pc::common {
+
+/// Shape of one backoff schedule. The effective cap is never below
+/// `initial` (a cap that undercuts the first delay would make the schedule
+/// *shrink*, which no caller wants).
+struct RetryPolicyConfig {
+  /// First delay; also the fixed period when multiplier <= 1.
+  Duration initial = Millis(100);
+  /// Growth factor applied per attempt.
+  double multiplier = 1.0;
+  /// Upper bound on the un-jittered delay; <= 0 = uncapped. An explicit
+  /// cap below `initial` is raised to `initial`.
+  Duration cap = 0;
+  /// Number of delays handed out before Exhausted(); <= 0 = unlimited.
+  int budget = 0;
+  /// Fraction of each delay added as uniform random jitter in
+  /// [0, jitter * delay). 0 disables jitter (and the Rng is never drawn).
+  double jitter = 0.0;
+};
+
+class RetryPolicy {
+ public:
+  /// Default: a never-exhausting fixed 100ms schedule (placeholder for
+  /// value-semantics containers; real users pass a config + seeded Rng).
+  RetryPolicy() : RetryPolicy(RetryPolicyConfig{}, Rng(0)) {}
+  RetryPolicy(RetryPolicyConfig config, Rng rng);
+
+  /// The next delay in the schedule; advances the attempt counter (and the
+  /// jitter stream). Callers must not ask once Exhausted().
+  Duration NextDelay();
+
+  /// True once `budget` delays have been handed out (never with an
+  /// unlimited budget).
+  bool Exhausted() const;
+
+  /// Delays handed out since construction / the last Reset().
+  int attempt() const { return attempt_; }
+
+  /// Restarts the schedule (the jitter stream keeps advancing, so a reset
+  /// policy still diverges deterministically from a fresh one).
+  void Reset() { attempt_ = 0; }
+
+ private:
+  RetryPolicyConfig config_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace o2pc::common
+
+#endif  // O2PC_COMMON_RETRY_POLICY_H_

@@ -33,6 +33,17 @@ void Coordinator::Start(TxnId id, GlobalTxnSpec spec,
   invoke_index_ = 0;
   invoke_attempt_ = 0;
   invoke_retries_ = 0;
+  common::RetryPolicyConfig retry;
+  retry.initial = options_.protocol.resend_timeout;
+  retry.multiplier = options_.protocol.retry_backoff_multiplier;
+  retry.cap = options_.protocol.retry_backoff_cap;
+  // max_resends resends after the initial arm; Reset() per phase restores
+  // the budget, as the old per-phase resend counter did.
+  retry.budget = options_.protocol.max_resends + 1;
+  retry.jitter = options_.protocol.retry_jitter;
+  // Seeded off the txn id alone so the jitter stream never perturbs rng_'s
+  // (crash-sampling) draws.
+  resend_policy_ = common::RetryPolicy(retry, Rng(id ^ 0x7265747279ULL));
   ArmResendTimer();
   InvokeCurrent();
 }
@@ -72,6 +83,9 @@ void Coordinator::OnMessage(const net::Message& message) {
       return;
     case net::MessageType::kDecisionAck:
       OnDecisionAck(message);
+      return;
+    case net::MessageType::kDecisionReq:
+      OnDecisionRequest(message);
       return;
     default:
       O2PC_LOG(kWarn) << "coordinator of T" << id_ << " ignoring "
@@ -158,9 +172,15 @@ void Coordinator::AbortEarly(const Status& status, bool restartable) {
 void Coordinator::StartVoting() {
   phase_ = Phase::kVoting;
   votes_.clear();
-  resend_count_ = 0;
+  resend_policy_.Reset();
+  // The VOTE-REQ names every participant so a later-blocked site can run
+  // the cooperative termination protocol against its peers.
+  std::vector<SiteId> participants;
+  participants.reserve(spec_.subtxns.size());
+  for (const SubtxnSpec& sub : spec_.subtxns) participants.push_back(sub.site);
   for (const SubtxnSpec& sub : spec_.subtxns) {
     auto payload = std::make_shared<VoteRequestPayload>();
+    payload->participants = participants;
     payload->gossip = knowledge_->Export();
     Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
   }
@@ -218,23 +238,46 @@ void Coordinator::Decide() {
     // Crash after logging, before broadcasting: participants learn nothing
     // until recovery. 2PC participants block in prepared state; O2PC
     // participants have already released their locks.
-    phase_ = Phase::kCrashed;
-    if (stats_ != nullptr) stats_->Incr("coordinator_crashes");
-    O2PC_TRACE(kCoordinatorCrash, options_.home, id_);
-    O2PC_LOG(kDebug) << "coordinator of T" << id_ << " crashed; recovery in "
-                     << options_.protocol.coordinator_recovery_delay << "us";
-    simulator_->Schedule(options_.protocol.coordinator_recovery_delay,
-                         [this] {
-                           std::optional<bool> logged = log_.DecisionFor(id_);
-                           O2PC_CHECK(logged.has_value());
-                           decision_commit_ = *logged;
-                           O2PC_TRACE(kCoordinatorRecover, options_.home, id_,
-                                      decision_commit_ ? 1 : 0);
-                           BroadcastDecision();
-                         });
+    CrashBeforeBroadcast(/*outage=*/0, /*injected=*/false);
     return;
   }
   BroadcastDecision();
+}
+
+void Coordinator::CrashBeforeBroadcast(Duration outage, bool injected) {
+  phase_ = Phase::kCrashed;
+  const bool permanent = outage < 0;
+  if (outage <= 0) outage = options_.protocol.coordinator_recovery_delay;
+  if (stats_ != nullptr) {
+    stats_->Incr("coordinator_crashes");
+    if (permanent) stats_->Incr("coordinator_crashes_permanent");
+  }
+  O2PC_TRACE(kCoordinatorCrash, options_.home, id_, /*a=*/0,
+             /*b=*/permanent ? 1 : 0);
+  // The dead process sends nothing; retire its resend chain. Recovery (if
+  // any) re-arms when it broadcasts; under a permanent outage the
+  // participants must help themselves (DECISION-REQ / CTP).
+  if (resend_event_ != sim::kInvalidEvent) {
+    simulator_->Cancel(resend_event_);
+    resend_event_ = sim::kInvalidEvent;
+  }
+  if (permanent) {
+    O2PC_LOG(kWarn) << "coordinator of T" << id_ << " crashed"
+                    << (injected ? " (injected)" : "")
+                    << " permanently; decision stays log-only";
+    return;
+  }
+  O2PC_LOG(kDebug) << "coordinator of T" << id_ << " crashed"
+                   << (injected ? " (injected)" : "") << "; recovery in "
+                   << outage << "us";
+  simulator_->Schedule(outage, [this] {
+    std::optional<bool> logged = log_.DecisionFor(id_);
+    O2PC_CHECK(logged.has_value());
+    decision_commit_ = *logged;
+    O2PC_TRACE(kCoordinatorRecover, options_.home, id_,
+               decision_commit_ ? 1 : 0);
+    BroadcastDecision();
+  });
 }
 
 void Coordinator::BroadcastDecision() {
@@ -243,25 +286,14 @@ void Coordinator::BroadcastDecision() {
     // message leaves before recovery — the exact window the probabilistic
     // crash in Decide() samples, pinned deterministically.
     crash_requested_ = false;
-    phase_ = Phase::kCrashed;
-    if (stats_ != nullptr) stats_->Incr("coordinator_crashes");
-    O2PC_TRACE(kCoordinatorCrash, options_.home, id_);
-    O2PC_LOG(kDebug) << "coordinator of T" << id_
-                     << " crashed (injected); recovery in "
-                     << options_.protocol.coordinator_recovery_delay << "us";
-    simulator_->Schedule(options_.protocol.coordinator_recovery_delay,
-                         [this] {
-                           std::optional<bool> logged = log_.DecisionFor(id_);
-                           O2PC_CHECK(logged.has_value());
-                           decision_commit_ = *logged;
-                           O2PC_TRACE(kCoordinatorRecover, options_.home, id_,
-                                      decision_commit_ ? 1 : 0);
-                           BroadcastDecision();
-                         });
+    CrashBeforeBroadcast(requested_outage_, /*injected=*/true);
     return;
   }
   phase_ = Phase::kBroadcasting;
-  resend_count_ = 0;
+  resend_policy_.Reset();
+  // Re-arm when the chain was retired (crash recovery, exhausted phase):
+  // in the normal flow a tick is already pending.
+  if (resend_event_ == sim::kInvalidEvent) ArmResendTimer();
   decision_acks_.clear();
   std::vector<SiteId> exec_sites(executed_sites_.begin(),
                                  executed_sites_.end());
@@ -274,6 +306,31 @@ void Coordinator::BroadcastDecision() {
     Send(site, net::MessageType::kDecision, std::move(payload));
   }
   if (invoked_sites_.empty()) Finish();
+}
+
+void Coordinator::OnDecisionRequest(const net::Message& message) {
+  const auto* payload =
+      static_cast<const DecisionRequestPayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  // The recovery agent consults the force-written decision log, so a
+  // DECISION-REQ is answerable in kBroadcasting, kDone, *and* kCrashed —
+  // the coordinator process being down does not take the home site's log
+  // with it. Pre-decision phases have nothing durable to say; the asker
+  // keeps retrying (and eventually escalates to cooperative termination).
+  const std::optional<bool> logged = log_.DecisionFor(id_);
+  if (!logged.has_value()) {
+    if (stats_ != nullptr) stats_->Incr("decision_reqs_undecided");
+    return;
+  }
+  if (stats_ != nullptr) stats_->Incr("decision_reqs_answered");
+  std::vector<SiteId> exec_sites(executed_sites_.begin(),
+                                 executed_sites_.end());
+  auto answer = std::make_shared<DecisionPayload>();
+  answer->commit = *logged;
+  answer->exposed = Exposed();
+  answer->exec_sites = std::move(exec_sites);
+  answer->gossip = knowledge_->Export();
+  Send(message.from, net::MessageType::kDecision, std::move(answer));
 }
 
 void Coordinator::OnDecisionAck(const net::Message& message) {
@@ -311,29 +368,36 @@ void Coordinator::Finish() {
 
 void Coordinator::ArmResendTimer() {
   if (options_.protocol.resend_timeout <= 0) return;
-  resend_event_ = simulator_->Schedule(options_.protocol.resend_timeout,
-                                       [this] { ResendTick(); });
+  resend_event_ =
+      simulator_->Schedule(resend_policy_.NextDelay(), [this] { ResendTick(); });
 }
 
 void Coordinator::ResendTick() {
   resend_event_ = sim::kInvalidEvent;
   if (phase_ == Phase::kDone) return;
   if (phase_ == Phase::kCrashed) {
-    // Crashed coordinators neither send nor time out; recovery is already
-    // scheduled.
-    ArmResendTimer();
+    // Crashed coordinators neither send nor time out; a scheduled recovery
+    // re-arms when it broadcasts. (Permanent outages cancel the chain in
+    // CrashBeforeBroadcast, so this is a stale tick racing the crash.)
     return;
   }
-  if (++resend_count_ > options_.protocol.max_resends) {
+  if (resend_policy_.Exhausted()) {
     O2PC_LOG(kWarn) << "coordinator of T" << id_
                     << " exhausted resends in phase "
                     << static_cast<int>(phase_);
     if (phase_ == Phase::kInvoking || phase_ == Phase::kVoting) {
+      // AbortEarly broadcasts the abort decision, which resets the policy
+      // and re-arms the (now idle) timer chain.
       AbortEarly(Status::TimedOut("participant unreachable"),
                  /*restartable=*/true);
-      ArmResendTimer();
       return;
     }
+    // kBroadcasting: the decision is logged and was broadcast max_resends
+    // times; whoever still has not acked is unreachable. Log-and-retire —
+    // the stragglers terminate on their own via DECISION-REQ (this
+    // coordinator keeps answering from its log after Finish) or via
+    // cooperative termination against their peers.
+    if (stats_ != nullptr) stats_->Incr("broadcasts_retired_unacked");
     Finish();
     return;
   }
@@ -341,14 +405,21 @@ void Coordinator::ResendTick() {
     case Phase::kInvoking:
       InvokeCurrent();
       break;
-    case Phase::kVoting:
+    case Phase::kVoting: {
+      std::vector<SiteId> participants;
+      participants.reserve(spec_.subtxns.size());
+      for (const SubtxnSpec& sub : spec_.subtxns) {
+        participants.push_back(sub.site);
+      }
       for (const SubtxnSpec& sub : spec_.subtxns) {
         if (votes_.contains(sub.site)) continue;
         auto payload = std::make_shared<VoteRequestPayload>();
+        payload->participants = participants;
         payload->gossip = knowledge_->Export();
         Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
       }
       break;
+    }
     case Phase::kBroadcasting: {
       std::vector<SiteId> exec_sites(executed_sites_.begin(),
                                      executed_sites_.end());

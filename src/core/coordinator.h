@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/global_txn.h"
@@ -59,7 +60,8 @@ class Coordinator {
   /// compensations included).
   void Start(TxnId id, GlobalTxnSpec spec, GlobalDoneCallback done);
 
-  /// Network entry point for SUBTXN-ACK / VOTE / DECISION-ACK.
+  /// Network entry point for SUBTXN-ACK / VOTE / DECISION-ACK /
+  /// DECISION-REQ.
   void OnMessage(const net::Message& message);
 
   TxnId id() const { return id_; }
@@ -71,11 +73,19 @@ class Coordinator {
   /// Deterministic crash injection: the next decision broadcast crashes
   /// the coordinator instead (after its decision is force-logged, before
   /// any DECISION message leaves), and recovery re-reads the log and
-  /// resends after `coordinator_recovery_delay` — the same window the
-  /// probabilistic `coordinator_crash_probability` models, but pinned to
-  /// an exact protocol step. Typically called from a StepHook at
-  /// kCoordinatorDecide (see DistributedSystem::InjectCoordinatorCrash).
-  void RequestCrash() { crash_requested_ = true; }
+  /// resends — the same window the probabilistic
+  /// `coordinator_crash_probability` models, but pinned to an exact
+  /// protocol step. `outage` = 0 recovers after the configured
+  /// `coordinator_recovery_delay`; > 0 overrides that delay; < 0 means the
+  /// coordinator never recovers — participants must then terminate via
+  /// DECISION-REQ (the home site's recovery agent still answers from the
+  /// decision log) or cooperative termination. Typically called from a
+  /// StepHook at kCoordinatorDecide (see
+  /// DistributedSystem::InjectCoordinatorCrash).
+  void RequestCrash(Duration outage = 0) {
+    crash_requested_ = true;
+    requested_outage_ = outage;
+  }
 
  private:
   enum class Phase {
@@ -101,6 +111,12 @@ class Coordinator {
   void Decide();
   void BroadcastDecision();
   void OnDecisionAck(const net::Message& message);
+  /// DECISION-REQ from a blocked participant: the home site's recovery
+  /// agent answers from the force-written decision log — even while the
+  /// coordinator process is crashed (the *site* hosting the log is up).
+  void OnDecisionRequest(const net::Message& message);
+  /// Enters Phase::kCrashed; schedules recovery unless `outage` < 0.
+  void CrashBeforeBroadcast(Duration outage, bool injected);
   void Finish();
 
   void Send(SiteId to, net::MessageType type,
@@ -145,7 +161,11 @@ class Coordinator {
   SimTime decide_time_ = 0;
 
   sim::EventId resend_event_ = sim::kInvalidEvent;
-  int resend_count_ = 0;
+  /// Backoff schedule for the per-phase retransmissions; reset at each
+  /// phase transition (invoke -> voting -> broadcasting).
+  common::RetryPolicy resend_policy_;
+  /// Outage requested with the injected crash (see RequestCrash).
+  Duration requested_outage_ = 0;
 };
 
 }  // namespace o2pc::core

@@ -54,6 +54,10 @@ struct SubtxnAckPayload : net::Payload {
 
 /// Coordinator -> site: VOTE-REQ.
 struct VoteRequestPayload : net::Payload {
+  /// Every participant site of this transaction. A blocked participant
+  /// uses this list for the cooperative termination protocol: when the
+  /// coordinator stops answering DECISION-REQs, peers are asked instead.
+  std::vector<SiteId> participants;
   MarkingGossip gossip;
 };
 
@@ -87,6 +91,36 @@ struct DecisionPayload : net::Payload {
 struct DecisionAckPayload : net::Payload {
   /// True if a compensating subtransaction ran at this site.
   bool compensated = false;
+  MarkingGossip gossip;
+};
+
+/// Site -> coordinator home: DECISION-REQ. A participant blocked past its
+/// decision timeout asks for the outcome; the home site's recovery agent
+/// answers from the coordinator's force-written decision log even while
+/// the coordinator itself is down (participant-driven decision recovery).
+struct DecisionRequestPayload : net::Payload {
+  MarkingGossip gossip;
+};
+
+/// Site -> peer site: TERM-REQ, the cooperative termination query. The
+/// asker learned its peers from the VOTE-REQ participant list.
+struct TermRequestPayload : net::Payload {
+  MarkingGossip gossip;
+};
+
+/// Peer -> asker: TERM-RESP. `known` = the peer can name the outcome —
+/// either it saw the DECISION, or its own state rules commit out (it voted
+/// abort, or it had not voted and unilaterally aborted, renouncing the
+/// commit vote the coordinator would need). `known == false` means the
+/// peer is as uncertain as the asker (voted commit, no decision).
+struct TermResponsePayload : net::Payload {
+  bool known = false;
+  bool commit = false;
+  /// Mirrors DecisionPayload: whether the transaction exposed updates and
+  /// where it executed (empty when the answering peer cannot say — the
+  /// asker falls back to its own VOTE-REQ participant list).
+  bool exposed = false;
+  std::vector<SiteId> exec_sites;
   MarkingGossip gossip;
 };
 

@@ -42,6 +42,12 @@ void Participant::OnMessage(const net::Message& message) {
     case net::MessageType::kDecision:
       OnDecision(message);
       return;
+    case net::MessageType::kTermReq:
+      OnTermRequest(message);
+      return;
+    case net::MessageType::kTermResp:
+      OnTermResponse(message);
+      return;
     default:
       O2PC_LOG(kWarn) << "participant " << site() << " ignoring "
                       << net::MessageTypeName(message.type);
@@ -78,6 +84,10 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
   sub.txn_start = payload->txn_start;
   sub.executed = false;
   sub.last_ack = nullptr;
+  // A fresh attempt restarts the termination clocks.
+  CancelTermination(sub);
+  sub.term_rounds = 0;
+  sub.prepared_at = 0;
   sub.local_id = ids_->Next();
   db_->Begin(sub.local_id, TxnKind::kGlobal, sub.global_id);
 
@@ -243,6 +253,7 @@ void Participant::CompleteExecution(Subtxn& sub) {
   ack->attempt = sub.attempt;
   ack->gossip = Gossip();
   SendAck(sub, std::move(ack));
+  ArmPrevoteTimer(sub);
 }
 
 void Participant::FailSubtxn(TxnId global_id, const Status& status) {
@@ -335,6 +346,8 @@ Participant::Subtxn* Participant::RecoverRuntime(TxnId global_id,
     sub.executed = true;
     sub.voted = true;
     sub.vote_commit = true;
+    // Recovery re-holds the prepared locks: the blocked window reopens.
+    sub.prepared_at = simulator_->Now();
     return &sub;
   }
   return nullptr;
@@ -353,23 +366,55 @@ void Participant::OnVoteRequest(const net::Message& message) {
     // recovery).
     Subtxn* recovered = RecoverRuntime(message.txn, message.from);
     if (recovered != nullptr) {
+      recovered->participants = payload->participants;
       SendVote(*recovered, /*commit=*/true);
+      ArmTermination(*recovered);
       return;
     }
     Subtxn& stub = subtxns_[message.txn];
     stub.global_id = message.txn;
     stub.coordinator = message.from;
+    stub.participants = payload->participants;
     stub.voted = true;
     stub.vote_commit = false;
     SendVote(stub, /*commit=*/false, /*recovery_abort=*/true);
+    ArmTermination(stub);
     return;
   }
   Subtxn& sub = it->second;
+  // Refresh the termination inputs: the sender is the authoritative
+  // coordinator (a stub created by a TERM-REQ had none), and the
+  // participant list is the CTP peer set.
+  sub.coordinator = message.from;
+  if (!payload->participants.empty()) {
+    sub.participants = payload->participants;
+  }
   if (sub.voted) {
-    if (sub.last_vote != nullptr) SendVote(sub, sub.last_vote->commit);
+    if (sub.last_vote != nullptr) {
+      SendVote(sub, sub.last_vote->commit, sub.last_vote->recovery_abort);
+    } else {
+      // Voted but never sent one (a renouncement recorded by the
+      // cooperative termination protocol): surface it as a recovery abort.
+      SendVote(sub, sub.vote_commit, /*recovery_abort=*/!sub.vote_commit);
+    }
     return;
   }
-  O2PC_CHECK(sub.executed) << "VOTE-REQ before subtxn completion";
+  if (!sub.executed) {
+    // Withdrawn after the OK ack (pre-vote timeout exercised unilateral
+    // abort): the work is rolled back, so the vote is a binding abort.
+    if (db_->HasTxn(sub.local_id) &&
+        db_->TxnState(sub.local_id) == local::LocalTxnState::kActive) {
+      db_->RollbackSubtxn(sub.local_id);
+      AddUndoneMark(message.txn, /*exposed=*/false,
+                    trace::MarkReason::kRollback);
+    }
+    sub.voted = true;
+    sub.vote_commit = false;
+    if (stats_ != nullptr) stats_->Incr("votes_abort");
+    SendVote(sub, false);
+    return;
+  }
+  CancelTermination(sub);  // the VOTE-REQ arrived: stand down the pre-vote timer
   const TxnId gid = message.txn;
   const std::uint64_t epoch = db_->epoch();
   simulator_->Schedule(options_.protocol.vote_processing_delay,
@@ -393,6 +438,10 @@ void Participant::OnVoteRequest(const net::Message& message) {
       if (stats_ != nullptr) stats_->Incr("votes_abort");
       SendVote(sub, false);
       Step(ProtocolStep::kAfterVote, gid);
+      // Abort voters still await the DECISION (it settles exposure and
+      // delivers exec_sites for mark retirement) — so they time out and
+      // terminate like commit voters do.
+      ArmTermination(sub);
       return;
     }
     sub.vote_commit = true;
@@ -407,11 +456,13 @@ void Participant::OnVoteRequest(const net::Message& message) {
       // 2PC (or a pending real action): keep exclusive locks, release
       // shared ones.
       db_->PrepareAndReleaseShared(sub.local_id);
+      sub.prepared_at = simulator_->Now();  // blocked-window accounting
       Step(ProtocolStep::kPrepare, gid);
     }
     if (stats_ != nullptr) stats_->Incr("votes_commit");
     SendVote(sub, true);
     Step(ProtocolStep::kAfterVote, gid);
+    ArmTermination(sub);
   });
 }
 
@@ -447,7 +498,7 @@ void Participant::OnDecision(const net::Message& message) {
       Subtxn& stub = subtxns_[message.txn];
       stub.global_id = message.txn;
       stub.coordinator = message.from;
-      stub.decided = true;
+      NoteDecision(stub, raw->commit, raw->exposed, raw->exec_sites);
       SendDecisionAck(stub, /*compensated=*/false);
       return;
     }
@@ -464,11 +515,11 @@ void Participant::OnDecision(const net::Message& message) {
   if (sub.local_id == kInvalidTxn) {
     // Recovery stub: the WAL vouches for nothing, recovery already rolled
     // everything back — just acknowledge.
-    sub.decided = true;
+    NoteDecision(sub, raw->commit, raw->exposed, raw->exec_sites);
     SendDecisionAck(sub, /*compensated=*/false);
     return;
   }
-  sub.decided = true;
+  NoteDecision(sub, raw->commit, raw->exposed, raw->exec_sites);
 
   const TxnId gid = message.txn;
   const bool commit = raw->commit;
@@ -481,76 +532,81 @@ void Participant::OnDecision(const net::Message& message) {
         // A crash in the processing window wiped the runtime; the resent
         // DECISION resolves the transaction from the WAL instead.
         if (db_->epoch() != epoch) return;
-        auto decision_it = subtxns_.find(gid);
-        if (decision_it == subtxns_.end()) return;
-        Subtxn& sub = decision_it->second;
-        Step(ProtocolStep::kBeforeDecision, gid);
-        if (commit) {
-          db_->FinalizeCommit(sub.local_id);
-          if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
-          SendDecisionAck(sub, /*compensated=*/false);
-          Step(ProtocolStep::kAfterDecision, gid);
-          return;
-        }
-        // DECISION = abort. Remember where the transaction executed —
-        // rule R3 needs the execution-site list to evaluate UDUM1, and
-        // other sites learn it through the gossip.
-        if (stats_ != nullptr && exposed) stats_->Incr("aborts_exposed");
-        if (MarkingActive() && !exec_sites.empty()) {
-          marks_.exec_sites[gid] = exec_sites;
-          knowledge_->SetExecSites(gid, exec_sites);
-        }
-        // The DECISION settles exposure: demote a conservative vote-abort
-        // mark if nothing was exposed anywhere.
-        if (MarkingActive() && !exposed) marks_.exposed_undone.erase(gid);
-        const local::LocalTxnState state = db_->TxnState(sub.local_id);
-        switch (state) {
-          case local::LocalTxnState::kLocallyCommitted: {
-            // The exposed case: semantic undo via a compensating
-            // subtransaction. Rule R2: the CT's *last* operation updates
-            // sitemarks.k (under the CT's exclusive lock).
-            CompensationExecutor::Request request;
-            request.forward_id = gid;
-            request.plan = db_->CompensationPlan(sub.local_id);
-            if (MarkingActive()) {
-              request.plan.push_back(local::Operation{
-                  local::OpType::kWrite, options_.marks_key, 0});
-            }
-            request.retry_backoff =
-                options_.protocol.compensation_retry_backoff;
-            request.done = [this, gid] {
-              Subtxn& sub = subtxns_.at(gid);
-              db_->MarkCompensated(sub.local_id);
-              AddUndoneMark(gid, /*exposed=*/true,  // this site exposed
-                            trace::MarkReason::kCompensation);
-              if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
-              SendDecisionAck(sub, /*compensated=*/true);
-              Step(ProtocolStep::kAfterDecision, gid);
-            };
-            Step(ProtocolStep::kCompensationBegin, gid);
-            compensator_.Run(std::move(request));
-            return;
-          }
-          case local::LocalTxnState::kActive:
-          case local::LocalTxnState::kPrepared:
-            // 2PC path (or a real-action site): locks still held, standard
-            // rollback.
-            db_->RollbackSubtxn(sub.local_id);
-            AddUndoneMark(gid, exposed, trace::MarkReason::kDecisionRollback);
-            if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
-            SendDecisionAck(sub, /*compensated=*/false);
-            Step(ProtocolStep::kAfterDecision, gid);
-            return;
-          case local::LocalTxnState::kAborted:
-            // Abort-voter or failed subtransaction: already rolled back.
-            SendDecisionAck(sub, /*compensated=*/false);
-            Step(ProtocolStep::kAfterDecision, gid);
-            return;
-          case local::LocalTxnState::kCommitted:
-            O2PC_CHECK(false) << "abort decision for committed subtxn";
-            return;
-        }
+        ApplyDecision(gid, commit, exposed, exec_sites);
       });
+}
+
+void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
+                                const std::vector<SiteId>& exec_sites) {
+  auto decision_it = subtxns_.find(gid);
+  if (decision_it == subtxns_.end()) return;
+  Subtxn& sub = decision_it->second;
+  Step(ProtocolStep::kBeforeDecision, gid);
+  if (commit) {
+    db_->FinalizeCommit(sub.local_id);
+    if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+    SendDecisionAck(sub, /*compensated=*/false);
+    Step(ProtocolStep::kAfterDecision, gid);
+    return;
+  }
+  // DECISION = abort. Remember where the transaction executed —
+  // rule R3 needs the execution-site list to evaluate UDUM1, and
+  // other sites learn it through the gossip.
+  if (stats_ != nullptr && exposed) stats_->Incr("aborts_exposed");
+  if (MarkingActive() && !exec_sites.empty()) {
+    marks_.exec_sites[gid] = exec_sites;
+    knowledge_->SetExecSites(gid, exec_sites);
+  }
+  // The DECISION settles exposure: demote a conservative vote-abort
+  // mark if nothing was exposed anywhere.
+  if (MarkingActive() && !exposed) marks_.exposed_undone.erase(gid);
+  const local::LocalTxnState state = db_->TxnState(sub.local_id);
+  switch (state) {
+    case local::LocalTxnState::kLocallyCommitted: {
+      // The exposed case: semantic undo via a compensating
+      // subtransaction. Rule R2: the CT's *last* operation updates
+      // sitemarks.k (under the CT's exclusive lock).
+      CompensationExecutor::Request request;
+      request.forward_id = gid;
+      request.plan = db_->CompensationPlan(sub.local_id);
+      if (MarkingActive()) {
+        request.plan.push_back(local::Operation{
+            local::OpType::kWrite, options_.marks_key, 0});
+      }
+      request.retry_backoff =
+          options_.protocol.compensation_retry_backoff;
+      request.done = [this, gid] {
+        Subtxn& sub = subtxns_.at(gid);
+        db_->MarkCompensated(sub.local_id);
+        AddUndoneMark(gid, /*exposed=*/true,  // this site exposed
+                      trace::MarkReason::kCompensation);
+        if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+        SendDecisionAck(sub, /*compensated=*/true);
+        Step(ProtocolStep::kAfterDecision, gid);
+      };
+      Step(ProtocolStep::kCompensationBegin, gid);
+      compensator_.Run(std::move(request));
+      return;
+    }
+    case local::LocalTxnState::kActive:
+    case local::LocalTxnState::kPrepared:
+      // 2PC path (or a real-action site): locks still held, standard
+      // rollback.
+      db_->RollbackSubtxn(sub.local_id);
+      AddUndoneMark(gid, exposed, trace::MarkReason::kDecisionRollback);
+      if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
+      SendDecisionAck(sub, /*compensated=*/false);
+      Step(ProtocolStep::kAfterDecision, gid);
+      return;
+    case local::LocalTxnState::kAborted:
+      // Abort-voter or failed subtransaction: already rolled back.
+      SendDecisionAck(sub, /*compensated=*/false);
+      Step(ProtocolStep::kAfterDecision, gid);
+      return;
+    case local::LocalTxnState::kCommitted:
+      O2PC_CHECK(false) << "abort decision for committed subtxn";
+      return;
+  }
 }
 
 void Participant::SendDecisionAck(Subtxn& sub, bool compensated) {
@@ -566,6 +622,280 @@ void Participant::SendDecisionAck(Subtxn& sub, bool compensated) {
   message.txn = sub.global_id;
   message.payload = std::move(payload);
   network_->Send(std::move(message));
+}
+
+// ---------------------------------------------------------------------------
+// Termination: participant-driven decision recovery and the cooperative
+// termination protocol (CTP). A voted participant that misses its DECISION
+// first asks the coordinator's recovery agent (DECISION-REQ — answered from
+// the force-written decision log even while the coordinator process is
+// down), then escalates to its peers from the VOTE-REQ participant list. A
+// peer unblocks the asker when it saw the DECISION, or when its own state
+// rules commit out: an abort vote is binding, and an unprepared peer can
+// renounce its (never-sent) commit vote by unilaterally aborting.
+// ---------------------------------------------------------------------------
+
+void Participant::CancelTermination(Subtxn& sub) {
+  sub.term_seq = ++timer_seq_;
+  sub.prevote_seq = ++timer_seq_;
+  if (sub.term_event != sim::kInvalidEvent) {
+    simulator_->Cancel(sub.term_event);
+    sub.term_event = sim::kInvalidEvent;
+  }
+  if (sub.prevote_event != sim::kInvalidEvent) {
+    simulator_->Cancel(sub.prevote_event);
+    sub.prevote_event = sim::kInvalidEvent;
+  }
+}
+
+void Participant::NoteDecision(Subtxn& sub, bool commit, bool exposed,
+                               const std::vector<SiteId>& exec_sites) {
+  sub.decided = true;
+  sub.decision_commit = commit;
+  sub.decision_exposed = exposed;
+  sub.decision_exec_sites = exec_sites;
+  CancelTermination(sub);
+  if (sub.prepared_at > 0) {
+    // The 2PC blocking window the paper's §7 argues about: time spent
+    // prepared, holding exclusive locks, waiting to learn the outcome.
+    const Duration blocked_us = simulator_->Now() - sub.prepared_at;
+    if (stats_ != nullptr) {
+      stats_->Incr("blocked_prepared_ns",
+                   static_cast<std::uint64_t>(blocked_us) * 1000);
+      stats_->Hist("blocked_prepared_us").Add(static_cast<double>(blocked_us));
+    }
+    sub.prepared_at = 0;
+  }
+}
+
+void Participant::ArmPrevoteTimer(Subtxn& sub) {
+  if (options_.protocol.prevote_timeout <= 0) return;
+  if (sub.prevote_event != sim::kInvalidEvent) {
+    simulator_->Cancel(sub.prevote_event);
+  }
+  const TxnId gid = sub.global_id;
+  const std::uint64_t seq = ++timer_seq_;
+  sub.prevote_seq = seq;
+  sub.prevote_event = simulator_->Schedule(
+      options_.protocol.prevote_timeout, [this, gid, seq] {
+        auto it = subtxns_.find(gid);
+        if (it == subtxns_.end() || it->second.prevote_seq != seq) return;
+        Subtxn& sub = it->second;
+        sub.prevote_event = sim::kInvalidEvent;
+        if (sub.voted || sub.decided) return;
+        // No VOTE-REQ in time: exercise local autonomy ([BST90]) instead
+        // of holding this site's resources hostage to a dead coordinator.
+        O2PC_TRACE(kDecisionTimeout, site(), gid, /*round=*/0, /*ctp=*/0);
+        if (stats_ != nullptr) stats_->Incr("prevote_timeouts");
+        if (!UnilateralAbort(gid)) return;
+        if (sub.executed && !sub.voted) {
+          // UnilateralAbort deferred to a forced abort vote, but the
+          // VOTE-REQ that would collect it may never come (that is why we
+          // timed out): withdraw the execution and release the locks now.
+          // A late VOTE-REQ is answered with a binding abort vote.
+          sub.executed = false;
+          sub.force_abort_vote = false;
+          FailSubtxn(gid, Status::TimedOut("no VOTE-REQ before timeout"));
+        }
+      });
+}
+
+void Participant::ArmTermination(Subtxn& sub) {
+  if (options_.protocol.decision_timeout <= 0) return;
+  if (sub.decided || sub.term_event != sim::kInvalidEvent) return;
+  if (sub.term_rounds == 0) {
+    common::RetryPolicyConfig retry;
+    retry.initial = options_.protocol.decision_timeout;
+    retry.multiplier = options_.protocol.retry_backoff_multiplier;
+    retry.cap = options_.protocol.retry_backoff_cap;
+    retry.budget = options_.protocol.termination_budget;
+    retry.jitter = options_.protocol.retry_jitter;
+    // Seeded per (site options, global id): order-independent and
+    // replay-deterministic.
+    sub.term_policy = common::RetryPolicy(
+        retry,
+        Rng(options_.seed ^ (sub.global_id * 0x9e3779b97f4a7c15ULL)));
+  }
+  if (sub.term_policy.Exhausted()) {
+    if (stats_ != nullptr) stats_->Incr("termination_budget_exhausted");
+    O2PC_LOG(kWarn) << "site " << site() << " exhausted the termination "
+                    << "budget for T" << sub.global_id
+                    << "; still blocked (liveness oracle will judge)";
+    return;
+  }
+  const TxnId gid = sub.global_id;
+  const std::uint64_t seq = ++timer_seq_;
+  sub.term_seq = seq;
+  sub.term_event =
+      simulator_->Schedule(sub.term_policy.NextDelay(), [this, gid, seq] {
+        auto it = subtxns_.find(gid);
+        if (it == subtxns_.end() || it->second.term_seq != seq) return;
+        it->second.term_event = sim::kInvalidEvent;
+        TerminationRound(it->second);
+      });
+}
+
+void Participant::TerminationRound(Subtxn& sub) {
+  if (sub.decided) return;
+  ++sub.term_rounds;
+  const bool ctp = sub.term_rounds > options_.protocol.decision_req_attempts;
+  O2PC_TRACE(kDecisionTimeout, site(), sub.global_id, sub.term_rounds,
+             ctp ? 1 : 0);
+  bool queried_peer = false;
+  if (ctp) {
+    for (SiteId peer : sub.participants) {
+      if (peer == site()) continue;
+      queried_peer = true;
+      if (stats_ != nullptr) stats_->Incr("term_reqs_sent");
+      auto payload = std::make_shared<TermRequestPayload>();
+      payload->gossip = Gossip();
+      net::Message message;
+      message.from = site();
+      message.to = peer;
+      message.type = net::MessageType::kTermReq;
+      message.txn = sub.global_id;
+      message.payload = std::move(payload);
+      network_->Send(std::move(message));
+    }
+  }
+  if (!ctp || !queried_peer) {
+    // DECISION-REQ round (or a CTP round without a peer list — e.g. a
+    // runtime recovered from the WAL, which lost the VOTE-REQ's list):
+    // ask the coordinator home's recovery agent.
+    if (stats_ != nullptr) stats_->Incr("decision_reqs_sent");
+    auto payload = std::make_shared<DecisionRequestPayload>();
+    payload->gossip = Gossip();
+    net::Message message;
+    message.from = site();
+    message.to = sub.coordinator;
+    message.type = net::MessageType::kDecisionReq;
+    message.txn = sub.global_id;
+    message.payload = std::move(payload);
+    network_->Send(std::move(message));
+  }
+  ArmTermination(sub);
+}
+
+void Participant::OnTermRequest(const net::Message& message) {
+  const auto* payload =
+      static_cast<const TermRequestPayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  TryUnmark();
+  if (stats_ != nullptr) stats_->Incr("term_reqs_received");
+
+  auto reply = std::make_shared<TermResponsePayload>();
+  auto it = subtxns_.find(message.txn);
+  if (it == subtxns_.end()) {
+    // Crash survivor: consult the WAL, exactly as a resent VOTE-REQ would.
+    bool pending = false;
+    for (const local::LocalDb::PendingExposed& p :
+         db_->PendingExposedSubtxns()) {
+      if (p.global_id == message.txn) pending = true;
+    }
+    for (const local::LocalDb::PendingExposed& p :
+         db_->PendingPreparedSubtxns()) {
+      if (p.global_id == message.txn) pending = true;
+    }
+    if (pending) {
+      // A durable commit vote: this site is as uncertain as the asker.
+      reply->known = false;
+    } else {
+      // The WAL vouches for nothing — this site never durably voted
+      // commit, and by recording the renouncement now (the stub a resent
+      // VOTE-REQ would also create) commit becomes impossible: abort is
+      // safe to report.
+      Subtxn& stub = subtxns_[message.txn];
+      stub.global_id = message.txn;
+      stub.voted = true;
+      stub.vote_commit = false;
+      reply->known = true;
+      reply->commit = false;
+      reply->exposed = true;  // conservative; the asker knows better
+    }
+  } else {
+    Subtxn& sub = it->second;
+    if (sub.decided) {
+      reply->known = true;
+      reply->commit = sub.decision_commit;
+      reply->exposed = sub.decision_exposed;
+      reply->exec_sites = sub.decision_exec_sites;
+    } else if (sub.voted && !sub.vote_commit) {
+      // Our abort vote is binding: the decision can only be abort.
+      reply->known = true;
+      reply->commit = false;
+      reply->exposed = true;  // conservative until a real DECISION says
+    } else if (!sub.voted) {
+      // Unprepared: abort is safe *iff* we also renounce the commit vote
+      // we might otherwise cast later — unilateral abort first, answer
+      // second. When the abort is refused (e.g. the local runtime is in a
+      // state only a fresh attempt can resolve), stay uncertain: a future
+      // attempt could still vote commit.
+      const bool renounced =
+          UnilateralAbort(message.txn) || (sub.voted && !sub.vote_commit);
+      if (renounced) {
+        reply->known = true;
+        reply->commit = false;
+        reply->exposed = true;
+      } else {
+        reply->known = false;
+      }
+    } else {
+      // Voted commit, no decision: same boat as the asker.
+      reply->known = false;
+    }
+  }
+  if (stats_ != nullptr && reply->known) {
+    stats_->Incr("term_reqs_answered");
+  }
+  reply->gossip = Gossip();
+  net::Message response;
+  response.from = site();
+  response.to = message.from;
+  response.type = net::MessageType::kTermResp;
+  response.txn = message.txn;
+  response.payload = std::move(reply);
+  network_->Send(std::move(response));
+}
+
+void Participant::OnTermResponse(const net::Message& message) {
+  const auto* payload =
+      static_cast<const TermResponsePayload*>(message.payload.get());
+  knowledge_->Merge(payload->gossip);
+  TryUnmark();
+  auto it = subtxns_.find(message.txn);
+  if (it == subtxns_.end()) return;
+  Subtxn& sub = it->second;
+  if (sub.decided || sub.decision_acked) return;  // already resolved
+  if (!payload->known) {
+    if (stats_ != nullptr) stats_->Incr("term_resps_uncertain");
+    return;
+  }
+  // An abort inferred by a peer carries no execution-site list; fall back
+  // to the asker's own VOTE-REQ participant list (all participants
+  // executed by vote time, so the lists coincide) — without it, the abort
+  // mark could never satisfy UDUM1 and would poison later admissions.
+  const std::vector<SiteId>& exec_sites =
+      payload->exec_sites.empty() ? sub.participants : payload->exec_sites;
+  O2PC_TRACE(kTermResolve, site(), message.txn, payload->commit ? 1 : 0,
+             message.from);
+  if (stats_ != nullptr) stats_->Incr("ctp_resolutions");
+  NoteDecision(sub, payload->commit, payload->exposed, exec_sites);
+  if (sub.local_id == kInvalidTxn) {
+    // Stub runtime: nothing local to finalize; ack (a live coordinator
+    // would count it, a dead one ignores it).
+    SendDecisionAck(sub, /*compensated=*/false);
+    return;
+  }
+  const TxnId gid = message.txn;
+  const bool commit = payload->commit;
+  const bool exposed = payload->exposed;
+  const std::vector<SiteId> exec = exec_sites;
+  const std::uint64_t epoch = db_->epoch();
+  simulator_->Schedule(options_.protocol.decision_processing_delay,
+                       [this, gid, commit, exposed, exec, epoch] {
+                         if (db_->epoch() != epoch) return;
+                         ApplyDecision(gid, commit, exposed, exec);
+                       });
 }
 
 void Participant::AddUndoneMark(TxnId forward, bool exposed,

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "common/types.h"
 #include "core/compensation.h"
 #include "core/global_txn.h"
@@ -45,6 +46,9 @@ class Participant {
     /// Optional step-indexed instrumentation (fault injection). Points at
     /// the owner's hook slot so it can be (re)installed after construction.
     const StepHook* step_hook = nullptr;
+    /// Seeds the termination timers' jitter streams (per subtransaction,
+    /// derived as seed ^ hash(global id) — order-independent, replay-safe).
+    std::uint64_t seed = 0;
   };
 
   Participant(sim::Simulator* simulator, net::Network* network,
@@ -54,7 +58,8 @@ class Participant {
   Participant(const Participant&) = delete;
   Participant& operator=(const Participant&) = delete;
 
-  /// Network entry point for SUBTXN-INVOKE / VOTE-REQ / DECISION.
+  /// Network entry point for SUBTXN-INVOKE / VOTE-REQ / DECISION /
+  /// TERM-REQ / TERM-RESP.
   void OnMessage(const net::Message& message);
 
   /// Snapshot of the transactions this site is currently undone w.r.t.
@@ -125,6 +130,29 @@ class Participant {
     std::shared_ptr<const SubtxnAckPayload> last_ack;
     std::shared_ptr<const VotePayload> last_vote;
     std::shared_ptr<const DecisionAckPayload> last_decision_ack;
+
+    // --- Termination state (blocking resolution). ---
+    /// Peer participants from the VOTE-REQ; the CTP query targets.
+    std::vector<SiteId> participants;
+    /// The learned outcome, cached to answer TERM-REQs from blocked peers.
+    bool decision_commit = false;
+    bool decision_exposed = false;
+    std::vector<SiteId> decision_exec_sites;
+    /// When this subtransaction entered the prepared state (kInvalid when
+    /// it never did); feeds the blocked_prepared metrics.
+    SimTime prepared_at = 0;
+    /// Backoff schedule of the post-vote decision timer.
+    common::RetryPolicy term_policy;
+    /// Timer liveness guards: a pending timer event fires only while the
+    /// captured sequence number still matches (reinitialization, crash
+    /// recovery, and cancellation all bump it).
+    std::uint64_t term_seq = 0;
+    std::uint64_t prevote_seq = 0;
+    sim::EventId term_event = sim::kInvalidEvent;
+    sim::EventId prevote_event = sim::kInvalidEvent;
+    /// Decision-timer rounds fired so far (first rounds send DECISION-REQ,
+    /// later rounds run the cooperative termination protocol).
+    int term_rounds = 0;
   };
 
   bool MarkingActive() const {
@@ -144,6 +172,32 @@ class Participant {
   void OnSubtxnInvoke(const net::Message& message);
   void OnVoteRequest(const net::Message& message);
   void OnDecision(const net::Message& message);
+  /// Cooperative termination: a blocked peer asks whether this site knows
+  /// (or can force) the outcome of a transaction.
+  void OnTermRequest(const net::Message& message);
+  void OnTermResponse(const net::Message& message);
+
+  // --- Termination timers (blocking resolution). ---
+  /// Arms the post-vote decision timer (no-op when decision_timeout == 0
+  /// or the decision is already known).
+  void ArmTermination(Subtxn& sub);
+  /// Arms the pre-vote local-autonomy timer at execution completion.
+  void ArmPrevoteTimer(Subtxn& sub);
+  /// One firing of the decision timer: DECISION-REQ first, cooperative
+  /// termination rounds after `decision_req_attempts`.
+  void TerminationRound(Subtxn& sub);
+  /// Invalidates both timers (decision learned / runtime reinitialized).
+  void CancelTermination(Subtxn& sub);
+  /// Records that the decision for `sub` is now known: caches the outcome
+  /// for TERM-REQ peers, cancels the timers, and closes the
+  /// blocked-prepared accounting window.
+  void NoteDecision(Subtxn& sub, bool commit, bool exposed,
+                    const std::vector<SiteId>& exec_sites);
+  /// Applies a known decision to the local state (final-commit, rollback,
+  /// or compensation) and acks it — shared by OnDecision and the
+  /// cooperative-termination resolution path.
+  void ApplyDecision(TxnId global_id, bool commit, bool exposed,
+                     const std::vector<SiteId>& exec_sites);
 
   /// Rebuilds a minimal runtime for a transaction forgotten in a crash,
   /// from the WAL's pending records. Returns nullptr when the WAL knows
@@ -234,6 +288,8 @@ class Participant {
   std::map<TxnId, Tombstone> retired_marks_;
   CompensationExecutor compensator_;
   std::map<TxnId, Subtxn> subtxns_;
+  /// Monotonic sequence for the termination-timer liveness guards.
+  std::uint64_t timer_seq_ = 0;
 };
 
 }  // namespace o2pc::core

@@ -85,9 +85,37 @@ struct ProtocolConfig {
   Duration retry_backoff = Millis(2);
 
   /// Resend VOTE-REQ / DECISION if unanswered for this long (lossy-network
-  /// safety net; 0 disables).
+  /// safety net; 0 disables). `resend_timeout` seeds a common::RetryPolicy
+  /// as the initial delay; `max_resends` is its budget. The backoff shape
+  /// below is shared by *every* retry timer in the system (coordinator
+  /// resends and the participant termination timers).
   Duration resend_timeout = Millis(100);
   int max_resends = 10;
+  /// Exponential growth per retry (1.0 = a fixed interval, the classic
+  /// retransmission cadence; the campaign runner and benches enable 2.0).
+  double retry_backoff_multiplier = 1.0;
+  /// Cap on the un-jittered retry delay (raised to the initial delay when
+  /// smaller; <= 0 = uncapped).
+  Duration retry_backoff_cap = Millis(800);
+  /// Fraction of each delay added as seeded deterministic jitter.
+  double retry_jitter = 0.0;
+
+  /// Participant-side termination (paper §7's blocking discussion): how
+  /// long a voted participant waits for the DECISION before helping
+  /// itself. 0 disables (the pre-termination behavior: wait forever for
+  /// coordinator resends). The first `decision_req_attempts` timeouts send
+  /// DECISION-REQ to the coordinator's home (its recovery agent answers
+  /// from the decision log even mid-crash); later rounds escalate to the
+  /// cooperative termination protocol, querying the peer participants
+  /// listed in the VOTE-REQ. `termination_budget` bounds total rounds.
+  Duration decision_timeout = 0;
+  int decision_req_attempts = 2;
+  int termination_budget = 12;
+  /// Pre-vote local autonomy: a participant that executed (acked OK) but
+  /// has waited this long without a VOTE-REQ unilaterally aborts its
+  /// subtransaction — the right O2PC preserves and 2PC's prepared state
+  /// forfeits. 0 disables.
+  Duration prevote_timeout = 0;
 
   /// Crash injection: probability the coordinator crashes *after logging*
   /// its decision but before broadcasting it; it recovers and resends after

@@ -18,7 +18,10 @@ DistributedSystem::SiteRuntime::SiteRuntime(
           simulator, network, &db, ids,
           shared_knowledge != nullptr ? shared_knowledge : &own_knowledge,
           stats,
-          Participant::Options{options.protocol, kMarksKey, step_hook}) {}
+          Participant::Options{options.protocol, kMarksKey, step_hook,
+                               options.seed ^
+                                   (site * 0x9e3779b97f4a7c15ULL) ^
+                                   0x7465726dULL}) {}
 
 DistributedSystem::DistributedSystem(SystemOptions options)
     : options_(options),
@@ -67,11 +70,14 @@ void DistributedSystem::Dispatch(SiteId site, const net::Message& message) {
     case net::MessageType::kSubtxnInvoke:
     case net::MessageType::kVoteRequest:
     case net::MessageType::kDecision:
+    case net::MessageType::kTermReq:
+    case net::MessageType::kTermResp:
       sites_.at(site)->participant.OnMessage(message);
       return;
     case net::MessageType::kSubtxnAck:
     case net::MessageType::kVote:
-    case net::MessageType::kDecisionAck: {
+    case net::MessageType::kDecisionAck:
+    case net::MessageType::kDecisionReq: {
       auto it = coordinators_.find(message.txn);
       if (it == coordinators_.end()) {
         O2PC_LOG(kWarn) << "no coordinator for T" << message.txn;
@@ -253,14 +259,14 @@ void DistributedSystem::CrashSite(SiteId site, Duration outage) {
   }
 }
 
-void DistributedSystem::InjectCoordinatorCrash(TxnId txn) {
+void DistributedSystem::InjectCoordinatorCrash(TxnId txn, Duration outage) {
   auto it = coordinators_.find(txn);
   if (it == coordinators_.end()) {
     O2PC_LOG(kWarn) << "no coordinator for T" << txn
                     << "; injected crash ignored";
     return;
   }
-  it->second->RequestCrash();
+  it->second->RequestCrash(outage);
 }
 
 sg::CorrectnessReport DistributedSystem::Analyze() const {

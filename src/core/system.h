@@ -100,8 +100,11 @@ class DistributedSystem {
   /// next decision broadcast crashes instead (decision already logged) and
   /// recovers after `coordinator_recovery_delay`. Safe to call from a
   /// StepHook at kCoordinatorDecide — it only sets a flag. No-op with a
-  /// warning when `txn` has no live coordinator.
-  void InjectCoordinatorCrash(TxnId txn);
+  /// warning when `txn` has no live coordinator. `outage` = 0 recovers
+  /// after the configured `coordinator_recovery_delay`, > 0 overrides it,
+  /// < 0 never recovers (participants terminate via DECISION-REQ / the
+  /// cooperative termination protocol).
+  void InjectCoordinatorCrash(TxnId txn, Duration outage = 0);
 
   /// Post-run: evaluates the §5 correctness criterion, atomicity of
   /// compensation, and plain serializability over the recorded history.
@@ -112,9 +115,13 @@ class DistributedSystem {
 
   sim::Simulator& simulator() { return simulator_; }
   net::Network& network() { return network_; }
+  const net::Network& network() const { return network_; }
   local::LocalDb& db(SiteId site) { return sites_.at(site)->db; }
   const local::LocalDb& db(SiteId site) const { return sites_.at(site)->db; }
   Participant& participant(SiteId site) {
+    return sites_.at(site)->participant;
+  }
+  const Participant& participant(SiteId site) const {
     return sites_.at(site)->participant;
   }
   metrics::StatsCollector& stats() { return stats_; }

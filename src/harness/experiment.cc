@@ -59,6 +59,11 @@ std::string RunResult::ToJson() const {
   Put(out, first, "coordinator_crashes", coordinator_crashes);
   Put(out, first, "udum_unmarks", udum_unmarks);
   Put(out, first, "locals_committed", locals_committed);
+  Put(out, first, "blocked_prepared_ns", blocked_prepared_ns);
+  Put(out, first, "mean_blocked_prepared_us", mean_blocked_prepared_us);
+  Put(out, first, "max_blocked_prepared_us", max_blocked_prepared_us);
+  Put(out, first, "decision_reqs", decision_reqs);
+  Put(out, first, "ctp_resolutions", ctp_resolutions);
   Put(out, first, "messages_total", messages_total);
   JsonField(out, first, "messages_by_type");
   out << "[";
@@ -160,6 +165,14 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   result.coordinator_crashes = stats.Count("coordinator_crashes");
   result.udum_unmarks = stats.Count("udum_unmarks");
   result.locals_committed = stats.Count("locals_committed");
+  result.blocked_prepared_ns = stats.Count("blocked_prepared_ns");
+  if (const metrics::Histogram* blocked = stats.FindHist("blocked_prepared_us");
+      blocked != nullptr) {
+    result.mean_blocked_prepared_us = blocked->Mean();
+    result.max_blocked_prepared_us = blocked->Max();
+  }
+  result.decision_reqs = stats.Count("decision_reqs_sent");
+  result.ctp_resolutions = stats.Count("ctp_resolutions");
 
   const net::NetworkStats& net_stats = system.network().stats();
   result.messages_total = net_stats.sent_total;

@@ -67,6 +67,18 @@ struct RunResult {
   std::uint64_t udum_unmarks = 0;
   std::uint64_t locals_committed = 0;
 
+  /// Time participants spent blocked — voted, updates exposed (O2PC) or
+  /// locks held prepared (2PC) — waiting for the DECISION. The paper's
+  /// blocking-window comparison: grows with coordinator outages under 2PC,
+  /// stays near zero under O2PC (locks were released at the vote; only the
+  /// bookkeeping wait remains). Total is in nanoseconds for headroom.
+  std::uint64_t blocked_prepared_ns = 0;
+  double mean_blocked_prepared_us = 0.0;
+  double max_blocked_prepared_us = 0.0;
+  /// Participant-driven decision recovery traffic (termination protocol).
+  std::uint64_t decision_reqs = 0;
+  std::uint64_t ctp_resolutions = 0;
+
   std::uint64_t messages_total = 0;
   std::array<std::uint64_t, net::kNumMessageTypes> messages_by_type{};
 

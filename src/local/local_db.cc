@@ -274,6 +274,15 @@ void LocalDb::PrepareAndReleaseShared(TxnId id) {
     r.aux = static_cast<std::int64_t>(rec.global_id);
     wal_.Append(std::move(r));
   }
+  // The access set is frozen here — a prepared subtransaction never reads
+  // or writes again — and the shared-lock release below lets later writers
+  // overtake this subtransaction's reads. Flush the SG records now so they
+  // land in lock-grant order (the tracker's contract): deferring the flush
+  // to the final commit records a late-deciding reader AFTER a writer that
+  // overtook it, manufacturing a reversed r->w edge and phantom regular
+  // cycles whenever the decision is slow to arrive (e.g. a crashed
+  // coordinator whose outcome the participant recovers via DECISION-REQ).
+  FlushSgRecords(rec);
   // Journal the prepared transition before the shared-lock releases it
   // permits: only exclusive locks are pinned until the DECISION.
   O2PC_TRACE(kPrepare, options_.site, rec.global_id, id);

@@ -16,6 +16,12 @@ const char* MessageTypeName(MessageType type) {
       return "DECISION";
     case MessageType::kDecisionAck:
       return "DECISION-ACK";
+    case MessageType::kDecisionReq:
+      return "DECISION-REQ";
+    case MessageType::kTermReq:
+      return "TERM-REQ";
+    case MessageType::kTermResp:
+      return "TERM-RESP";
     case MessageType::kUser:
       return "USER";
   }

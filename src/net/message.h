@@ -11,11 +11,15 @@
 /// concrete payload structs (deriving from Payload); the network only
 /// routes, delays and counts envelopes.
 ///
-/// The message vocabulary is exactly the standard 2PC exchange plus the
+/// The message vocabulary is the standard 2PC exchange plus the
 /// operation-shipping messages any distributed transaction needs. O2PC adds
 /// **no** message types and no extra rounds (paper §1, §7): compensation is
 /// triggered by the existing DECISION message, and marking/UDUM1 information
-/// rides piggyback on these same envelopes.
+/// rides piggyback on these same envelopes. The *termination* messages
+/// (DECISION-REQ, TERM-REQ, TERM-RESP) belong to the failure path shared by
+/// both protocols — a blocked participant asking for a decision it missed —
+/// and appear in no failure-free run, so the paper's no-extra-rounds claim
+/// is unaffected.
 
 namespace o2pc::net {
 
@@ -32,10 +36,18 @@ enum class MessageType : std::uint8_t {
   kDecision = 4,
   /// Site -> coordinator: acknowledgement of the decision.
   kDecisionAck = 5,
+  /// Site -> coordinator home: a blocked participant asks the recovery
+  /// agent for the logged decision (participant-driven decision recovery).
+  kDecisionReq = 6,
+  /// Site -> peer site: cooperative-termination query — "do you know the
+  /// outcome of T, or can you rule commit out?"
+  kTermReq = 7,
+  /// Peer site -> asker: cooperative-termination answer.
+  kTermResp = 8,
   /// Free-form message used by tests.
-  kUser = 6,
+  kUser = 9,
 };
-inline constexpr int kNumMessageTypes = 7;
+inline constexpr int kNumMessageTypes = 10;
 
 /// Human-readable message-type name ("VOTE-REQ", ...).
 const char* MessageTypeName(MessageType type);

@@ -145,6 +145,12 @@ CheckReport CheckTrace(const std::vector<TraceEvent>& events) {
         }
         break;
 
+      // A cooperative-termination resolution is a decision for I2's
+      // purposes: the blocked participant may now release prepared locks.
+      case EventType::kTermResolve:
+        replay.decisions_received.insert({e.site, e.txn});
+        break;
+
       case EventType::kDecide:
         replay.decide_commit[e.txn] = e.a != 0;
         break;

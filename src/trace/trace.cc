@@ -67,6 +67,10 @@ const char* EventTypeName(EventType type) {
       return "site_crash";
     case EventType::kSiteRecover:
       return "site_recover";
+    case EventType::kDecisionTimeout:
+      return "decision_timeout";
+    case EventType::kTermResolve:
+      return "term_resolve";
   }
   return "?";
 }

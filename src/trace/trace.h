@@ -80,12 +80,20 @@ enum class EventType : std::uint8_t {
 
   // --- Failure injection. ---
   kCoordinatorCrash,    ///< crash after logging, before broadcasting.
+                        ///< b=1 when the outage is permanent (no recovery).
   kCoordinatorRecover,  ///< recovery re-read the decision. a=commit(0/1).
   kSiteCrash,           ///< site lost volatile state. a=#rolled-back locals.
   kSiteRecover,         ///< site reachable again.
+
+  // --- Termination protocol (blocking resolution). ---
+  kDecisionTimeout,  ///< participant termination timer fired. a=round
+                     ///< (0 = the pre-vote timeout), b=1 when the round
+                     ///< escalated to cooperative termination.
+  kTermResolve,      ///< decision learned via TERM-RESP, not a DECISION.
+                     ///< a=commit(0/1), b=answering site.
 };
 inline constexpr int kNumEventTypes =
-    static_cast<int>(EventType::kSiteRecover) + 1;
+    static_cast<int>(EventType::kTermResolve) + 1;
 
 /// Stable machine-readable name ("lock_release", "mark_insert", ...).
 const char* EventTypeName(EventType type);

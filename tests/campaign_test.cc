@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
-#include "campaign/injector.h"
+#include "campaign/audit.h"
 #include "campaign/shrink.h"
+#include "core/system.h"
+#include "trace/trace.h"
+#include "workload/scenarios.h"
 
 namespace o2pc::campaign {
 namespace {
@@ -229,16 +232,103 @@ TEST(ReplayTest, SameSeedAndPlanYieldByteIdenticalJournals) {
   }
 }
 
+TEST(FaultPlanTest, CoordinatorOutageRoundTripsWithOutage) {
+  FaultPlan plan = GeneratePlan("coordinator_outage", 5, 3);
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCoordinatorCrash);
+  EXPECT_LT(plan.events[0].duration, 0);  // permanent
+
+  FaultPlan reparsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(plan.ToString(), &reparsed, &error)) << error;
+  ASSERT_EQ(reparsed.events.size(), 1u);
+  EXPECT_EQ(reparsed.events[0].duration, plan.events[0].duration);
+  EXPECT_EQ(reparsed.ToString(), plan.ToString());
+  // A seed-era line without outage_us still parses (duration 0).
+  ASSERT_TRUE(
+      FaultPlan::Parse("coordinator_crash occurrence=1\n", &reparsed, &error))
+      << error;
+  EXPECT_EQ(reparsed.events[0].duration, 0);
+}
+
+TEST(OracleTest, PermanentCoordinatorOutageDrainsViaTermination) {
+  // The liveness oracle's contract: a permanent coordinator outage may
+  // orphan the crashed incarnation itself, but every participant must
+  // still terminate (DECISION-REQ / cooperative termination) — under both
+  // protocols.
+  for (const core::CommitProtocol protocol :
+       {core::CommitProtocol::kOptimistic,
+        core::CommitProtocol::kTwoPhaseCommit}) {
+    CampaignRunConfig config = SmallConfig(protocol, 9);
+    config.plan = GeneratePlan("coordinator_outage", 9, config.num_sites);
+    const CampaignRunResult result = RunOne(config);
+    EXPECT_EQ(result.faults_triggered, 1);
+    EXPECT_EQ(result.coordinator_crashes, 1u);
+    EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+  }
+}
+
+TEST(OracleTest, LivenessOracleFlagsAnUnresolvableWedge) {
+  // Same permanent outage, but with the termination protocol disarmed the
+  // 2PC participants stay prepared forever: the liveness oracle (a wedged
+  // subtransaction whose logged decision was recoverable) and the in-doubt
+  // audit must both fire. RunOne arms termination unconditionally, so build
+  // a single-transfer system by hand — the coordinator force-logs COMMIT,
+  // vanishes for good, and nobody ever asks for the decision.
+  core::SystemOptions options;
+  options.num_sites = 3;
+  options.keys_per_site = 16;
+  options.seed = 13;
+  options.protocol.protocol = core::CommitProtocol::kTwoPhaseCommit;
+  // decision_timeout stays 0: no DECISION-REQ, no cooperative termination.
+  core::DistributedSystem system(options);
+  const Value initial_total = system.TotalValue();
+  trace::TraceRecorder recorder;
+  {
+    trace::ScopedTrace scope(&recorder, &system.simulator());
+    const TxnId id =
+        system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10));
+    system.InjectCoordinatorCrash(id, /*outage=*/-1);
+    system.Run();
+  }
+  const OracleReport report =
+      RunOracles(system, recorder.events(), initial_total);
+  ASSERT_FALSE(report.ok());
+  bool saw_liveness = false;
+  bool saw_audit = false;
+  for (const std::string& violation : report.violations) {
+    if (violation.rfind("liveness:", 0) == 0) saw_liveness = true;
+    if (violation.rfind("audit:", 0) == 0) saw_audit = true;
+  }
+  EXPECT_TRUE(saw_liveness) << report.Summary();
+  EXPECT_TRUE(saw_audit) << report.Summary();
+}
+
+TEST(ReplayTest, CoordinatorOutageReplaysByteIdentically) {
+  for (const core::CommitProtocol protocol :
+       {core::CommitProtocol::kOptimistic,
+        core::CommitProtocol::kTwoPhaseCommit}) {
+    CampaignRunConfig config = SmallConfig(protocol, 33);
+    config.plan = GeneratePlan("coordinator_outage", 33, config.num_sites);
+    const CampaignRunResult first = RunOne(config);
+    const CampaignRunResult second = RunOne(config);
+    ASSERT_FALSE(first.journal.empty());
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.journal, second.journal);
+    EXPECT_EQ(first.oracle.violations, second.oracle.violations);
+  }
+}
+
 TEST(CampaignTest, HealthySweepPassesAllOracles) {
   CampaignOptions options;
-  options.runs = 14;  // one full template cycle under both protocols
+  options.runs = 16;  // one full template cycle under both protocols
   options.base_seed = 3;
   options.num_sites = 3;
   options.keys_per_site = 16;
   options.num_globals = 12;
   options.num_locals = 6;
   const CampaignReport report = RunCampaign(options);
-  EXPECT_EQ(report.runs_completed, 14);
+  EXPECT_EQ(report.runs_completed, 16);
   EXPECT_TRUE(report.ok());
   EXPECT_GT(report.total_faults_triggered, 0u);
 }

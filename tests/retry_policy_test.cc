@@ -1,0 +1,151 @@
+#include "common/retry_policy.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace o2pc::common {
+namespace {
+
+std::vector<Duration> Delays(const RetryPolicyConfig& config,
+                             std::uint64_t seed, int n) {
+  RetryPolicy policy(config, Rng(seed));
+  std::vector<Duration> out;
+  for (int i = 0; i < n; ++i) out.push_back(policy.NextDelay());
+  return out;
+}
+
+TEST(RetryPolicyTest, FixedIntervalWhenMultiplierIsOne) {
+  RetryPolicyConfig config;
+  config.initial = Millis(100);
+  config.multiplier = 1.0;
+  RetryPolicy policy(config, Rng(1));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.NextDelay(), Millis(100)) << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, ExponentialGrowthUpToCap) {
+  RetryPolicyConfig config;
+  config.initial = Millis(10);
+  config.multiplier = 2.0;
+  config.cap = Millis(100);
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_EQ(policy.NextDelay(), Millis(10));
+  EXPECT_EQ(policy.NextDelay(), Millis(20));
+  EXPECT_EQ(policy.NextDelay(), Millis(40));
+  EXPECT_EQ(policy.NextDelay(), Millis(80));
+  EXPECT_EQ(policy.NextDelay(), Millis(100));  // capped
+  EXPECT_EQ(policy.NextDelay(), Millis(100));  // stays capped
+}
+
+TEST(RetryPolicyTest, CapBelowInitialIsRaisedToInitial) {
+  RetryPolicyConfig config;
+  config.initial = Millis(50);
+  config.multiplier = 2.0;
+  config.cap = Millis(10);
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_EQ(policy.NextDelay(), Millis(50));
+  EXPECT_EQ(policy.NextDelay(), Millis(50));
+}
+
+TEST(RetryPolicyTest, UncappedGrowthDoesNotOverflow) {
+  RetryPolicyConfig config;
+  config.initial = Seconds(10);
+  config.multiplier = 10.0;
+  config.cap = 0;  // uncapped
+  RetryPolicy policy(config, Rng(1));
+  Duration last = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Duration delay = policy.NextDelay();
+    EXPECT_GT(delay, 0) << "attempt " << i;
+    EXPECT_GE(delay, last) << "attempt " << i;
+    last = delay;
+  }
+}
+
+TEST(RetryPolicyTest, BudgetExhaustsAfterExactlyBudgetDelays) {
+  RetryPolicyConfig config;
+  config.initial = Millis(5);
+  config.budget = 3;
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_FALSE(policy.Exhausted());
+  policy.NextDelay();
+  policy.NextDelay();
+  EXPECT_FALSE(policy.Exhausted());
+  policy.NextDelay();
+  EXPECT_TRUE(policy.Exhausted());
+}
+
+TEST(RetryPolicyTest, ZeroBudgetNeverExhausts) {
+  RetryPolicyConfig config;
+  config.initial = Millis(5);
+  config.budget = 0;
+  RetryPolicy policy(config, Rng(1));
+  for (int i = 0; i < 100; ++i) policy.NextDelay();
+  EXPECT_FALSE(policy.Exhausted());
+}
+
+TEST(RetryPolicyTest, ResetRestartsScheduleAndBudget) {
+  RetryPolicyConfig config;
+  config.initial = Millis(10);
+  config.multiplier = 2.0;
+  config.budget = 2;
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_EQ(policy.NextDelay(), Millis(10));
+  EXPECT_EQ(policy.NextDelay(), Millis(20));
+  EXPECT_TRUE(policy.Exhausted());
+  policy.Reset();
+  EXPECT_FALSE(policy.Exhausted());
+  EXPECT_EQ(policy.NextDelay(), Millis(10));
+  EXPECT_EQ(policy.attempt(), 1);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredFraction) {
+  RetryPolicyConfig config;
+  config.initial = Millis(100);
+  config.multiplier = 1.0;
+  config.jitter = 0.25;
+  RetryPolicy policy(config, Rng(77));
+  for (int i = 0; i < 200; ++i) {
+    const Duration delay = policy.NextDelay();
+    EXPECT_GE(delay, Millis(100));
+    EXPECT_LE(delay, Millis(125));
+  }
+}
+
+TEST(RetryPolicyTest, SameSeedSameSchedule) {
+  // Replay safety: the jittered schedule is a pure function of the seed.
+  RetryPolicyConfig config;
+  config.initial = Millis(30);
+  config.multiplier = 2.0;
+  config.cap = Millis(500);
+  config.jitter = 0.5;
+  const std::vector<Duration> a = Delays(config, 1234, 16);
+  const std::vector<Duration> b = Delays(config, 1234, 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RetryPolicyTest, DifferentSeedsDecorrelate) {
+  RetryPolicyConfig config;
+  config.initial = Millis(30);
+  config.jitter = 0.5;
+  const std::vector<Duration> a = Delays(config, 1, 16);
+  const std::vector<Duration> b = Delays(config, 2, 16);
+  EXPECT_NE(a, b);
+}
+
+TEST(RetryPolicyTest, DelayIsAlwaysPositive) {
+  RetryPolicyConfig config;
+  config.initial = 0;  // clamped to 1us
+  config.multiplier = 0.5;  // clamped to 1.0
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_GE(policy.NextDelay(), 1);
+  EXPECT_GE(policy.NextDelay(), 1);
+}
+
+}  // namespace
+}  // namespace o2pc::common

@@ -1,0 +1,242 @@
+// Termination protocol and blocking resolution: participant-driven
+// decision recovery (DECISION-REQ against the home site's recovery agent),
+// cooperative termination against the peers, the pre-vote timeout's
+// unilateral withdrawal, and the coordinator's log-and-retire on ack
+// exhaustion.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "net/network.h"
+#include "trace/trace.h"
+#include "workload/scenarios.h"
+
+namespace o2pc::core {
+namespace {
+
+SystemOptions BaseOptions(CommitProtocol protocol) {
+  SystemOptions options;
+  options.num_sites = 3;
+  options.keys_per_site = 16;
+  options.seed = 13;
+  options.protocol.protocol = protocol;
+  // Participant-side termination on (off by default).
+  options.protocol.decision_timeout = Millis(20);
+  options.protocol.decision_req_attempts = 2;
+  options.protocol.termination_budget = 12;
+  return options;
+}
+
+bool HasInDoubt(const DistributedSystem& system) {
+  for (int i = 0; i < system.options().num_sites; ++i) {
+    const SiteId site = static_cast<SiteId>(i);
+    if (!system.db(site).PendingExposedSubtxns().empty()) return true;
+    if (!system.db(site).PendingPreparedSubtxns().empty()) return true;
+  }
+  return false;
+}
+
+TEST(TerminationTest, DecisionReqResolvesPermanentCoordinatorCrash) {
+  // The coordinator dies forever right after force-logging COMMIT. No
+  // DECISION ever leaves, but the home site's recovery agent still answers
+  // DECISION-REQ from the log — every participant terminates and the
+  // transfer becomes durable at both sites.
+  for (CommitProtocol protocol :
+       {CommitProtocol::kTwoPhaseCommit, CommitProtocol::kOptimistic}) {
+    DistributedSystem system(BaseOptions(protocol));
+    const TxnId id =
+        system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10));
+    system.InjectCoordinatorCrash(id, /*outage=*/-1);
+    system.Run();
+
+    EXPECT_EQ(system.stats().Count("coordinator_crashes_permanent"), 1u);
+    EXPECT_EQ(system.stats().Count("decisions_commit"), 1u);
+    EXPECT_GT(system.stats().Count("decision_reqs_sent"), 0u);
+    EXPECT_GT(system.stats().Count("decision_reqs_answered"), 0u);
+    // Both participants finalized the logged commit.
+    EXPECT_EQ(system.db(1).table().Get(1)->value, 990);
+    EXPECT_EQ(system.db(2).table().Get(2)->value, 1010);
+    EXPECT_FALSE(HasInDoubt(system)) << CommitProtocolName(protocol);
+    // The crashed incarnation itself stays unfinished (nobody is left to
+    // run its completion) — exactly the wedge the liveness oracle
+    // tolerates.
+    EXPECT_EQ(system.globals_finished() + 1, system.globals_submitted());
+  }
+}
+
+TEST(TerminationTest, CooperativeTerminationResolvesViaPeer) {
+  // The coordinator dies forever after logging COMMIT and site 2's
+  // DECISION-REQs are all lost on top of that. Site 1 recovers the
+  // decision from the home site's log; site 2 exhausts its DECISION-REQ
+  // attempts, escalates to cooperative termination, and learns the
+  // outcome from its peer instead of blocking forever.
+  SystemOptions options = BaseOptions(CommitProtocol::kTwoPhaseCommit);
+  DistributedSystem system(options);
+  trace::TraceRecorder recorder;
+  trace::ScopedTrace scope(&recorder, &system.simulator());
+  system.network().SetFaultHook([](const net::Message& message) {
+    net::FaultDecision decision;
+    decision.drop = message.type == net::MessageType::kDecisionReq &&
+                    message.from == 2;
+    return decision;
+  });
+
+  const TxnId id =
+      system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10));
+  system.InjectCoordinatorCrash(id, /*outage=*/-1);
+  system.Run();
+
+  EXPECT_GT(system.stats().Count("decision_reqs_answered"), 0u);
+  EXPECT_GT(system.stats().Count("term_reqs_sent"), 0u);
+  EXPECT_EQ(system.stats().Count("ctp_resolutions"), 1u);
+  // Site 2 finalized the commit it learned from its peer.
+  EXPECT_EQ(system.db(1).table().Get(1)->value, 990);
+  EXPECT_EQ(system.db(2).table().Get(2)->value, 1010);
+  EXPECT_FALSE(HasInDoubt(system));
+  // Only the permanently-orphaned coordinator incarnation stays open.
+  EXPECT_EQ(system.globals_finished() + 1, system.globals_submitted());
+  // The resolution is journaled (checker I2 counts it as the decision).
+  bool saw_resolve = false;
+  for (const trace::TraceEvent& event : recorder.events()) {
+    if (event.type == trace::EventType::kTermResolve && event.txn == id) {
+      EXPECT_EQ(event.a, 1);  // commit
+      EXPECT_EQ(event.site, 2u);
+      saw_resolve = true;
+    }
+  }
+  EXPECT_TRUE(saw_resolve);
+}
+
+TEST(TerminationTest, BroadcastRetiresAfterAckExhaustion) {
+  // Site 2 acknowledges nothing: the coordinator's DECISION keeps getting
+  // through (idempotent) but every DECISION-ACK is lost. After the resend
+  // budget the coordinator logs a warning and retires the broadcast — the
+  // decision is durable in its log and participants have long terminated,
+  // so spinning forever would buy nothing.
+  SystemOptions options = BaseOptions(CommitProtocol::kTwoPhaseCommit);
+  options.protocol.resend_timeout = Millis(40);
+  options.protocol.max_resends = 3;
+  DistributedSystem system(options);
+  system.network().SetFaultHook([](const net::Message& message) {
+    net::FaultDecision decision;
+    decision.drop = message.type == net::MessageType::kDecisionAck &&
+                    message.from == 2;
+    return decision;
+  });
+
+  GlobalResult result;
+  system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10),
+                      [&](const GlobalResult& r) { result = r; });
+  system.Run();
+
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(system.stats().Count("broadcasts_retired_unacked"), 1u);
+  EXPECT_EQ(system.db(1).table().Get(1)->value, 990);
+  EXPECT_EQ(system.db(2).table().Get(2)->value, 1010);
+  EXPECT_FALSE(HasInDoubt(system));
+  EXPECT_EQ(system.globals_finished(), system.globals_submitted());
+}
+
+TEST(TerminationTest, CtpInfersAbortFromUnvotedPeer) {
+  // Site 2 never receives a VOTE-REQ (all dropped). Site 1 votes commit,
+  // gets no DECISION, and escalates straight to cooperative termination
+  // (decision_req_attempts = 0). Its TERM-REQ finds site 2 still unvoted;
+  // site 2 renounces its vote right (a unilateral abort) and answers with
+  // a binding abort — site 1 unblocks without ever hearing from the
+  // coordinator.
+  SystemOptions options = BaseOptions(CommitProtocol::kTwoPhaseCommit);
+  options.protocol.decision_req_attempts = 0;
+  options.protocol.resend_timeout = Millis(200);
+  options.protocol.max_resends = 1;
+  options.max_global_restarts = 0;
+  DistributedSystem system(options);
+  system.network().SetFaultHook([](const net::Message& message) {
+    net::FaultDecision decision;
+    decision.drop = message.type == net::MessageType::kVoteRequest &&
+                    message.to == 2;
+    return decision;
+  });
+
+  GlobalResult result;
+  const Value before = system.TotalValue();
+  system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10),
+                      [&](const GlobalResult& r) { result = r; });
+  system.Run();
+
+  EXPECT_FALSE(result.committed);
+  EXPECT_GT(system.stats().Count("term_reqs_sent"), 0u);
+  EXPECT_EQ(system.stats().Count("ctp_resolutions"), 1u);
+  EXPECT_GT(system.stats().Count("unilateral_aborts"), 0u);
+  EXPECT_EQ(system.TotalValue(), before);
+  EXPECT_FALSE(HasInDoubt(system));
+  EXPECT_EQ(system.globals_finished(), system.globals_submitted());
+}
+
+TEST(TerminationTest, PrevoteTimeoutWithdrawsExecutedSubtxn) {
+  // A VOTE-REQ that never arrives: after prevote_timeout the executed,
+  // still-unvoted subtransaction is withdrawn via unilateral abort —
+  // locks released, a failure ack sent — instead of waiting on a
+  // coordinator that may be gone.
+  SystemOptions options = BaseOptions(CommitProtocol::kTwoPhaseCommit);
+  options.protocol.prevote_timeout = Millis(30);
+  options.protocol.resend_timeout = Millis(100);
+  options.protocol.max_resends = 2;
+  options.max_global_restarts = 0;
+  DistributedSystem system(options);
+  trace::TraceRecorder recorder;
+  trace::ScopedTrace scope(&recorder, &system.simulator());
+  system.network().SetFaultHook([](const net::Message& message) {
+    net::FaultDecision decision;
+    decision.drop = message.type == net::MessageType::kVoteRequest &&
+                    message.to == 2;
+    return decision;
+  });
+
+  GlobalResult result;
+  const Value before = system.TotalValue();
+  system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10),
+                      [&](const GlobalResult& r) { result = r; });
+  system.Run();
+
+  EXPECT_FALSE(result.committed);
+  EXPECT_GT(system.stats().Count("prevote_timeouts"), 0u);
+  EXPECT_GT(system.stats().Count("unilateral_aborts"), 0u);
+  EXPECT_EQ(system.TotalValue(), before);
+  EXPECT_FALSE(HasInDoubt(system));
+  EXPECT_EQ(system.globals_finished(), system.globals_submitted());
+  // The timeout is journaled as round 0 (pre-vote).
+  bool saw_timeout = false;
+  for (const trace::TraceEvent& event : recorder.events()) {
+    if (event.type == trace::EventType::kDecisionTimeout && event.a == 0) {
+      EXPECT_EQ(event.site, 2u);
+      saw_timeout = true;
+    }
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(TerminationTest, HealableOutageNeedsNoTermination) {
+  // With a finite outage the ordinary recovery path still wins: the
+  // coordinator comes back and resends, and if the participant asked for
+  // the decision meanwhile that is benign (idempotent DECISION handling).
+  SystemOptions options = BaseOptions(CommitProtocol::kTwoPhaseCommit);
+  options.protocol.coordinator_recovery_delay = Millis(60);
+  DistributedSystem system(options);
+  GlobalResult result;
+  const TxnId id =
+      system.SubmitGlobal(workload::MakeTransfer(1, 1, 2, 2, 10),
+                          [&](const GlobalResult& r) { result = r; });
+  system.InjectCoordinatorCrash(id, /*outage=*/Millis(60));
+  system.Run();
+
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(system.stats().Count("coordinator_crashes"), 1u);
+  EXPECT_EQ(system.stats().Count("coordinator_crashes_permanent"), 0u);
+  EXPECT_EQ(system.db(1).table().Get(1)->value, 990);
+  EXPECT_EQ(system.db(2).table().Get(2)->value, 1010);
+  EXPECT_FALSE(HasInDoubt(system));
+  EXPECT_EQ(system.globals_finished(), system.globals_submitted());
+}
+
+}  // namespace
+}  // namespace o2pc::core
