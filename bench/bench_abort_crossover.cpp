@@ -9,16 +9,17 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
 
 namespace {
 
-harness::RunResult Run(core::CommitProtocol protocol, double abort_prob,
-                       core::GovernancePolicy governance =
-                           core::GovernancePolicy::kP1) {
+harness::ExperimentConfig Config(core::CommitProtocol protocol,
+                                 double abort_prob,
+                                 core::GovernancePolicy governance =
+                                     core::GovernancePolicy::kP1) {
   harness::ExperimentConfig config;
   config.label = core::CommitProtocolName(protocol);
   config.system.num_sites = 4;
@@ -38,31 +39,38 @@ harness::RunResult Run(core::CommitProtocol protocol, double abort_prob,
   config.workload.mean_local_interarrival = Millis(4);
   config.workload.seed = 41;
   config.analyze = false;
-  return harness::RunExperiment(config);
+  return config;
 }
+
+const double kAbortProbs[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E3: the optimistic assumption — throughput vs vote-abort rate\n\n");
+
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (double p : kAbortProbs) {
+    matrix.Add(Config(core::CommitProtocol::kTwoPhaseCommit, p));
+    matrix.Add(Config(core::CommitProtocol::kOptimistic, p));
+    matrix.Add(Config(core::CommitProtocol::kOptimistic, p,
+                      core::GovernancePolicy::kNone));
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
 
   metrics::TablePrinter table(
       {"abort prob", "2PC txn/s", "O2PC+P1 txn/s", "O2PC saga txn/s",
        "P1/2PC", "saga/2PC", "compensations", "R1 rejections"});
-  std::vector<harness::RunResult> results;
-  for (double p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
-    harness::RunResult two_pc = Run(core::CommitProtocol::kTwoPhaseCommit, p);
-    harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, p);
-    harness::RunResult saga = Run(core::CommitProtocol::kOptimistic, p,
-                                  core::GovernancePolicy::kNone);
+  std::size_t next = 0;
+  for (double p : kAbortProbs) {
+    harness::RunResult& two_pc = results[next++];
+    harness::RunResult& o2pc = results[next++];
+    harness::RunResult& saga = results[next++];
     const std::string prob = FormatDouble(p * 100, 0) + "%";
     two_pc.label = "2PC / " + prob;
     o2pc.label = "O2PC+P1 / " + prob;
     saga.label = "O2PC saga / " + prob;
-    results.push_back(two_pc);
-    results.push_back(o2pc);
-    results.push_back(saga);
     table.AddRow({prob,
                   FormatDouble(two_pc.throughput_tps, 1),
                   FormatDouble(o2pc.throughput_tps, 1),

@@ -9,15 +9,15 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
 
 namespace {
 
-harness::RunResult Run(core::CommitProtocol protocol, double crash_prob,
-                       Duration outage) {
+harness::ExperimentConfig Config(core::CommitProtocol protocol,
+                                 double crash_prob, Duration outage) {
   harness::ExperimentConfig config;
   config.label = core::CommitProtocolName(protocol);
   config.system.num_sites = 3;
@@ -37,12 +37,18 @@ harness::RunResult Run(core::CommitProtocol protocol, double crash_prob,
   config.workload.mean_local_interarrival = Millis(5);
   config.workload.seed = 51;
   config.analyze = false;
-  return harness::RunExperiment(config);
+  return config;
 }
+
+const double kCrashProbs[] = {0.0, 0.05, 0.2};
+const core::CommitProtocol kProtocols[] = {
+    core::CommitProtocol::kTwoPhaseCommit,
+    core::CommitProtocol::kOptimistic,
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Duration outage = Millis(500);
   std::printf(
       "E4: coordinator crashes (after logging) with recovery after 500ms\n"
@@ -52,15 +58,20 @@ int main() {
   metrics::TablePrinter table({"crash prob", "protocol", "p99 X-hold",
                                "max X-hold", "p99 txn latency",
                                "crashes"});
-  std::vector<harness::RunResult> results;
-  for (double p : {0.0, 0.05, 0.2}) {
-    for (core::CommitProtocol protocol :
-         {core::CommitProtocol::kTwoPhaseCommit,
-          core::CommitProtocol::kOptimistic}) {
-      harness::RunResult result = Run(protocol, p, outage);
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (double p : kCrashProbs) {
+    for (core::CommitProtocol protocol : kProtocols) {
+      matrix.Add(Config(protocol, p, outage));
+    }
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
+  std::size_t next = 0;
+  for (double p : kCrashProbs) {
+    for (core::CommitProtocol protocol : kProtocols) {
+      harness::RunResult& result = results[next++];
       result.label = StrCat(core::CommitProtocolName(protocol), " / crash ",
                             FormatDouble(p * 100, 0), "%");
-      results.push_back(result);
       table.AddRow(
           {FormatDouble(p * 100, 0) + "%",
            core::CommitProtocolName(protocol),

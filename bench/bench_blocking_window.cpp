@@ -17,7 +17,7 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
@@ -38,7 +38,7 @@ const char* VariantName(Variant variant) {
   return "?";
 }
 
-harness::RunResult Run(Variant variant, Duration outage) {
+harness::ExperimentConfig Config(Variant variant, Duration outage) {
   harness::ExperimentConfig config;
   config.system.num_sites = 3;
   config.system.keys_per_site = 128;
@@ -65,15 +65,19 @@ harness::RunResult Run(Variant variant, Duration outage) {
   config.workload.mean_local_interarrival = Millis(5);
   config.workload.seed = 51;
   config.analyze = false;
-  harness::RunResult result = harness::RunExperiment(config);
-  result.label = StrCat(VariantName(variant), " / outage ",
+  config.label = StrCat(VariantName(variant), " / outage ",
                         FormatDuration(outage));
-  return result;
+  return config;
 }
+
+const Duration kOutages[] = {Millis(50), Millis(200), Millis(800)};
+const Variant kVariants[] = {Variant::kTwoPhase,
+                             Variant::kTwoPhaseTermination,
+                             Variant::kOptimistic};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E7: blocking window vs coordinator outage (every decision crashes "
       "the coordinator)\n"
@@ -83,12 +87,18 @@ int main() {
   metrics::TablePrinter table({"outage", "variant", "blocked total",
                                "blocked mean", "blocked max",
                                "decision-reqs", "ctp"});
-  std::vector<harness::RunResult> results;
-  for (Duration outage : {Millis(50), Millis(200), Millis(800)}) {
-    for (Variant variant : {Variant::kTwoPhase, Variant::kTwoPhaseTermination,
-                            Variant::kOptimistic}) {
-      harness::RunResult result = Run(variant, outage);
-      results.push_back(result);
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (Duration outage : kOutages) {
+    for (Variant variant : kVariants) {
+      matrix.Add(Config(variant, outage));
+    }
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
+  std::size_t next = 0;
+  for (Duration outage : kOutages) {
+    for (Variant variant : kVariants) {
+      harness::RunResult& result = results[next++];
       table.AddRow(
           {FormatDuration(outage), VariantName(variant),
            FormatDuration(

@@ -15,15 +15,16 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
 
 namespace {
 
-harness::RunResult Run(core::GovernancePolicy policy,
-                       core::DirectoryMode directory, std::uint64_t seed) {
+harness::ExperimentConfig Config(core::GovernancePolicy policy,
+                                 core::DirectoryMode directory,
+                                 std::uint64_t seed) {
   harness::ExperimentConfig config;
   config.label = core::GovernancePolicyName(policy);
   config.system.num_sites = 3;
@@ -43,12 +44,14 @@ harness::RunResult Run(core::GovernancePolicy policy,
   config.workload.mean_local_interarrival = Millis(4);
   config.workload.seed = seed * 13 + 3;
   config.analyze = true;
-  return harness::RunExperiment(config);
+  return config;
 }
+
+constexpr int kSeeds = 3;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E5: governance policies under an abort-heavy contended workload\n"
       "(3 sites, 48 keys z0.8, 15%% vote-aborts, 3 seeds aggregated)\n\n");
@@ -76,7 +79,15 @@ int main() {
   metrics::TablePrinter table({"policy", "txn/s", "committed", "rejections",
                                "unmarks", "restarts", "regular cycles",
                                "correct"});
-  std::vector<harness::RunResult> results;
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (const Row& row : rows) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      matrix.Add(Config(row.policy, row.directory, seed));
+    }
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
+  std::size_t next = 0;
   for (const Row& row : rows) {
     double tps = 0;
     std::uint64_t committed = 0;
@@ -85,11 +96,9 @@ int main() {
     std::uint64_t restarts = 0;
     int cycle_runs = 0;
     bool all_correct = true;
-    const int kSeeds = 3;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      harness::RunResult result = Run(row.policy, row.directory, seed);
+      harness::RunResult& result = results[next++];
       result.label = StrCat(row.name, " / seed ", seed);
-      results.push_back(result);
       tps += result.throughput_tps / kSeeds;
       committed += result.committed;
       rejections += result.r1_rejections;

@@ -10,14 +10,15 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
 
 namespace {
 
-harness::RunResult Run(core::CommitProtocol protocol, Duration latency) {
+harness::ExperimentConfig Config(core::CommitProtocol protocol,
+                                 Duration latency) {
   harness::ExperimentConfig config;
   config.label = core::CommitProtocolName(protocol);
   config.system.num_sites = 4;
@@ -37,29 +38,38 @@ harness::RunResult Run(core::CommitProtocol protocol, Duration latency) {
   config.workload.mean_global_interarrival = Micros(2000) + 2 * latency;
   config.workload.seed = 21;
   config.analyze = false;
-  return harness::RunExperiment(config);
+  return config;
 }
+
+const Duration kLatencies[] = {Millis(1), Millis(5), Millis(10), Millis(20),
+                               Millis(50)};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E1: exclusive-lock hold time vs one-way network latency\n"
       "claim: 2PC holds X locks across the VOTE+DECISION rounds; O2PC "
       "releases at the vote\n\n");
 
+  // The grid runs through the shared RunMatrix (--jobs N fans runs across
+  // cores); results come back in submission order, so tables and JSON are
+  // identical for every job count.
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (Duration latency : kLatencies) {
+    matrix.Add(Config(core::CommitProtocol::kTwoPhaseCommit, latency));
+    matrix.Add(Config(core::CommitProtocol::kOptimistic, latency));
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
   metrics::TablePrinter table({"latency", "2PC mean", "2PC p99", "O2PC mean",
                                "O2PC p99", "2PC/O2PC"});
-  std::vector<harness::RunResult> results;
-  for (Duration latency :
-       {Millis(1), Millis(5), Millis(10), Millis(20), Millis(50)}) {
-    harness::RunResult two_pc =
-        Run(core::CommitProtocol::kTwoPhaseCommit, latency);
-    harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic, latency);
+  std::size_t next = 0;
+  for (Duration latency : kLatencies) {
+    harness::RunResult& two_pc = results[next++];
+    harness::RunResult& o2pc = results[next++];
     two_pc.label = "2PC / " + FormatDuration(latency);
     o2pc.label = "O2PC / " + FormatDuration(latency);
-    results.push_back(two_pc);
-    results.push_back(o2pc);
     table.AddRow(
         {FormatDuration(latency),
          FormatDuration(static_cast<Duration>(two_pc.mean_xlock_hold_us)),

@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
@@ -25,9 +25,9 @@ namespace {
 
 constexpr int kTxns = 100;
 
-harness::RunResult Run(core::CommitProtocol protocol,
-                       core::GovernancePolicy governance,
-                       double abort_prob) {
+harness::ExperimentConfig Config(core::CommitProtocol protocol,
+                                 core::GovernancePolicy governance,
+                                 double abort_prob) {
   harness::ExperimentConfig config;
   config.label = core::CommitProtocolName(protocol);
   config.system.num_sites = 4;
@@ -47,33 +47,39 @@ harness::RunResult Run(core::CommitProtocol protocol,
   config.workload.mean_global_interarrival = Millis(200);
   config.workload.seed = 7;
   config.analyze = false;
-  return harness::RunExperiment(config);
+  return config;
 }
+
+const double kAbortProbs[] = {0.0, 0.2};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E6: message counts, identical serialized workload\n"
       "(100 global txns, 3 sites each => expected 300 of each type)\n"
       "claim: O2PC incurs no messages beyond the standard 2PC exchange\n\n");
 
-  std::vector<harness::RunResult> results;
-  for (double abort_prob : {0.0, 0.2}) {
-    harness::RunResult two_pc = Run(core::CommitProtocol::kTwoPhaseCommit,
-                                    core::GovernancePolicy::kNone,
-                                    abort_prob);
-    harness::RunResult o2pc = Run(core::CommitProtocol::kOptimistic,
-                                  core::GovernancePolicy::kNone, abort_prob);
-    harness::RunResult o2pc_p1 = Run(core::CommitProtocol::kOptimistic,
-                                     core::GovernancePolicy::kP1, abort_prob);
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (double abort_prob : kAbortProbs) {
+    matrix.Add(Config(core::CommitProtocol::kTwoPhaseCommit,
+                      core::GovernancePolicy::kNone, abort_prob));
+    matrix.Add(Config(core::CommitProtocol::kOptimistic,
+                      core::GovernancePolicy::kNone, abort_prob));
+    matrix.Add(Config(core::CommitProtocol::kOptimistic,
+                      core::GovernancePolicy::kP1, abort_prob));
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
+  std::size_t next = 0;
+  for (double abort_prob : kAbortProbs) {
+    harness::RunResult& two_pc = results[next++];
+    harness::RunResult& o2pc = results[next++];
+    harness::RunResult& o2pc_p1 = results[next++];
     const std::string prob = FormatDouble(abort_prob * 100, 0) + "%";
     two_pc.label = "2PC / abort " + prob;
     o2pc.label = "O2PC / abort " + prob;
     o2pc_p1.label = "O2PC+P1 / abort " + prob;
-    results.push_back(two_pc);
-    results.push_back(o2pc);
-    results.push_back(o2pc_p1);
 
     std::printf("vote-abort probability = %.0f%%\n", abort_prob * 100);
     metrics::TablePrinter table(

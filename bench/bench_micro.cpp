@@ -4,11 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+
 #include "common/rng.h"
 #include "core/marking.h"
 #include "lock/lock_manager.h"
+#include "net/message.h"
+#include "core/messages.h"
+#include "net/payload_pool.h"
 #include "sg/conflict_tracker.h"
 #include "sg/regular_cycle.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace o2pc {
@@ -26,6 +33,68 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+// The event-churn pattern of a protocol run (push/pop with a ~40-byte
+// capture), comparing the small-buffer sim::Callback the queue actually
+// stores against a std::function baseline carrying the same state.
+void BM_EventQueueCallbackChurn(benchmark::State& state) {
+  struct FakeDelivery {  // mirrors network delivery: this + Message
+    void* self;
+    net::Message message;
+  };
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    FakeDelivery capture{&queue, {}};
+    for (int i = 0; i < 64; ++i) {
+      queue.Push(i, [capture] { benchmark::DoNotOptimize(capture.self); });
+    }
+    while (!queue.empty()) {
+      sim::Event event = queue.Pop();
+      event.fn();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCallbackChurn);
+
+void BM_StdFunctionChurnBaseline(benchmark::State& state) {
+  struct FakeDelivery {
+    void* self;
+    net::Message message;
+  };
+  std::vector<std::function<void()>> events;
+  events.reserve(64);
+  for (auto _ : state) {
+    FakeDelivery capture{&events, {}};
+    for (int i = 0; i < 64; ++i) {
+      events.emplace_back(
+          [capture] { benchmark::DoNotOptimize(capture.self); });
+    }
+    for (auto& fn : events) fn();
+    events.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_StdFunctionChurnBaseline);
+
+// Payload allocation: the thread-local freelist pool vs plain make_shared.
+void BM_PayloadPoolAllocate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto payload = net::MakePayload<core::VotePayload>();
+    benchmark::DoNotOptimize(payload.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PayloadPoolAllocate);
+
+void BM_PayloadMakeSharedBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto payload = std::make_shared<core::VotePayload>();
+    benchmark::DoNotOptimize(payload.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PayloadMakeSharedBaseline);
 
 void BM_LockAcquireRelease(benchmark::State& state) {
   sim::Simulator sim;

@@ -1,0 +1,113 @@
+// E8 — parallel run-executor scaling and the determinism cross-check.
+//
+// Runs the same fault-campaign matrix at --jobs 1, 2, 4, 8 and reports
+// wall-clock time, speedup over serial, and the sweep fingerprint of each
+// configuration. The fingerprints MUST be identical — the executor's
+// contract is that thread count changes only *when* a run executes, never
+// *what* it computes — and the binary exits nonzero if they diverge, so the
+// bench doubles as a determinism gate.
+//
+// Speedup depends on the machine: the emitted BENCH_runner_scaling.json
+// records hardware_concurrency so a single-core container's ~1.0x is
+// distinguishable from a real multi-core result.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "common/string_util.h"
+#include "exec/run_executor.h"
+#include "metrics/table.h"
+
+using namespace o2pc;
+
+namespace {
+
+campaign::CampaignOptions Matrix(int jobs) {
+  campaign::CampaignOptions options;
+  options.runs = 48;
+  options.base_seed = 2026;
+  options.jobs = jobs;
+  options.num_sites = 4;
+  options.num_globals = 24;
+  options.num_locals = 12;
+  options.shrink_failures = false;
+  return options;
+}
+
+struct Point {
+  int jobs = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  std::uint64_t fingerprint = 0;
+  int runs_completed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  const int hardware = exec::RunExecutor::HardwareJobs();
+  std::printf(
+      "E8: run-executor scaling on the fault-campaign matrix (48 runs)\n"
+      "hardware threads: %d — speedup saturates there; fingerprints must "
+      "not change at all\n\n",
+      hardware);
+
+  std::vector<Point> points;
+  for (int jobs : {1, 2, 4, 8}) {
+    const auto start = std::chrono::steady_clock::now();
+    const campaign::CampaignReport report =
+        campaign::RunCampaign(Matrix(jobs));
+    const auto end = std::chrono::steady_clock::now();
+    Point point;
+    point.jobs = jobs;
+    point.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    point.fingerprint = report.CombinedFingerprint();
+    point.runs_completed = report.runs_completed;
+    point.speedup = points.empty() ? 1.0
+                                   : points.front().wall_ms /
+                                         std::max(0.001, point.wall_ms);
+    points.push_back(point);
+  }
+
+  bool deterministic = true;
+  metrics::TablePrinter table(
+      {"jobs", "wall ms", "speedup", "sweep fingerprint"});
+  char hex[32];
+  for (const Point& point : points) {
+    deterministic =
+        deterministic && point.fingerprint == points.front().fingerprint &&
+        point.runs_completed == points.front().runs_completed;
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(point.fingerprint));
+    table.AddRow({std::to_string(point.jobs), FormatDouble(point.wall_ms, 1),
+                  FormatDouble(point.speedup, 2), hex});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("determinism: %s\n",
+              deterministic ? "ok (all fingerprints identical)"
+                            : "VIOLATED — fingerprints differ across jobs");
+
+  std::ofstream out("BENCH_runner_scaling.json");
+  out << "{\n  \"hardware_concurrency\": " << hardware
+      << ",\n  \"campaign_runs\": " << points.front().runs_completed
+      << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& point = points[i];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(point.fingerprint));
+    out << (i ? "," : "") << "\n    {\"jobs\": " << point.jobs
+        << ", \"wall_ms\": " << point.wall_ms
+        << ", \"speedup\": " << point.speedup << ", \"fingerprint\": \""
+        << hex << "\"}";
+  }
+  out << "\n  ]\n}\n";
+  return deterministic ? 0 : 1;
+}

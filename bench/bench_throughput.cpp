@@ -11,16 +11,16 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "harness/experiment.h"
+#include "harness/run_matrix.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
 
 namespace {
 
-harness::RunResult Run(core::CommitProtocol protocol,
-                       core::GovernancePolicy governance, double theta,
-                       DataKey keys) {
+harness::ExperimentConfig Config(core::CommitProtocol protocol,
+                                 core::GovernancePolicy governance,
+                                 double theta, DataKey keys) {
   harness::ExperimentConfig config;
   config.label = core::CommitProtocolName(protocol);
   config.system.num_sites = 4;
@@ -39,12 +39,12 @@ harness::RunResult Run(core::CommitProtocol protocol,
   config.workload.mean_local_interarrival = Millis(4);
   config.workload.seed = 31;
   config.analyze = false;
-  return harness::RunExperiment(config);
+  return config;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E2: throughput and lock waiting vs contention\n"
       "(4 sites, 10ms latency, 200 global + 200 local txns, "
@@ -71,15 +71,23 @@ int main() {
       {core::CommitProtocol::kOptimistic, core::GovernancePolicy::kP1,
        "O2PC+P1"},
   };
-  std::vector<harness::RunResult> results;
-  for (const Level& level : {Level{"low (512 keys, uniform)", 512, 0.0},
-                             Level{"medium (96 keys, z0.7)", 96, 0.7},
-                             Level{"high (32 keys, z0.9)", 32, 0.9}}) {
+  const Level levels[] = {Level{"low (512 keys, uniform)", 512, 0.0},
+                          Level{"medium (96 keys, z0.7)", 96, 0.7},
+                          Level{"high (32 keys, z0.9)", 32, 0.9}};
+  harness::RunMatrix matrix(harness::JobsFromArgs(argc, argv));
+  for (const Level& level : levels) {
     for (const Proto& proto : protos) {
-      harness::RunResult result =
-          Run(proto.protocol, proto.governance, level.theta, level.keys);
+      matrix.Add(Config(proto.protocol, proto.governance, level.theta,
+                        level.keys));
+    }
+  }
+  std::vector<harness::RunResult> results = matrix.RunAll();
+
+  std::size_t next = 0;
+  for (const Level& level : levels) {
+    for (const Proto& proto : protos) {
+      harness::RunResult& result = results[next++];
       result.label = StrCat(proto.name, " / ", level.name);
-      results.push_back(result);
       table.AddRow(
           {level.name, proto.name, FormatDouble(result.throughput_tps, 1),
            FormatDuration(static_cast<Duration>(result.mean_lock_wait_us)),

@@ -10,6 +10,7 @@
 #include "campaign/injector.h"
 #include "campaign/shrink.h"
 #include "common/logging.h"
+#include "exec/run_executor.h"
 #include "trace/export.h"
 #include "trace/trace.h"
 #include "workload/generator.h"
@@ -228,16 +229,62 @@ bool LoadArtifact(const std::string& path, CampaignRunConfig* config,
   return ParseArtifact(text.str(), config, error);
 }
 
+std::uint64_t CampaignReport::CombinedFingerprint() const {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::uint64_t fp : fingerprints) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (fp >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+namespace {
+
+/// The i-th run of the sweep grid: a pure function of (options, i), so the
+/// full matrix can be materialized up front and executed in any order.
+/// Mixed-radix: protocol fastest, then template, then seed — every
+/// {seed, template} is exercised under both protocols back to back.
+CampaignRunConfig GridConfig(const CampaignOptions& options,
+                             const std::vector<std::string>& templates,
+                             int i) {
+  const int num_protocols = static_cast<int>(options.protocols.size());
+  const int num_templates = static_cast<int>(templates.size());
+  CampaignRunConfig config;
+  config.protocol = options.protocols[i % num_protocols];
+  config.template_name = templates[(i / num_protocols) % num_templates];
+  config.seed =
+      options.base_seed +
+      static_cast<std::uint64_t>(i / (num_protocols * num_templates));
+  config.num_sites = options.num_sites;
+  config.keys_per_site = options.keys_per_site;
+  config.num_globals = options.num_globals;
+  config.num_locals = options.num_locals;
+  config.vote_abort_probability = options.vote_abort_probability;
+  config.plan =
+      GeneratePlan(config.template_name, config.seed, config.num_sites);
+  return config;
+}
+
+}  // namespace
+
 CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
   CampaignReport report;
   const std::vector<std::string>& templates =
       options.templates.empty() ? DefaultTemplateNames() : options.templates;
   O2PC_CHECK(!options.protocols.empty());
-  const int num_protocols = static_cast<int>(options.protocols.size());
-  const int num_templates = static_cast<int>(templates.size());
   const auto start = std::chrono::steady_clock::now();
 
-  for (int i = 0; i < options.runs; ++i) {
+  exec::RunExecutor executor(options.jobs);
+  // Runs execute in waves so the wall-clock budget is honored between
+  // waves; results land in sweep-ordered slots, and **all** aggregation,
+  // reporting, shrinking, and artifact writing happens serially below in
+  // sweep order — the report is byte-identical for every job count (the
+  // budget, when set, is the one wall-clock-dependent cutoff, exactly as
+  // in the serial sweep).
+  const int wave = std::max(1, executor.jobs());
+  for (int wave_start = 0; wave_start < options.runs; wave_start += wave) {
     if (options.time_budget_seconds > 0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
@@ -246,52 +293,52 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
         break;
       }
     }
-    // Mixed-radix sweep: protocol fastest, then template, then seed — every
-    // {seed, template} is exercised under both protocols back to back.
-    CampaignRunConfig config;
-    config.protocol = options.protocols[i % num_protocols];
-    config.template_name = templates[(i / num_protocols) % num_templates];
-    config.seed =
-        options.base_seed +
-        static_cast<std::uint64_t>(i / (num_protocols * num_templates));
-    config.num_sites = options.num_sites;
-    config.keys_per_site = options.keys_per_site;
-    config.num_globals = options.num_globals;
-    config.num_locals = options.num_locals;
-    config.vote_abort_probability = options.vote_abort_probability;
-    config.plan =
-        GeneratePlan(config.template_name, config.seed, config.num_sites);
+    const int wave_runs = std::min(wave, options.runs - wave_start);
+    std::vector<CampaignRunConfig> configs;
+    configs.reserve(wave_runs);
+    for (int w = 0; w < wave_runs; ++w) {
+      configs.push_back(GridConfig(options, templates, wave_start + w));
+    }
+    const std::vector<CampaignRunResult> results =
+        executor.Map<CampaignRunResult>(configs.size(), [&](std::size_t w) {
+          return RunOne(configs[w]);
+        });
 
-    const CampaignRunResult result = RunOne(config);
-    ++report.runs_completed;
-    report.total_faults_triggered +=
-        static_cast<std::uint64_t>(result.faults_triggered);
-    if (verbose) {
-      std::cerr << "[campaign] run " << i << " seed=" << config.seed
-                << " template=" << config.template_name << " protocol="
-                << (config.protocol == core::CommitProtocol::kOptimistic
-                        ? "o2pc"
-                        : "2pc")
-                << " faults=" << result.faults_triggered
-                << (result.ok() ? " ok" : " FAIL") << "\n";
-    }
-    if (result.ok()) continue;
+    for (int w = 0; w < wave_runs; ++w) {
+      const CampaignRunConfig& config = configs[w];
+      const CampaignRunResult& result = results[w];
+      ++report.runs_completed;
+      report.total_faults_triggered +=
+          static_cast<std::uint64_t>(result.faults_triggered);
+      report.fingerprints.push_back(result.fingerprint);
+      if (verbose) {
+        std::cerr << "[campaign] run " << wave_start + w
+                  << " seed=" << config.seed
+                  << " template=" << config.template_name << " protocol="
+                  << (config.protocol == core::CommitProtocol::kOptimistic
+                          ? "o2pc"
+                          : "2pc")
+                  << " faults=" << result.faults_triggered
+                  << (result.ok() ? " ok" : " FAIL") << "\n";
+      }
+      if (result.ok()) continue;
 
-    ++report.runs_failed;
-    CampaignFailure failure;
-    failure.config = config;
-    failure.oracle = result.oracle;
-    failure.shrunk_plan = config.plan;
-    if (options.shrink_failures) {
-      failure.shrunk_plan = ShrinkFaultPlan(config).plan;
+      ++report.runs_failed;
+      CampaignFailure failure;
+      failure.config = config;
+      failure.oracle = result.oracle;
+      failure.shrunk_plan = config.plan;
+      if (options.shrink_failures) {
+        failure.shrunk_plan = ShrinkFaultPlan(config).plan;
+      }
+      if (!options.artifact_dir.empty()) {
+        CampaignRunConfig artifact_config = config;
+        artifact_config.plan = failure.shrunk_plan;
+        failure.artifact_path =
+            WriteArtifact(artifact_config, options.artifact_dir);
+      }
+      report.failures.push_back(std::move(failure));
     }
-    if (!options.artifact_dir.empty()) {
-      CampaignRunConfig artifact_config = config;
-      artifact_config.plan = failure.shrunk_plan;
-      failure.artifact_path =
-          WriteArtifact(artifact_config, options.artifact_dir);
-    }
-    report.failures.push_back(std::move(failure));
   }
   return report;
 }

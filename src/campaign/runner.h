@@ -76,6 +76,12 @@ struct CampaignOptions {
   /// Wall-clock budget in seconds (0 = unlimited); the sweep stops early —
   /// reporting how many runs it covered — when exceeded.
   double time_budget_seconds = 0.0;
+  /// Worker threads for the sweep (exec::RunExecutor). 1 = serial; N fans
+  /// independent runs across N workers; <= 0 = one per hardware thread.
+  /// Artifacts, fingerprints, failure ordering, and shrinking are
+  /// byte-identical for every value — results are collected into
+  /// sweep-ordered slots before any aggregation or reporting.
+  int jobs = 1;
   /// Directory for failure artifacts (empty = don't write).
   std::string artifact_dir;
   /// Shrink each failing plan before reporting it.
@@ -104,8 +110,16 @@ struct CampaignReport {
   bool budget_exhausted = false;
   std::uint64_t total_faults_triggered = 0;
   std::vector<CampaignFailure> failures;
+  /// Per-run journal fingerprints in sweep order — the campaign's
+  /// determinism artifact: equal vectors across job counts (and replays)
+  /// certify byte-identical journals.
+  std::vector<std::uint64_t> fingerprints;
 
   bool ok() const { return failures.empty(); }
+
+  /// FNV-1a fold of `fingerprints` — one number summarizing every journal
+  /// byte of the sweep (printed by the CLI, compared by exec_test).
+  std::uint64_t CombinedFingerprint() const;
 };
 
 /// Runs the sweep. Progress lines go to stderr when `verbose`.

@@ -1,6 +1,7 @@
 #include "core/coordinator.h"
 
 #include "common/logging.h"
+#include "net/payload_pool.h"
 #include "trace/trace.h"
 
 namespace o2pc::core {
@@ -62,7 +63,7 @@ void Coordinator::Send(SiteId to, net::MessageType type,
 void Coordinator::InvokeCurrent() {
   O2PC_CHECK(invoke_index_ < spec_.subtxns.size());
   const SubtxnSpec& sub = spec_.subtxns[invoke_index_];
-  auto payload = std::make_shared<SubtxnInvokePayload>();
+  auto payload = net::MakePayload<SubtxnInvokePayload>();
   payload->ops = sub.ops;
   payload->transmarks = transmarks_;
   payload->force_abort_vote = sub.force_abort_vote;
@@ -179,7 +180,7 @@ void Coordinator::StartVoting() {
   participants.reserve(spec_.subtxns.size());
   for (const SubtxnSpec& sub : spec_.subtxns) participants.push_back(sub.site);
   for (const SubtxnSpec& sub : spec_.subtxns) {
-    auto payload = std::make_shared<VoteRequestPayload>();
+    auto payload = net::MakePayload<VoteRequestPayload>();
     payload->participants = participants;
     payload->gossip = knowledge_->Export();
     Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
@@ -298,7 +299,7 @@ void Coordinator::BroadcastDecision() {
   std::vector<SiteId> exec_sites(executed_sites_.begin(),
                                  executed_sites_.end());
   for (SiteId site : invoked_sites_) {
-    auto payload = std::make_shared<DecisionPayload>();
+    auto payload = net::MakePayload<DecisionPayload>();
     payload->commit = decision_commit_;
     payload->exposed = Exposed();
     payload->exec_sites = exec_sites;
@@ -325,7 +326,7 @@ void Coordinator::OnDecisionRequest(const net::Message& message) {
   if (stats_ != nullptr) stats_->Incr("decision_reqs_answered");
   std::vector<SiteId> exec_sites(executed_sites_.begin(),
                                  executed_sites_.end());
-  auto answer = std::make_shared<DecisionPayload>();
+  auto answer = net::MakePayload<DecisionPayload>();
   answer->commit = *logged;
   answer->exposed = Exposed();
   answer->exec_sites = std::move(exec_sites);
@@ -413,7 +414,7 @@ void Coordinator::ResendTick() {
       }
       for (const SubtxnSpec& sub : spec_.subtxns) {
         if (votes_.contains(sub.site)) continue;
-        auto payload = std::make_shared<VoteRequestPayload>();
+        auto payload = net::MakePayload<VoteRequestPayload>();
         payload->participants = participants;
         payload->gossip = knowledge_->Export();
         Send(sub.site, net::MessageType::kVoteRequest, std::move(payload));
@@ -425,7 +426,7 @@ void Coordinator::ResendTick() {
                                      executed_sites_.end());
       for (SiteId site : invoked_sites_) {
         if (decision_acks_.contains(site)) continue;
-        auto payload = std::make_shared<DecisionPayload>();
+        auto payload = net::MakePayload<DecisionPayload>();
         payload->commit = decision_commit_;
         payload->exposed = Exposed();
         payload->exec_sites = exec_sites;

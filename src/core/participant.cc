@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "net/payload_pool.h"
 #include "common/string_util.h"
 
 namespace o2pc::core {
@@ -130,7 +131,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
                            << check.reason;
           // The rejected probe never executed: discard it without trace.
           db_->AbortLocal(sub.local_id);
-          auto ack = std::make_shared<SubtxnAckPayload>();
+          auto ack = net::MakePayload<SubtxnAckPayload>();
           ack->status = Status::Rejected(
               StrCat("R1 at site ", site(), ": ", check.reason));
           ack->attempt = sub.attempt;
@@ -229,7 +230,7 @@ void Participant::FinishExecution(TxnId global_id) {
             // Nothing was exposed (locks held throughout): discard the
             // attempt and let the coordinator retry or restart it.
             db_->AbortLocal(sub.local_id);
-            auto ack = std::make_shared<SubtxnAckPayload>();
+            auto ack = net::MakePayload<SubtxnAckPayload>();
             ack->status = Status::Rejected("R1 revalidation failed");
             ack->attempt = sub.attempt;
             ack->fatal = check.fatal;
@@ -247,7 +248,7 @@ void Participant::FinishExecution(TxnId global_id) {
 void Participant::CompleteExecution(Subtxn& sub) {
   sub.executed = true;
   Witness(sub.entry_undone);
-  auto ack = std::make_shared<SubtxnAckPayload>();
+  auto ack = net::MakePayload<SubtxnAckPayload>();
   ack->status = Status::OK();
   ack->transmarks = sub.merged_marks;
   ack->attempt = sub.attempt;
@@ -273,7 +274,7 @@ void Participant::FailSubtxn(TxnId global_id, const Status& status) {
   AddUndoneMark(global_id, /*exposed=*/false,  // pre-vote: nothing exposed
                 trace::MarkReason::kRollback);
   if (stats_ != nullptr) stats_->Incr("subtxn_failures");
-  auto ack = std::make_shared<SubtxnAckPayload>();
+  auto ack = net::MakePayload<SubtxnAckPayload>();
   ack->status = status;
   ack->attempt = sub.attempt;
   ack->gossip = Gossip();
@@ -467,7 +468,7 @@ void Participant::OnVoteRequest(const net::Message& message) {
 }
 
 void Participant::SendVote(Subtxn& sub, bool commit, bool recovery_abort) {
-  auto payload = std::make_shared<VotePayload>();
+  auto payload = net::MakePayload<VotePayload>();
   payload->commit = commit;
   payload->recovery_abort = recovery_abort;
   payload->gossip = Gossip();
@@ -611,7 +612,7 @@ void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
 
 void Participant::SendDecisionAck(Subtxn& sub, bool compensated) {
   sub.decision_acked = true;
-  auto payload = std::make_shared<DecisionAckPayload>();
+  auto payload = net::MakePayload<DecisionAckPayload>();
   payload->compensated = compensated;
   payload->gossip = Gossip();
   sub.last_decision_ack = payload;
@@ -747,7 +748,7 @@ void Participant::TerminationRound(Subtxn& sub) {
       if (peer == site()) continue;
       queried_peer = true;
       if (stats_ != nullptr) stats_->Incr("term_reqs_sent");
-      auto payload = std::make_shared<TermRequestPayload>();
+      auto payload = net::MakePayload<TermRequestPayload>();
       payload->gossip = Gossip();
       net::Message message;
       message.from = site();
@@ -763,7 +764,7 @@ void Participant::TerminationRound(Subtxn& sub) {
     // runtime recovered from the WAL, which lost the VOTE-REQ's list):
     // ask the coordinator home's recovery agent.
     if (stats_ != nullptr) stats_->Incr("decision_reqs_sent");
-    auto payload = std::make_shared<DecisionRequestPayload>();
+    auto payload = net::MakePayload<DecisionRequestPayload>();
     payload->gossip = Gossip();
     net::Message message;
     message.from = site();
@@ -783,7 +784,7 @@ void Participant::OnTermRequest(const net::Message& message) {
   TryUnmark();
   if (stats_ != nullptr) stats_->Incr("term_reqs_received");
 
-  auto reply = std::make_shared<TermResponsePayload>();
+  auto reply = net::MakePayload<TermResponsePayload>();
   auto it = subtxns_.find(message.txn);
   if (it == subtxns_.end()) {
     // Crash survivor: consult the WAL, exactly as a resent VOTE-REQ would.

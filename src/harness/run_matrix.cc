@@ -1,0 +1,53 @@
+#include "harness/run_matrix.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exec/run_executor.h"
+
+namespace o2pc::harness {
+
+RunMatrix::RunMatrix(int jobs)
+    : jobs_(jobs <= 0 ? exec::RunExecutor::HardwareJobs() : jobs) {}
+
+std::size_t RunMatrix::Add(ExperimentConfig config) {
+  configs_.push_back(std::move(config));
+  return configs_.size() - 1;
+}
+
+std::vector<RunResult> RunMatrix::RunAll() const {
+  if (jobs_ == 1) {
+    std::vector<RunResult> results;
+    results.reserve(configs_.size());
+    for (const ExperimentConfig& config : configs_) {
+      results.push_back(RunExperiment(config));
+    }
+    return results;
+  }
+  exec::RunExecutor executor(jobs_);
+  return executor.Map<RunResult>(
+      configs_.size(),
+      [this](std::size_t i) { return RunExperiment(configs_[i]); });
+}
+
+int JobsFromArgs(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc) value = argv[i + 1];
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      value = arg + 2;
+    }
+    if (value != nullptr) {
+      const int jobs = std::atoi(value);
+      return jobs <= 0 ? exec::RunExecutor::HardwareJobs() : jobs;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace o2pc::harness

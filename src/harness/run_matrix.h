@@ -1,0 +1,47 @@
+#ifndef O2PC_HARNESS_RUN_MATRIX_H_
+#define O2PC_HARNESS_RUN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/experiment.h"
+
+/// \file
+/// Batch experiment runner shared by every bench binary: collect the full
+/// protocol x parameter grid up front, then execute it — serially or fanned
+/// across cores via exec::RunExecutor — and return results **in submission
+/// order**. Each run is an isolated simulation, so the result vector (and
+/// everything derived from it: tables, merged stats, BENCH_*.json) is
+/// byte-identical for every job count.
+
+namespace o2pc::harness {
+
+class RunMatrix {
+ public:
+  /// `jobs`: 1 = serial (the exact pre-executor code path), N = fan out
+  /// across N workers, <= 0 = one per hardware thread.
+  explicit RunMatrix(int jobs = 1);
+
+  /// Queues one experiment; returns its index into RunAll()'s result
+  /// vector.
+  std::size_t Add(ExperimentConfig config);
+
+  std::size_t size() const { return configs_.size(); }
+  int jobs() const { return jobs_; }
+
+  /// Runs every queued experiment and returns results in Add() order.
+  std::vector<RunResult> RunAll() const;
+
+ private:
+  int jobs_;
+  std::vector<ExperimentConfig> configs_;
+};
+
+/// Parses `--jobs N` / `--jobs=N` / `-j N` / `-jN` out of a bench binary's
+/// argv (0 = one per hardware thread). Unrecognized arguments are ignored so
+/// benches stay forgiving. Returns `fallback` when no flag is present.
+int JobsFromArgs(int argc, char** argv, int fallback = 1);
+
+}  // namespace o2pc::harness
+
+#endif  // O2PC_HARNESS_RUN_MATRIX_H_

@@ -1,0 +1,81 @@
+#include "net/payload_pool.h"
+
+#include <array>
+#include <new>
+
+namespace o2pc::net::pool_internal {
+
+namespace {
+
+/// Size classes cover every payload + shared_ptr control block in the
+/// protocol vocabulary; anything larger takes the plain-new fallback.
+constexpr std::array<std::size_t, 4> kClasses = {64, 128, 256, 512};
+
+int ClassFor(std::size_t bytes) {
+  for (std::size_t i = 0; i < kClasses.size(); ++i) {
+    if (bytes <= kClasses[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// One thread's freelists. The destructor releases cached blocks when the
+/// thread exits; blocks still alive at that point (none, in practice — each
+/// run drains on its own thread) simply fall back to the heap on free.
+struct ThreadPool {
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  std::array<FreeNode*, kClasses.size()> heads{};
+  PoolCounters counters;
+
+  ~ThreadPool() {
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      FreeNode* node = heads[i];
+      while (node != nullptr) {
+        FreeNode* next = node->next;
+        ::operator delete(node, std::align_val_t{alignof(std::max_align_t)});
+        node = next;
+      }
+      heads[i] = nullptr;
+    }
+  }
+};
+
+thread_local ThreadPool g_pool;
+
+}  // namespace
+
+void* Allocate(std::size_t bytes) {
+  ThreadPool& pool = g_pool;
+  ++pool.counters.allocations;
+  const int cls = ClassFor(bytes);
+  if (cls < 0) {
+    ++pool.counters.oversized;
+    return ::operator new(bytes,
+                          std::align_val_t{alignof(std::max_align_t)});
+  }
+  if (ThreadPool::FreeNode* node = pool.heads[cls]; node != nullptr) {
+    pool.heads[cls] = node->next;
+    ++pool.counters.reuses;
+    return node;
+  }
+  return ::operator new(kClasses[cls],
+                        std::align_val_t{alignof(std::max_align_t)});
+}
+
+void Deallocate(void* block, std::size_t bytes) noexcept {
+  const int cls = ClassFor(bytes);
+  if (cls < 0) {
+    ::operator delete(block, std::align_val_t{alignof(std::max_align_t)});
+    return;
+  }
+  ThreadPool& pool = g_pool;
+  auto* node = static_cast<ThreadPool::FreeNode*>(block);
+  node->next = pool.heads[cls];
+  pool.heads[cls] = node;
+}
+
+const PoolCounters& Counters() { return g_pool.counters; }
+
+}  // namespace o2pc::net::pool_internal

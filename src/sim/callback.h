@@ -1,0 +1,119 @@
+#ifndef O2PC_SIM_CALLBACK_H_
+#define O2PC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file
+/// Small-buffer `void()` callable for the event kernel's hot path.
+///
+/// Every scheduled event used to carry a `std::function<void()>`, whose
+/// inline buffer (16 bytes on libstdc++) is too small for the protocol's
+/// typical captures — a `this` pointer plus a `net::Message` is ~48 bytes —
+/// so nearly every Schedule() call heap-allocated. `Callback` inlines up to
+/// `kInlineCallbackBytes` of capture state directly in the event-queue slot
+/// and only falls back to the heap for outsized callables. Move-only, like
+/// the events it carries.
+
+namespace o2pc::sim {
+
+/// Inline capture budget. Sized for the largest hot-path lambda (network
+/// delivery: a `this` pointer + a moved `net::Message`) with headroom for a
+/// couple of extra captured words.
+inline constexpr std::size_t kInlineCallbackBytes = 56;
+
+class Callback {
+ public:
+  Callback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every Schedule() call site.
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { MoveFrom(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* self) { static_cast<Fn*>(self)->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Slot(void* self) { return *static_cast<Fn**>(self); }
+    static void Invoke(void* self) { (*Slot(self))(); }
+    static void Relocate(void* dst, void* src) {
+      *static_cast<Fn**>(dst) = Slot(src);
+    }
+    static void Destroy(void* self) { delete Slot(self); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(Callback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCallbackBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace o2pc::sim
+
+#endif  // O2PC_SIM_CALLBACK_H_

@@ -6,7 +6,7 @@
 
 namespace o2pc::sim {
 
-EventId EventQueue::Push(SimTime time, std::function<void()> fn) {
+EventId EventQueue::Push(SimTime time, Callback fn) {
   const EventId id = next_id_++;
   heap_.push_back(HeapEntry{time, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});

@@ -2,16 +2,18 @@
 #define O2PC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/callback.h"
 
 /// \file
 /// Priority queue of timed events with stable FIFO ordering among events
 /// scheduled for the same instant, so simulation runs are fully
-/// deterministic for a given seed.
+/// deterministic for a given seed. Events carry a small-buffer Callback
+/// (sim/callback.h) instead of a std::function, so the typical protocol
+/// capture lives inline in the heap slot — no per-event allocation.
 
 namespace o2pc::sim {
 
@@ -23,7 +25,7 @@ inline constexpr EventId kInvalidEvent = 0;
 struct Event {
   SimTime time = 0;
   EventId id = kInvalidEvent;  // also the FIFO tiebreaker
-  std::function<void()> fn;
+  Callback fn;
 };
 
 /// Min-heap of events ordered by (time, id). Cancellation is lazy: cancelled
@@ -35,7 +37,7 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Adds `fn` at absolute time `time`. Returns a cancellation handle.
-  EventId Push(SimTime time, std::function<void()> fn);
+  EventId Push(SimTime time, Callback fn);
 
   /// Cancels a previously pushed event. Returns false if the event already
   /// ran, was cancelled, or never existed.
@@ -57,7 +59,7 @@ class EventQueue {
   struct HeapEntry {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    Callback fn;
   };
   struct Later {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {

@@ -4,12 +4,12 @@
 
 namespace o2pc::sim {
 
-EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+EventId Simulator::Schedule(Duration delay, Callback fn) {
   O2PC_CHECK(delay >= 0) << "negative delay " << delay;
   return queue_.Push(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
   O2PC_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
                            << now_;
   return queue_.Push(when, std::move(fn));

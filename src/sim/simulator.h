@@ -2,7 +2,6 @@
 #define O2PC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -27,10 +26,10 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0; a
   /// delay of 0 runs after all currently pending events at `Now()`).
-  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId Schedule(Duration delay, Callback fn);
 
   /// Schedules `fn` at the absolute instant `when` (>= Now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, Callback fn);
 
   /// Cancels a scheduled event; false if it already ran or was cancelled.
   bool Cancel(EventId id);

@@ -5,8 +5,11 @@
 namespace o2pc::trace {
 
 namespace {
-/// The single active recorder (the simulation is single-threaded).
-TraceRecorder* g_active = nullptr;
+/// The active recorder of the *current thread*. Each simulation run is
+/// confined to one thread, but the run executor (src/exec/) drives many
+/// isolated runs on different threads concurrently — so the slot is
+/// thread-local, never shared.
+thread_local TraceRecorder* g_active = nullptr;
 }  // namespace
 
 const char* EventTypeName(EventType type) {

@@ -28,8 +28,10 @@
 ///     }
 ///     trace::ExportChromeTrace(recorder.events(), out);
 ///
-/// The simulation is single-threaded, so the active-recorder slot needs no
-/// synchronization; events are stamped with the bound simulator's Now().
+/// Each simulation run is single-threaded, and the active-recorder slot is
+/// thread-local — parallel runs (src/exec/) each install their own recorder
+/// on their own worker thread with no synchronization; events are stamped
+/// with the bound simulator's Now().
 
 namespace o2pc::trace {
 
@@ -151,13 +153,14 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
 };
 
-/// The process-wide active recorder, or nullptr (tracing off). The
-/// simulation is single-threaded; no synchronization.
+/// The calling thread's active recorder, or nullptr (tracing off). The
+/// slot is thread-local: concurrent runs on different threads trace into
+/// different recorders without synchronization.
 TraceRecorder* ActiveRecorder();
 
 /// RAII installer: binds `recorder` to `simulator` and makes it the active
-/// recorder for its scope. Nesting replaces (and restores) the previous
-/// recorder.
+/// recorder for its scope *on the installing thread*. Nesting replaces
+/// (and restores) the previous recorder.
 class ScopedTrace {
  public:
   ScopedTrace(TraceRecorder* recorder, const sim::Simulator* simulator);

@@ -1,0 +1,254 @@
+// The parallel run executor and its determinism contract.
+//
+// Unit half: RunExecutor scheduling — index-ordered Map slots, every index
+// exactly once, empty batches, more jobs than work, work stealing actually
+// engaging on unbalanced batches, and exception propagation from a worker.
+//
+// Determinism half: the same campaign / experiment matrix executed at
+// --jobs 1, 2, and 8 must produce byte-identical artifacts — journal
+// fingerprints, per-run ToJson() bytes, merged stats, and exported trace
+// JSONL. This is the acceptance test for the whole parallel subsystem: the
+// executor may change *when and where* a run executes, never *what* it
+// computes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "exec/run_executor.h"
+#include "harness/run_matrix.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace o2pc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RunExecutor unit tests.
+
+TEST(RunExecutorTest, MapCollectsIntoIndexOrderedSlots) {
+  exec::RunExecutor executor(4);
+  const std::vector<int> out =
+      executor.Map<int>(17, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 17u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(RunExecutorTest, EveryIndexRunsExactlyOnce) {
+  exec::RunExecutor executor(8);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.ParallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(RunExecutorTest, EmptyBatchIsANoOp) {
+  exec::RunExecutor executor(4);
+  std::atomic<int> calls{0};
+  executor.ParallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(executor.Map<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(RunExecutorTest, MoreJobsThanWork) {
+  exec::RunExecutor executor(16);
+  std::vector<std::atomic<int>> hits(3);
+  executor.ParallelFor(3, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(RunExecutorTest, SerialExecutorRunsInIndexOrderInline) {
+  exec::RunExecutor executor(1);
+  EXPECT_EQ(executor.jobs(), 1);
+  std::vector<std::size_t> order;
+  executor.ParallelFor(10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(executor.steals(), 0u);
+}
+
+TEST(RunExecutorTest, StealingEngagesOnUnbalancedBatches) {
+  // Two chunks: the caller's chunk is slow (1ms per task), the worker's is
+  // instant — the worker must drain its own half and steal from the back of
+  // the caller's.
+  exec::RunExecutor executor(2);
+  constexpr std::size_t kN = 40;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.ParallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i < kN / 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_GT(executor.steals(), 0u);
+}
+
+TEST(RunExecutorTest, WorkerExceptionPropagatesToCaller) {
+  exec::RunExecutor executor(4);
+  EXPECT_THROW(
+      executor.ParallelFor(64,
+                           [](std::size_t i) {
+                             if (i == 13) throw std::runtime_error("boom 13");
+                           }),
+      std::runtime_error);
+  // The pool survives the failed batch and runs the next one normally.
+  std::atomic<int> calls{0};
+  executor.ParallelFor(8, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(RunExecutorTest, LowestIndexErrorWins) {
+  exec::RunExecutor executor(1);  // serial: deterministic first failure
+  try {
+    executor.ParallelFor(16, [](std::size_t i) {
+      if (i == 3 || i == 9) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 3");
+  }
+}
+
+TEST(JobsFromArgsTest, ParsesEveryFlagSpelling) {
+  auto parse = [](std::vector<const char*> argv) {
+    return harness::JobsFromArgs(static_cast<int>(argv.size()),
+                                 const_cast<char**>(argv.data()));
+  };
+  EXPECT_EQ(parse({"bench"}), 1);
+  EXPECT_EQ(parse({"bench", "--jobs", "4"}), 4);
+  EXPECT_EQ(parse({"bench", "--jobs=8"}), 8);
+  EXPECT_EQ(parse({"bench", "-j", "2"}), 2);
+  EXPECT_EQ(parse({"bench", "-j6"}), 6);
+  EXPECT_EQ(parse({"bench", "--other", "--jobs=3"}), 3);
+  // 0 = one job per hardware thread.
+  EXPECT_EQ(parse({"bench", "--jobs", "0"}), exec::RunExecutor::HardwareJobs());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical artifacts for every job count.
+
+campaign::CampaignOptions SmallCampaign(int jobs) {
+  campaign::CampaignOptions options;
+  options.runs = 12;
+  options.base_seed = 77;
+  options.jobs = jobs;
+  options.num_sites = 3;
+  options.num_globals = 12;
+  options.num_locals = 6;
+  options.shrink_failures = false;
+  return options;
+}
+
+TEST(ParallelDeterminismTest, CampaignFingerprintsIdenticalAcrossJobCounts) {
+  const campaign::CampaignReport serial =
+      campaign::RunCampaign(SmallCampaign(1));
+  ASSERT_EQ(serial.runs_completed, 12);
+  ASSERT_EQ(serial.fingerprints.size(), 12u);
+
+  for (int jobs : {2, 8}) {
+    const campaign::CampaignReport parallel =
+        campaign::RunCampaign(SmallCampaign(jobs));
+    EXPECT_EQ(parallel.runs_completed, serial.runs_completed) << jobs;
+    EXPECT_EQ(parallel.runs_failed, serial.runs_failed) << jobs;
+    EXPECT_EQ(parallel.total_faults_triggered, serial.total_faults_triggered)
+        << jobs;
+    // The journals themselves, run by run, in sweep order.
+    EXPECT_EQ(parallel.fingerprints, serial.fingerprints) << jobs;
+    EXPECT_EQ(parallel.CombinedFingerprint(), serial.CombinedFingerprint())
+        << jobs;
+  }
+}
+
+harness::ExperimentConfig SmallExperiment(std::uint64_t seed,
+                                          core::CommitProtocol protocol) {
+  harness::ExperimentConfig config;
+  config.label = "run";
+  config.system.num_sites = 3;
+  config.system.keys_per_site = 32;
+  config.system.seed = seed;
+  config.system.protocol.protocol = protocol;
+  config.workload.num_global_txns = 20;
+  config.workload.num_local_txns = 10;
+  config.workload.min_sites_per_txn = 2;
+  config.workload.max_sites_per_txn = 2;
+  config.workload.vote_abort_probability = 0.1;
+  config.workload.seed = seed * 31 + 1;
+  config.analyze = true;
+  return config;
+}
+
+std::vector<harness::RunResult> RunSmallMatrix(int jobs) {
+  harness::RunMatrix matrix(jobs);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    matrix.Add(SmallExperiment(seed, core::CommitProtocol::kOptimistic));
+    matrix.Add(SmallExperiment(seed, core::CommitProtocol::kTwoPhaseCommit));
+  }
+  return matrix.RunAll();
+}
+
+TEST(ParallelDeterminismTest, RunMatrixJsonBytesIdenticalAcrossJobCounts) {
+  const std::vector<harness::RunResult> serial = RunSmallMatrix(1);
+  ASSERT_EQ(serial.size(), 6u);
+  for (int jobs : {2, 8}) {
+    const std::vector<harness::RunResult> parallel = RunSmallMatrix(jobs);
+    ASSERT_EQ(parallel.size(), serial.size()) << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Byte-for-byte: every metric the bench JSON artifacts are built from.
+      EXPECT_EQ(parallel[i].ToJson(), serial[i].ToJson())
+          << "jobs=" << jobs << " run=" << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TraceJournalsIdenticalWhenRunsShareAPool) {
+  // Each parallel run installs its own recorder via the thread-local active
+  // slot; the exported JSONL must match a serial run of the same config.
+  auto run_with_jobs = [](int jobs) {
+    std::vector<trace::TraceRecorder> recorders(4);
+    harness::RunMatrix matrix(jobs);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      harness::ExperimentConfig config =
+          SmallExperiment(seed, core::CommitProtocol::kOptimistic);
+      config.recorder = &recorders[seed - 1];
+      matrix.Add(config);
+    }
+    matrix.RunAll();
+    std::vector<std::string> journals;
+    for (const trace::TraceRecorder& recorder : recorders) {
+      std::ostringstream out;
+      trace::ExportJsonl(recorder.events(), out);
+      journals.push_back(out.str());
+    }
+    return journals;
+  };
+  const std::vector<std::string> serial = run_with_jobs(1);
+  const std::vector<std::string> parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+#ifndef O2PC_TRACE_DISABLED
+    EXPECT_GT(serial[i].size(), 0u) << i;
+#endif
+    EXPECT_EQ(serial[i], parallel[i]) << "journal " << i;
+  }
+}
+
+}  // namespace
+}  // namespace o2pc

@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
 namespace o2pc::harness {
 namespace {
 
@@ -92,6 +98,147 @@ TEST(P2LiteralGapTest, LiteralRuleAdmitsRegularCycles) {
   EXPECT_GT(cycle_seeds, 0)
       << "kP2Literal unexpectedly produced no regular cycles — the "
          "soundness-gap demonstration has lost its witness";
+}
+
+// ---------------------------------------------------------------------------
+// RunResult::ToJson round-trip: parse the emitted JSON back with a minimal
+// flat-object parser and compare field-by-field against the source result.
+// Guards the bench artifact format (BENCH_*.json) against silent drift.
+
+/// Parses ToJson()'s output shape: one flat object of scalar fields plus one
+/// flat array of unsigned integers. No nesting, escapes, or spaces in keys —
+/// exactly what ToJson emits, and the test fails loudly on anything else.
+struct FlatJson {
+  std::map<std::string, std::string> scalars;
+  std::map<std::string, std::vector<std::uint64_t>> arrays;
+  bool ok = false;
+};
+
+FlatJson ParseFlatJson(const std::string& text) {
+  FlatJson parsed;
+  std::size_t pos = text.find('{');
+  if (pos == std::string::npos) return parsed;
+  ++pos;
+  while (true) {
+    const std::size_t key_start = text.find('"', pos);
+    if (key_start == std::string::npos) break;
+    const std::size_t key_end = text.find('"', key_start + 1);
+    if (key_end == std::string::npos) return parsed;
+    const std::string key = text.substr(key_start + 1,
+                                        key_end - key_start - 1);
+    const std::size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) return parsed;
+    std::size_t value_start = text.find_first_not_of(" \n", colon + 1);
+    if (value_start == std::string::npos) return parsed;
+    if (text[value_start] == '[') {
+      const std::size_t close = text.find(']', value_start);
+      if (close == std::string::npos) return parsed;
+      std::vector<std::uint64_t>& values = parsed.arrays[key];
+      std::size_t cursor = value_start + 1;
+      while (cursor < close) {
+        values.push_back(std::strtoull(text.c_str() + cursor, nullptr, 10));
+        const std::size_t comma = text.find(',', cursor);
+        if (comma == std::string::npos || comma > close) break;
+        cursor = comma + 1;
+      }
+      pos = close + 1;
+    } else if (text[value_start] == '"') {
+      const std::size_t close = text.find('"', value_start + 1);
+      if (close == std::string::npos) return parsed;
+      parsed.scalars[key] =
+          text.substr(value_start + 1, close - value_start - 1);
+      pos = close + 1;
+    } else {
+      const std::size_t close = text.find_first_of(",\n}", value_start);
+      if (close == std::string::npos) return parsed;
+      parsed.scalars[key] = text.substr(value_start, close - value_start);
+      pos = close;
+    }
+    pos = text.find_first_not_of(", \n", pos);
+    if (pos == std::string::npos || text[pos] == '}') {
+      parsed.ok = true;
+      break;
+    }
+  }
+  return parsed;
+}
+
+TEST(RunResultJsonTest, RoundTripsEveryField) {
+  ExperimentConfig config = SmallConfig(11);
+  config.label = "roundtrip";
+  const RunResult result = RunExperiment(config);
+  const FlatJson parsed = ParseFlatJson(result.ToJson());
+  ASSERT_TRUE(parsed.ok) << result.ToJson();
+
+  auto u64 = [&](const char* key) {
+    const auto it = parsed.scalars.find(key);
+    EXPECT_NE(it, parsed.scalars.end()) << key;
+    return it == parsed.scalars.end()
+               ? 0
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  auto dbl = [&](const char* key) {
+    const auto it = parsed.scalars.find(key);
+    EXPECT_NE(it, parsed.scalars.end()) << key;
+    return it == parsed.scalars.end() ? 0.0 : std::atof(it->second.c_str());
+  };
+  auto boolean = [&](const char* key) {
+    const auto it = parsed.scalars.find(key);
+    EXPECT_NE(it, parsed.scalars.end()) << key;
+    return it != parsed.scalars.end() && it->second == "true";
+  };
+
+  EXPECT_EQ(parsed.scalars.at("label"), "roundtrip");
+  EXPECT_EQ(u64("makespan_us"), static_cast<std::uint64_t>(result.makespan));
+  EXPECT_EQ(u64("committed"), result.committed);
+  EXPECT_EQ(u64("aborted"), result.aborted);
+  EXPECT_EQ(u64("compensations"), result.compensations);
+  EXPECT_EQ(u64("compensation_retries"), result.compensation_retries);
+  EXPECT_EQ(u64("r1_rejections"), result.r1_rejections);
+  EXPECT_EQ(u64("restarts"), result.restarts);
+  EXPECT_EQ(u64("deadlocks"), result.deadlocks);
+  EXPECT_EQ(u64("coordinator_crashes"), result.coordinator_crashes);
+  EXPECT_EQ(u64("udum_unmarks"), result.udum_unmarks);
+  EXPECT_EQ(u64("locals_committed"), result.locals_committed);
+  EXPECT_EQ(u64("blocked_prepared_ns"), result.blocked_prepared_ns);
+  EXPECT_EQ(u64("decision_reqs"), result.decision_reqs);
+  EXPECT_EQ(u64("ctp_resolutions"), result.ctp_resolutions);
+  EXPECT_EQ(u64("messages_total"), result.messages_total);
+  EXPECT_EQ(u64("trace_events"), result.trace_events);
+  EXPECT_EQ(u64("regular_cycle_pivots"),
+            static_cast<std::uint64_t>(result.regular_cycle_pivots));
+
+  // Doubles survive the ostream default precision (6 significant digits);
+  // compare with a matching relative tolerance.
+  auto near = [](double parsed_value, double expected) {
+    const double tolerance = 1e-4 * std::max(1.0, std::abs(expected));
+    return std::abs(parsed_value - expected) <= tolerance;
+  };
+  EXPECT_TRUE(near(dbl("throughput_tps"), result.throughput_tps));
+  EXPECT_TRUE(near(dbl("mean_latency_us"), result.mean_latency_us));
+  EXPECT_TRUE(near(dbl("p99_latency_us"), result.p99_latency_us));
+  EXPECT_TRUE(near(dbl("mean_xlock_hold_us"), result.mean_xlock_hold_us));
+  EXPECT_TRUE(near(dbl("p99_xlock_hold_us"), result.p99_xlock_hold_us));
+  EXPECT_TRUE(near(dbl("max_xlock_hold_us"), result.max_xlock_hold_us));
+  EXPECT_TRUE(near(dbl("mean_lock_wait_us"), result.mean_lock_wait_us));
+  EXPECT_TRUE(near(dbl("mean_blocked_prepared_us"),
+                   result.mean_blocked_prepared_us));
+  EXPECT_TRUE(near(dbl("max_blocked_prepared_us"),
+                   result.max_blocked_prepared_us));
+
+  EXPECT_EQ(boolean("locally_serializable"),
+            result.report.locally_serializable);
+  EXPECT_EQ(boolean("has_regular_cycle"), result.report.has_regular_cycle);
+  EXPECT_EQ(boolean("correct"), result.report.correct);
+  EXPECT_EQ(boolean("atomic_compensation"),
+            result.report.atomic_compensation);
+
+  const auto by_type = parsed.arrays.find("messages_by_type");
+  ASSERT_NE(by_type, parsed.arrays.end());
+  ASSERT_EQ(by_type->second.size(), result.messages_by_type.size());
+  for (std::size_t i = 0; i < result.messages_by_type.size(); ++i) {
+    EXPECT_EQ(by_type->second[i], result.messages_by_type[i]) << i;
+  }
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -134,6 +138,77 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
   sim.Run();
   EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+// Model-based property test: interleave Push/Cancel/Pop under a seeded RNG
+// against a reference model (a sorted list of live (time, id) pairs) and
+// check that pops come out in time-then-FIFO order and that size()/empty()
+// account for cancellations exactly.
+TEST(EventQueueTest, RandomizedPushCancelPopMatchesReferenceModel) {
+  for (std::uint64_t seed : {1u, 7u, 1234u, 987654u}) {
+    Rng rng(seed);
+    EventQueue queue;
+    // Live events the queue must still deliver, keyed (time, id).
+    std::vector<std::pair<SimTime, EventId>> model;
+    std::vector<EventId> cancellable;
+    std::uint64_t popped = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+      const int op = rng.Uniform(0, 9);
+      if (op <= 5) {
+        // Push, with deliberate time collisions to exercise FIFO ties.
+        const SimTime time = rng.Uniform(0, 49);
+        const EventId id = queue.Push(time, [] {});
+        model.emplace_back(time, id);
+        cancellable.push_back(id);
+      } else if (op <= 7) {
+        if (cancellable.empty()) continue;
+        const std::size_t pick = static_cast<std::size_t>(rng.Uniform(
+            0, static_cast<std::int64_t>(cancellable.size()) - 1));
+        const EventId id = cancellable[pick];
+        cancellable.erase(cancellable.begin() + pick);
+        const auto it = std::find_if(
+            model.begin(), model.end(),
+            [id](const auto& entry) { return entry.second == id; });
+        // Cancel succeeds iff the event is still live; a second cancel or a
+        // cancel of an already-popped event reports false.
+        EXPECT_EQ(queue.Cancel(id), it != model.end());
+        if (it != model.end()) model.erase(it);
+        EXPECT_FALSE(queue.Cancel(id));
+      } else {
+        if (queue.empty()) {
+          EXPECT_TRUE(model.empty());
+          continue;
+        }
+        const auto expect =
+            std::min_element(model.begin(), model.end());
+        EXPECT_EQ(queue.PeekTime(), expect->first);
+        Event event = queue.Pop();
+        EXPECT_EQ(event.time, expect->first);
+        EXPECT_EQ(event.id, expect->second);
+        model.erase(expect);
+        cancellable.erase(
+            std::remove(cancellable.begin(), cancellable.end(), event.id),
+            cancellable.end());
+        ++popped;
+      }
+      EXPECT_EQ(queue.size(), model.size());
+      EXPECT_EQ(queue.empty(), model.empty());
+    }
+
+    // Drain: the remaining events surface in exact (time, id) order.
+    std::sort(model.begin(), model.end());
+    for (const auto& [time, id] : model) {
+      ASSERT_FALSE(queue.empty());
+      Event event = queue.Pop();
+      EXPECT_EQ(event.time, time);
+      EXPECT_EQ(event.id, id);
+      ++popped;
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_GT(popped, 0u) << "seed " << seed;
+  }
 }
 
 TEST(SimulatorTest, ZeroDelayRunsAfterPendingSameTimeEvents) {
