@@ -5,8 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "core/marking.h"
 #include "lock/lock_manager.h"
@@ -191,6 +194,68 @@ void BM_CompatibleCheckP1(benchmark::State& state) {
 }
 BENCHMARK(BM_CompatibleCheckP1);
 
+// Lock-table churn: the queues_/held_ access pattern of a protocol run —
+// lookup-or-insert on acquire, lookup on release, erase when the last lock
+// goes. FlatMap (what LockManager uses) vs the std::map it replaced.
+template <typename Map>
+void MapChurnKernel(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<DataKey> sequence;
+  sequence.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    sequence.push_back(static_cast<DataKey>(rng.Uniform(0, keys - 1)));
+  }
+  for (auto _ : state) {
+    Map map;
+    std::uint64_t sum = 0;
+    for (DataKey key : sequence) {
+      ++map[key];
+      auto it = map.find(key);
+      sum += it->second;
+      if ((it->second & 7) == 0) map.erase(key);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+void BM_FlatMapChurn(benchmark::State& state) {
+  MapChurnKernel<common::FlatMap<DataKey, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(64)->Arg(1024);
+void BM_StdMapChurnBaseline(benchmark::State& state) {
+  MapChurnKernel<std::map<DataKey, std::uint64_t>>(state);
+}
+BENCHMARK(BM_StdMapChurnBaseline)->Arg(64)->Arg(1024);
+
+// The R1 admission pattern: a small undone-mark set probed by contains()
+// on every access. SmallSet (what SiteMarks uses) vs the std::set it
+// replaced.
+template <typename Set>
+void SetProbeKernel(benchmark::State& state) {
+  const int marks = static_cast<int>(state.range(0));
+  Set undone;
+  for (TxnId ti = 1; ti <= static_cast<TxnId>(marks); ++ti) {
+    undone.insert(ti * 7);
+  }
+  for (auto _ : state) {
+    int hits = 0;
+    for (TxnId probe = 1; probe <= 256; ++probe) {
+      hits += undone.contains(probe) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+void BM_SmallSetMarkProbe(benchmark::State& state) {
+  SetProbeKernel<common::SmallSet<TxnId>>(state);
+}
+BENCHMARK(BM_SmallSetMarkProbe)->Arg(8)->Arg(64);
+void BM_StdSetMarkProbeBaseline(benchmark::State& state) {
+  SetProbeKernel<std::set<TxnId>>(state);
+}
+BENCHMARK(BM_StdSetMarkProbeBaseline)->Arg(8)->Arg(64);
+
 void BM_WitnessGossipMerge(benchmark::State& state) {
   core::WitnessKnowledge source;
   for (TxnId ti = 1; ti <= 200; ++ti) {
@@ -198,7 +263,7 @@ void BM_WitnessGossipMerge(benchmark::State& state) {
       source.Add(core::WitnessFact{ti, s});
     }
   }
-  const core::MarkingGossip gossip = source.Export();
+  const core::MarkingGossip gossip = *source.Export();
   for (auto _ : state) {
     core::WitnessKnowledge sink;
     sink.Merge(gossip);
@@ -207,6 +272,46 @@ void BM_WitnessGossipMerge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 800);
 }
 BENCHMARK(BM_WitnessGossipMerge);
+
+// The dominant call of a campaign run: gossip that the receiver has seen
+// before. Exercises Merge's two-pointer subset fast path (no allocation,
+// no rebuild).
+void BM_WitnessGossipMergeStale(benchmark::State& state) {
+  core::WitnessKnowledge sink;
+  for (TxnId ti = 1; ti <= 200; ++ti) {
+    for (SiteId s = 0; s < 4; ++s) {
+      sink.Add(core::WitnessFact{ti, s});
+    }
+  }
+  // Deep copy: with the shared_ptr the pointer-identity fast path would
+  // skip the scan this kernel exists to measure.
+  const core::MarkingGossip gossip = *sink.Export();
+  for (auto _ : state) {
+    sink.Merge(gossip);
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_WitnessGossipMergeStale);
+
+// The message path proper: a shared exported snapshot merged repeatedly —
+// the pointer-identity skip makes replays O(1).
+void BM_WitnessGossipMergeSharedReplay(benchmark::State& state) {
+  core::WitnessKnowledge source;
+  core::WitnessKnowledge sink;
+  for (TxnId ti = 1; ti <= 200; ++ti) {
+    for (SiteId s = 0; s < 4; ++s) {
+      source.Add(core::WitnessFact{ti, s});
+    }
+  }
+  const auto gossip = source.Export();
+  for (auto _ : state) {
+    sink.Merge(gossip);
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_WitnessGossipMergeSharedReplay);
 
 }  // namespace
 }  // namespace o2pc

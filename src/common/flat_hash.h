@@ -1,0 +1,512 @@
+#ifndef O2PC_COMMON_FLAT_HASH_H_
+#define O2PC_COMMON_FLAT_HASH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Flat, cache-friendly containers for the per-run hot path.
+///
+/// The simulator's inner loops (lock queues, waits-for adjacency, conflict
+/// chains, marking sets) are keyed by small integers (`TxnId`, `DataKey`)
+/// and live for one run. Tree containers pay a pointer chase and an
+/// allocation per node; these replacements keep everything in two vectors:
+///
+///  * `FlatMap<K, V>` / `FlatSet<K>` — open-addressing hash table over a
+///    power-of-two slot index, with the entries themselves stored in a
+///    dense *insertion-ordered* array. Iteration visits live entries in
+///    insertion order — a deterministic order that is a pure function of
+///    the operation sequence, never of hash seeds or rehash timing — which
+///    is what keeps campaign fingerprints byte-identical across runs and
+///    `--jobs` values. Erase tombstones the entry (no moves, so other
+///    iterators/references survive); rehash compacts, preserving order.
+///  * `SmallSet<T>` / `SmallMap<K, V>` — sorted-vector set/map for the
+///    tiny per-transaction sets (held keys, site marks, witness facts).
+///    Iteration is *sorted*, exactly like the `std::set`/`std::map` they
+///    replace, so every order-sensitive consumer (release loops, DFS
+///    successor order, gossip export) behaves identically.
+///
+/// Keys hash through a splitmix64 finalizer, so adversarially-dense key
+/// ranges (sequential TxnIds) still probe uniformly.
+
+namespace o2pc::common {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+inline std::uint64_t HashU64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace internal {
+
+inline constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+inline constexpr std::uint32_t kTombstoneSlot = 0xfffffffeu;
+
+/// Shared open-addressing core: maps hashed keys to indices into the
+/// derived container's dense entry array. `Derived` supplies
+/// `KeyAt(index)` and `EntryCount()`.
+template <typename Derived, typename K>
+class FlatCore {
+ public:
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+ protected:
+  /// Probes for `key`. Returns the entry index or kEmptySlot.
+  std::uint32_t FindIndex(const K& key) const {
+    if (slots_.empty()) return kEmptySlot;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = HashU64(static_cast<std::uint64_t>(key)) & mask;
+    while (true) {
+      const std::uint32_t slot = slots_[pos];
+      if (slot == kEmptySlot) return kEmptySlot;
+      if (slot != kTombstoneSlot &&
+          static_cast<const Derived*>(this)->KeyAt(slot) == key) {
+        return slot;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  /// Claims a slot for a new entry index `index` holding `key`.
+  /// Pre: `key` is not present; capacity was ensured.
+  void InsertSlot(const K& key, std::uint32_t index) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = HashU64(static_cast<std::uint64_t>(key)) & mask;
+    while (slots_[pos] != kEmptySlot && slots_[pos] != kTombstoneSlot) {
+      pos = (pos + 1) & mask;
+    }
+    slots_[pos] = index;
+    ++live_;
+  }
+
+  /// Tombstones `key`'s slot. Pre: present.
+  void EraseSlot(const K& key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = HashU64(static_cast<std::uint64_t>(key)) & mask;
+    while (true) {
+      const std::uint32_t slot = slots_[pos];
+      if (slot != kEmptySlot && slot != kTombstoneSlot &&
+          static_cast<const Derived*>(this)->KeyAt(slot) == key) {
+        slots_[pos] = kTombstoneSlot;
+        --live_;
+        return;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  /// True when the dense entry array (live + dead) is about to outgrow the
+  /// slot table's load budget, i.e. the derived container must compact +
+  /// rehash before appending.
+  bool NeedsRehash() const {
+    const std::size_t entries =
+        static_cast<const Derived*>(this)->EntryCount();
+    return slots_.empty() || (entries + 1) * 4 >= slots_.size() * 3;
+  }
+
+  /// Rebuilds the slot table for `new_entry_count` entries; the derived
+  /// container re-inserts via InsertSlot afterwards.
+  void ResetSlots(std::size_t new_entry_count) {
+    std::size_t capacity = 16;
+    while (capacity * 3 < (new_entry_count + 1) * 4) capacity *= 2;
+    // One growth step of headroom so back-to-back inserts don't rehash.
+    capacity *= 2;
+    slots_.assign(capacity, kEmptySlot);
+    live_ = 0;
+  }
+
+  void ClearSlots() {
+    slots_.clear();
+    live_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+  std::size_t live_ = 0;
+};
+
+/// Iterator over a dense entry array with a parallel liveness vector.
+template <typename Entry, bool kConst>
+class DenseIterator {
+  using Vec = std::conditional_t<kConst, const std::vector<Entry>,
+                                 std::vector<Entry>>;
+  using Ref = std::conditional_t<kConst, const Entry&, Entry&>;
+  using Ptr = std::conditional_t<kConst, const Entry*, Entry*>;
+
+ public:
+  using iterator_category = std::forward_iterator_tag;
+  using value_type = Entry;
+  using difference_type = std::ptrdiff_t;
+  using pointer = Ptr;
+  using reference = Ref;
+
+  DenseIterator(Vec* entries, const std::vector<std::uint8_t>* dead,
+                std::size_t index)
+      : entries_(entries), dead_(dead), index_(index) {
+    SkipDead();
+  }
+
+  Ref operator*() const { return (*entries_)[index_]; }
+  Ptr operator->() const { return &(*entries_)[index_]; }
+
+  DenseIterator& operator++() {
+    ++index_;
+    SkipDead();
+    return *this;
+  }
+
+  bool operator==(const DenseIterator& other) const {
+    return index_ == other.index_;
+  }
+  bool operator!=(const DenseIterator& other) const {
+    return index_ != other.index_;
+  }
+
+  std::size_t index() const { return index_; }
+
+ private:
+  void SkipDead() {
+    while (index_ < entries_->size() && (*dead_)[index_] != 0) ++index_;
+  }
+
+  Vec* entries_;
+  const std::vector<std::uint8_t>* dead_;
+  std::size_t index_;
+};
+
+}  // namespace internal
+
+/// Open-addressing hash map for integer keys with deterministic
+/// (insertion-ordered) iteration. See the file comment for the contract.
+template <typename K, typename V>
+class FlatMap : public internal::FlatCore<FlatMap<K, V>, K> {
+  using Core = internal::FlatCore<FlatMap<K, V>, K>;
+  friend Core;
+
+ public:
+  using Entry = std::pair<K, V>;
+  using iterator = internal::DenseIterator<Entry, false>;
+  using const_iterator = internal::DenseIterator<Entry, true>;
+
+  FlatMap() = default;
+
+  iterator begin() { return iterator(&entries_, &dead_, 0); }
+  iterator end() { return iterator(&entries_, &dead_, entries_.size()); }
+  const_iterator begin() const {
+    return const_iterator(&entries_, &dead_, 0);
+  }
+  const_iterator end() const {
+    return const_iterator(&entries_, &dead_, entries_.size());
+  }
+
+  iterator find(const K& key) {
+    const std::uint32_t index = Core::FindIndex(key);
+    return index == internal::kEmptySlot ? end()
+                                         : iterator(&entries_, &dead_, index);
+  }
+  const_iterator find(const K& key) const {
+    const std::uint32_t index = Core::FindIndex(key);
+    return index == internal::kEmptySlot
+               ? end()
+               : const_iterator(&entries_, &dead_, index);
+  }
+
+  bool contains(const K& key) const {
+    return Core::FindIndex(key) != internal::kEmptySlot;
+  }
+
+  V& operator[](const K& key) {
+    const std::uint32_t index = Core::FindIndex(key);
+    if (index != internal::kEmptySlot) return entries_[index].second;
+    return Append(key, V())->second;
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    const std::uint32_t index = Core::FindIndex(key);
+    if (index != internal::kEmptySlot) {
+      return {iterator(&entries_, &dead_, index), false};
+    }
+    return {Append(key, V(std::forward<Args>(args)...)), true};
+  }
+
+  std::pair<iterator, bool> insert(Entry entry) {
+    const std::uint32_t index = Core::FindIndex(entry.first);
+    if (index != internal::kEmptySlot) {
+      return {iterator(&entries_, &dead_, index), false};
+    }
+    return {Append(entry.first, std::move(entry.second)), true};
+  }
+
+  std::size_t erase(const K& key) {
+    const std::uint32_t index = Core::FindIndex(key);
+    if (index == internal::kEmptySlot) return 0;
+    Core::EraseSlot(key);
+    dead_[index] = 1;
+    entries_[index].second = V();  // release the value's resources now
+    return 1;
+  }
+
+  void erase(const_iterator it) { erase(it->first); }
+  void erase(iterator it) { erase(it->first); }
+
+  void clear() {
+    entries_.clear();
+    dead_.clear();
+    Core::ClearSlots();
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    dead_.reserve(n);
+  }
+
+ private:
+  const K& KeyAt(std::uint32_t index) const { return entries_[index].first; }
+  std::size_t EntryCount() const { return entries_.size(); }
+
+  iterator Append(const K& key, V value) {
+    if (Core::NeedsRehash()) Compact();
+    entries_.emplace_back(key, std::move(value));
+    dead_.push_back(0);
+    Core::InsertSlot(key, static_cast<std::uint32_t>(entries_.size() - 1));
+    return iterator(&entries_, &dead_, entries_.size() - 1);
+  }
+
+  /// Drops dead entries (preserving insertion order) and rebuilds slots.
+  void Compact() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (dead_[i] != 0) continue;
+      if (out != i) entries_[out] = std::move(entries_[i]);
+      ++out;
+    }
+    entries_.resize(out);
+    dead_.assign(out, 0);
+    Core::ResetSlots(out);
+    for (std::size_t i = 0; i < out; ++i) {
+      Core::InsertSlot(entries_[i].first, static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint8_t> dead_;
+};
+
+/// Open-addressing hash set for integer keys with deterministic
+/// (insertion-ordered) iteration.
+template <typename K>
+class FlatSet : public internal::FlatCore<FlatSet<K>, K> {
+  using Core = internal::FlatCore<FlatSet<K>, K>;
+  friend Core;
+
+ public:
+  using iterator = internal::DenseIterator<K, true>;
+  using const_iterator = iterator;
+
+  FlatSet() = default;
+
+  iterator begin() const { return iterator(&entries_, &dead_, 0); }
+  iterator end() const { return iterator(&entries_, &dead_, entries_.size()); }
+
+  bool contains(const K& key) const {
+    return Core::FindIndex(key) != internal::kEmptySlot;
+  }
+  std::size_t count(const K& key) const { return contains(key) ? 1 : 0; }
+
+  std::pair<iterator, bool> insert(const K& key) {
+    const std::uint32_t index = Core::FindIndex(key);
+    if (index != internal::kEmptySlot) {
+      return {iterator(&entries_, &dead_, index), false};
+    }
+    if (Core::NeedsRehash()) Compact();
+    entries_.push_back(key);
+    dead_.push_back(0);
+    Core::InsertSlot(key, static_cast<std::uint32_t>(entries_.size() - 1));
+    return {iterator(&entries_, &dead_, entries_.size() - 1), true};
+  }
+
+  std::size_t erase(const K& key) {
+    const std::uint32_t index = Core::FindIndex(key);
+    if (index == internal::kEmptySlot) return 0;
+    Core::EraseSlot(key);
+    dead_[index] = 1;
+    return 1;
+  }
+
+  void clear() {
+    entries_.clear();
+    dead_.clear();
+    Core::ClearSlots();
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    dead_.reserve(n);
+  }
+
+ private:
+  const K& KeyAt(std::uint32_t index) const { return entries_[index]; }
+  std::size_t EntryCount() const { return entries_.size(); }
+
+  void Compact() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (dead_[i] != 0) continue;
+      if (out != i) entries_[out] = entries_[i];
+      ++out;
+    }
+    entries_.resize(out);
+    dead_.assign(out, 0);
+    Core::ResetSlots(out);
+    for (std::size_t i = 0; i < out; ++i) {
+      Core::InsertSlot(entries_[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<K> entries_;
+  std::vector<std::uint8_t> dead_;
+};
+
+/// Sorted-vector set for tiny element counts (per-transaction held keys,
+/// per-site mark sets — typically < 32 elements). Iteration is sorted,
+/// matching the `std::set` it replaces element-for-element, so every
+/// order-sensitive consumer is unaffected by the swap.
+template <typename T>
+class SmallSet {
+ public:
+  using iterator = typename std::vector<T>::const_iterator;
+  using const_iterator = iterator;
+
+  SmallSet() = default;
+  template <typename It>
+  SmallSet(It first, It last) : items_(first, last) {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+  SmallSet(std::initializer_list<T> init)
+      : SmallSet(init.begin(), init.end()) {}
+
+  iterator begin() const { return items_.begin(); }
+  iterator end() const { return items_.end(); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  bool contains(const T& value) const {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    return it != items_.end() && *it == value;
+  }
+  std::size_t count(const T& value) const { return contains(value) ? 1 : 0; }
+
+  std::pair<iterator, bool> insert(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it != items_.end() && *it == value) return {it, false};
+    it = items_.insert(it, value);
+    return {it, true};
+  }
+
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  std::size_t erase(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it == items_.end() || !(*it == value)) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  friend bool operator==(const SmallSet& a, const SmallSet& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<T> items_;
+};
+
+/// Sorted-vector map, the companion of SmallSet for tiny key counts.
+/// Iteration is sorted by key, matching `std::map`.
+template <typename K, typename V>
+class SmallMap {
+ public:
+  using Entry = std::pair<K, V>;
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  SmallMap() = default;
+
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  iterator find(const K& key) {
+    auto it = LowerBound(key);
+    return (it != items_.end() && it->first == key) ? it : items_.end();
+  }
+  const_iterator find(const K& key) const {
+    auto it = LowerBound(key);
+    return (it != items_.end() && it->first == key) ? it : items_.end();
+  }
+  bool contains(const K& key) const { return find(key) != items_.end(); }
+
+  V& operator[](const K& key) {
+    auto it = LowerBound(key);
+    if (it == items_.end() || it->first != key) {
+      it = items_.insert(it, Entry(key, V()));
+    }
+    return it->second;
+  }
+
+  template <typename VV>
+  std::pair<iterator, bool> emplace(const K& key, VV&& value) {
+    auto it = LowerBound(key);
+    if (it != items_.end() && it->first == key) return {it, false};
+    it = items_.insert(it, Entry(key, std::forward<VV>(value)));
+    return {it, true};
+  }
+
+  std::size_t erase(const K& key) {
+    auto it = LowerBound(key);
+    if (it == items_.end() || it->first != key) return 0;
+    items_.erase(it);
+    return 1;
+  }
+  iterator erase(const_iterator it) { return items_.erase(it); }
+
+  void clear() { items_.clear(); }
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const Entry& entry, const K& k) { return entry.first < k; });
+  }
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const Entry& entry, const K& k) { return entry.first < k; });
+  }
+
+  std::vector<Entry> items_;
+};
+
+}  // namespace o2pc::common
+
+#endif  // O2PC_COMMON_FLAT_HASH_H_

@@ -1,5 +1,7 @@
 #include "core/marking.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "trace/trace.h"
 
@@ -102,22 +104,94 @@ void MergeMarks(const SiteMarks& site_marks, SiteId site, TransMarks& tm) {
   for (TxnId ti : site_marks.locally_committed) tm.lc_seen[ti].insert(site);
 }
 
+bool WitnessKnowledge::HasFact(const WitnessFact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+bool WitnessKnowledge::InsertFact(const WitnessFact& fact) {
+  auto it = std::lower_bound(facts_.begin(), facts_.end(), fact);
+  if (it != facts_.end() && *it == fact) return false;
+  facts_.insert(it, fact);
+  export_cache_.reset();
+  return true;
+}
+
 void WitnessKnowledge::Add(const WitnessFact& fact) {
   // Journaled only on first-hand registration; gossiped copies (Merge)
   // trace back to an earlier Add at the witnessing vantage point.
   O2PC_TRACE(kWitness, fact.site, fact.ti);
-  facts_.insert(fact);
+  InsertFact(fact);
 }
 
 void WitnessKnowledge::Merge(const MarkingGossip& gossip) {
-  for (const WitnessFact& fact : gossip.witnesses) facts_.insert(fact);
+  if (!gossip.witnesses.empty()) {
+    // Export() produces sorted-unique gossip, so the overwhelmingly common
+    // stale-gossip case is a single two-pointer subset walk (gossip is
+    // usually the sender's *entire* fact set, so both sides have comparable
+    // sizes and a sequential linear scan beats a binary search per fact).
+    // The walk validates sorted-uniqueness as it goes: hand-built gossip —
+    // tests — may be unsorted or carry duplicates (set_union would keep
+    // them) and falls back to the per-fact path.
+    bool ordered = true;
+    bool subset = facts_.size() >= gossip.witnesses.size();
+    const WitnessFact* prev = nullptr;
+    auto mine = facts_.begin();
+    for (const WitnessFact& fact : gossip.witnesses) {
+      if (prev != nullptr && !(*prev < fact)) {
+        ordered = false;
+        break;
+      }
+      prev = &fact;
+      if (subset) {
+        while (mine != facts_.end() && *mine < fact) ++mine;
+        if (mine == facts_.end() || *mine != fact) {
+          subset = false;  // keep scanning: the ordering check must finish
+        } else {
+          ++mine;
+        }
+      }
+    }
+    if (!ordered) {
+      for (const WitnessFact& fact : gossip.witnesses) InsertFact(fact);
+    } else if (!subset) {
+      std::vector<WitnessFact> merged;
+      merged.reserve(facts_.size() + gossip.witnesses.size());
+      std::set_union(facts_.begin(), facts_.end(), gossip.witnesses.begin(),
+                     gossip.witnesses.end(), std::back_inserter(merged));
+      facts_ = std::move(merged);
+      export_cache_.reset();
+    }
+  }
+  // Export() lists exec_sites in ascending key order, so walk both sides in
+  // lockstep — stale entries (the common case) cost one comparison each and
+  // only genuinely new transactions pay a sorted insert. Out-of-order
+  // hand-built gossip just misses the match test and degrades to the
+  // emplace below, which re-searches from scratch and never duplicates.
+  auto known = exec_sites_.begin();
   for (const auto& [ti, sites] : gossip.exec_sites) {
-    exec_sites_.emplace(ti, sites);
+    while (known != exec_sites_.end() && known->first < ti) ++known;
+    if (known != exec_sites_.end() && known->first == ti) continue;
+    known = exec_sites_.emplace(ti, sites).first;  // revalidates `known`
+    ++known;
+    export_cache_.reset();
   }
 }
 
+void WitnessKnowledge::Merge(
+    const std::shared_ptr<const MarkingGossip>& gossip) {
+  if (gossip == nullptr) return;
+  // Our own live export (oracle mode merges the shared directory into
+  // itself constantly) or a replay of the last-merged snapshot: nothing
+  // new by construction.
+  if (gossip == export_cache_ || gossip == last_merged_) return;
+  Merge(*gossip);
+  last_merged_ = gossip;
+}
+
 void WitnessKnowledge::SetExecSites(TxnId ti, std::vector<SiteId> sites) {
-  exec_sites_.emplace(ti, std::move(sites));
+  if (exec_sites_.emplace(ti, std::move(sites)).second) {
+    export_cache_.reset();
+  }
 }
 
 const std::vector<SiteId>* WitnessKnowledge::ExecSitesOf(TxnId ti) const {
@@ -125,18 +199,21 @@ const std::vector<SiteId>* WitnessKnowledge::ExecSitesOf(TxnId ti) const {
   return it == exec_sites_.end() ? nullptr : &it->second;
 }
 
-MarkingGossip WitnessKnowledge::Export() const {
-  MarkingGossip gossip;
-  gossip.witnesses.assign(facts_.begin(), facts_.end());
-  gossip.exec_sites.assign(exec_sites_.begin(), exec_sites_.end());
-  return gossip;
+std::shared_ptr<const MarkingGossip> WitnessKnowledge::Export() const {
+  if (export_cache_ == nullptr) {
+    auto gossip = std::make_shared<MarkingGossip>();
+    gossip->witnesses = facts_;  // already sorted ascending
+    gossip->exec_sites.assign(exec_sites_.begin(), exec_sites_.end());
+    export_cache_ = std::move(gossip);
+  }
+  return export_cache_;
 }
 
 bool WitnessKnowledge::Covers(TxnId ti,
                               const std::vector<SiteId>& exec_sites) const {
   if (exec_sites.empty()) return false;
   for (SiteId site : exec_sites) {
-    if (!facts_.contains(WitnessFact{ti, site})) return false;
+    if (!HasFact(WitnessFact{ti, site})) return false;
   }
   return true;
 }

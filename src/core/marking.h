@@ -1,12 +1,12 @@
 #ifndef O2PC_CORE_MARKING_H_
 #define O2PC_CORE_MARKING_H_
 
-#include <map>
-#include <set>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 #include "core/protocol.h"
 
@@ -24,6 +24,11 @@
 ///
 /// P1 only needs the `undone` marks (the paper drops the locally-committed
 /// marking as redundant for P1); P2 needs both kinds.
+///
+/// These structures ride on every gossip-bearing message and are copied,
+/// merged, and scanned on the admission path, so the sets are sorted
+/// vectors (common::SmallSet / SmallMap) — same iteration order as the
+/// `std::set`/`std::map` they replaced, a fraction of the copy cost.
 
 namespace o2pc::core {
 
@@ -39,6 +44,7 @@ struct WitnessFact {
 /// Witness facts and related marking intelligence piggybacked on the
 /// standard 2PC messages (the protocol adds no messages of its own).
 struct MarkingGossip {
+  /// Ascending (ti, site) order when produced by WitnessKnowledge::Export.
   std::vector<WitnessFact> witnesses;
   /// Execution-site lists of aborted transactions (learned from abort
   /// DECISIONs); lets any site evaluate UDUM1 for any transaction.
@@ -49,19 +55,19 @@ struct MarkingGossip {
 struct SiteMarks {
   /// sitemarks.k of the paper: T_i in `undone` iff this site is undone
   /// w.r.t. T_i.
-  std::set<TxnId> undone;
+  common::SmallSet<TxnId> undone;
   /// Subset of `undone`: T_i exposed updates somewhere before aborting
   /// (some participant locally committed). Exposure lets the dependency
   /// escape T_i's execution sites through readers, so checks on exposed
   /// marks must be strict over *all* visited sites; unexposed marks only
   /// constrain visits to T_i's execution sites. Vote-abort marks are
   /// conservatively exposed until the DECISION clarifies.
-  std::set<TxnId> exposed_undone;
+  common::SmallSet<TxnId> exposed_undone;
   /// Sites this is locally-committed w.r.t. (maintained for P2).
-  std::set<TxnId> locally_committed;
+  common::SmallSet<TxnId> locally_committed;
   /// Execution-site lists of aborted transactions (piggybacked on the
   /// abort DECISION), needed to evaluate UDUM1.
-  std::map<TxnId, std::vector<SiteId>> exec_sites;
+  common::SmallMap<TxnId, std::vector<SiteId>> exec_sites;
 
   bool Unmarked(TxnId ti) const {
     return !undone.contains(ti) && !locally_committed.contains(ti);
@@ -74,13 +80,13 @@ struct SiteMarks {
 /// is then "undone_seen[T_i] is empty or equals the visited set".
 struct TransMarks {
   std::vector<SiteId> visited_sites;
-  std::map<TxnId, std::set<SiteId>> undone_seen;
-  std::map<TxnId, std::set<SiteId>> lc_seen;
+  common::SmallMap<TxnId, common::SmallSet<SiteId>> undone_seen;
+  common::SmallMap<TxnId, common::SmallSet<SiteId>> lc_seen;
   /// Sites visited while T_i was already *retired* (its UDUM1 quiescence
   /// was established before the visit). Such a visit provably follows
   /// every rollback/compensation of T_i, so the retirement fence accepts
   /// it in place of a mark observation.
-  std::map<TxnId, std::set<SiteId>> retired_seen;
+  common::SmallMap<TxnId, common::SmallSet<SiteId>> retired_seen;
 
   int visited() const { return static_cast<int>(visited_sites.size()); }
   int UndoneCount(TxnId ti) const;
@@ -101,6 +107,11 @@ void MergeMarks(const SiteMarks& site_marks, SiteId site, TransMarks& tm);
 
 /// UDUM1 witness knowledge of one vantage point (a site, or the shared
 /// oracle). Answers "have all execution sites of T_i been witnessed?".
+///
+/// Facts live in one sorted vector. Merge — the single hottest call of a
+/// campaign run, since every message's gossip lands here — runs a
+/// two-pointer subset scan first (gossip is almost always stale) and only
+/// reallocates when genuinely new facts arrive.
 class WitnessKnowledge {
  public:
   WitnessKnowledge() = default;
@@ -109,14 +120,22 @@ class WitnessKnowledge {
   /// via Merge and are not re-journaled).
   void Add(const WitnessFact& fact);
   void Merge(const MarkingGossip& gossip);
+  /// The message-path entry point: skips outright when `gossip` is this
+  /// knowledge's own live export or the exact object merged last (Merge is
+  /// idempotent and knowledge never shrinks, so replays are no-ops). The
+  /// held shared_ptr keeps skipped objects alive, so pointer identity is
+  /// unambiguous.
+  void Merge(const std::shared_ptr<const MarkingGossip>& gossip);
 
   /// Records where an aborted transaction executed (from the DECISION).
   void SetExecSites(TxnId ti, std::vector<SiteId> sites);
   /// Known execution sites of `ti`, or nullptr.
   const std::vector<SiteId>* ExecSitesOf(TxnId ti) const;
 
-  /// Exports everything known, for piggybacking.
-  MarkingGossip Export() const;
+  /// Exports everything known, for piggybacking. The result is cached
+  /// until the next mutation, so consecutive messages share one immutable
+  /// snapshot instead of each deep-copying the full fact set.
+  std::shared_ptr<const MarkingGossip> Export() const;
 
   /// True iff a witness is known for every site in `exec_sites`
   /// (UDUM1 for T_i; `exec_sites` empty means not yet known -> false).
@@ -129,8 +148,18 @@ class WitnessKnowledge {
   std::size_t size() const { return facts_.size(); }
 
  private:
-  std::set<WitnessFact> facts_;
-  std::map<TxnId, std::vector<SiteId>> exec_sites_;
+  bool HasFact(const WitnessFact& fact) const;
+  /// Inserts one fact in sorted position if absent; true if inserted.
+  bool InsertFact(const WitnessFact& fact);
+
+  /// Sorted ascending, unique.
+  std::vector<WitnessFact> facts_;
+  common::SmallMap<TxnId, std::vector<SiteId>> exec_sites_;
+  /// Export() snapshot, dropped (not mutated — messages may share it) on
+  /// any change to facts_/exec_sites_.
+  mutable std::shared_ptr<const MarkingGossip> export_cache_;
+  /// Most recently merged foreign export, for the replay fast path.
+  std::shared_ptr<const MarkingGossip> last_merged_;
 };
 
 }  // namespace o2pc::core

@@ -1,6 +1,7 @@
 #ifndef O2PC_CORE_MESSAGES_H_
 #define O2PC_CORE_MESSAGES_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -33,7 +34,7 @@ struct SubtxnInvokePayload : net::Payload {
   /// its marks even existed, so it may pass a site that retired the mark
   /// only if it observed the mark uniformly everywhere else.
   SimTime txn_start = 0;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Site -> coordinator: subtransaction finished / was rejected / failed.
@@ -49,7 +50,7 @@ struct SubtxnAckPayload : net::Payload {
   /// (e.g. it tripped a retirement fence); the coordinator should abort and
   /// let the system restart the work as a fresh incarnation.
   bool fatal = false;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Coordinator -> site: VOTE-REQ.
@@ -58,7 +59,7 @@ struct VoteRequestPayload : net::Payload {
   /// uses this list for the cooperative termination protocol: when the
   /// coordinator stops answering DECISION-REQs, peers are asked instead.
   std::vector<SiteId> participants;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Site -> coordinator: VOTE.
@@ -68,7 +69,7 @@ struct VotePayload : net::Payload {
   /// subtransaction and its WAL vouches for nothing) rather than from
   /// business logic — retrying the transaction afresh makes sense.
   bool recovery_abort = false;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Coordinator -> site: DECISION.
@@ -84,14 +85,14 @@ struct DecisionPayload : net::Payload {
   /// abort case needs; the coordinator knows this anyway, so shipping it
   /// costs no extra message.
   std::vector<SiteId> exec_sites;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Site -> coordinator: decision processed (including any compensation).
 struct DecisionAckPayload : net::Payload {
   /// True if a compensating subtransaction ran at this site.
   bool compensated = false;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Site -> coordinator home: DECISION-REQ. A participant blocked past its
@@ -99,13 +100,13 @@ struct DecisionAckPayload : net::Payload {
 /// answers from the coordinator's force-written decision log even while
 /// the coordinator itself is down (participant-driven decision recovery).
 struct DecisionRequestPayload : net::Payload {
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Site -> peer site: TERM-REQ, the cooperative termination query. The
 /// asker learned its peers from the VOTE-REQ participant list.
 struct TermRequestPayload : net::Payload {
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 /// Peer -> asker: TERM-RESP. `known` = the peer can name the outcome —
@@ -121,7 +122,7 @@ struct TermResponsePayload : net::Payload {
   /// asker falls back to its own VOTE-REQ participant list).
   bool exposed = false;
   std::vector<SiteId> exec_sites;
-  MarkingGossip gossip;
+  std::shared_ptr<const MarkingGossip> gossip;
 };
 
 }  // namespace o2pc::core

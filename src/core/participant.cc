@@ -120,7 +120,7 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
         // The paper's deadlock-avoidance compromise: unlock sitemarks.k
         // right after the check (a final validation happens at the end).
         db_->lock_manager().Release(sub.local_id, options_.marks_key);
-        const std::set<TxnId> entry_undone = marks_.undone;
+        const common::SmallSet<TxnId> entry_undone = marks_.undone;
         MarkCheck check = EvaluateMarkCheck(sub.invoke_marks, sub.txn_start);
         if (!check.ok) {
           if (stats_ != nullptr) stats_->Incr("r1_rejections");
@@ -916,7 +916,7 @@ void Participant::AddUndoneMark(TxnId forward, bool exposed,
   TryUnmark();
 }
 
-void Participant::Witness(const std::set<TxnId>& entry_undone) {
+void Participant::Witness(const common::SmallSet<TxnId>& entry_undone) {
   if (!MarkingActive()) return;
   for (TxnId ti : entry_undone) {
     knowledge_->Add(WitnessFact{ti, site()});
@@ -924,7 +924,7 @@ void Participant::Witness(const std::set<TxnId>& entry_undone) {
   TryUnmark();
 }
 
-void Participant::WitnessLocal(const std::set<TxnId>& entry_undone) {
+void Participant::WitnessLocal(const common::SmallSet<TxnId>& entry_undone) {
   Witness(entry_undone);
 }
 

@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/retry_policy.h"
 #include "common/types.h"
 #include "core/compensation.h"
@@ -64,11 +64,11 @@ class Participant {
 
   /// Snapshot of the transactions this site is currently undone w.r.t.
   /// (taken by local transactions at begin, for witness bookkeeping).
-  std::set<TxnId> SnapshotUndone() const { return marks_.undone; }
+  common::SmallSet<TxnId> SnapshotUndone() const { return marks_.undone; }
 
   /// Called when a *local* transaction that began under `entry_undone`
   /// commits: registers UDUM1 witness facts and re-evaluates rule R3.
-  void WitnessLocal(const std::set<TxnId>& entry_undone);
+  void WitnessLocal(const common::SmallSet<TxnId>& entry_undone);
 
   /// Local autonomy ([BST90], paper §1): the site unilaterally aborts its
   /// subtransaction of `global_id` — allowed any time before the
@@ -117,7 +117,7 @@ class Participant {
     TransMarks merged_marks;
     /// The undone set observed at entry — this subtransaction "executed
     /// while the site was undone" w.r.t. exactly these transactions.
-    std::set<TxnId> entry_undone;
+    common::SmallSet<TxnId> entry_undone;
     bool force_abort_vote = false;
     /// Attempt number of the current invoke (R1 retries bump it).
     int attempt = -1;
@@ -227,7 +227,7 @@ class Participant {
                      trace::MarkReason reason);
   /// Registers witness facts for a transaction that executed while this
   /// site was undone w.r.t. `entry_undone`, then applies rule R3.
-  void Witness(const std::set<TxnId>& entry_undone);
+  void Witness(const common::SmallSet<TxnId>& entry_undone);
   /// Rule R3: unmark every T_i whose UDUM1 condition now holds.
   void TryUnmark();
 
@@ -269,7 +269,9 @@ class Participant {
   /// still read *before* CT_i runs here).
   bool HasExposedPending(TxnId ti) const;
 
-  MarkingGossip Gossip() const { return knowledge_->Export(); }
+  std::shared_ptr<const MarkingGossip> Gossip() const {
+    return knowledge_->Export();
+  }
 
   sim::Simulator* simulator_;   // not owned
   net::Network* network_;       // not owned
@@ -285,7 +287,7 @@ class Participant {
     bool exposed = true;
     std::vector<SiteId> exec_sites;
   };
-  std::map<TxnId, Tombstone> retired_marks_;
+  common::SmallMap<TxnId, Tombstone> retired_marks_;
   CompensationExecutor compensator_;
   std::map<TxnId, Subtxn> subtxns_;
   /// Monotonic sequence for the termination-timer liveness guards.

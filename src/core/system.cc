@@ -180,7 +180,7 @@ void DistributedSystem::AttemptLocal(std::shared_ptr<PendingLocal> pending) {
   SiteRuntime& runtime = *sites_.at(pending->site);
   const TxnId id = ids_.Next();
   runtime.db.Begin(id, TxnKind::kLocal);
-  auto entry_undone = std::make_shared<std::set<TxnId>>(
+  auto entry_undone = std::make_shared<common::SmallSet<TxnId>>(
       runtime.participant.SnapshotUndone());
   RunLocalOp(std::move(pending), id, std::move(entry_undone),
              runtime.db.epoch(), 0);
@@ -201,7 +201,7 @@ void DistributedSystem::RescheduleLocal(std::shared_ptr<PendingLocal> pending,
 
 void DistributedSystem::RunLocalOp(
     std::shared_ptr<PendingLocal> pending, TxnId id,
-    std::shared_ptr<std::set<TxnId>> entry_undone, std::uint64_t epoch,
+    std::shared_ptr<common::SmallSet<TxnId>> entry_undone, std::uint64_t epoch,
     std::size_t index) {
   SiteRuntime& runtime = *sites_.at(pending->site);
   if (runtime.db.epoch() != epoch) {

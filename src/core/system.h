@@ -172,7 +172,7 @@ class DistributedSystem {
   /// crash (which already rolled the transaction back) compare and retry
   /// instead of touching the dead transaction.
   void RunLocalOp(std::shared_ptr<PendingLocal> pending, TxnId id,
-                  std::shared_ptr<std::set<TxnId>> entry_undone,
+                  std::shared_ptr<common::SmallSet<TxnId>> entry_undone,
                   std::uint64_t epoch, std::size_t index);
   /// Retries `pending` as a fresh transaction (deadlock loss or crash
   /// casualty), counting against the local retry budget.

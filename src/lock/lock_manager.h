@@ -2,15 +2,13 @@
 #define O2PC_LOCK_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
-#include <set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/waits_for.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 
 /// \file
@@ -38,10 +36,17 @@ constexpr bool Compatible(LockMode a, LockMode b) {
   return a == LockMode::kShared && b == LockMode::kShared;
 }
 
+/// Inline capture budget of GrantCallback. Sized so the grant wrapper
+/// `[cb = std::move(cb)]() mutable { cb(Status::OK()); }` — a GrantCallback
+/// (40 bytes of storage + ops pointer = 48 bytes) — still fits inline in
+/// the 56-byte event-queue Callback: a granted Acquire never touches the
+/// heap.
+inline constexpr std::size_t kGrantCallbackBytes = 40;
+
 /// Invoked exactly once per Acquire: OK when granted, kDeadlock when the
 /// requester was chosen as a deadlock victim, kAborted when the wait was
 /// cancelled by CancelWaits.
-using GrantCallback = std::function<void(const Status&)>;
+using GrantCallback = sim::BasicCallback<kGrantCallbackBytes, const Status&>;
 
 /// Aggregate counters plus raw duration samples.
 struct LockStats {
@@ -124,7 +129,10 @@ class LockManager {
   };
   struct Queue {
     std::vector<Holder> holders;
-    std::deque<Request> waiters;
+    /// FIFO (front = next to grant); a vector, not a deque, so Queue stays
+    /// nothrow-movable inside the flat table. Waiter lists are short, so
+    /// the O(n) front operations are cheaper than deque's segment map.
+    std::vector<Request> waiters;
   };
 
   /// True if `request` can be granted right now given holders/waiters.
@@ -150,10 +158,14 @@ class LockManager {
 
   sim::Simulator* simulator_;  // not owned
   Options options_;
-  std::map<DataKey, Queue> queues_;
-  std::map<TxnId, std::set<DataKey>> held_;
+  /// Per-key lock queues. Never iterated, so insertion-ordered FlatMap
+  /// lookup replaces the rb-tree walk on every Acquire/Release.
+  common::FlatMap<DataKey, Queue> queues_;
+  /// Keys held per txn. The inner set is iterated by ReleaseAll (release
+  /// order is trace-visible), so it stays sorted — SmallSet, not FlatSet.
+  common::FlatMap<TxnId, common::SmallSet<DataKey>> held_;
   /// key a txn is currently waiting on (at most one).
-  std::map<TxnId, DataKey> waiting_on_;
+  common::FlatMap<TxnId, DataKey> waiting_on_;
   WaitsForGraph waits_for_;
   LockStats stats_;
 };

@@ -1,15 +1,12 @@
 #include "lock/waits_for.h"
 
-#include <algorithm>
-#include <functional>
-
 namespace o2pc::lock {
 
-const std::set<TxnId> WaitsForGraph::kEmpty;
+const common::SmallSet<TxnId> WaitsForGraph::kEmpty;
 
-void WaitsForGraph::AddEdge(TxnId waiter, TxnId holder) {
-  if (waiter == holder) return;
-  out_[waiter].insert(holder);
+bool WaitsForGraph::AddEdge(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return false;
+  return out_[waiter].insert(holder).second;
 }
 
 void WaitsForGraph::ClearWaiter(TxnId waiter) { out_.erase(waiter); }
@@ -19,37 +16,33 @@ void WaitsForGraph::RemoveTxn(TxnId txn) {
   for (auto& [waiter, targets] : out_) targets.erase(txn);
 }
 
-std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
-  // Iterative DFS from `start`; a cycle through `start` exists iff `start`
-  // is reachable from one of its successors. We track the path to report
-  // the cycle's members.
-  std::vector<TxnId> path;
-  std::set<TxnId> on_path;
-  std::set<TxnId> done;
-  std::vector<TxnId> result;
-
-  std::function<bool(TxnId)> dfs = [&](TxnId node) -> bool {
-    path.push_back(node);
-    on_path.insert(node);
-    auto it = out_.find(node);
-    if (it != out_.end()) {
-      for (TxnId next : it->second) {
-        if (next == start) {
-          result = path;  // path from start back to start
-          return true;
-        }
-        if (on_path.contains(next) || done.contains(next)) continue;
-        if (dfs(next)) return true;
-      }
+bool WaitsForGraph::Dfs(TxnId node, TxnId start, std::uint64_t epoch,
+                        std::vector<TxnId>& path) const {
+  path.push_back(node);
+  mark_[node] = (epoch << 1) | 1;  // on path
+  auto it = out_.find(node);
+  if (it != out_.end()) {
+    // SmallSet iterates in ascending id order — the same successor order the
+    // tree-based graph produced, so the first-found cycle is unchanged.
+    for (TxnId next : it->second) {
+      if (next == start) return true;  // `path` is the cycle
+      auto mit = mark_.find(next);
+      if (mit != mark_.end() && (mit->second >> 1) == epoch) continue;
+      if (Dfs(next, start, epoch, path)) return true;
     }
-    path.pop_back();
-    on_path.erase(node);
-    done.insert(node);
-    return false;
-  };
+  }
+  path.pop_back();
+  mark_[node] = epoch << 1;  // done this epoch
+  return false;
+}
 
-  dfs(start);
-  return result;
+std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
+  // A cycle through `start` exists iff `start` is reachable from one of its
+  // successors; the lock manager clears a waiter's edges whenever its
+  // request resolves, so this is the only place a new cycle can appear.
+  std::vector<TxnId> path;
+  if (!Dfs(start, start, ++epoch_, path)) path.clear();
+  return path;
 }
 
 bool WaitsForGraph::HasAnyCycle() const {
@@ -60,7 +53,8 @@ bool WaitsForGraph::HasAnyCycle() const {
   return false;
 }
 
-const std::set<TxnId>& WaitsForGraph::WaitTargets(TxnId waiter) const {
+const common::SmallSet<TxnId>& WaitsForGraph::WaitTargets(
+    TxnId waiter) const {
   auto it = out_.find(waiter);
   return it == out_.end() ? kEmpty : it->second;
 }

@@ -1,16 +1,22 @@
 #ifndef O2PC_LOCK_WAITS_FOR_H_
 #define O2PC_LOCK_WAITS_FOR_H_
 
-#include <map>
-#include <set>
+#include <cstdint>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 
 /// \file
 /// The waits-for graph used for local deadlock detection. Nodes are
 /// transactions; an edge a -> b means "a waits for a lock held (or queued
 /// ahead) by b".
+///
+/// Detection is incremental: the lock manager clears a waiter's edges when
+/// its request resolves, so a new cycle can only pass through the txn whose
+/// edges were just inserted — FindCycleFrom searches only from there. The
+/// DFS reuses an epoch-stamped mark table across calls instead of building
+/// fresh `std::set`s per check, so steady-state detection allocates nothing.
 
 namespace o2pc::lock {
 
@@ -18,8 +24,9 @@ class WaitsForGraph {
  public:
   WaitsForGraph() = default;
 
-  /// Adds edge waiter -> holder (self-edges are ignored).
-  void AddEdge(TxnId waiter, TxnId holder);
+  /// Adds edge waiter -> holder (self-edges are ignored). Returns true if
+  /// the edge was not already present.
+  bool AddEdge(TxnId waiter, TxnId holder);
 
   /// Removes every outgoing edge of `waiter` (called when its request is
   /// granted, cancelled, or fails).
@@ -35,13 +42,26 @@ class WaitsForGraph {
   /// True if any cycle exists (used by tests and the detector bench).
   bool HasAnyCycle() const;
 
-  const std::set<TxnId>& WaitTargets(TxnId waiter) const;
+  /// Outgoing wait targets of `waiter`, in ascending txn-id order.
+  const common::SmallSet<TxnId>& WaitTargets(TxnId waiter) const;
 
   std::size_t edge_count() const;
 
  private:
-  std::map<TxnId, std::set<TxnId>> out_;
-  static const std::set<TxnId> kEmpty;
+  /// Recursive DFS step; returns true once a path back to `start` is found
+  /// (the path so far is then the cycle).
+  bool Dfs(TxnId node, TxnId start, std::uint64_t epoch,
+           std::vector<TxnId>& path) const;
+
+  common::FlatMap<TxnId, common::SmallSet<TxnId>> out_;
+
+  /// DFS scratch, reused across FindCycleFrom calls. `mark_[n]` encodes
+  /// (epoch << 1 | on_path): nodes whose stored epoch differs from the
+  /// current call's are simply unvisited — no clearing between calls.
+  mutable common::FlatMap<TxnId, std::uint64_t> mark_;
+  mutable std::uint64_t epoch_ = 0;
+
+  static const common::SmallSet<TxnId> kEmpty;
 };
 
 }  // namespace o2pc::lock

@@ -1,15 +1,28 @@
 #include "sg/conflict_tracker.h"
 
+#include <algorithm>
+
 namespace o2pc::sg {
 
 void ConflictTracker::RecordAccess(NodeRef node, DataKey key, bool is_write) {
-  history_[key].push_back(Access{node, is_write});
+  std::vector<Access>& chain = history_[key];
+  // Collapse consecutive same-(node, mode) repeats: the holder re-touching
+  // its own key adds only self-edges (ignored) or duplicate edges (deduped)
+  // to the SG, so the chain stays equivalent.
+  if (!chain.empty() && chain.back().node == node &&
+      chain.back().is_write == is_write) {
+    return;
+  }
+  chain.push_back(Access{node, is_write});
   ++access_count_;
 }
 
 void ConflictTracker::RecordReadFrom(NodeRef reader, NodeRef writer) {
   if (writer.id == kInvalidTxn) return;  // initial database state
   if (reader == writer) return;
+  // Keep the first occurrence only; CommittedReadsFrom consumers aggregate
+  // into sets, so dropping repeats changes nothing downstream.
+  if (!reads_from_seen_[Pack(reader)].insert(Pack(writer)).second) return;
   reads_from_.push_back(ReadsFrom{reader, writer});
 }
 
@@ -28,8 +41,14 @@ bool ConflictTracker::Included(
 SerializationGraph ConflictTracker::BuildGraph(
     const std::set<TxnId>& excluded_globals) const {
   SerializationGraph graph;
-  for (const auto& [key, accesses] : history_) {
-    (void)key;
+  // Analysis runs once per run: sort the keys so construction order matches
+  // the tree-map iteration this code used to rely on.
+  std::vector<DataKey> keys;
+  keys.reserve(history_.size());
+  for (const auto& [key, accesses] : history_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (DataKey key : keys) {
+    const std::vector<Access>& accesses = history_.find(key)->second;
     // Per-key transitive reduction: writes chain; reads hang between
     // writes. Accesses of excluded (never-committed local) transactions are
     // dropped entirely — strict 2PL guarantees they exposed nothing.

@@ -1,10 +1,11 @@
 #ifndef O2PC_SG_CONFLICT_TRACKER_H_
 #define O2PC_SG_CONFLICT_TRACKER_H_
 
-#include <map>
+#include <cstdint>
 #include <set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 #include "sg/serialization_graph.h"
 
@@ -15,6 +16,11 @@
 /// definition (§5) admits *all* global and compensating transactions but
 /// only the *committed* local transactions — whether a local transaction
 /// belongs in the graph is only known once it finishes.
+///
+/// The recording side is per-operation hot path and runs on flat
+/// containers; the analysis side (BuildGraph, CommittedReadsFrom) runs
+/// once per run and re-sorts where the old tree iteration order was
+/// observable.
 
 namespace o2pc::sg {
 
@@ -34,11 +40,15 @@ class ConflictTracker {
   ConflictTracker& operator=(const ConflictTracker&) = delete;
 
   /// Records that `node` accessed `key` (in lock-grant order, which under
-  /// 2PL is the conflict order).
+  /// 2PL is the conflict order). Consecutive accesses by the same node in
+  /// the same mode are collapsed: under 2PL the repeat holds the same lock
+  /// and can only produce self-edges or duplicate edges, so dropping it
+  /// changes no graph — but it keeps hot-key chains linear in the number
+  /// of *distinct* conflicting accesses instead of raw operation count.
   void RecordAccess(NodeRef node, DataKey key, bool is_write);
 
   /// Records read provenance: `reader` read the version written by
-  /// `writer`.
+  /// `writer`. Duplicate (reader, writer) pairs are recorded once.
   void RecordReadFrom(NodeRef reader, NodeRef writer);
 
   /// Declares that local transaction `txn` committed (locals that never
@@ -74,14 +84,24 @@ class ConflictTracker {
     bool is_write;
   };
 
+  /// NodeRef packed into one word for the reads-from dedup index: the
+  /// kind's 2 bits below the id.
+  static std::uint64_t Pack(const NodeRef& node) {
+    return (node.id << 2) | static_cast<std::uint64_t>(node.kind);
+  }
+
   /// True if `node` belongs in the SG.
   bool Included(const NodeRef& node,
                 const std::set<TxnId>& excluded_globals) const;
 
   SiteId site_;
-  std::map<DataKey, std::vector<Access>> history_;
+  common::FlatMap<DataKey, std::vector<Access>> history_;
+  /// First occurrence of each (reader, writer) pair, in record order.
   std::vector<ReadsFrom> reads_from_;
-  std::set<TxnId> committed_locals_;
+  /// Dedup index over reads_from_: packed reader -> packed writers seen.
+  common::FlatMap<std::uint64_t, common::SmallSet<std::uint64_t>>
+      reads_from_seen_;
+  common::FlatSet<TxnId> committed_locals_;
   std::size_t access_count_ = 0;
 };
 

@@ -7,35 +7,45 @@
 #include <utility>
 
 /// \file
-/// Small-buffer `void()` callable for the event kernel's hot path.
+/// Small-buffer callable for the event kernel's hot path.
 ///
 /// Every scheduled event used to carry a `std::function<void()>`, whose
 /// inline buffer (16 bytes on libstdc++) is too small for the protocol's
 /// typical captures — a `this` pointer plus a `net::Message` is ~48 bytes —
-/// so nearly every Schedule() call heap-allocated. `Callback` inlines up to
-/// `kInlineCallbackBytes` of capture state directly in the event-queue slot
-/// and only falls back to the heap for outsized callables. Move-only, like
-/// the events it carries.
+/// so nearly every Schedule() call heap-allocated. `BasicCallback` inlines
+/// up to `kBytes` of capture state directly in the owner's slot and only
+/// falls back to the heap for outsized callables. Move-only, like the
+/// events it carries.
+///
+/// Two instantiations matter:
+///  * `Callback` (56-byte, `void()`) — what the event queue stores;
+///  * the lock manager's `GrantCallback` (40-byte, `void(const Status&)`)
+///    — sized so that the grant wrapper `[cb = std::move(cb)] { cb(ok); }`
+///    still fits inline in a `Callback`, making the lock grant path
+///    allocation-free end to end.
 
 namespace o2pc::sim {
 
-/// Inline capture budget. Sized for the largest hot-path lambda (network
-/// delivery: a `this` pointer + a moved `net::Message`) with headroom for a
-/// couple of extra captured words.
+/// Inline capture budget of the event-queue `Callback`. Sized for the
+/// largest hot-path lambda (network delivery: a `this` pointer + a moved
+/// `net::Message`) with headroom for a couple of extra captured words.
 inline constexpr std::size_t kInlineCallbackBytes = 56;
 
-class Callback {
+/// Move-only type-erased `void(Args...)` with `kBytes` of inline capture
+/// storage. Callables larger than `kBytes` (or over-aligned) go to the heap.
+template <std::size_t kBytes, typename... Args>
+class BasicCallback {
  public:
-  Callback() = default;
+  BasicCallback() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, Callback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
-                     // std::function at every Schedule() call site.
+                !std::is_same_v<std::decay_t<F>, BasicCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
+  BasicCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
+                          // for std::function at every call site.
     using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+    if constexpr (sizeof(Fn) <= kBytes &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = &InlineOps<Fn>::ops;
@@ -45,9 +55,9 @@ class Callback {
     }
   }
 
-  Callback(Callback&& other) noexcept { MoveFrom(other); }
+  BasicCallback(BasicCallback&& other) noexcept { MoveFrom(other); }
 
-  Callback& operator=(Callback&& other) noexcept {
+  BasicCallback& operator=(BasicCallback&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -55,18 +65,20 @@ class Callback {
     return *this;
   }
 
-  Callback(const Callback&) = delete;
-  Callback& operator=(const Callback&) = delete;
+  BasicCallback(const BasicCallback&) = delete;
+  BasicCallback& operator=(const BasicCallback&) = delete;
 
-  ~Callback() { Reset(); }
+  ~BasicCallback() { Reset(); }
 
-  void operator()() { ops_->invoke(storage_); }
+  void operator()(Args... args) {
+    ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
  private:
   struct Ops {
-    void (*invoke)(void* self);
+    void (*invoke)(void* self, Args... args);
     /// Move-constructs into `dst` from `src`, then destroys `src`.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void* self);
@@ -74,7 +86,9 @@ class Callback {
 
   template <typename Fn>
   struct InlineOps {
-    static void Invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void Invoke(void* self, Args... args) {
+      (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) {
       Fn* from = static_cast<Fn*>(src);
       ::new (dst) Fn(std::move(*from));
@@ -87,7 +101,9 @@ class Callback {
   template <typename Fn>
   struct HeapOps {
     static Fn*& Slot(void* self) { return *static_cast<Fn**>(self); }
-    static void Invoke(void* self) { (*Slot(self))(); }
+    static void Invoke(void* self, Args... args) {
+      (*Slot(self))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) {
       *static_cast<Fn**>(dst) = Slot(src);
     }
@@ -95,7 +111,7 @@ class Callback {
     static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
   };
 
-  void MoveFrom(Callback& other) noexcept {
+  void MoveFrom(BasicCallback& other) noexcept {
     if (other.ops_ != nullptr) {
       other.ops_->relocate(storage_, other.storage_);
       ops_ = other.ops_;
@@ -110,9 +126,12 @@ class Callback {
     }
   }
 
-  alignas(std::max_align_t) unsigned char storage_[kInlineCallbackBytes];
+  alignas(std::max_align_t) unsigned char storage_[kBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event-queue callable. Every Schedule() call site takes this.
+using Callback = BasicCallback<kInlineCallbackBytes>;
 
 }  // namespace o2pc::sim
 

@@ -10,29 +10,18 @@ EventId EventQueue::Push(SimTime time, Callback fn) {
   const EventId id = next_id_++;
   heap_.push_back(HeapEntry{time, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  state_.push_back(kPending);  // state_.size() tracks next_id_
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
   if (id == kInvalidEvent || id >= next_id_) return false;
-  // An id is live iff it is still in the heap and not yet cancelled. We
-  // cannot cheaply test heap membership, so track cancellation and let Pop
-  // reconcile. Double-cancel and cancel-after-run both return false via the
-  // cancelled_ bookkeeping below.
-  if (cancelled_.contains(id)) return false;
-  // Check the id has not already run: ids that ran are not in the heap. We
-  // scan lazily only when the heap is small; otherwise we optimistically
-  // record the cancellation (Pop ignores unknown ids).
-  bool present = false;
-  for (const auto& e : heap_) {
-    if (e.id == id) {
-      present = true;
-      break;
-    }
-  }
-  if (!present) return false;
-  cancelled_.insert(id);
+  // An id is live iff its state byte says so: ids that already ran (or were
+  // cancelled and reaped) are kDone, double-cancels are kCancelled. No heap
+  // membership scan needed.
+  if (state_[id] != kPending) return false;
+  state_[id] = kCancelled;
   --live_count_;
   return true;
 }
@@ -49,13 +38,14 @@ Event EventQueue::Pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   HeapEntry top = std::move(heap_.back());
   heap_.pop_back();
+  state_[top.id] = kDone;
   --live_count_;
   return Event{top.time, top.id, std::move(top.fn)};
 }
 
 void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
+  while (!heap_.empty() && state_[heap_.front().id] == kCancelled) {
+    state_[heap_.front().id] = kDone;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }

@@ -2,7 +2,6 @@
 #define O2PC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -29,7 +28,9 @@ struct Event {
 };
 
 /// Min-heap of events ordered by (time, id). Cancellation is lazy: cancelled
-/// entries stay in the heap and are skipped when they surface.
+/// entries stay in the heap and are skipped when they surface. Ids are dense
+/// (1, 2, 3, ...), so per-event lifecycle state is a direct-indexed byte
+/// vector — Cancel is O(1) with no hashing and no heap scan.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -56,6 +57,13 @@ class EventQueue {
   Event Pop();
 
  private:
+  /// Lifecycle of an id, indexed by the id itself.
+  enum State : std::uint8_t {
+    kDone = 0,       // ran, or cancelled and reaped — not in the heap
+    kPending = 1,    // in the heap, will run
+    kCancelled = 2,  // in the heap, will be skipped when it surfaces
+  };
+
   struct HeapEntry {
     SimTime time;
     EventId id;
@@ -72,7 +80,7 @@ class EventQueue {
   void SkipCancelled();
 
   std::vector<HeapEntry> heap_;  // managed with std::push_heap/pop_heap
-  std::unordered_set<EventId> cancelled_;
+  std::vector<std::uint8_t> state_{kDone};  // state_[id]; index 0 unused
   std::size_t live_count_ = 0;
   EventId next_id_ = 1;
 };

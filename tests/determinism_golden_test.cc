@@ -1,0 +1,74 @@
+// Golden determinism regression — the container-swap gate.
+//
+// The per-run hot path runs on insertion-ordered flat containers
+// (common/flat_hash.h); the contract is that the swap away from
+// `std::map`/`std::set` changed *nothing observable*. These tests pin the
+// two artifacts the campaign infrastructure fingerprints — a campaign
+// sweep's combined journal fingerprint and a single run's trace-journal
+// FNV-1a — as golden constants measured on the tree-container engine.
+// Any future change that silently reorders lock grants, waits-for victim
+// selection, marking-set iteration, or SG construction shows up here as a
+// changed constant, byte-for-byte.
+//
+// The constants are independent of job count (asserted below) and of the
+// host machine: simulated time has no relation to wall clock.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "campaign/fault_plan.h"
+#include "campaign/runner.h"
+
+namespace o2pc {
+namespace {
+
+#ifndef O2PC_TRACE_DISABLED
+
+// Golden values measured on the seed engine (std::map/std::set containers)
+// and required of every engine since.
+constexpr std::uint64_t kGoldenSweepFingerprint = 0xf172780ee58ad919ULL;
+constexpr std::uint64_t kGoldenJournalFingerprint = 0x48506a39e8fadf05ULL;
+
+campaign::CampaignOptions GoldenSweep(int jobs) {
+  campaign::CampaignOptions options;
+  options.runs = 10;
+  options.base_seed = 1;
+  options.jobs = jobs;
+  options.num_sites = 4;
+  options.num_globals = 24;
+  options.num_locals = 12;
+  options.shrink_failures = false;
+  return options;
+}
+
+TEST(DeterminismGoldenTest, CampaignSweepFingerprintPinned) {
+  const campaign::CampaignReport serial =
+      campaign::RunCampaign(GoldenSweep(1));
+  ASSERT_EQ(serial.runs_completed, 10);
+  EXPECT_EQ(serial.CombinedFingerprint(), kGoldenSweepFingerprint)
+      << "actual: " << std::hex << serial.CombinedFingerprint();
+
+  const campaign::CampaignReport parallel =
+      campaign::RunCampaign(GoldenSweep(8));
+  EXPECT_EQ(parallel.CombinedFingerprint(), kGoldenSweepFingerprint)
+      << "actual: " << std::hex << parallel.CombinedFingerprint();
+}
+
+TEST(DeterminismGoldenTest, TraceJournalFingerprintPinned) {
+  campaign::CampaignRunConfig config;
+  config.protocol = core::CommitProtocol::kOptimistic;
+  config.seed = 7;
+  config.plan = campaign::GeneratePlan("mixed", 7, config.num_sites);
+  config.template_name = "mixed";
+  const campaign::CampaignRunResult result = campaign::RunOne(config);
+  EXPECT_EQ(result.fingerprint, campaign::Fingerprint(result.journal));
+  EXPECT_EQ(result.fingerprint, kGoldenJournalFingerprint)
+      << "actual: " << std::hex << result.fingerprint;
+}
+
+#endif  // O2PC_TRACE_DISABLED
+
+}  // namespace
+}  // namespace o2pc

@@ -1,0 +1,259 @@
+// Property tests for the flat hot-path containers (common/flat_hash.h):
+// FlatMap / FlatSet / SmallSet / SmallMap checked against std::map /
+// std::set references over randomized operation sequences. The extra
+// invariant beyond map equivalence is the determinism contract:
+//
+//  * FlatMap / FlatSet iterate in *insertion order* of the live elements —
+//    a pure function of the operation sequence, stable across rehashes;
+//  * SmallSet / SmallMap iterate in *sorted order*, element-for-element
+//    identical to the std::set / std::map they replace.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace o2pc {
+namespace {
+
+using common::FlatMap;
+using common::FlatSet;
+using common::SmallMap;
+using common::SmallSet;
+
+// ---------------------------------------------------------------------------
+// FlatMap vs std::map + insertion-order reference.
+
+TEST(FlatMapTest, RandomizedOpsMatchStdMap) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    FlatMap<TxnId, int> flat;
+    std::map<TxnId, int> reference;
+    std::vector<TxnId> order;  // expected iteration order (live, inserted)
+
+    for (int step = 0; step < 4000; ++step) {
+      const TxnId key = static_cast<TxnId>(rng.Uniform(1, 120));
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op < 5) {  // insert-or-assign via operator[]
+        const int value = static_cast<int>(step);
+        if (!reference.contains(key)) order.push_back(key);
+        flat[key] = value;
+        reference[key] = value;
+      } else if (op < 7) {  // erase
+        const std::size_t erased_flat = flat.erase(key);
+        const std::size_t erased_ref = reference.erase(key);
+        EXPECT_EQ(erased_flat, erased_ref) << "key " << key;
+        if (erased_ref != 0) {
+          order.erase(std::find(order.begin(), order.end(), key));
+        }
+      } else {  // lookup
+        auto it = flat.find(key);
+        auto ref_it = reference.find(key);
+        ASSERT_EQ(it != flat.end(), ref_it != reference.end()) << key;
+        if (ref_it != reference.end()) {
+          EXPECT_EQ(it->second, ref_it->second);
+        }
+        EXPECT_EQ(flat.contains(key), reference.contains(key));
+      }
+      ASSERT_EQ(flat.size(), reference.size());
+    }
+
+    // Iteration: exactly the live keys, in insertion order.
+    std::vector<TxnId> iterated;
+    for (const auto& [key, value] : flat) {
+      iterated.push_back(key);
+      EXPECT_EQ(value, reference.at(key));
+    }
+    EXPECT_EQ(iterated, order) << "seed " << seed;
+  }
+}
+
+TEST(FlatMapTest, IterationOrderSurvivesRehashes) {
+  FlatMap<DataKey, int> flat;
+  std::vector<DataKey> order;
+  // Far past several growth/compaction cycles, with interleaved erases.
+  for (DataKey key = 1; key <= 2000; ++key) {
+    flat[key * 7919] = static_cast<int>(key);
+    order.push_back(key * 7919);
+    if (key % 3 == 0) {
+      flat.erase((key / 2) * 7919);
+      auto it = std::find(order.begin(), order.end(), (key / 2) * 7919);
+      if (it != order.end()) order.erase(it);
+    }
+  }
+  std::vector<DataKey> iterated;
+  for (const auto& [key, value] : flat) iterated.push_back(key);
+  EXPECT_EQ(iterated, order);
+}
+
+TEST(FlatMapTest, EraseThenReinsertMovesToEnd) {
+  FlatMap<TxnId, int> flat;
+  flat[1] = 10;
+  flat[2] = 20;
+  flat[3] = 30;
+  flat.erase(2);
+  flat[2] = 21;  // re-inserted: now youngest
+  std::vector<TxnId> iterated;
+  for (const auto& [key, value] : flat) iterated.push_back(key);
+  EXPECT_EQ(iterated, (std::vector<TxnId>{1, 3, 2}));
+  EXPECT_EQ(flat.find(2)->second, 21);
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  struct MoveOnly {
+    MoveOnly() = default;
+    explicit MoveOnly(int v) : value(v) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    MoveOnly(const MoveOnly&) = delete;
+    int value = 0;
+  };
+  FlatMap<TxnId, MoveOnly> flat;
+  for (TxnId key = 1; key <= 100; ++key) {
+    flat.try_emplace(key, static_cast<int>(key) * 2);
+  }
+  flat.erase(50);
+  for (TxnId key = 101; key <= 200; ++key) flat[key];  // forces compaction
+  EXPECT_EQ(flat.find(7)->second.value, 14);
+  EXPECT_FALSE(flat.contains(50));
+  EXPECT_EQ(flat.size(), 199u);
+}
+
+// ---------------------------------------------------------------------------
+// FlatSet vs std::set.
+
+TEST(FlatSetTest, RandomizedOpsMatchStdSet) {
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    Rng rng(seed);
+    FlatSet<TxnId> flat;
+    std::set<TxnId> reference;
+    std::vector<TxnId> order;
+
+    for (int step = 0; step < 4000; ++step) {
+      const TxnId key = static_cast<TxnId>(rng.Uniform(1, 90));
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op < 5) {
+        const bool inserted = flat.insert(key).second;
+        EXPECT_EQ(inserted, reference.insert(key).second) << key;
+        if (inserted) order.push_back(key);
+      } else if (op < 7) {
+        EXPECT_EQ(flat.erase(key), reference.erase(key)) << key;
+        auto it = std::find(order.begin(), order.end(), key);
+        if (it != order.end()) order.erase(it);
+      } else {
+        EXPECT_EQ(flat.contains(key), reference.contains(key)) << key;
+      }
+      ASSERT_EQ(flat.size(), reference.size());
+    }
+
+    std::vector<TxnId> iterated(flat.begin(), flat.end());
+    EXPECT_EQ(iterated, order) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SmallSet vs std::set — identical sorted iteration.
+
+TEST(SmallSetTest, RandomizedOpsMatchStdSetIncludingOrder) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    Rng rng(seed);
+    SmallSet<TxnId> small;
+    std::set<TxnId> reference;
+
+    for (int step = 0; step < 2000; ++step) {
+      const TxnId key = static_cast<TxnId>(rng.Uniform(1, 60));
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op < 5) {
+        EXPECT_EQ(small.insert(key).second, reference.insert(key).second);
+      } else if (op < 7) {
+        EXPECT_EQ(small.erase(key), reference.erase(key));
+      } else {
+        EXPECT_EQ(small.contains(key), reference.contains(key));
+      }
+      ASSERT_EQ(small.size(), reference.size());
+    }
+
+    // Sorted iteration, element-for-element.
+    const std::vector<TxnId> small_order(small.begin(), small.end());
+    const std::vector<TxnId> ref_order(reference.begin(), reference.end());
+    EXPECT_EQ(small_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(SmallSetTest, RangeConstructorSortsAndDedups) {
+  const std::vector<TxnId> input = {5, 3, 9, 3, 1, 5};
+  const SmallSet<TxnId> small(input.begin(), input.end());
+  const std::vector<TxnId> order(small.begin(), small.end());
+  EXPECT_EQ(order, (std::vector<TxnId>{1, 3, 5, 9}));
+}
+
+struct Fact {
+  TxnId ti;
+  SiteId site;
+  friend auto operator<=>(const Fact&, const Fact&) = default;
+};
+
+TEST(SmallSetTest, WorksForOrderedStructTypes) {
+  SmallSet<Fact> facts;
+  facts.insert({7, 2});
+  facts.insert({7, 1});
+  facts.insert({3, 9});
+  facts.insert({7, 2});  // duplicate
+  EXPECT_EQ(facts.size(), 3u);
+  EXPECT_TRUE(facts.contains({7, 1}));
+  EXPECT_FALSE(facts.contains({7, 3}));
+  std::vector<Fact> order(facts.begin(), facts.end());
+  EXPECT_EQ(order.front(), (Fact{3, 9}));
+  EXPECT_EQ(order.back(), (Fact{7, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// SmallMap vs std::map — identical sorted iteration.
+
+TEST(SmallMapTest, RandomizedOpsMatchStdMapIncludingOrder) {
+  for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+    Rng rng(seed);
+    SmallMap<TxnId, std::string> small;
+    std::map<TxnId, std::string> reference;
+
+    for (int step = 0; step < 2000; ++step) {
+      const TxnId key = static_cast<TxnId>(rng.Uniform(1, 50));
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op < 5) {
+        const std::string value = "v" + std::to_string(step);
+        small[key] = value;
+        reference[key] = value;
+      } else if (op < 7) {
+        EXPECT_EQ(small.erase(key), reference.erase(key));
+      } else {
+        auto it = small.find(key);
+        auto ref_it = reference.find(key);
+        ASSERT_EQ(it != small.end(), ref_it != reference.end());
+        if (ref_it != reference.end()) EXPECT_EQ(it->second, ref_it->second);
+      }
+      ASSERT_EQ(small.size(), reference.size());
+    }
+
+    std::vector<std::pair<TxnId, std::string>> small_order(small.begin(),
+                                                           small.end());
+    std::vector<std::pair<TxnId, std::string>> ref_order(reference.begin(),
+                                                         reference.end());
+    EXPECT_EQ(small_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(SmallMapTest, EmplaceDoesNotOverwrite) {
+  SmallMap<TxnId, int> small;
+  EXPECT_TRUE(small.emplace(4, 40).second);
+  EXPECT_FALSE(small.emplace(4, 41).second);
+  EXPECT_EQ(small.find(4)->second, 40);
+}
+
+}  // namespace
+}  // namespace o2pc

@@ -200,6 +200,45 @@ TEST_F(LockTest, WaitTimeSamplesRecorded) {
   EXPECT_EQ(locks_.stats().wait_time[0], 300);
 }
 
+TEST(LockNoSamplesTest, RecordSamplesOffKeepsAllSampleVectorsEmpty) {
+  sim::Simulator sim;
+  LockManager::Options options;
+  options.record_samples = false;
+  LockManager locks(&sim, options);
+  auto acquire = [&](TxnId txn, DataKey key, LockMode mode) {
+    locks.Acquire(txn, key, mode, [](const Status&) {});
+  };
+  // Exercise every sampling site: exclusive hold, shared hold, a granted
+  // wait, and both upgrade paths (sole-holder immediate and queued).
+  acquire(1, 10, LockMode::kExclusive);
+  acquire(2, 10, LockMode::kShared);  // waits, then is granted
+  sim.Run();
+  sim.Schedule(300, [&] { locks.Release(1, 10); });
+  sim.Run();
+  acquire(2, 10, LockMode::kExclusive);  // sole-holder upgrade
+  sim.Run();
+  acquire(3, 11, LockMode::kShared);
+  acquire(4, 11, LockMode::kShared);
+  sim.Run();
+  acquire(3, 11, LockMode::kExclusive);  // queued upgrade
+  sim.Run();
+  locks.Release(4, 11);
+  sim.Run();
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  locks.ReleaseAll(3);
+  locks.ReleaseAll(4);
+  EXPECT_GE(locks.stats().acquires, 5u);
+  EXPECT_GE(locks.stats().waits, 2u);
+  EXPECT_TRUE(locks.stats().exclusive_hold.empty());
+  EXPECT_TRUE(locks.stats().shared_hold.empty());
+  EXPECT_TRUE(locks.stats().wait_time.empty());
+  // With sampling off, the lazy reserve must never fire either.
+  EXPECT_EQ(locks.stats().exclusive_hold.capacity(), 0u);
+  EXPECT_EQ(locks.stats().shared_hold.capacity(), 0u);
+  EXPECT_EQ(locks.stats().wait_time.capacity(), 0u);
+}
+
 TEST(WaitsForTest, FindsSimpleCycle) {
   WaitsForGraph graph;
   graph.AddEdge(1, 2);

@@ -191,6 +191,39 @@ TEST(WitnessKnowledgeTest, GossipRoundTrip) {
   EXPECT_EQ(b.size(), 2u);
 }
 
+TEST(WitnessKnowledgeTest, ExportCacheInvalidatedByEveryMutation) {
+  WitnessKnowledge a;
+  a.Add(WitnessFact{1, 0});
+  // Consecutive exports without a mutation share one snapshot.
+  auto snapshot = a.Export();
+  EXPECT_EQ(a.Export(), snapshot);
+  // Each mutation kind must produce a fresh snapshot carrying the news.
+  a.Add(WitnessFact{2, 0});
+  auto after_add = a.Export();
+  EXPECT_NE(after_add, snapshot);
+  EXPECT_EQ(after_add->witnesses.size(), 2u);
+  a.SetExecSites(2, {0});
+  auto after_exec = a.Export();
+  EXPECT_NE(after_exec, after_add);
+  ASSERT_EQ(after_exec->exec_sites.size(), 1u);
+  // A merge that brings new facts invalidates too...
+  WitnessKnowledge b;
+  b.Add(WitnessFact{3, 1});
+  auto b_snapshot = b.Export();
+  b.Merge(a.Export());
+  EXPECT_NE(b.Export(), b_snapshot);
+  EXPECT_EQ(b.size(), 3u);
+  // ...but a stale merge (nothing new) keeps the cached snapshot, and a
+  // receiver that already merged a snapshot still learns facts exported
+  // after the source mutates again.
+  auto b_current = b.Export();
+  b.Merge(a.Export());
+  EXPECT_EQ(b.Export(), b_current);
+  a.Add(WitnessFact{9, 3});
+  b.Merge(a.Export());
+  EXPECT_TRUE(b.Covers(9, {3}));
+}
+
 // --- Figure 2: mark transitions driven by the real protocol -------------------
 
 class MarkTransitionTest : public ::testing::Test {
