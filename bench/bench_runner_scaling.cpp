@@ -52,11 +52,17 @@ int main(int argc, char** argv) {
   (void)argc;
   (void)argv;
   const int hardware = exec::RunExecutor::HardwareJobs();
+  const unsigned detected = exec::RunExecutor::DetectedHardwareConcurrency();
+  // On a single-core (or unreported-topology) machine the speedup column
+  // is meaningless — flag the result so downstream consumers don't read a
+  // ~1.0x as an executor regression.
+  const bool unmeasured = detected <= 1;
   std::printf(
       "E8: run-executor scaling on the fault-campaign matrix (48 runs)\n"
-      "hardware threads: %d — speedup saturates there; fingerprints must "
-      "not change at all\n\n",
-      hardware);
+      "hardware threads: %d (detected: %u%s) — speedup saturates there; "
+      "fingerprints must not change at all\n\n",
+      hardware, detected,
+      unmeasured ? ", speedup unmeasured on this machine" : "");
 
   std::vector<Point> points;
   for (int jobs : {1, 2, 4, 8}) {
@@ -95,7 +101,9 @@ int main(int argc, char** argv) {
                             : "VIOLATED — fingerprints differ across jobs");
 
   std::ofstream out("BENCH_runner_scaling.json");
-  out << "{\n  \"hardware_concurrency\": " << hardware
+  out << "{\n  \"hardware_concurrency\": " << detected
+      << ",\n  \"hardware_jobs\": " << hardware
+      << ",\n  \"unmeasured\": " << (unmeasured ? "true" : "false")
       << ",\n  \"campaign_runs\": " << points.front().runs_completed
       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
       << ",\n  \"points\": [";

@@ -294,6 +294,18 @@ FaultEvent RandomStepCrash(Rng& rng, int num_sites) {
   return event;
 }
 
+/// A crash pinned to wall-clock (simulated) time rather than a protocol
+/// step: it lands wherever the schedule happens to be, which catches
+/// windows the step grammar cannot name (mid-retransmission, idle gaps).
+FaultEvent RandomTimedCrash(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kSiteCrashAtTime;
+  event.site = PickSite(rng, num_sites);
+  event.at = Millis(rng.Uniform(5, 150));
+  event.duration = Millis(rng.Uniform(10, 80));
+  return event;
+}
+
 FaultEvent RandomPartition(Rng& rng, int num_sites) {
   FaultEvent event;
   event.kind = FaultKind::kPartition;
@@ -339,7 +351,12 @@ FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
   if (template_name == "crashes") {
     const int n = static_cast<int>(rng.Uniform(1, 2));
     for (int i = 0; i < n; ++i) {
-      plan.events.push_back(RandomStepCrash(rng, num_sites));
+      // Split draws between the step- and time-pinned crash productions so
+      // the default sweep exercises both (the telemetry coverage gate
+      // insists every fault production fires at least once).
+      plan.events.push_back(rng.Bernoulli(0.5)
+                                ? RandomTimedCrash(rng, num_sites)
+                                : RandomStepCrash(rng, num_sites));
     }
   } else if (template_name == "partitions") {
     const int n = static_cast<int>(rng.Uniform(1, 2));

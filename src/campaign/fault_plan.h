@@ -58,6 +58,10 @@ enum class FaultKind : std::uint8_t {
   kCoordinatorCrash,
 };
 
+/// Number of grammar productions (FaultKind values are contiguous from 0).
+inline constexpr int kNumFaultKinds =
+    static_cast<int>(FaultKind::kCoordinatorCrash) + 1;
+
 const char* FaultKindName(FaultKind kind);
 
 /// One scheduled fault. Fields beyond `kind` are interpreted per kind;

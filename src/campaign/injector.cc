@@ -1,8 +1,15 @@
 #include "campaign/injector.h"
 
 #include "common/logging.h"
+#include "telemetry/coverage.h"
 
 namespace o2pc::campaign {
+
+// telemetry/coverage.h restates the fault-production axis (telemetry must
+// not depend on campaign); keep the two vocabularies pinned together.
+static_assert(kNumFaultKinds == telemetry::kNumFaultProductions,
+              "telemetry/coverage.h fault-production axis is out of sync "
+              "with campaign::FaultKind");
 
 FaultInjector::FaultInjector(core::DistributedSystem* system, FaultPlan plan)
     : system_(system), plan_(std::move(plan)) {
@@ -98,6 +105,14 @@ void FaultInjector::OnStep(const core::StepContext& context) {
       system_->CrashSite(victim, outage);
     });
   }
+}
+
+std::array<std::uint64_t, kNumFaultKinds> FaultInjector::FiredByKind() const {
+  std::array<std::uint64_t, kNumFaultKinds> fired{};
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (fired_[i]) ++fired[static_cast<std::size_t>(plan_.events[i].kind)];
+  }
+  return fired;
 }
 
 net::FaultDecision FaultInjector::OnMessage(const net::Message& message) {

@@ -1,6 +1,8 @@
 #ifndef O2PC_CAMPAIGN_INJECTOR_H_
 #define O2PC_CAMPAIGN_INJECTOR_H_
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "campaign/fault_plan.h"
@@ -29,6 +31,10 @@ class FaultInjector {
 
   /// How many of the plan's events actually fired.
   int faults_triggered() const { return faults_triggered_; }
+
+  /// Fired-event counts aggregated by FaultKind (indexed by the enum's
+  /// numeric value) — the telemetry fault-production coverage source.
+  std::array<std::uint64_t, kNumFaultKinds> FiredByKind() const;
 
   const FaultPlan& plan() const { return plan_; }
 

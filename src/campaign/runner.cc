@@ -5,12 +5,15 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "campaign/injector.h"
 #include "campaign/shrink.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "exec/run_executor.h"
+#include "telemetry/time_series.h"
 #include "trace/export.h"
 #include "trace/trace.h"
 #include "workload/generator.h"
@@ -73,6 +76,24 @@ workload::WorkloadOptions MakeWorkloadOptions(const CampaignRunConfig& config) {
   return options;
 }
 
+/// Classifies oracle violations into verdict-coverage cells by their
+/// oracle prefix (one count per violation; one kPass for a clean run).
+void RecordVerdicts(const OracleReport& oracle, telemetry::CoverageMap* map) {
+  if (oracle.ok()) {
+    map->RecordVerdict(telemetry::OracleVerdict::kPass);
+    return;
+  }
+  for (const std::string& violation : oracle.violations) {
+    if (violation.rfind("trace:", 0) == 0) {
+      map->RecordVerdict(telemetry::OracleVerdict::kTraceViolation);
+    } else if (violation.rfind("sg:", 0) == 0) {
+      map->RecordVerdict(telemetry::OracleVerdict::kSgViolation);
+    } else {
+      map->RecordVerdict(telemetry::OracleVerdict::kAuditViolation);
+    }
+  }
+}
+
 }  // namespace
 
 CampaignRunResult RunOne(const CampaignRunConfig& config) {
@@ -83,17 +104,47 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
   CampaignRunResult result;
   {
     trace::ScopedTrace scope(&recorder, &system.simulator());
+    if (config.collect_telemetry) {
+      // Rides the observer slot, so it composes with the injector's
+      // StepHook instead of displacing it.
+      telemetry::CoverageMap* coverage = &result.telemetry.coverage;
+      system.SetStepObserver([coverage](const core::StepContext& context) {
+        coverage->RecordStep(context.step);
+      });
+    }
     FaultInjector injector(&system, config.plan);
     injector.Arm();
     workload::WorkloadGenerator generator(config.num_sites,
                                           config.keys_per_site,
                                           MakeWorkloadOptions(config));
     generator.Drive(system);
+    std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+    if (config.collect_telemetry && config.collect_time_series) {
+      sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+          &system, config.time_series_interval);
+      sampler->Start();
+    }
     system.Run();
     result.faults_triggered = injector.faults_triggered();
+    if (config.collect_telemetry) {
+      const auto fired = injector.FiredByKind();
+      for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+        if (fired[kind] > 0) {
+          result.telemetry.coverage.RecordFault(kind, fired[kind]);
+        }
+      }
+      if (sampler != nullptr) {
+        result.telemetry.series = sampler->series();
+        result.telemetry.has_series = true;
+      }
+    }
   }
 
   result.oracle = RunOracles(system, recorder.events(), initial_total);
+  if (config.collect_telemetry) {
+    telemetry::CollectFromJournal(recorder.events(), &result.telemetry);
+    RecordVerdicts(result.oracle, &result.telemetry.coverage);
+  }
   std::ostringstream journal;
   trace::ExportJsonl(recorder.events(), journal);
   result.journal = journal.str();
@@ -277,6 +328,8 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
   const auto start = std::chrono::steady_clock::now();
 
   exec::RunExecutor executor(options.jobs);
+  telemetry::TelemetryAccumulator accumulator;
+  const int num_protocols = static_cast<int>(options.protocols.size());
   // Runs execute in waves so the wall-clock budget is honored between
   // waves; results land in sweep-ordered slots, and **all** aggregation,
   // reporting, shrinking, and artifact writing happens serially below in
@@ -297,7 +350,16 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
     std::vector<CampaignRunConfig> configs;
     configs.reserve(wave_runs);
     for (int w = 0; w < wave_runs; ++w) {
-      configs.push_back(GridConfig(options, templates, wave_start + w));
+      CampaignRunConfig config = GridConfig(options, templates, wave_start + w);
+      if (options.collect_telemetry) {
+        config.collect_telemetry = true;
+        config.time_series_interval = options.time_series_interval;
+        // Sample a time-series for the first run of each protocol (the
+        // grid's fastest-varying radix): a fixed set of run *indices*, so
+        // the sampled series are identical for every job count.
+        config.collect_time_series = wave_start + w < num_protocols;
+      }
+      configs.push_back(std::move(config));
     }
     const std::vector<CampaignRunResult> results =
         executor.Map<CampaignRunResult>(configs.size(), [&](std::size_t w) {
@@ -311,6 +373,18 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
       report.total_faults_triggered +=
           static_cast<std::uint64_t>(result.faults_triggered);
       report.fingerprints.push_back(result.fingerprint);
+      if (options.collect_telemetry) {
+        const char* protocol_name =
+            config.protocol == core::CommitProtocol::kOptimistic ? "o2pc"
+                                                                 : "2pc";
+        accumulator.AddRun(protocol_name, result.telemetry);
+        if (result.telemetry.has_series) {
+          accumulator.AddSeries(
+              StrCat(protocol_name, " seed=", config.seed,
+                     " template=", config.template_name),
+              result.telemetry.series);
+        }
+      }
       if (verbose) {
         std::cerr << "[campaign] run " << wave_start + w
                   << " seed=" << config.seed
@@ -339,6 +413,10 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
       }
       report.failures.push_back(std::move(failure));
     }
+  }
+  if (options.collect_telemetry) {
+    report.telemetry = accumulator.Build();
+    report.telemetry_collected = true;
   }
   return report;
 }

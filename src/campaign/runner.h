@@ -8,6 +8,7 @@
 #include "campaign/audit.h"
 #include "campaign/fault_plan.h"
 #include "core/protocol.h"
+#include "telemetry/report.h"
 
 /// \file
 /// The fault-campaign runner: sweeps randomized fleets of simulations —
@@ -31,6 +32,13 @@ struct CampaignRunConfig {
   double vote_abort_probability = 0.15;
   /// Campaign provenance, carried into artifacts (informational).
   std::string template_name;
+  /// Capture phase latencies + coverage for this run (telemetry is purely
+  /// observational; journals and fingerprints are identical either way).
+  bool collect_telemetry = false;
+  /// Also sample the system gauges over simulated time (one series per
+  /// sampled run; the campaign samples the first run of each protocol).
+  bool collect_time_series = false;
+  Duration time_series_interval = Millis(2);
 };
 
 /// Outcome of one run.
@@ -49,6 +57,8 @@ struct CampaignRunResult {
   std::uint64_t messages_dropped = 0;
   int faults_triggered = 0;
   SimTime makespan = 0;
+  /// Populated when config.collect_telemetry was set.
+  telemetry::RunTelemetry telemetry;
 
   bool ok() const { return oracle.ok(); }
 };
@@ -92,6 +102,10 @@ struct CampaignOptions {
   int num_globals = 24;
   int num_locals = 12;
   double vote_abort_probability = 0.15;
+  /// Collect sweep telemetry (phase latencies, coverage map, time-series
+  /// for the first run of each protocol) into CampaignReport::telemetry.
+  bool collect_telemetry = false;
+  Duration time_series_interval = Millis(2);
 };
 
 /// One failing run, with its (possibly shrunk) reproduction recipe.
@@ -114,6 +128,10 @@ struct CampaignReport {
   /// determinism artifact: equal vectors across job counts (and replays)
   /// certify byte-identical journals.
   std::vector<std::uint64_t> fingerprints;
+  /// Sweep telemetry summary; valid when `telemetry_collected`. Folded
+  /// serially in sweep order, so it is byte-identical for every job count.
+  telemetry::SweepTelemetry telemetry;
+  bool telemetry_collected = false;
 
   bool ok() const { return failures.empty(); }
 

@@ -52,17 +52,32 @@ DistributedSystem::DistributedSystem(SystemOptions options)
 }
 
 void DistributedSystem::ScheduleCheckpoint(SiteId site) {
-  ++pending_checkpoints_;
+  NoteIdleTimerScheduled();
   simulator_.Schedule(options_.checkpoint_interval, [this, site] {
-    --pending_checkpoints_;
+    NoteIdleTimerFired();
     sites_.at(site)->db.Checkpoint();
     stats_.Incr("checkpoints");
     // Keep checkpointing only while *other* work remains — checkpoint
     // timers must not keep the simulation (or each other) alive.
-    if (simulator_.pending() > pending_checkpoints_) {
+    if (HasLiveWork()) {
       ScheduleCheckpoint(site);
     }
   });
+}
+
+void DistributedSystem::RecomposeStepHook() {
+  if (!step_observer_) {
+    step_hook_ = user_step_hook_;
+    return;
+  }
+  if (!user_step_hook_) {
+    step_hook_ = step_observer_;
+    return;
+  }
+  step_hook_ = [this](const StepContext& context) {
+    step_observer_(context);
+    user_step_hook_(context);
+  };
 }
 
 void DistributedSystem::Dispatch(SiteId site, const net::Message& message) {

@@ -94,7 +94,33 @@ class DistributedSystem {
   /// hook, announced synchronously by participants and coordinators at
   /// each ProtocolStep. Install before submitting work; the hook slot is
   /// shared by every site, so one injector observes the whole system.
-  void SetStepHook(StepHook hook) { step_hook_ = std::move(hook); }
+  void SetStepHook(StepHook hook) {
+    user_step_hook_ = std::move(hook);
+    RecomposeStepHook();
+  }
+
+  /// Installs (or clears) a passive step observer that runs *before* the
+  /// step hook on every announced step. A separate slot so telemetry
+  /// coverage can watch the protocol while a fault injector owns
+  /// SetStepHook; with both slots empty the announced hook is null again
+  /// and step announcements stay a single branch.
+  void SetStepObserver(StepHook observer) {
+    step_observer_ = std::move(observer);
+    RecomposeStepHook();
+  }
+
+  /// Registers one outstanding timer event that must not keep the
+  /// simulation alive (telemetry samplers use this; checkpoints register
+  /// internally). Call before scheduling the event; the event must call
+  /// NoteIdleTimerFired() first thing when it runs.
+  void NoteIdleTimerScheduled() { ++pending_idle_timers_; }
+  void NoteIdleTimerFired() { --pending_idle_timers_; }
+
+  /// True while events other than registered idle-exempt timers remain —
+  /// the "should I reschedule?" test for self-perpetuating timers.
+  bool HasLiveWork() const {
+    return simulator_.pending() > pending_idle_timers_;
+  }
 
   /// Requests a deterministic coordinator crash for transaction `txn`: its
   /// next decision broadcast crashes instead (decision already logged) and
@@ -164,6 +190,10 @@ class DistributedSystem {
 
   void Dispatch(SiteId site, const net::Message& message);
   void ScheduleCheckpoint(SiteId site);
+  /// Rebuilds the announced `step_hook_` from the user hook and the
+  /// observer (null when both are empty, a plain copy when only one is
+  /// set, a composing lambda when both are).
+  void RecomposeStepHook();
   void LaunchGlobal(std::shared_ptr<PendingGlobal> pending, TxnId id);
   void OnGlobalDone(std::shared_ptr<PendingGlobal> pending,
                     const GlobalResult& result);
@@ -189,7 +219,10 @@ class DistributedSystem {
   WitnessKnowledge oracle_knowledge_;
   /// Step-indexed instrumentation slot; participants and coordinators hold
   /// a pointer to it, so (re)installing after construction takes effect.
+  /// Always the composition of `step_observer_` then `user_step_hook_`.
   StepHook step_hook_;
+  StepHook user_step_hook_;
+  StepHook step_observer_;
   std::vector<std::unique_ptr<SiteRuntime>> sites_;
   std::map<TxnId, std::unique_ptr<Coordinator>> coordinators_;
   /// Incarnations that aborted without exposing anything — dropped from
@@ -197,9 +230,10 @@ class DistributedSystem {
   std::set<TxnId> unexposed_aborted_;
   std::uint64_t globals_submitted_ = 0;
   std::uint64_t globals_finished_ = 0;
-  /// Outstanding checkpoint timer events (so checkpoint timers do not keep
-  /// the simulation alive by themselves).
-  std::size_t pending_checkpoints_ = 0;
+  /// Outstanding idle-exempt timer events — checkpoints plus externally
+  /// registered samplers — so self-rescheduling timers do not keep the
+  /// simulation (or each other) alive.
+  std::size_t pending_idle_timers_ = 0;
 };
 
 }  // namespace o2pc::core

@@ -11,6 +11,10 @@ int RunExecutor::HardwareJobs() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+unsigned RunExecutor::DetectedHardwareConcurrency() {
+  return std::thread::hardware_concurrency();
+}
+
 RunExecutor::RunExecutor(int jobs) {
   jobs_ = jobs <= 0 ? HardwareJobs() : jobs;
   // Worker thread i (0-based) owns chunk i + 1; the calling thread owns

@@ -51,6 +51,11 @@ class RunExecutor {
   /// std::thread::hardware_concurrency with a floor of 1.
   static int HardwareJobs();
 
+  /// Raw std::thread::hardware_concurrency — 0 when the platform cannot
+  /// report it. Bench JSON records this so a floor-of-1 fallback (e.g. a
+  /// single-core CI box) is distinguishable from a measured value.
+  static unsigned DetectedHardwareConcurrency();
+
   /// Runs `body(i)` exactly once for every i in [0, n), fanned across the
   /// pool; the calling thread participates. Blocks until the batch drains.
   /// Not reentrant and single-caller: one batch at a time.

@@ -1,10 +1,15 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "metrics/histogram.h"
+#include "telemetry/report.h"
+#include "telemetry/time_series.h"
 #include "trace/export.h"
 
 namespace o2pc::harness {
@@ -45,6 +50,10 @@ std::string RunResult::ToJson() const {
   Put(out, first, "throughput_tps", throughput_tps);
   Put(out, first, "mean_latency_us", mean_latency_us);
   Put(out, first, "p99_latency_us", p99_latency_us);
+  Put(out, first, "mean_decision_latency_us", mean_decision_latency_us);
+  Put(out, first, "p50_decision_latency_us", p50_decision_latency_us);
+  Put(out, first, "p99_decision_latency_us", p99_decision_latency_us);
+  Put(out, first, "max_decision_latency_us", max_decision_latency_us);
   Put(out, first, "mean_xlock_hold_us", mean_xlock_hold_us);
   Put(out, first, "p99_xlock_hold_us", p99_xlock_hold_us);
   Put(out, first, "max_xlock_hold_us", max_xlock_hold_us);
@@ -61,6 +70,8 @@ std::string RunResult::ToJson() const {
   Put(out, first, "locals_committed", locals_committed);
   Put(out, first, "blocked_prepared_ns", blocked_prepared_ns);
   Put(out, first, "mean_blocked_prepared_us", mean_blocked_prepared_us);
+  Put(out, first, "p50_blocked_prepared_us", p50_blocked_prepared_us);
+  Put(out, first, "p99_blocked_prepared_us", p99_blocked_prepared_us);
   Put(out, first, "max_blocked_prepared_us", max_blocked_prepared_us);
   Put(out, first, "decision_reqs", decision_reqs);
   Put(out, first, "ctp_resolutions", ctp_resolutions);
@@ -117,15 +128,29 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   workload::WorkloadGenerator generator(
       config.system.num_sites, config.system.keys_per_site, config.workload);
 
+  const bool want_telemetry = !config.telemetry_json_path.empty() ||
+                              !config.report_html_path.empty();
   const bool want_export = !config.trace_jsonl_path.empty() ||
-                           !config.trace_chrome_path.empty();
+                           !config.trace_chrome_path.empty() || want_telemetry;
   trace::TraceRecorder own_recorder;
   trace::TraceRecorder* recorder = config.recorder;
   if (recorder == nullptr && want_export) recorder = &own_recorder;
 
+  telemetry::RunTelemetry run_telemetry;
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+  if (want_telemetry) {
+    telemetry::CoverageMap* coverage = &run_telemetry.coverage;
+    system.SetStepObserver([coverage](const core::StepContext& context) {
+      coverage->RecordStep(context.step);
+    });
+    sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+        &system, config.time_series_interval);
+  }
+
   if (recorder != nullptr) {
     trace::ScopedTrace scope(recorder, &system.simulator());
     generator.Drive(system);
+    if (sampler != nullptr) sampler->Start();
     system.Run();
   } else {
     generator.Drive(system);
@@ -141,6 +166,17 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   metrics::Histogram latency = stats.CommitLatency();
   result.mean_latency_us = latency.Mean();
   result.p99_latency_us = latency.Percentile(0.99);
+
+  metrics::Histogram decision;
+  for (const metrics::GlobalTxnRecord& txn : stats.global_txns()) {
+    if (txn.decide_time <= 0) continue;  // never reached a decision
+    decision.Add(static_cast<double>(
+        std::max<SimTime>(0, txn.decide_time - txn.submit_time)));
+  }
+  result.mean_decision_latency_us = decision.Mean();
+  result.p50_decision_latency_us = decision.Percentile(0.5);
+  result.p99_decision_latency_us = decision.Percentile(0.99);
+  result.max_decision_latency_us = decision.Max();
 
   metrics::Histogram xhold;
   metrics::Histogram wait;
@@ -169,6 +205,8 @@ RunResult RunExperiment(const ExperimentConfig& config) {
   if (const metrics::Histogram* blocked = stats.FindHist("blocked_prepared_us");
       blocked != nullptr) {
     result.mean_blocked_prepared_us = blocked->Mean();
+    result.p50_blocked_prepared_us = blocked->Percentile(0.5);
+    result.p99_blocked_prepared_us = blocked->Percentile(0.99);
     result.max_blocked_prepared_us = blocked->Max();
   }
   result.decision_reqs = stats.Count("decision_reqs_sent");
@@ -192,6 +230,37 @@ RunResult RunExperiment(const ExperimentConfig& config) {
     if (!config.trace_chrome_path.empty()) {
       trace::WriteChromeTraceFile(recorder->events(),
                                   config.trace_chrome_path);
+    }
+  }
+
+  if (want_telemetry && recorder != nullptr) {
+    telemetry::CollectFromJournal(recorder->events(), &run_telemetry);
+    if (config.analyze) {
+      // The sim has no oracle battery; the §5 analysis stands in for it.
+      run_telemetry.coverage.RecordVerdict(
+          result.report.correct && result.report.atomic_compensation
+              ? telemetry::OracleVerdict::kPass
+              : telemetry::OracleVerdict::kSgViolation);
+    }
+    const char* protocol_name =
+        config.system.protocol.protocol == core::CommitProtocol::kOptimistic
+            ? "o2pc"
+            : "2pc";
+    telemetry::TelemetryAccumulator accumulator;
+    accumulator.AddRun(protocol_name, run_telemetry);
+    accumulator.AddSeries(
+        StrCat(protocol_name, " ",
+               config.label.empty() ? std::string("run") : config.label),
+        sampler->series());
+    const telemetry::SweepTelemetry sweep = accumulator.Build();
+    if (!config.telemetry_json_path.empty()) {
+      telemetry::WriteTextFile(config.telemetry_json_path, sweep.ToJson());
+    }
+    if (!config.report_html_path.empty()) {
+      telemetry::WriteTextFile(
+          config.report_html_path,
+          telemetry::RenderHtml(
+              sweep, config.label.empty() ? "o2pc_sim run" : config.label));
     }
   }
   return result;

@@ -40,6 +40,15 @@ struct ExperimentConfig {
   /// Write the journal in Chrome trace-event format ("" = off); load the
   /// file via chrome://tracing or https://ui.perfetto.dev.
   std::string trace_chrome_path;
+
+  /// Telemetry capture (src/telemetry): write the machine-readable sweep
+  /// telemetry JSON and/or the self-contained HTML report after the run
+  /// ("" = off). Either path forces trace recording for the duration of
+  /// the run (the phase profiler reads the journal) and samples the
+  /// system gauges every `time_series_interval` of simulated time.
+  std::string telemetry_json_path;
+  std::string report_html_path;
+  Duration time_series_interval = Millis(2);
 };
 
 struct RunResult {
@@ -50,6 +59,13 @@ struct RunResult {
 
   double mean_latency_us = 0.0;
   double p99_latency_us = 0.0;
+
+  /// Submit → decision-logged latency over decided globals: how long the
+  /// vote phase holds the outcome open, independent of ack drain.
+  double mean_decision_latency_us = 0.0;
+  double p50_decision_latency_us = 0.0;
+  double p99_decision_latency_us = 0.0;
+  double max_decision_latency_us = 0.0;
 
   double mean_xlock_hold_us = 0.0;
   double p99_xlock_hold_us = 0.0;
@@ -74,6 +90,8 @@ struct RunResult {
   /// bookkeeping wait remains). Total is in nanoseconds for headroom.
   std::uint64_t blocked_prepared_ns = 0;
   double mean_blocked_prepared_us = 0.0;
+  double p50_blocked_prepared_us = 0.0;
+  double p99_blocked_prepared_us = 0.0;
   double max_blocked_prepared_us = 0.0;
   /// Participant-driven decision recovery traffic (termination protocol).
   std::uint64_t decision_reqs = 0;

@@ -111,6 +111,21 @@ class LockManager {
   /// Number of transactions currently holding or waiting for `key`.
   std::size_t QueueLength(DataKey key) const;
 
+  /// Total (txn, key) holds across every queue — the lock-table occupancy
+  /// gauge the telemetry time-series sampler reads.
+  std::size_t HeldLockCount() const {
+    std::size_t n = 0;
+    for (const auto& entry : queues_) n += entry.second.holders.size();
+    return n;
+  }
+
+  /// Total queued (not yet granted) requests across every queue.
+  std::size_t WaitingLockCount() const {
+    std::size_t n = 0;
+    for (const auto& entry : queues_) n += entry.second.waiters.size();
+    return n;
+  }
+
   const LockStats& stats() const { return stats_; }
   const WaitsForGraph& waits_for() const { return waits_for_; }
 

@@ -86,4 +86,82 @@ void Histogram::Clear() {
   sorted_ = true;
 }
 
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size(), 0) {}
+
+BucketHistogram BucketHistogram::DefaultLatencyLayout() {
+  std::vector<double> bounds;
+  bounds.reserve(28);
+  double edge = 1.0;
+  for (int i = 0; i < 28; ++i) {
+    bounds.push_back(edge);
+    edge *= 2.0;
+  }
+  return BucketHistogram(std::move(bounds));
+}
+
+BucketHistogram BucketHistogram::FromParts(std::vector<double> upper_bounds,
+                                           std::vector<std::uint64_t> counts,
+                                           std::uint64_t overflow) {
+  BucketHistogram histogram(std::move(upper_bounds));
+  if (counts.size() == histogram.bounds_.size()) {
+    histogram.counts_ = std::move(counts);
+  }
+  histogram.overflow_ = overflow;
+  histogram.count_ = overflow;
+  for (std::uint64_t c : histogram.counts_) histogram.count_ += c;
+  return histogram;
+}
+
+void BucketHistogram::Add(double sample) {
+  ++count_;
+  // First bucket whose upper edge admits the sample (edges inclusive).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  if (it == bounds_.end()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+bool BucketHistogram::Merge(const BucketHistogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  return true;
+}
+
+double BucketHistogram::PercentileEstimate(double q) const {
+  if (count_ == 0 || bounds_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target among the bucketed counts; walk the cumulative sum.
+  // q=0 targets the first sample (a zero target would match nothing and
+  // fall through to the overflow saturation below).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= target && target > seen) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = counts_[i] == 0
+                              ? 0.0
+                              : static_cast<double>(target - seen) /
+                                    static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts_[i];
+  }
+  // Remaining mass lives in the overflow bucket: saturate at the last edge.
+  return bounds_.back();
+}
+
+void BucketHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  overflow_ = 0;
+  count_ = 0;
+}
+
 }  // namespace o2pc::metrics

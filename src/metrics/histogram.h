@@ -7,7 +7,9 @@
 
 /// \file
 /// Sample-based summary statistics (mean/percentiles) used for latency,
-/// lock-hold and wait-time reporting.
+/// lock-hold and wait-time reporting, plus a fixed-layout bucketed
+/// histogram (`BucketHistogram`) for compact, mergeable serialization of
+/// latency distributions in telemetry JSON.
 
 namespace o2pc::metrics {
 
@@ -35,6 +37,9 @@ class Histogram {
   /// "mean=... p50=... p99=... max=..." (values via `unit` suffix).
   std::string Summary(const std::string& unit = "") const;
 
+  /// The raw samples (order unspecified: queries may have sorted them).
+  const std::vector<double>& samples() const { return samples_; }
+
   void Clear();
 
  private:
@@ -42,6 +47,57 @@ class Histogram {
 
   std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// A bucketed histogram with an explicit layout: `bounds[i]` is the
+/// *inclusive* upper edge of bucket i, and samples beyond the last bound
+/// land in a dedicated overflow bucket. Unlike `Histogram` (which keeps
+/// every raw sample), a BucketHistogram is fixed-size, so it serializes
+/// compactly and merges across sweeps without unbounded growth — the
+/// telemetry layer's on-disk representation of latency distributions.
+///
+/// Merge requires identical layouts (it returns false and leaves the
+/// target untouched on a mismatch): re-bucketing counts between layouts
+/// would silently distort percentile estimates.
+class BucketHistogram {
+ public:
+  BucketHistogram() = default;
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  /// Powers of two from 1us to ~134s (28 buckets) — wide enough for every
+  /// simulated latency the protocol produces; the shared default layout
+  /// makes all telemetry files merge-compatible.
+  static BucketHistogram DefaultLatencyLayout();
+
+  /// Reconstructs a histogram from serialized parts (telemetry JSON
+  /// round-trip). Requires counts.size() == bounds.size().
+  static BucketHistogram FromParts(std::vector<double> upper_bounds,
+                                   std::vector<std::uint64_t> counts,
+                                   std::uint64_t overflow);
+
+  void Add(double sample);
+  /// Element-wise count merge. False (target untouched) when `other` has a
+  /// different bucket layout.
+  bool Merge(const BucketHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// q in [0,1]; linear interpolation inside the winning bucket. Overflow
+  /// samples report the last bound (the estimate saturates there).
+  double PercentileEstimate(double q) const;
+
+  void Clear();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
 };
 
 }  // namespace o2pc::metrics

@@ -65,7 +65,9 @@ void Network::Send(Message message) {
     latency += decision.extra_delay;
   }
 
+  ++in_flight_;
   simulator_->Schedule(latency, [this, msg = std::move(message)]() {
+    --in_flight_;
     // Re-check the fault state at the delivery instant: a partition
     // installed — or a destination crashed — while the message was in
     // flight kills it deterministically.

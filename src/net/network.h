@@ -107,6 +107,11 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
+  /// Messages currently in the pipe: sent (and not dropped at send time)
+  /// but not yet delivered or dropped at their delivery instant. A gauge
+  /// for the telemetry time-series sampler.
+  std::uint64_t InFlight() const { return in_flight_; }
+
  private:
   Duration DeliveryLatency(SiteId from, SiteId to);
 
@@ -122,6 +127,7 @@ class Network {
   std::set<SiteId> down_;
   std::map<std::pair<SiteId, SiteId>, Duration> link_latency_;
   NetworkStats stats_;
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace o2pc::net

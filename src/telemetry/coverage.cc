@@ -1,0 +1,86 @@
+#include "telemetry/coverage.h"
+
+#include "common/string_util.h"
+
+namespace o2pc::telemetry {
+
+const char* FaultProductionName(int index) {
+  switch (index) {
+    case 0:
+      return "crash";
+    case 1:
+      return "crash_at";
+    case 2:
+      return "partition";
+    case 3:
+      return "drop";
+    case 4:
+      return "delay";
+    case 5:
+      return "coordinator_crash";
+    default:
+      return "unknown";
+  }
+}
+
+const char* OracleVerdictName(OracleVerdict verdict) {
+  switch (verdict) {
+    case OracleVerdict::kPass:
+      return "pass";
+    case OracleVerdict::kTraceViolation:
+      return "trace_violation";
+    case OracleVerdict::kSgViolation:
+      return "sg_violation";
+    case OracleVerdict::kAuditViolation:
+      return "audit_violation";
+  }
+  return "unknown";
+}
+
+void CoverageMap::Merge(const CoverageMap& other) {
+  for (std::size_t i = 0; i < step_hits.size(); ++i) {
+    step_hits[i] += other.step_hits[i];
+  }
+  for (std::size_t i = 0; i < message_hits.size(); ++i) {
+    message_hits[i] += other.message_hits[i];
+  }
+  for (std::size_t i = 0; i < fault_hits.size(); ++i) {
+    fault_hits[i] += other.fault_hits[i];
+  }
+  for (std::size_t i = 0; i < verdict_hits.size(); ++i) {
+    verdict_hits[i] += other.verdict_hits[i];
+  }
+}
+
+std::vector<std::string> CoverageMap::UnhitCells() const {
+  std::vector<std::string> unhit;
+  for (int i = 0; i < core::kNumProtocolSteps; ++i) {
+    if (step_hits[i] == 0) {
+      unhit.push_back(StrCat(
+          "step:", core::ProtocolStepName(static_cast<core::ProtocolStep>(i))));
+    }
+  }
+  for (int i = 0; i < kNumFaultProductions; ++i) {
+    if (fault_hits[i] == 0) {
+      unhit.push_back(StrCat("fault:", FaultProductionName(i)));
+    }
+  }
+  return unhit;
+}
+
+std::uint64_t CoverageMap::Fingerprint() const {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto fold = [&hash](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xff;
+      hash *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  for (std::uint64_t v : step_hits) fold(v);
+  for (std::uint64_t v : message_hits) fold(v);
+  for (std::uint64_t v : fault_hits) fold(v);
+  for (std::uint64_t v : verdict_hits) fold(v);
+  return hash;
+}
+
+}  // namespace o2pc::telemetry

@@ -1,0 +1,86 @@
+#ifndef O2PC_TELEMETRY_COVERAGE_H_
+#define O2PC_TELEMETRY_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/step_hook.h"
+#include "net/message.h"
+
+/// \file
+/// Protocol coverage accounting: which ProtocolStep hooks fired, which
+/// MessageTypes crossed the network, which fault-grammar productions
+/// actually triggered, and which oracle verdicts a sweep produced. One
+/// CoverageMap per run; sweep maps fold with `Merge` (element-wise counter
+/// addition, so the folded table is independent of merge order and
+/// byte-identical at every `--jobs`). `UnhitCells` names the cells the CI
+/// coverage gate requires to be non-zero.
+///
+/// The fault-production axis mirrors campaign::FaultKind by value. The
+/// dependency points the other way (campaign links telemetry), so the
+/// count and names are restated here and pinned by a static_assert in
+/// campaign/injector.cc.
+
+namespace o2pc::telemetry {
+
+/// One cell per campaign::FaultKind, same order.
+inline constexpr int kNumFaultProductions = 6;
+
+/// Grammar-production name ("crash", "partition", ...) for cell `index`;
+/// identical to campaign::FaultKindName.
+const char* FaultProductionName(int index);
+
+/// How the oracle battery judged a run. Violation categories follow the
+/// campaign::OracleReport message prefixes.
+enum class OracleVerdict : std::uint8_t {
+  kPass = 0,
+  kTraceViolation,  ///< trace invariant checker (I1-I6)
+  kSgViolation,     ///< serialization-graph criterion
+  kAuditViolation,  ///< durability / in-doubt / conservation audit
+};
+inline constexpr int kNumOracleVerdicts = 4;
+
+const char* OracleVerdictName(OracleVerdict verdict);
+
+/// Hit counters along the four coverage axes.
+struct CoverageMap {
+  std::array<std::uint64_t, core::kNumProtocolSteps> step_hits{};
+  std::array<std::uint64_t, net::kNumMessageTypes> message_hits{};
+  std::array<std::uint64_t, kNumFaultProductions> fault_hits{};
+  std::array<std::uint64_t, kNumOracleVerdicts> verdict_hits{};
+
+  void RecordStep(core::ProtocolStep step) {
+    ++step_hits[static_cast<int>(step)];
+  }
+  void RecordMessage(net::MessageType type) {
+    ++message_hits[static_cast<int>(type)];
+  }
+  void RecordFault(int production, std::uint64_t hits = 1) {
+    fault_hits[static_cast<std::size_t>(production)] += hits;
+  }
+  void RecordVerdict(OracleVerdict verdict) {
+    ++verdict_hits[static_cast<int>(verdict)];
+  }
+
+  /// Element-wise counter addition (commutative and associative, so the
+  /// sweep fold is order-independent).
+  void Merge(const CoverageMap& other);
+
+  /// Names of the *gated* cells with zero hits: every ProtocolStep and
+  /// every fault production. Message types and verdicts are reported but
+  /// not gated (kUser never appears outside unit tests, and a healthy
+  /// sweep hits exactly one verdict).
+  std::vector<std::string> UnhitCells() const;
+
+  /// FNV-1a over every counter, in axis order — the sweep coverage
+  /// fingerprint printed by o2pc_campaign.
+  std::uint64_t Fingerprint() const;
+
+  friend bool operator==(const CoverageMap&, const CoverageMap&) = default;
+};
+
+}  // namespace o2pc::telemetry
+
+#endif  // O2PC_TELEMETRY_COVERAGE_H_

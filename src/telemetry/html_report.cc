@@ -1,0 +1,413 @@
+// RenderHtml: the self-contained single-file HTML report. No external
+// assets, scripts, or fonts — inline CSS (light + dark via CSS custom
+// properties) and inline SVG sparklines, so the file can be archived as a
+// CI artifact and opened anywhere.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "telemetry/report.h"
+
+namespace o2pc::telemetry {
+
+namespace {
+
+std::string Hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Us(double value) { return StrCat(FormatDouble(value, 1), "µs"); }
+
+/// The pipeline phases stacked into the critical-path bar, and the two
+/// overlap windows drawn as their own bars. Phase i wears series slot i+1.
+constexpr Phase kPipelinePhases[] = {Phase::kExecute, Phase::kVoting,
+                                     Phase::kDecision, Phase::kAck};
+constexpr Phase kOverlapPhases[] = {Phase::kBlockedPrepared,
+                                    Phase::kTermination};
+
+const char* kStyle = R"css(
+  :root { color-scheme: light dark; }
+  body { margin: 0; background: var(--page); }
+  .viz-root {
+    color-scheme: light;
+    --page:           #f9f9f7;
+    --surface-1:      #fcfcfb;
+    --text-primary:   #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted:     #898781;
+    --grid:           #e1e0d9;
+    --border:         rgba(11,11,11,0.10);
+    --series-1:       #2a78d6;
+    --series-2:       #eb6834;
+    --series-3:       #1baf7a;
+    --series-4:       #eda100;
+    --series-5:       #e87ba4;
+    --series-6:       #008300;
+    --critical:       #d03b3b;
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+    color: var(--text-primary);
+    max-width: 980px;
+    margin: 0 auto;
+    padding: 24px 16px 48px;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --page:           #0d0d0d;
+      --surface-1:      #1a1a19;
+      --text-primary:   #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted:     #898781;
+      --grid:           #2c2c2a;
+      --border:         rgba(255,255,255,0.10);
+      --series-1:       #3987e5;
+      --series-2:       #d95926;
+      --series-3:       #199e70;
+      --series-4:       #c98500;
+      --series-5:       #d55181;
+      --series-6:       #008300;
+    }
+  }
+  :root[data-theme="dark"] .viz-root {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --grid:           #2c2c2a;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --series-3:       #199e70;
+    --series-4:       #c98500;
+    --series-5:       #d55181;
+    --series-6:       #008300;
+  }
+  h1 { font-size: 20px; margin: 0 0 4px; }
+  h2 { font-size: 16px; margin: 28px 0 10px; }
+  .subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+  .card {
+    background: var(--surface-1);
+    border: 1px solid var(--border);
+    border-radius: 8px;
+    padding: 16px;
+    margin: 12px 0;
+  }
+  .bar-row { display: flex; align-items: center; margin: 6px 0; }
+  .bar-label {
+    flex: 0 0 150px;
+    color: var(--text-secondary);
+    font-size: 13px;
+  }
+  .bar-track { flex: 1; display: flex; min-height: 18px; }
+  .bar-seg { height: 18px; border-radius: 4px; margin-right: 2px; }
+  .bar-seg:last-child { margin-right: 0; }
+  .bar-value {
+    flex: 0 0 90px;
+    text-align: right;
+    color: var(--text-secondary);
+    font-variant-numeric: tabular-nums;
+    font-size: 13px;
+  }
+  .legend { display: flex; flex-wrap: wrap; gap: 14px; margin: 10px 0 2px; }
+  .legend span { color: var(--text-secondary); font-size: 13px; }
+  .chip {
+    display: inline-block;
+    width: 10px; height: 10px;
+    border-radius: 3px;
+    margin-right: 5px;
+  }
+  table { border-collapse: collapse; width: 100%; margin-top: 8px; }
+  th, td {
+    text-align: right;
+    padding: 4px 10px;
+    border-bottom: 1px solid var(--grid);
+    font-variant-numeric: tabular-nums;
+    font-size: 13px;
+  }
+  th { color: var(--text-muted); font-weight: 500; }
+  th:first-child, td:first-child { text-align: left; }
+  td:first-child { color: var(--text-primary); }
+  .axis-title { color: var(--text-muted); font-size: 12px; margin: 10px 0 4px; }
+  .cells { display: flex; flex-wrap: wrap; gap: 6px; }
+  .cell {
+    border: 1px solid var(--grid);
+    border-radius: 6px;
+    padding: 4px 8px;
+    font-size: 12px;
+    color: var(--text-secondary);
+  }
+  .cell b {
+    color: var(--text-primary);
+    font-weight: 600;
+    font-variant-numeric: tabular-nums;
+  }
+  .cell.unhit {
+    border-color: var(--critical);
+    color: var(--critical);
+  }
+  .cell.unhit b { color: var(--critical); }
+  .spark-row { display: flex; align-items: center; gap: 10px; margin: 4px 0; }
+  .spark-name {
+    flex: 0 0 130px;
+    color: var(--text-secondary);
+    font-size: 12px;
+  }
+  .spark-max {
+    color: var(--text-muted);
+    font-size: 12px;
+    font-variant-numeric: tabular-nums;
+  }
+  .series-label { color: var(--text-secondary); font-size: 13px; margin: 10px 0 2px; }
+  .note { color: var(--text-muted); font-size: 12px; }
+)css";
+
+void AppendLegend(std::string* out) {
+  *out += "<div class=\"legend\">";
+  for (int i = 0; i < kNumPhases; ++i) {
+    *out += StrCat("<span><i class=\"chip\" style=\"background:var(--series-",
+                   i + 1, ")\"></i>", PhaseName(static_cast<Phase>(i)),
+                   "</span>");
+  }
+  *out += "</div>\n";
+}
+
+void AppendBar(std::string* out, const std::string& label,
+               const std::vector<std::pair<Phase, double>>& segments,
+               double total_label_us, double scale_us) {
+  *out += StrCat("<div class=\"bar-row\"><span class=\"bar-label\">",
+                 HtmlEscape(label), "</span><div class=\"bar-track\">");
+  for (const auto& [phase, mean_us] : segments) {
+    if (mean_us <= 0 || scale_us <= 0) continue;
+    const double pct = 100.0 * mean_us / scale_us;
+    *out += StrCat("<div class=\"bar-seg\" style=\"width:",
+                   FormatDouble(pct, 2), "%;background:var(--series-",
+                   static_cast<int>(phase) + 1, ")\" title=\"",
+                   PhaseName(phase), " — mean ", Us(mean_us), "\"></div>");
+  }
+  *out += StrCat("</div><span class=\"bar-value\">", Us(total_label_us),
+                 "</span></div>\n");
+}
+
+void AppendPhaseTable(std::string* out, const ProtocolTelemetry& protocol) {
+  *out +=
+      "<table><tr><th>phase</th><th>n</th><th>mean</th><th>p50</th>"
+      "<th>p90</th><th>p99</th><th>max</th></tr>\n";
+  for (int i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& stats = protocol.phases[i];
+    *out += StrCat("<tr><td>", PhaseName(static_cast<Phase>(i)), "</td><td>",
+                   stats.count, "</td><td>", Us(stats.MeanUs()), "</td><td>",
+                   Us(stats.p50_us), "</td><td>", Us(stats.p90_us),
+                   "</td><td>", Us(stats.p99_us), "</td><td>",
+                   Us(stats.max_us), "</td></tr>\n");
+  }
+  *out += "</table>\n";
+}
+
+void AppendCoverageAxis(std::string* out, const char* title,
+                        const std::uint64_t* values, int n,
+                        const char* (*name)(int), bool gated) {
+  *out += StrCat("<div class=\"axis-title\">", title,
+                 "</div><div class=\"cells\">");
+  for (int i = 0; i < n; ++i) {
+    const bool unhit = values[i] == 0;
+    if (unhit && gated) {
+      *out += StrCat("<span class=\"cell unhit\" title=\"", name(i),
+                     ": not exercised\">✗ ", name(i), " <b>unhit</b></span>");
+    } else {
+      *out += StrCat("<span class=\"cell", unhit ? " unhit\"" : "\"",
+                     " title=\"", name(i), ": ", values[i], " hits\">",
+                     name(i), " <b>", values[i], "</b></span>");
+    }
+  }
+  *out += "</div>\n";
+}
+
+/// One sparkline: an SVG polyline over the sample values, y-scaled to the
+/// gauge's own max (printed to the right, so the scale is never implicit).
+void AppendSparkline(std::string* out, const char* gauge_name,
+                     const TimeSeries& series,
+                     std::uint64_t (*get)(const TimeSample&)) {
+  std::uint64_t max_value = 0;
+  for (const TimeSample& sample : series.samples) {
+    max_value = std::max(max_value, get(sample));
+  }
+  const std::size_t n = series.samples.size();
+  // Cap the polyline at ~400 points; long runs stride-sample.
+  const std::size_t stride = n > 400 ? (n + 399) / 400 : 1;
+  const double width = 480.0;
+  const double height = 36.0;
+  std::string points;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const double x =
+        n <= 1 ? 0.0 : width * static_cast<double>(i) / (n - 1);
+    const double value = static_cast<double>(get(series.samples[i]));
+    const double y =
+        max_value == 0 ? height - 1 : height - 1 - (height - 4) * value / max_value;
+    points += StrCat(points.empty() ? "" : " ", FormatDouble(x, 1), ",",
+                     FormatDouble(y, 1));
+  }
+  *out += StrCat(
+      "<div class=\"spark-row\"><span class=\"spark-name\">", gauge_name,
+      "</span><svg width=\"480\" height=\"36\" viewBox=\"0 0 480 36\" "
+      "role=\"img\" aria-label=\"", gauge_name,
+      " over simulated time\"><title>", gauge_name, " (max ", max_value,
+      ")</title><line x1=\"0\" y1=\"35\" x2=\"480\" y2=\"35\" "
+      "stroke=\"var(--grid)\" stroke-width=\"1\"/><polyline fill=\"none\" "
+      "stroke=\"var(--series-1)\" stroke-width=\"2\" "
+      "stroke-linejoin=\"round\" points=\"",
+      points, "\"/></svg><span class=\"spark-max\">max ", max_value,
+      "</span></div>\n");
+}
+
+}  // namespace
+
+std::string RenderHtml(const SweepTelemetry& telemetry,
+                       const std::string& title) {
+  std::string out;
+  out += "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  out += StrCat("<title>", HtmlEscape(title), "</title>\n<style>");
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n<div class=\"viz-root\">\n";
+
+  out += StrCat("<h1>", HtmlEscape(title), "</h1>\n");
+  out += StrCat("<p class=\"subtitle\">", telemetry.runs,
+                " runs · coverage fingerprint <code>",
+                Hex16(telemetry.coverage.Fingerprint()), "</code>",
+                telemetry.approximate_percentiles
+                    ? " · percentiles are bucket estimates (multi-file merge)"
+                    : "",
+                "</p>\n");
+
+  // --- Phase latency breakdown ---
+  out += "<h2>Commit-phase latency</h2>\n<div class=\"card\">\n";
+  double scale_us = 0;
+  for (const ProtocolTelemetry& protocol : telemetry.protocols) {
+    double pipeline = 0;
+    for (Phase phase : kPipelinePhases) {
+      pipeline += protocol.phases[static_cast<int>(phase)].MeanUs();
+    }
+    scale_us = std::max(scale_us, pipeline);
+    for (Phase phase : kOverlapPhases) {
+      scale_us =
+          std::max(scale_us, protocol.phases[static_cast<int>(phase)].MeanUs());
+    }
+  }
+  for (const ProtocolTelemetry& protocol : telemetry.protocols) {
+    std::vector<std::pair<Phase, double>> segments;
+    double pipeline = 0;
+    for (Phase phase : kPipelinePhases) {
+      const double mean = protocol.phases[static_cast<int>(phase)].MeanUs();
+      segments.emplace_back(phase, mean);
+      pipeline += mean;
+    }
+    AppendBar(&out, StrCat(protocol.protocol, " critical path"), segments,
+              pipeline, scale_us);
+    for (Phase phase : kOverlapPhases) {
+      const PhaseStats& stats = protocol.phases[static_cast<int>(phase)];
+      if (stats.count == 0) continue;
+      AppendBar(&out, StrCat(protocol.protocol, " ", PhaseName(phase)),
+                {{phase, stats.MeanUs()}}, stats.MeanUs(), scale_us);
+    }
+  }
+  AppendLegend(&out);
+  out +=
+      "<p class=\"note\">Mean simulated time per phase; the two window rows "
+      "overlap the critical path rather than extending it.</p>\n";
+  for (const ProtocolTelemetry& protocol : telemetry.protocols) {
+    out += StrCat("<div class=\"series-label\">", HtmlEscape(protocol.protocol),
+                  " — ", protocol.txns_profiled, " txns profiled, ",
+                  protocol.txns_committed, " committed (", protocol.runs,
+                  " runs)</div>\n");
+    AppendPhaseTable(&out, protocol);
+  }
+  out += "</div>\n";
+
+  // --- Coverage matrix ---
+  out += "<h2>Coverage</h2>\n<div class=\"card\">\n";
+  const CoverageMap& coverage = telemetry.coverage;
+  AppendCoverageAxis(&out, "protocol steps", coverage.step_hits.data(),
+                     core::kNumProtocolSteps,
+                     [](int i) {
+                       return core::ProtocolStepName(
+                           static_cast<core::ProtocolStep>(i));
+                     },
+                     /*gated=*/true);
+  AppendCoverageAxis(&out, "fault productions", coverage.fault_hits.data(),
+                     kNumFaultProductions, &FaultProductionName,
+                     /*gated=*/true);
+  AppendCoverageAxis(&out, "message types", coverage.message_hits.data(),
+                     net::kNumMessageTypes,
+                     [](int i) {
+                       return net::MessageTypeName(
+                           static_cast<net::MessageType>(i));
+                     },
+                     /*gated=*/false);
+  AppendCoverageAxis(&out, "oracle verdicts", coverage.verdict_hits.data(),
+                     kNumOracleVerdicts,
+                     [](int i) {
+                       return OracleVerdictName(static_cast<OracleVerdict>(i));
+                     },
+                     /*gated=*/false);
+  out +=
+      "<p class=\"note\">✗ marks a gated cell (protocol step or fault "
+      "production) the sweep never exercised.</p>\n";
+  out += "</div>\n";
+
+  // --- Time-series sparklines ---
+  if (!telemetry.series.empty()) {
+    out += "<h2>Contention over simulated time</h2>\n";
+    for (const LabeledSeries& labeled : telemetry.series) {
+      out += StrCat("<div class=\"card\">\n<div class=\"series-label\">",
+                    HtmlEscape(labeled.label), " · ",
+                    labeled.series.samples.size(), " samples every ",
+                    FormatDuration(labeled.series.interval), "</div>\n");
+      AppendSparkline(&out, "locks held", labeled.series,
+                      [](const TimeSample& s) { return s.locks_held; });
+      AppendSparkline(&out, "lock waiters", labeled.series,
+                      [](const TimeSample& s) { return s.lock_waiters; });
+      AppendSparkline(&out, "waits-for edges", labeled.series,
+                      [](const TimeSample& s) { return s.waits_edges; });
+      AppendSparkline(&out, "messages in flight", labeled.series,
+                      [](const TimeSample& s) { return s.msgs_in_flight; });
+      AppendSparkline(&out, "event-queue depth", labeled.series,
+                      [](const TimeSample& s) { return s.queue_depth; });
+      out += "</div>\n";
+    }
+  }
+
+  out += "</div>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace o2pc::telemetry

@@ -1,0 +1,62 @@
+#ifndef O2PC_TELEMETRY_JSON_H_
+#define O2PC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file
+/// A minimal JSON reader for the telemetry pipeline (the repo takes no
+/// external dependencies). It parses exactly the dialect the telemetry
+/// writer emits — objects, arrays, double/integer numbers, strings with
+/// backslash escapes, true/false/null — which is also plain standard
+/// JSON, so o2pc_report can read files from any producer.
+
+namespace o2pc::telemetry {
+
+/// One parsed JSON value. A tagged struct rather than a variant keeps the
+/// accessors trivial; telemetry files are small, so the extra containers
+/// per node are irrelevant.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// std::map: object keys iterate sorted, deterministically.
+  std::map<std::string, JsonValue> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// Object member, or null-kind sentinel when absent / not an object.
+  const JsonValue& Get(const std::string& key) const;
+  double NumberOr(double fallback) const {
+    return IsNumber() ? number : fallback;
+  }
+  std::uint64_t UintOr(std::uint64_t fallback) const {
+    return IsNumber() ? static_cast<std::uint64_t>(number) : fallback;
+  }
+};
+
+/// Parses `text`; returns false (and sets `*error` to "offset N: reason")
+/// on malformed input. Trailing non-whitespace is an error.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace o2pc::telemetry
+
+#endif  // O2PC_TELEMETRY_JSON_H_

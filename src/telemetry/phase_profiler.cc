@@ -1,0 +1,171 @@
+#include "telemetry/phase_profiler.h"
+
+#include <map>
+#include <utility>
+
+#include "net/message.h"
+
+namespace o2pc::telemetry {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kExecute:
+      return "execute";
+    case Phase::kVoting:
+      return "voting";
+    case Phase::kDecision:
+      return "decision";
+    case Phase::kAck:
+      return "ack";
+    case Phase::kBlockedPrepared:
+      return "blocked_prepared";
+    case Phase::kTermination:
+      return "termination";
+  }
+  return "unknown";
+}
+
+void PhaseProfile::Merge(const PhaseProfile& other) {
+  for (int i = 0; i < kNumPhases; ++i) phases[i].Merge(other.phases[i]);
+  txns_profiled += other.txns_profiled;
+  txns_committed += other.txns_committed;
+}
+
+namespace {
+
+constexpr SimTime kUnset = -1;
+
+/// Phase boundaries of one global transaction, filled by the event scan.
+struct TxnBoundaries {
+  SimTime submit = kUnset;       ///< first kTxnSubmit
+  SimTime first_votereq = kUnset;  ///< first VOTE-REQ handed to the network
+  SimTime last_vote = kUnset;    ///< last kVote
+  SimTime decide = kUnset;       ///< first kDecide
+  SimTime finish = kUnset;       ///< kTxnFinish
+  bool committed = false;
+};
+
+/// An open per-(txn, site) interval awaiting its closing event.
+struct OpenWindow {
+  SimTime start = kUnset;
+};
+
+}  // namespace
+
+PhaseProfile ProfilePhases(const std::vector<trace::TraceEvent>& events) {
+  PhaseProfile profile;
+  // std::map keys the scans by ascending txn id, so sample insertion order
+  // (and therefore serialized output) is independent of event interleaving
+  // details beyond the journal itself.
+  std::map<TxnId, TxnBoundaries> txns;
+  std::map<std::pair<TxnId, SiteId>, OpenWindow> prepared;
+  std::map<std::pair<TxnId, SiteId>, OpenWindow> terminating;
+
+  for (const trace::TraceEvent& event : events) {
+    switch (event.type) {
+      case trace::EventType::kTxnSubmit: {
+        TxnBoundaries& txn = txns[event.txn];
+        if (txn.submit == kUnset) txn.submit = event.time;
+        break;
+      }
+      case trace::EventType::kMsgSend:
+        if (event.a ==
+            static_cast<std::int64_t>(net::MessageType::kVoteRequest)) {
+          TxnBoundaries& txn = txns[event.txn];
+          if (txn.first_votereq == kUnset) txn.first_votereq = event.time;
+        }
+        break;
+      case trace::EventType::kVote:
+        txns[event.txn].last_vote = event.time;
+        break;
+      case trace::EventType::kDecide: {
+        TxnBoundaries& txn = txns[event.txn];
+        if (txn.decide == kUnset) txn.decide = event.time;
+        break;
+      }
+      case trace::EventType::kTxnFinish: {
+        TxnBoundaries& txn = txns[event.txn];
+        txn.finish = event.time;
+        txn.committed = event.a != 0;
+        break;
+      }
+      case trace::EventType::kPrepare: {
+        OpenWindow& window = prepared[{event.txn, event.site}];
+        if (window.start == kUnset) window.start = event.time;
+        break;
+      }
+      case trace::EventType::kFinalCommit:
+      case trace::EventType::kRollback: {
+        const std::pair<TxnId, SiteId> key{event.txn, event.site};
+        if (auto it = prepared.find(key);
+            it != prepared.end() && it->second.start != kUnset) {
+          profile.of(Phase::kBlockedPrepared)
+              .Add(static_cast<double>(event.time - it->second.start));
+          prepared.erase(it);
+        }
+        if (auto it = terminating.find(key); it != terminating.end()) {
+          profile.of(Phase::kTermination)
+              .Add(static_cast<double>(event.time - it->second.start));
+          terminating.erase(it);
+        }
+        break;
+      }
+      case trace::EventType::kDecisionTimeout:
+        // Round 0 is the pre-vote autonomy timeout, not the termination
+        // protocol; the blocked window opens at the first post-vote round.
+        if (event.a >= 1) {
+          OpenWindow& window = terminating[{event.txn, event.site}];
+          if (window.start == kUnset) window.start = event.time;
+        }
+        break;
+      case trace::EventType::kTermResolve: {
+        const std::pair<TxnId, SiteId> key{event.txn, event.site};
+        if (auto it = terminating.find(key); it != terminating.end()) {
+          profile.of(Phase::kTermination)
+              .Add(static_cast<double>(event.time - it->second.start));
+          terminating.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [id, txn] : txns) {
+    if (txn.submit == kUnset || txn.finish == kUnset) continue;  // unfinished
+    ++profile.txns_profiled;
+    if (txn.committed) ++profile.txns_committed;
+
+    // Execute runs to the first boundary the transaction actually reached:
+    // an early-decided abort never sends a VOTE-REQ, so its pre-decision
+    // time is all execution.
+    const SimTime exec_end = txn.first_votereq != kUnset ? txn.first_votereq
+                             : txn.decide != kUnset      ? txn.decide
+                                                         : txn.finish;
+    profile.of(Phase::kExecute)
+        .Add(static_cast<double>(exec_end - txn.submit));
+
+    if (txn.first_votereq != kUnset) {
+      SimTime vote_end = exec_end;
+      if (txn.last_vote != kUnset && txn.last_vote >= exec_end) {
+        vote_end = txn.last_vote;
+      } else if (txn.decide != kUnset && txn.decide >= exec_end) {
+        vote_end = txn.decide;
+      }
+      profile.of(Phase::kVoting)
+          .Add(static_cast<double>(vote_end - exec_end));
+      if (txn.decide != kUnset && txn.decide >= vote_end) {
+        profile.of(Phase::kDecision)
+            .Add(static_cast<double>(txn.decide - vote_end));
+      }
+    }
+    if (txn.decide != kUnset && txn.finish >= txn.decide) {
+      profile.of(Phase::kAck)
+          .Add(static_cast<double>(txn.finish - txn.decide));
+    }
+  }
+  return profile;
+}
+
+}  // namespace o2pc::telemetry

@@ -1,0 +1,452 @@
+#include "telemetry/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "telemetry/json.h"
+
+namespace o2pc::telemetry {
+
+namespace {
+
+/// Fixed-precision JSON number: integers print bare, fractional values
+/// with exactly three decimals. One formatter for every emitted double is
+/// part of the byte-identity contract.
+std::string Num(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.0e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return FormatDouble(value, 3);
+}
+
+std::string Hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CollectFromJournal(const std::vector<trace::TraceEvent>& events,
+                        RunTelemetry* out) {
+  out->profile = ProfilePhases(events);
+  for (const trace::TraceEvent& event : events) {
+    if (event.type == trace::EventType::kMsgSend && event.a >= 0 &&
+        event.a < net::kNumMessageTypes) {
+      out->coverage.RecordMessage(static_cast<net::MessageType>(event.a));
+    }
+  }
+}
+
+PhaseStats PhaseStats::FromHistogram(const metrics::Histogram& histogram) {
+  PhaseStats stats;
+  stats.buckets = metrics::BucketHistogram::DefaultLatencyLayout();
+  stats.count = histogram.count();
+  if (stats.count == 0) return stats;
+  stats.sum_us = histogram.Sum();
+  stats.min_us = histogram.Min();
+  stats.max_us = histogram.Max();
+  stats.p50_us = histogram.Percentile(0.5);
+  stats.p90_us = histogram.Percentile(0.9);
+  stats.p99_us = histogram.Percentile(0.99);
+  for (double sample : histogram.samples()) stats.buckets.Add(sample);
+  return stats;
+}
+
+bool PhaseStats::Merge(const PhaseStats& other) {
+  if (other.count == 0) return true;
+  if (count == 0) {
+    *this = other;
+    return true;
+  }
+  if (!buckets.Merge(other.buckets)) return false;
+  min_us = std::min(min_us, other.min_us);
+  max_us = std::max(max_us, other.max_us);
+  sum_us += other.sum_us;
+  count += other.count;
+  p50_us = buckets.PercentileEstimate(0.5);
+  p90_us = buckets.PercentileEstimate(0.9);
+  p99_us = buckets.PercentileEstimate(0.99);
+  return true;
+}
+
+void TelemetryAccumulator::AddRun(const std::string& protocol,
+                                  const RunTelemetry& run) {
+  ++runs_;
+  coverage_.Merge(run.coverage);
+  ProtocolAccumulator* accumulator = nullptr;
+  for (ProtocolAccumulator& candidate : protocols_) {
+    if (candidate.name == protocol) {
+      accumulator = &candidate;
+      break;
+    }
+  }
+  if (accumulator == nullptr) {
+    protocols_.emplace_back();
+    accumulator = &protocols_.back();
+    accumulator->name = protocol;
+  }
+  ++accumulator->runs;
+  accumulator->profile.Merge(run.profile);
+}
+
+void TelemetryAccumulator::AddSeries(std::string label, TimeSeries series) {
+  series_.push_back({std::move(label), std::move(series)});
+}
+
+SweepTelemetry TelemetryAccumulator::Build() const {
+  SweepTelemetry sweep;
+  sweep.runs = runs_;
+  sweep.coverage = coverage_;
+  sweep.series = series_;
+  sweep.protocols.reserve(protocols_.size());
+  for (const ProtocolAccumulator& accumulator : protocols_) {
+    ProtocolTelemetry protocol;
+    protocol.protocol = accumulator.name;
+    protocol.runs = accumulator.runs;
+    protocol.txns_profiled = accumulator.profile.txns_profiled;
+    protocol.txns_committed = accumulator.profile.txns_committed;
+    for (int i = 0; i < kNumPhases; ++i) {
+      protocol.phases[i] =
+          PhaseStats::FromHistogram(accumulator.profile.phases[i]);
+    }
+    sweep.protocols.push_back(std::move(protocol));
+  }
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendCounterObject(std::string* out, const char* key,
+                         const std::uint64_t* values, int n,
+                         const char* (*name)(int), const char* indent) {
+  *out += StrCat(indent, "\"", key, "\": {");
+  for (int i = 0; i < n; ++i) {
+    *out += StrCat(i == 0 ? "" : ", ", "\"", name(i), "\": ", values[i]);
+  }
+  *out += "}";
+}
+
+const char* StepNameAt(int i) {
+  return core::ProtocolStepName(static_cast<core::ProtocolStep>(i));
+}
+const char* MessageNameAt(int i) {
+  return net::MessageTypeName(static_cast<net::MessageType>(i));
+}
+const char* VerdictNameAt(int i) {
+  return OracleVerdictName(static_cast<OracleVerdict>(i));
+}
+
+void AppendPhaseStats(std::string* out, const PhaseStats& stats) {
+  *out += StrCat("{\"count\": ", stats.count, ", \"sum_us\": ",
+                 Num(stats.sum_us), ", \"min_us\": ", Num(stats.min_us),
+                 ", \"max_us\": ", Num(stats.max_us),
+                 ", \"p50_us\": ", Num(stats.p50_us),
+                 ", \"p90_us\": ", Num(stats.p90_us),
+                 ", \"p99_us\": ", Num(stats.p99_us));
+  *out += ", \"buckets\": {\"bounds_us\": [";
+  const auto& bounds = stats.buckets.bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    *out += StrCat(i == 0 ? "" : ",", Num(bounds[i]));
+  }
+  *out += "], \"counts\": [";
+  const auto& counts = stats.buckets.counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    *out += StrCat(i == 0 ? "" : ",", counts[i]);
+  }
+  *out += StrCat("], \"overflow\": ", stats.buckets.overflow(), "}}");
+}
+
+}  // namespace
+
+std::string SweepTelemetry::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"o2pc-telemetry-v1\",\n";
+  out += StrCat("  \"runs\": ", runs, ",\n");
+  out += StrCat("  \"approximate_percentiles\": ",
+                approximate_percentiles ? "true" : "false", ",\n");
+
+  out += "  \"coverage\": {\n";
+  out += StrCat("    \"fingerprint\": \"", Hex16(coverage.Fingerprint()),
+                "\",\n");
+  AppendCounterObject(&out, "steps", coverage.step_hits.data(),
+                      core::kNumProtocolSteps, &StepNameAt, "    ");
+  out += ",\n";
+  AppendCounterObject(&out, "messages", coverage.message_hits.data(),
+                      net::kNumMessageTypes, &MessageNameAt, "    ");
+  out += ",\n";
+  AppendCounterObject(&out, "faults", coverage.fault_hits.data(),
+                      kNumFaultProductions, &FaultProductionName, "    ");
+  out += ",\n";
+  AppendCounterObject(&out, "verdicts", coverage.verdict_hits.data(),
+                      kNumOracleVerdicts, &VerdictNameAt, "    ");
+  out += ",\n    \"unhit\": [";
+  const std::vector<std::string> unhit = coverage.UnhitCells();
+  for (std::size_t i = 0; i < unhit.size(); ++i) {
+    out += StrCat(i == 0 ? "" : ", ", "\"", unhit[i], "\"");
+  }
+  out += "]\n  },\n";
+
+  out += "  \"protocols\": [";
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    const ProtocolTelemetry& protocol = protocols[p];
+    out += StrCat(p == 0 ? "\n" : ",\n", "    {\"protocol\": \"",
+                  JsonEscape(protocol.protocol),
+                  "\", \"runs\": ", protocol.runs,
+                  ", \"txns_profiled\": ", protocol.txns_profiled,
+                  ", \"txns_committed\": ", protocol.txns_committed,
+                  ", \"phases\": {\n");
+    for (int i = 0; i < kNumPhases; ++i) {
+      out += StrCat("      \"", PhaseName(static_cast<Phase>(i)), "\": ");
+      AppendPhaseStats(&out, protocol.phases[i]);
+      out += i + 1 < kNumPhases ? ",\n" : "\n";
+    }
+    out += "    }}";
+  }
+  out += protocols.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"time_series\": [";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const LabeledSeries& labeled = series[s];
+    out += StrCat(s == 0 ? "\n" : ",\n", "    {\"label\": \"",
+                  JsonEscape(labeled.label),
+                  "\", \"interval_us\": ", labeled.series.interval,
+                  ", \"samples\": [");
+    for (std::size_t i = 0; i < labeled.series.samples.size(); ++i) {
+      const TimeSample& sample = labeled.series.samples[i];
+      out += StrCat(i == 0 ? "" : ",", "[", sample.time, ",",
+                    sample.locks_held, ",", sample.lock_waiters, ",",
+                    sample.waits_edges, ",", sample.msgs_in_flight, ",",
+                    sample.queue_depth, "]");
+    }
+    out += "]}";
+  }
+  out += series.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ReadCounterObject(const JsonValue& object, std::uint64_t* values, int n,
+                       const char* (*name)(int), const char* axis,
+                       std::string* error) {
+  if (!object.IsObject()) {
+    *error = StrCat("coverage.", axis, " is not an object");
+    return false;
+  }
+  for (const auto& [key, value] : object.object) {
+    int index = -1;
+    for (int i = 0; i < n; ++i) {
+      if (key == name(i)) {
+        index = i;
+        break;
+      }
+    }
+    if (index < 0) {
+      *error = StrCat("unknown ", axis, " name '", key, "'");
+      return false;
+    }
+    values[index] = value.UintOr(0);
+  }
+  return true;
+}
+
+bool ReadPhaseStats(const JsonValue& value, PhaseStats* stats,
+                    std::string* error) {
+  if (!value.IsObject()) {
+    *error = "phase entry is not an object";
+    return false;
+  }
+  stats->count = value.Get("count").UintOr(0);
+  stats->sum_us = value.Get("sum_us").NumberOr(0);
+  stats->min_us = value.Get("min_us").NumberOr(0);
+  stats->max_us = value.Get("max_us").NumberOr(0);
+  stats->p50_us = value.Get("p50_us").NumberOr(0);
+  stats->p90_us = value.Get("p90_us").NumberOr(0);
+  stats->p99_us = value.Get("p99_us").NumberOr(0);
+  const JsonValue& buckets = value.Get("buckets");
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  for (const JsonValue& bound : buckets.Get("bounds_us").array) {
+    bounds.push_back(bound.NumberOr(0));
+  }
+  for (const JsonValue& count : buckets.Get("counts").array) {
+    counts.push_back(count.UintOr(0));
+  }
+  if (bounds.size() != counts.size()) {
+    *error = "bucket bounds/counts size mismatch";
+    return false;
+  }
+  stats->buckets = metrics::BucketHistogram::FromParts(
+      std::move(bounds), std::move(counts),
+      buckets.Get("overflow").UintOr(0));
+  return true;
+}
+
+}  // namespace
+
+bool SweepTelemetry::FromJson(const std::string& text, SweepTelemetry* out,
+                              std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (root.Get("schema").string != "o2pc-telemetry-v1") {
+    *error = "not an o2pc-telemetry-v1 file";
+    return false;
+  }
+  *out = SweepTelemetry{};
+  out->runs = root.Get("runs").UintOr(0);
+  out->approximate_percentiles =
+      root.Get("approximate_percentiles").boolean;
+
+  const JsonValue& coverage = root.Get("coverage");
+  if (!ReadCounterObject(coverage.Get("steps"), out->coverage.step_hits.data(),
+                         core::kNumProtocolSteps, &StepNameAt, "steps",
+                         error) ||
+      !ReadCounterObject(coverage.Get("messages"),
+                         out->coverage.message_hits.data(),
+                         net::kNumMessageTypes, &MessageNameAt, "messages",
+                         error) ||
+      !ReadCounterObject(coverage.Get("faults"),
+                         out->coverage.fault_hits.data(),
+                         kNumFaultProductions, &FaultProductionName, "faults",
+                         error) ||
+      !ReadCounterObject(coverage.Get("verdicts"),
+                         out->coverage.verdict_hits.data(),
+                         kNumOracleVerdicts, &VerdictNameAt, "verdicts",
+                         error)) {
+    return false;
+  }
+
+  for (const JsonValue& entry : root.Get("protocols").array) {
+    ProtocolTelemetry protocol;
+    protocol.protocol = entry.Get("protocol").string;
+    protocol.runs = entry.Get("runs").UintOr(0);
+    protocol.txns_profiled = entry.Get("txns_profiled").UintOr(0);
+    protocol.txns_committed = entry.Get("txns_committed").UintOr(0);
+    const JsonValue& phases = entry.Get("phases");
+    for (int i = 0; i < kNumPhases; ++i) {
+      const JsonValue& phase = phases.Get(PhaseName(static_cast<Phase>(i)));
+      if (phase.IsNull()) continue;
+      if (!ReadPhaseStats(phase, &protocol.phases[i], error)) return false;
+    }
+    out->protocols.push_back(std::move(protocol));
+  }
+
+  for (const JsonValue& entry : root.Get("time_series").array) {
+    LabeledSeries labeled;
+    labeled.label = entry.Get("label").string;
+    labeled.series.interval =
+        static_cast<Duration>(entry.Get("interval_us").NumberOr(0));
+    for (const JsonValue& row : entry.Get("samples").array) {
+      if (row.array.size() != 6) {
+        *error = "time-series sample is not a 6-tuple";
+        return false;
+      }
+      TimeSample sample;
+      sample.time = static_cast<SimTime>(row.array[0].NumberOr(0));
+      sample.locks_held = row.array[1].UintOr(0);
+      sample.lock_waiters = row.array[2].UintOr(0);
+      sample.waits_edges = row.array[3].UintOr(0);
+      sample.msgs_in_flight = row.array[4].UintOr(0);
+      sample.queue_depth = row.array[5].UintOr(0);
+      labeled.series.samples.push_back(sample);
+    }
+    out->series.push_back(std::move(labeled));
+  }
+  return true;
+}
+
+bool SweepTelemetry::Merge(const SweepTelemetry& other, std::string* error) {
+  runs += other.runs;
+  coverage.Merge(other.coverage);
+  for (const ProtocolTelemetry& theirs : other.protocols) {
+    ProtocolTelemetry* mine = nullptr;
+    for (ProtocolTelemetry& candidate : protocols) {
+      if (candidate.protocol == theirs.protocol) {
+        mine = &candidate;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      protocols.push_back(theirs);
+      continue;
+    }
+    mine->runs += theirs.runs;
+    mine->txns_profiled += theirs.txns_profiled;
+    mine->txns_committed += theirs.txns_committed;
+    for (int i = 0; i < kNumPhases; ++i) {
+      if (!mine->phases[i].Merge(theirs.phases[i])) {
+        if (error != nullptr) {
+          *error = StrCat("mismatched bucket layouts merging ",
+                          theirs.protocol, "/",
+                          PhaseName(static_cast<Phase>(i)));
+        }
+        return false;
+      }
+    }
+    // Merged percentiles are bucket estimates from here on.
+    approximate_percentiles = true;
+  }
+  approximate_percentiles |= other.approximate_percentiles;
+  for (const LabeledSeries& labeled : other.series) {
+    series.push_back(labeled);
+  }
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    O2PC_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    O2PC_LOG(kError) << "write to " << path << " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace o2pc::telemetry

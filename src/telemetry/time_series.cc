@@ -1,0 +1,40 @@
+#include "telemetry/time_series.h"
+
+#include "common/logging.h"
+#include "core/system.h"
+
+namespace o2pc::telemetry {
+
+TimeSeriesSampler::TimeSeriesSampler(core::DistributedSystem* system,
+                                     Duration interval)
+    : system_(system) {
+  O2PC_CHECK(system != nullptr);
+  O2PC_CHECK(interval > 0);
+  series_.interval = interval;
+}
+
+void TimeSeriesSampler::Start() { ScheduleNext(); }
+
+void TimeSeriesSampler::ScheduleNext() {
+  system_->NoteIdleTimerScheduled();
+  system_->simulator().Schedule(series_.interval, [this] {
+    system_->NoteIdleTimerFired();
+    TimeSample sample;
+    sample.time = system_->simulator().Now();
+    for (int i = 0; i < system_->options().num_sites; ++i) {
+      const lock::LockManager& locks =
+          system_->db(static_cast<SiteId>(i)).lock_manager();
+      sample.locks_held += locks.HeldLockCount();
+      sample.lock_waiters += locks.WaitingLockCount();
+      sample.waits_edges += locks.waits_for().edge_count();
+    }
+    sample.msgs_in_flight = system_->network().InFlight();
+    sample.queue_depth = system_->simulator().pending();
+    series_.samples.push_back(sample);
+    // Resample only while non-timer work remains — the series must not
+    // keep the simulation alive (checkpoint pattern; see core/system.h).
+    if (system_->HasLiveWork()) ScheduleNext();
+  });
+}
+
+}  // namespace o2pc::telemetry

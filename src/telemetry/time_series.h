@@ -1,0 +1,71 @@
+#ifndef O2PC_TELEMETRY_TIME_SERIES_H_
+#define O2PC_TELEMETRY_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file
+/// Fixed-interval simulated-time sampling of system gauges: lock-table
+/// occupancy (held + waiting requests summed over every site), waits-for
+/// edges, in-flight messages, and event-queue depth — how contention and
+/// protocol traffic evolve over a run, rendered as sparklines in the HTML
+/// report.
+///
+/// The sampler's timer events ride the DistributedSystem idle-timer
+/// registry (NoteIdleTimerScheduled / HasLiveWork), so sampling never
+/// keeps the simulation alive: the series simply ends when only timers
+/// remain. Sampling reads gauges and schedules one timer per tick — it
+/// never perturbs protocol event ordering or touches any RNG, so journals
+/// and fingerprints are identical with sampling on or off.
+
+namespace o2pc::core {
+class DistributedSystem;
+}
+
+namespace o2pc::telemetry {
+
+/// One gauge snapshot at simulated time `time`.
+struct TimeSample {
+  SimTime time = 0;
+  std::uint64_t locks_held = 0;
+  std::uint64_t lock_waiters = 0;
+  std::uint64_t waits_edges = 0;
+  std::uint64_t msgs_in_flight = 0;
+  std::uint64_t queue_depth = 0;
+
+  friend bool operator==(const TimeSample&, const TimeSample&) = default;
+};
+
+struct TimeSeries {
+  Duration interval = 0;
+  std::vector<TimeSample> samples;
+
+  friend bool operator==(const TimeSeries&, const TimeSeries&) = default;
+};
+
+/// Samples `system`'s gauges every `interval` of simulated time, starting
+/// at the first interval after Start(). Must outlive the simulation run.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(core::DistributedSystem* system, Duration interval);
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Schedules the first sample. Call after submitting work (or before
+  /// Run); with no live work pending, no sample is ever taken.
+  void Start();
+
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void ScheduleNext();
+
+  core::DistributedSystem* system_;  // not owned
+  TimeSeries series_;
+};
+
+}  // namespace o2pc::telemetry
+
+#endif  // O2PC_TELEMETRY_TIME_SERIES_H_

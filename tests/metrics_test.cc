@@ -145,6 +145,135 @@ TEST(StatsCollectorTest, MergeFoldsCountersHistogramsAndTxns) {
   EXPECT_EQ(b.global_txns().size(), 1u);
 }
 
+TEST(HistogramTest, MergeWithEmptyEitherSide) {
+  Histogram a;
+  a.Add(2.0);
+  Histogram empty;
+  empty.Merge(a);  // empty target absorbs the source
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+
+  Histogram still_empty;
+  a.Merge(still_empty);  // empty source is a no-op
+  EXPECT_EQ(a.count(), 1u);
+
+  Histogram e1, e2;
+  e1.Merge(e2);
+  EXPECT_TRUE(e1.empty());
+  EXPECT_EQ(e1.Percentile(0.5), 0.0);
+}
+
+TEST(StatsCollectorTest, MergeWithEmptyCollector) {
+  StatsCollector a;
+  a.Incr("commits", 2);
+  a.Hist("wait").Add(10.0);
+  GlobalTxnRecord txn;
+  txn.id = 1;
+  a.AddGlobalTxn(txn);
+
+  StatsCollector empty;
+  a.Merge(empty);  // merging an empty collector changes nothing
+  EXPECT_EQ(a.Count("commits"), 2u);
+  EXPECT_EQ(a.FindHist("wait")->count(), 1u);
+  EXPECT_EQ(a.global_txns().size(), 1u);
+
+  StatsCollector target;
+  target.Merge(a);  // an empty target becomes a copy
+  EXPECT_EQ(target.Count("commits"), 2u);
+  ASSERT_NE(target.FindHist("wait"), nullptr);
+  EXPECT_EQ(target.FindHist("wait")->count(), 1u);
+  EXPECT_EQ(target.global_txns().size(), 1u);
+}
+
+TEST(BucketHistogramTest, InclusiveUpperEdges) {
+  BucketHistogram hist({1.0, 2.0, 4.0});
+  hist.Add(1.0);  // lands in bucket 0 (edges inclusive)
+  hist.Add(1.5);  // bucket 1
+  hist.Add(4.0);  // bucket 2
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.counts()[0], 1u);
+  EXPECT_EQ(hist.counts()[1], 1u);
+  EXPECT_EQ(hist.counts()[2], 1u);
+  EXPECT_EQ(hist.overflow(), 0u);
+}
+
+TEST(BucketHistogramTest, OverflowBucketCatchesOutOfRange) {
+  BucketHistogram hist({1.0, 2.0});
+  hist.Add(2.5);
+  hist.Add(1000.0);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.overflow(), 2u);
+  // All mass in overflow: the estimate saturates at the last bound.
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(0.99), 2.0);
+}
+
+TEST(BucketHistogramTest, MergeAddsCountsIncludingOverflow) {
+  BucketHistogram a({1.0, 2.0});
+  a.Add(0.5);
+  a.Add(9.0);  // overflow
+  BucketHistogram b({1.0, 2.0});
+  b.Add(1.5);
+  b.Add(9.0);  // overflow
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(b.count(), 2u);  // source untouched
+}
+
+TEST(BucketHistogramTest, MergeWithEmptySameLayout) {
+  BucketHistogram a = BucketHistogram::DefaultLatencyLayout();
+  a.Add(100.0);
+  BucketHistogram empty = BucketHistogram::DefaultLatencyLayout();
+  ASSERT_TRUE(a.Merge(empty));
+  EXPECT_EQ(a.count(), 1u);
+  ASSERT_TRUE(empty.Merge(a));
+  EXPECT_EQ(empty.count(), 1u);
+}
+
+TEST(BucketHistogramTest, MergeRejectsMismatchedLayouts) {
+  BucketHistogram a({1.0, 2.0, 4.0});
+  a.Add(1.5);
+  BucketHistogram b({1.0, 3.0, 4.0});
+  b.Add(2.5);
+  EXPECT_FALSE(a.Merge(b));
+  // Target untouched by the failed merge.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.counts()[1], 1u);
+
+  BucketHistogram shorter({1.0, 2.0});
+  EXPECT_FALSE(a.Merge(shorter));
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(BucketHistogramTest, PercentileEstimateInterpolates) {
+  BucketHistogram hist({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) hist.Add(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) hist.Add(15.0);  // bucket (10, 20]
+  // p50 = 10th of 20 samples: the last sample of bucket 0.
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(0.5), 10.0);
+  // p100 lands at the top of bucket 1.
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(1.0), 20.0);
+  // q=0 targets the first sample: 1/10th of the way through bucket (0,10].
+  EXPECT_DOUBLE_EQ(hist.PercentileEstimate(0.0), 1.0);
+}
+
+TEST(BucketHistogramTest, FromPartsRoundTrip) {
+  BucketHistogram original({1.0, 2.0, 4.0});
+  original.Add(0.5);
+  original.Add(3.0);
+  original.Add(100.0);  // overflow
+  BucketHistogram rebuilt = BucketHistogram::FromParts(
+      original.bounds(), original.counts(), original.overflow());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_EQ(rebuilt.counts(), original.counts());
+  EXPECT_EQ(rebuilt.overflow(), original.overflow());
+  EXPECT_DOUBLE_EQ(rebuilt.PercentileEstimate(0.5),
+                   original.PercentileEstimate(0.5));
+}
+
 TEST(TablePrinterTest, AlignsColumns) {
   TablePrinter table({"name", "value"});
   table.AddRow({"alpha", "1"});

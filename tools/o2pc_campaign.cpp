@@ -12,6 +12,13 @@
 //                 [--templates a,b,...] [--sites N] [--txns N] [--locals N]
 //                 [--abort-prob P] [--time-budget 120s]
 //                 [--artifact-dir DIR] [--no-shrink] [--verbose]
+//                 [--telemetry-json FILE] [--report FILE.html]
+//
+// --telemetry-json / --report collect sweep telemetry (commit-phase
+// latency profile, protocol/fault coverage map, gauge time-series) and
+// write the machine-readable JSON / the self-contained HTML report. The
+// telemetry JSON and the printed coverage fingerprint are byte-identical
+// for every --jobs.
 //
 // --jobs N fans independent runs across N worker threads (0 = one per
 // hardware thread). Artifacts, fingerprints, and failure reports are
@@ -34,6 +41,7 @@
 
 #include "campaign/runner.h"
 #include "campaign/shrink.h"
+#include "telemetry/report.h"
 
 using namespace o2pc;
 
@@ -42,6 +50,8 @@ namespace {
 struct CliArgs {
   campaign::CampaignOptions options;
   std::string replay_path;
+  std::string telemetry_json_path;
+  std::string report_path;
   bool inject_bad = false;
   bool list_templates = false;
   bool verbose = false;
@@ -138,6 +148,12 @@ CliArgs Parse(int argc, char** argv) {
       args.options.artifact_dir = next_value(&i, arg);
     } else if (is_flag(arg, "--replay")) {
       args.replay_path = next_value(&i, arg);
+    } else if (is_flag(arg, "--telemetry-json")) {
+      args.telemetry_json_path = next_value(&i, arg);
+      args.options.collect_telemetry = true;
+    } else if (is_flag(arg, "--report")) {
+      args.report_path = next_value(&i, arg);
+      args.options.collect_telemetry = true;
     } else if (arg == "--no-shrink") {
       args.options.shrink_failures = false;
     } else if (arg == "--inject-bad") {
@@ -279,6 +295,31 @@ int main(int argc, char** argv) {
               "every --jobs)\n",
               static_cast<unsigned long long>(report.CombinedFingerprint()),
               report.fingerprints.size());
+  if (report.telemetry_collected) {
+    std::printf(
+        "coverage fingerprint: %016llx\n",
+        static_cast<unsigned long long>(report.telemetry.coverage.Fingerprint()));
+    for (const std::string& cell : report.telemetry.coverage.UnhitCells()) {
+      std::fprintf(stderr, "coverage: %s unhit\n", cell.c_str());
+    }
+    if (!args.telemetry_json_path.empty() &&
+        !telemetry::WriteTextFile(args.telemetry_json_path,
+                                  report.telemetry.ToJson())) {
+      return 64;
+    }
+    if (!args.report_path.empty() &&
+        !telemetry::WriteTextFile(
+            args.report_path,
+            telemetry::RenderHtml(report.telemetry, "O2PC fault campaign"))) {
+      return 64;
+    }
+    if (!args.telemetry_json_path.empty()) {
+      std::printf("telemetry json: %s\n", args.telemetry_json_path.c_str());
+    }
+    if (!args.report_path.empty()) {
+      std::printf("report: %s\n", args.report_path.c_str());
+    }
+  }
   for (const campaign::CampaignFailure& failure : report.failures) {
     std::fprintf(stderr,
                  "FAIL seed=%llu template=%s protocol=%s (%zu violations)\n",

@@ -1,0 +1,149 @@
+// o2pc_report — telemetry report pipeline.
+//
+// Reads one or more telemetry JSON files ("o2pc-telemetry-v1", written by
+// `o2pc_campaign --telemetry-json` or `o2pc_sim --telemetry-json=`), merges
+// them into one sweep summary, and renders outputs:
+//
+//   o2pc_report [--html FILE] [--json FILE] [--title T] [--check-coverage]
+//               telemetry.json [more.json ...]
+//
+//   --html FILE        write the self-contained HTML report
+//   --json FILE        write the merged telemetry JSON
+//   --title T          report title (default "O2PC telemetry report")
+//   --check-coverage   exit 3 if any gated coverage cell (ProtocolStep or
+//                      fault-grammar production) has zero hits — the CI
+//                      coverage gate
+//
+// With no --html/--json, prints a text summary (runs, coverage fingerprint,
+// unhit cells) to stdout. Merging across files keeps counters and coverage
+// exact; phase percentiles are re-estimated from the fixed-layout bucket
+// histograms and flagged as approximate in the outputs.
+//
+// Exit codes: 0 ok; 1 unreadable/unparseable input; 2 merge conflict
+// (e.g. mismatched bucket layouts); 3 coverage gate failed; 64 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/report.h"
+
+using namespace o2pc;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return static_cast<bool>(in) || in.eof();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string html_path;
+  std::string json_path;
+  std::string title = "O2PC telemetry report";
+  bool check_coverage = false;
+  std::vector<std::string> inputs;
+
+  // Flags take "--flag value" or "--flag=value".
+  auto next_value = [&](int* i, const std::string& arg) -> std::string {
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) return arg.substr(eq + 1);
+    if (*i + 1 < argc) return argv[++*i];
+    std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+    std::exit(64);
+  };
+  auto is_flag = [](const std::string& arg, const char* name) {
+    return arg == name || arg.rfind(std::string(name) + "=", 0) == 0;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (is_flag(arg, "--html")) {
+      html_path = next_value(&i, arg);
+    } else if (is_flag(arg, "--json")) {
+      json_path = next_value(&i, arg);
+    } else if (is_flag(arg, "--title")) {
+      title = next_value(&i, arg);
+    } else if (arg == "--check-coverage") {
+      check_coverage = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 64;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: o2pc_report [--html FILE] [--json FILE] [--title T] "
+                 "[--check-coverage] telemetry.json [more.json ...]\n");
+    return 64;
+  }
+
+  telemetry::SweepTelemetry merged;
+  bool have_first = false;
+  for (const std::string& path : inputs) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+      return 1;
+    }
+    telemetry::SweepTelemetry one;
+    std::string error;
+    if (!telemetry::SweepTelemetry::FromJson(text, &one, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    if (!have_first) {
+      merged = std::move(one);
+      have_first = true;
+    } else if (!merged.Merge(one, &error)) {
+      std::fprintf(stderr, "merging '%s': %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  if (!json_path.empty() &&
+      !telemetry::WriteTextFile(json_path, merged.ToJson())) {
+    return 1;
+  }
+  if (!html_path.empty() &&
+      !telemetry::WriteTextFile(html_path,
+                                telemetry::RenderHtml(merged, title))) {
+    return 1;
+  }
+
+  const std::vector<std::string> unhit = merged.coverage.UnhitCells();
+  std::printf("runs: %llu (%zu input file%s)\n",
+              static_cast<unsigned long long>(merged.runs), inputs.size(),
+              inputs.size() == 1 ? "" : "s");
+  std::printf("coverage fingerprint: %016llx\n",
+              static_cast<unsigned long long>(merged.coverage.Fingerprint()));
+  if (merged.approximate_percentiles) {
+    std::printf("phase percentiles: bucket-estimated (cross-file merge)\n");
+  }
+  if (unhit.empty()) {
+    std::printf("coverage: all gated cells hit\n");
+  } else {
+    for (const std::string& cell : unhit) {
+      std::fprintf(stderr, "coverage: %s unhit\n", cell.c_str());
+    }
+  }
+  if (!html_path.empty()) std::printf("html: %s\n", html_path.c_str());
+  if (!json_path.empty()) std::printf("json: %s\n", json_path.c_str());
+
+  if (check_coverage && !unhit.empty()) {
+    std::fprintf(stderr, "coverage gate FAILED: %zu gated cell(s) unhit\n",
+                 unhit.size());
+    return 3;
+  }
+  return 0;
+}

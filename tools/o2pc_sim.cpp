@@ -10,6 +10,7 @@
 //            [--interarrival-us=U] [--crash-prob=P] [--seed=S]
 //            [--analyze] [--csv]
 //            [--trace=FILE] [--trace-jsonl=FILE] [--json=FILE]
+//            [--telemetry-json=FILE] [--report=FILE.html]
 //
 // Examples:
 //   o2pc_sim --protocol=o2pc --governance=p1 --abort-prob=0.1 --analyze
@@ -122,6 +123,10 @@ CliArgs Parse(int argc, char** argv) {
       config.trace_jsonl_path = value;
     } else if (StartsWith(arg, "--json=")) {
       args.json_path = value;
+    } else if (StartsWith(arg, "--telemetry-json=")) {
+      config.telemetry_json_path = value;
+    } else if (StartsWith(arg, "--report=")) {
+      config.report_html_path = value;
     } else if (arg == "--analyze") {
       config.analyze = true;
     } else if (arg == "--csv") {
@@ -149,12 +154,16 @@ void PrintUsage() {
       "                [--seed=S] [--analyze] [--csv]\n"
       "                [--trace=FILE.json] [--trace-jsonl=FILE.jsonl] "
       "[--json=FILE]\n"
+      "                [--telemetry-json=FILE] [--report=FILE.html]\n"
       "\n"
       "  --trace        record protocol events, export Chrome trace format\n"
       "                 (open in chrome://tracing), and run the invariant\n"
       "                 checker over the journal\n"
       "  --trace-jsonl  same journal as one JSON object per line\n"
-      "  --json         write the aggregate metrics as JSON\n");
+      "  --json         write the aggregate metrics as JSON\n"
+      "  --telemetry-json  write run telemetry (phase latencies, coverage,\n"
+      "                 time-series) as JSON\n"
+      "  --report       write the self-contained HTML telemetry report\n");
 }
 
 }  // namespace
