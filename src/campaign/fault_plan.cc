@@ -102,6 +102,14 @@ const char* FaultKindName(FaultKind kind) {
       return "delay";
     case FaultKind::kCoordinatorCrash:
       return "coordinator_crash";
+    case FaultKind::kDuplicateMessage:
+      return "duplicate";
+    case FaultKind::kReorderMessages:
+      return "reorder";
+    case FaultKind::kOneWayPartition:
+      return "oneway_partition";
+    case FaultKind::kGrayFailure:
+      return "gray";
   }
   return "?";
 }
@@ -135,6 +143,24 @@ std::string FaultEvent::ToString() const {
       // Outage is optional in the grammar; only non-default values are
       // serialized so seed-era plans round-trip byte-identically.
       if (duration != 0) out << " outage_us=" << duration;
+      break;
+    case FaultKind::kDuplicateMessage:
+      out << " type=" << MsgTypeToken(msg_type) << " from=" << SiteToken(msg_from)
+          << " to=" << SiteToken(msg_to) << " occurrence=" << occurrence
+          << " copies=" << count;
+      break;
+    case FaultKind::kReorderMessages:
+      out << " type=" << MsgTypeToken(msg_type) << " from=" << SiteToken(msg_from)
+          << " to=" << SiteToken(msg_to) << " occurrence=" << occurrence
+          << " count=" << count << " window_us=" << duration;
+      break;
+    case FaultKind::kOneWayPartition:
+      out << " from=" << site << " to=" << peer << " at_us=" << at
+          << " heal_us=" << duration;
+      break;
+    case FaultKind::kGrayFailure:
+      out << " site=" << site << " at_us=" << at << " duration_us=" << duration
+          << " factor=" << factor;
       break;
   }
   return out.str();
@@ -238,6 +264,74 @@ bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
           return Fail(error, where + "delay needs extra_us");
         }
       }
+    } else if (kind_token == "duplicate" || kind_token == "reorder") {
+      event.kind = kind_token == "duplicate" ? FaultKind::kDuplicateMessage
+                                             : FaultKind::kReorderMessages;
+      const std::string* type = need("type");
+      const std::string* from = need("from");
+      const std::string* to = need("to");
+      const std::string* occurrence = need("occurrence");
+      if (type == nullptr || from == nullptr || to == nullptr ||
+          occurrence == nullptr) {
+        return Fail(error, where + kind_token + " needs type/from/to/occurrence");
+      }
+      if (!ParseMsgTypeToken(*type, &event.msg_type) ||
+          !ParseSiteToken(*from, &event.msg_from) ||
+          !ParseSiteToken(*to, &event.msg_to) ||
+          !ParseInt64(*occurrence, &value)) {
+        return Fail(error, where + "bad " + kind_token + " fields");
+      }
+      event.occurrence = static_cast<int>(value);
+      if (event.kind == FaultKind::kDuplicateMessage) {
+        const std::string* copies = need("copies");
+        if (copies == nullptr || !ParseInt64(*copies, &value) || value < 1) {
+          return Fail(error, where + "duplicate needs copies >= 1");
+        }
+        event.count = static_cast<int>(value);
+      } else {
+        const std::string* window_count = need("count");
+        const std::string* window = need("window_us");
+        if (window_count == nullptr || window == nullptr ||
+            !ParseInt64(*window_count, &value) || value < 1) {
+          return Fail(error, where + "reorder needs count >= 1 and window_us");
+        }
+        event.count = static_cast<int>(value);
+        if (!ParseInt64(*window, &event.duration) || event.duration < 0) {
+          return Fail(error, where + "bad window_us");
+        }
+      }
+    } else if (kind_token == "oneway_partition") {
+      event.kind = FaultKind::kOneWayPartition;
+      const std::string* from = need("from");
+      const std::string* to = need("to");
+      const std::string* at = need("at_us");
+      const std::string* heal = need("heal_us");
+      if (from == nullptr || to == nullptr || at == nullptr ||
+          heal == nullptr) {
+        return Fail(error,
+                    where + "oneway_partition needs from/to/at_us/heal_us");
+      }
+      if (!ParseSiteToken(*from, &event.site) ||
+          !ParseSiteToken(*to, &event.peer) || !ParseInt64(*at, &event.at) ||
+          !ParseInt64(*heal, &event.duration)) {
+        return Fail(error, where + "bad oneway_partition fields");
+      }
+    } else if (kind_token == "gray") {
+      event.kind = FaultKind::kGrayFailure;
+      const std::string* site = need("site");
+      const std::string* at = need("at_us");
+      const std::string* window = need("duration_us");
+      const std::string* factor = need("factor");
+      if (site == nullptr || at == nullptr || window == nullptr ||
+          factor == nullptr) {
+        return Fail(error, where + "gray needs site/at_us/duration_us/factor");
+      }
+      if (!ParseSiteToken(*site, &event.site) ||
+          !ParseInt64(*at, &event.at) ||
+          !ParseInt64(*window, &event.duration) ||
+          !ParseInt64(*factor, &event.factor) || event.factor < 2) {
+        return Fail(error, where + "bad gray fields (factor must be >= 2)");
+      }
     } else if (kind_token == "coordinator_crash") {
       event.kind = FaultKind::kCoordinatorCrash;
       const std::string* occurrence = need("occurrence");
@@ -260,9 +354,13 @@ bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
 }
 
 const std::vector<std::string>& DefaultTemplateNames() {
+  // Append-only: sweep grids index templates by position, so inserting in
+  // the middle would silently remap every historical {run index -> plan}.
   static const std::vector<std::string> kNames = {
       "none",   "crashes",     "partitions",         "drops",
       "delays", "coordinator", "coordinator_outage", "mixed",
+      "duplicates", "reorders", "oneway_partitions", "gray",
+      "mixed_adversarial",
   };
   return kNames;
 }
@@ -336,6 +434,56 @@ FaultEvent RandomDelay(Rng& rng, int num_sites) {
   return event;
 }
 
+FaultEvent RandomDuplicate(Rng& rng, int num_sites) {
+  FaultEvent event = RandomDrop(rng, num_sites);
+  event.kind = FaultKind::kDuplicateMessage;
+  event.count = static_cast<int>(rng.Uniform(1, 3));
+  return event;
+}
+
+FaultEvent RandomReorder(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kReorderMessages;
+  // Half the windows cover all protocol traffic on the matched route, the
+  // other half pin one message type (shuffling retransmissions of a single
+  // kind against each other).
+  event.msg_type =
+      rng.Bernoulli(0.5)
+          ? -1
+          : static_cast<int>(rng.Uniform(0, net::kNumMessageTypes - 2));
+  event.msg_from = rng.Bernoulli(0.5) ? kInvalidSite : PickSite(rng, num_sites);
+  event.msg_to = rng.Bernoulli(0.5) ? kInvalidSite : PickSite(rng, num_sites);
+  event.occurrence = static_cast<int>(rng.Uniform(0, 3));
+  event.count = static_cast<int>(rng.Uniform(4, 12));
+  event.duration = Millis(rng.Uniform(5, 30));
+  return event;
+}
+
+FaultEvent RandomOneWayPartition(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kOneWayPartition;
+  event.site = PickSite(rng, num_sites);
+  do {
+    event.peer = PickSite(rng, num_sites);
+  } while (num_sites > 1 && event.peer == event.site);
+  event.at = Millis(rng.Uniform(5, 150));
+  event.duration = Millis(rng.Uniform(10, 80));
+  return event;
+}
+
+FaultEvent RandomGrayFailure(Rng& rng, int num_sites) {
+  FaultEvent event;
+  event.kind = FaultKind::kGrayFailure;
+  event.site = PickSite(rng, num_sites);
+  event.at = Millis(rng.Uniform(5, 120));
+  event.duration = Millis(rng.Uniform(30, 120));
+  // 10-60x on a 5ms base link: slow enough to outlive decision_timeout
+  // (retransmission storms, DECISION-REQ under gray peers) while staying
+  // inside the campaign's resend budget so survivable runs still drain.
+  event.factor = rng.Uniform(10, 60);
+  return event;
+}
+
 }  // namespace
 
 FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
@@ -393,6 +541,34 @@ FaultPlan GeneratePlan(const std::string& template_name, std::uint64_t seed,
     plan.events.push_back(RandomPartition(rng, num_sites));
     plan.events.push_back(RandomDrop(rng, num_sites));
     plan.events.push_back(RandomDrop(rng, num_sites));
+  } else if (template_name == "duplicates") {
+    const int n = static_cast<int>(rng.Uniform(2, 5));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomDuplicate(rng, num_sites));
+    }
+  } else if (template_name == "reorders") {
+    const int n = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomReorder(rng, num_sites));
+    }
+  } else if (template_name == "oneway_partitions") {
+    const int n = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomOneWayPartition(rng, num_sites));
+    }
+  } else if (template_name == "gray") {
+    const int n = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back(RandomGrayFailure(rng, num_sites));
+    }
+  } else if (template_name == "mixed_adversarial") {
+    // One of each adversarial-network production in a single run:
+    // stale duplicates racing a shuffled window across an asymmetric
+    // partition while one site runs gray-slow.
+    plan.events.push_back(RandomDuplicate(rng, num_sites));
+    plan.events.push_back(RandomOneWayPartition(rng, num_sites));
+    plan.events.push_back(RandomReorder(rng, num_sites));
+    plan.events.push_back(RandomGrayFailure(rng, num_sites));
   }
   // "none" and unknown templates: empty plan (fault-free control run).
   return plan;

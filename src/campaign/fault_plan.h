@@ -29,11 +29,29 @@
 ///     delay type=VOTE from=any to=any occurrence=0 extra_us=20000
 ///     coordinator_crash occurrence=2
 ///     coordinator_crash occurrence=0 outage_us=-1
+///     duplicate type=VOTE_REQ from=any to=2 occurrence=1 copies=2
+///     reorder type=any from=0 to=any occurrence=0 count=6 window_us=15000
+///     oneway_partition from=0 to=1 at_us=8000 heal_us=50000
+///     gray site=2 at_us=10000 duration_us=80000 factor=25
 ///
 /// `coordinator_crash` takes an optional `outage_us` (omitted or 0: the
 /// configured recovery delay; > 0: that outage; < 0: the coordinator never
 /// recovers — participants must terminate via DECISION-REQ or the
 /// cooperative termination protocol).
+///
+/// The four adversarial-network productions:
+///   `duplicate` delivers `copies` extra copies of the `occurrence`-th
+///   matching message, each with an independent latency draw (at-least-once
+///   delivery; a copy can overtake the original).
+///   `reorder` spans a *window* of `count` consecutive matching messages
+///   starting at the `occurrence`-th; each delivery in the window gets an
+///   independent extra delay uniform in [0, window_us], shuffling relative
+///   order while never moving any message by more than the bound.
+///   `oneway_partition` severs only the direction from->to at `at_us`
+///   (heal_us <= 0: never heals) — the reverse direction stays alive.
+///   `gray` multiplies every delivery latency to or from `site` by
+///   `factor` for `duration_us` (<= 0: forever); the site is slow but
+///   alive and never declared down.
 ///
 /// Lines starting with '#' and blank lines are ignored.
 
@@ -56,11 +74,22 @@ enum class FaultKind : std::uint8_t {
   /// `duration` = 0 uses the configured recovery delay, > 0 overrides it,
   /// < 0 makes the outage permanent.
   kCoordinatorCrash,
+  /// Deliver `count` extra copies of the `occurrence`-th matching message.
+  kDuplicateMessage,
+  /// Shuffle a window of `count` matching messages (starting at the
+  /// `occurrence`-th) within a `duration` delivery-delay bound.
+  kReorderMessages,
+  /// Sever only the direction `site`->`peer` at `at`, heal `duration`
+  /// later (duration <= 0: never heal). The reverse direction stays up.
+  kOneWayPartition,
+  /// Inflate every delivery latency to/from `site` by `factor` between
+  /// `at` and `at` + `duration` (duration <= 0: forever).
+  kGrayFailure,
 };
 
 /// Number of grammar productions (FaultKind values are contiguous from 0).
 inline constexpr int kNumFaultKinds =
-    static_cast<int>(FaultKind::kCoordinatorCrash) + 1;
+    static_cast<int>(FaultKind::kGrayFailure) + 1;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -85,8 +114,15 @@ struct FaultEvent {
   /// Absolute simulated time for time-pinned events.
   SimTime at = 0;
   /// Outage length (crashes; <= 0 = never recover), heal delay
-  /// (partitions; <= 0 = never heal), or extra delay (kDelayMessage).
+  /// (partitions, one-way partitions; <= 0 = never heal), extra delay
+  /// (kDelayMessage), reorder window bound (kReorderMessages), or gray
+  /// window length (kGrayFailure; <= 0 = forever).
   Duration duration = 0;
+  /// Extra copies (kDuplicateMessage, key `copies`) or window size in
+  /// matching messages (kReorderMessages, key `count`).
+  int count = 1;
+  /// Latency multiplier for kGrayFailure.
+  std::int64_t factor = 0;
 
   /// One-line serialization in the plan grammar.
   std::string ToString() const;
@@ -110,7 +146,11 @@ struct FaultPlan {
 /// Names of the built-in plan templates swept by the campaign:
 /// "none", "crashes", "partitions", "drops", "delays", "coordinator",
 /// "coordinator_outage" (a *permanent* coordinator crash — the liveness
-/// oracle checks that every blocked participant still terminates), "mixed".
+/// oracle checks that every blocked participant still terminates), "mixed",
+/// plus the adversarial-network templates "duplicates", "reorders",
+/// "oneway_partitions", "gray", and "mixed_adversarial" (one of each new
+/// production in a single run). New templates append at the end so
+/// position-indexed sweep grids keep their historical run->plan mapping.
 const std::vector<std::string>& DefaultTemplateNames();
 
 /// Generates a randomized plan from `template_name` for a system of

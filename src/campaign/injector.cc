@@ -1,5 +1,7 @@
 #include "campaign/injector.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "telemetry/coverage.h"
 
@@ -61,9 +63,42 @@ void FaultInjector::Arm() {
           }
         });
         break;
+      case FaultKind::kOneWayPartition:
+        simulator.Schedule(event.at, [this, i] {
+          const FaultEvent& e = plan_.events[i];
+          fired_[i] = true;
+          ++faults_triggered_;
+          system_->network().SeverLinkOneWay(e.site, e.peer);
+          if (e.duration > 0) {
+            system_->simulator().Schedule(e.duration, [this, i] {
+              const FaultEvent& healed = plan_.events[i];
+              system_->network().HealLinkOneWay(healed.site, healed.peer);
+            });
+          }
+        });
+        break;
+      case FaultKind::kGrayFailure:
+        simulator.Schedule(event.at, [this, i] {
+          const FaultEvent& e = plan_.events[i];
+          fired_[i] = true;
+          ++faults_triggered_;
+          system_->network().SetGrayFactor(e.site, e.factor);
+          if (e.duration > 0) {
+            system_->simulator().Schedule(e.duration, [this, i] {
+              // Clears only if no later gray window re-raised the factor.
+              const FaultEvent& over = plan_.events[i];
+              if (system_->network().GrayFactor(over.site) == over.factor) {
+                system_->network().SetGrayFactor(over.site, 0);
+              }
+            });
+          }
+        });
+        break;
       case FaultKind::kSiteCrashAtStep:
       case FaultKind::kDropMessage:
       case FaultKind::kDelayMessage:
+      case FaultKind::kDuplicateMessage:
+      case FaultKind::kReorderMessages:
       case FaultKind::kCoordinatorCrash:
         break;  // hook-driven
     }
@@ -120,10 +155,14 @@ net::FaultDecision FaultInjector::OnMessage(const net::Message& message) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& event = plan_.events[i];
     if (event.kind != FaultKind::kDropMessage &&
-        event.kind != FaultKind::kDelayMessage) {
+        event.kind != FaultKind::kDelayMessage &&
+        event.kind != FaultKind::kDuplicateMessage &&
+        event.kind != FaultKind::kReorderMessages) {
       continue;
     }
-    if (fired_[i]) continue;
+    // One-shot events latch on `fired_`; a reorder window keeps matching
+    // until its `count` consecutive matches are exhausted.
+    if (event.kind != FaultKind::kReorderMessages && fired_[i]) continue;
     if (event.msg_type >= 0 &&
         event.msg_type != static_cast<int>(message.type)) {
       continue;
@@ -132,13 +171,29 @@ net::FaultDecision FaultInjector::OnMessage(const net::Message& message) {
       continue;
     }
     if (event.msg_to != kInvalidSite && event.msg_to != message.to) continue;
+    if (event.kind == FaultKind::kReorderMessages) {
+      const int window = std::max(event.count, 1);
+      const int match = matches_[i]++;
+      if (match < event.occurrence || match >= event.occurrence + window) {
+        continue;
+      }
+      if (!fired_[i]) {
+        fired_[i] = true;
+        ++faults_triggered_;
+      }
+      decision.reorder_window =
+          std::max(decision.reorder_window, event.duration);
+      continue;
+    }
     if (matches_[i]++ != event.occurrence) continue;
     fired_[i] = true;
     ++faults_triggered_;
     if (event.kind == FaultKind::kDropMessage) {
       decision.drop = true;
-    } else {
+    } else if (event.kind == FaultKind::kDelayMessage) {
       decision.extra_delay += event.duration;
+    } else {
+      decision.duplicates += std::max(event.count, 1);
     }
   }
   return decision;

@@ -59,6 +59,8 @@ core::SystemOptions MakeSystemOptions(const CampaignRunConfig& config) {
   // Well above lock_wait_timeout (300ms) times the sites-per-txn fan-out,
   // so only a genuinely vanished coordinator trips the pre-vote abort.
   options.protocol.prevote_timeout = Seconds(2);
+  options.network.duplicate_copies = config.duplicate_copies;
+  options.network.duplicate_filter = config.duplicate_filter;
   return options;
 }
 
@@ -76,22 +78,45 @@ workload::WorkloadOptions MakeWorkloadOptions(const CampaignRunConfig& config) {
   return options;
 }
 
-/// Classifies oracle violations into verdict-coverage cells by their
-/// oracle prefix (one count per violation; one kPass for a clean run).
+/// Classifies one violation message into its verdict category by oracle
+/// prefix.
+telemetry::OracleVerdict ClassifyViolation(const std::string& violation) {
+  if (violation.rfind("trace:", 0) == 0) {
+    return telemetry::OracleVerdict::kTraceViolation;
+  }
+  if (violation.rfind("sg:", 0) == 0) {
+    return telemetry::OracleVerdict::kSgViolation;
+  }
+  return telemetry::OracleVerdict::kAuditViolation;
+}
+
+/// Classifies oracle violations into verdict-coverage cells (one count per
+/// violation; one kPass for a clean run).
 void RecordVerdicts(const OracleReport& oracle, telemetry::CoverageMap* map) {
   if (oracle.ok()) {
     map->RecordVerdict(telemetry::OracleVerdict::kPass);
     return;
   }
   for (const std::string& violation : oracle.violations) {
-    if (violation.rfind("trace:", 0) == 0) {
-      map->RecordVerdict(telemetry::OracleVerdict::kTraceViolation);
-    } else if (violation.rfind("sg:", 0) == 0) {
-      map->RecordVerdict(telemetry::OracleVerdict::kSgViolation);
-    } else {
-      map->RecordVerdict(telemetry::OracleVerdict::kAuditViolation);
+    map->RecordVerdict(ClassifyViolation(violation));
+  }
+}
+
+/// The run's verdict *categories*, deduplicated — the row set crossed with
+/// every fault production that fired (each matrix cell counts runs, not
+/// violations, so the matrix folds identically at every job count).
+std::vector<telemetry::OracleVerdict> VerdictCategories(
+    const OracleReport& oracle) {
+  if (oracle.ok()) return {telemetry::OracleVerdict::kPass};
+  std::vector<telemetry::OracleVerdict> categories;
+  for (const std::string& violation : oracle.violations) {
+    const telemetry::OracleVerdict verdict = ClassifyViolation(violation);
+    if (std::find(categories.begin(), categories.end(), verdict) ==
+        categories.end()) {
+      categories.push_back(verdict);
     }
   }
+  return categories;
 }
 
 }  // namespace
@@ -102,6 +127,7 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
 
   trace::TraceRecorder recorder;
   CampaignRunResult result;
+  std::array<std::uint64_t, kNumFaultKinds> fired{};
   {
     trace::ScopedTrace scope(&recorder, &system.simulator());
     if (config.collect_telemetry) {
@@ -127,7 +153,7 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
     system.Run();
     result.faults_triggered = injector.faults_triggered();
     if (config.collect_telemetry) {
-      const auto fired = injector.FiredByKind();
+      fired = injector.FiredByKind();
       for (int kind = 0; kind < kNumFaultKinds; ++kind) {
         if (fired[kind] > 0) {
           result.telemetry.coverage.RecordFault(kind, fired[kind]);
@@ -144,6 +170,15 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
   if (config.collect_telemetry) {
     telemetry::CollectFromJournal(recorder.events(), &result.telemetry);
     RecordVerdicts(result.oracle, &result.telemetry.coverage);
+    // Cross every production that fired with the run's verdict categories.
+    for (const telemetry::OracleVerdict verdict :
+         VerdictCategories(result.oracle)) {
+      for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+        if (fired[kind] > 0) {
+          result.telemetry.coverage.RecordProductionVerdict(kind, verdict);
+        }
+      }
+    }
   }
   std::ostringstream journal;
   trace::ExportJsonl(recorder.events(), journal);
@@ -171,6 +206,14 @@ std::string ArtifactToString(const CampaignRunConfig& config) {
   out << "globals=" << config.num_globals << "\n";
   out << "locals=" << config.num_locals << "\n";
   out << "abort_prob=" << config.vote_abort_probability << "\n";
+  // Only non-default duplication knobs are serialized, so pre-existing
+  // artifacts round-trip byte-identically.
+  if (config.duplicate_copies != 0) {
+    out << "duplicate_copies=" << config.duplicate_copies << "\n";
+  }
+  if (config.duplicate_filter != -1) {
+    out << "duplicate_filter=" << config.duplicate_filter << "\n";
+  }
   if (!config.template_name.empty()) {
     out << "template=" << config.template_name << "\n";
   }
@@ -230,6 +273,10 @@ bool ParseArtifact(const std::string& text, CampaignRunConfig* config,
         parsed.num_locals = std::stoi(value);
       } else if (key == "abort_prob") {
         parsed.vote_abort_probability = std::stod(value);
+      } else if (key == "duplicate_copies") {
+        parsed.duplicate_copies = std::stoi(value);
+      } else if (key == "duplicate_filter") {
+        parsed.duplicate_filter = std::stoi(value);
       } else if (key == "template") {
         parsed.template_name = value;
       } else {
@@ -313,6 +360,8 @@ CampaignRunConfig GridConfig(const CampaignOptions& options,
   config.num_globals = options.num_globals;
   config.num_locals = options.num_locals;
   config.vote_abort_probability = options.vote_abort_probability;
+  config.duplicate_copies = options.duplicate_copies;
+  config.duplicate_filter = options.duplicate_filter;
   config.plan =
       GeneratePlan(config.template_name, config.seed, config.num_sites);
   return config;

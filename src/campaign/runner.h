@@ -30,6 +30,12 @@ struct CampaignRunConfig {
   int num_globals = 24;
   int num_locals = 12;
   double vote_abort_probability = 0.15;
+  /// Blanket at-least-once delivery at the net layer: every message
+  /// matching `duplicate_filter` (a net::MessageType as int; -1 = all) is
+  /// delivered `1 + duplicate_copies` times. The idempotence property
+  /// sweeps run the whole campaign under this; 0 disables it.
+  int duplicate_copies = 0;
+  int duplicate_filter = -1;
   /// Campaign provenance, carried into artifacts (informational).
   std::string template_name;
   /// Capture phase latencies + coverage for this run (telemetry is purely
@@ -102,6 +108,11 @@ struct CampaignOptions {
   int num_globals = 24;
   int num_locals = 12;
   double vote_abort_probability = 0.15;
+  /// Blanket duplication for every run of the sweep (see
+  /// CampaignRunConfig::duplicate_copies) — the duplication-enabled
+  /// campaign mode the idempotence acceptance gate runs at volume.
+  int duplicate_copies = 0;
+  int duplicate_filter = -1;
   /// Collect sweep telemetry (phase latencies, coverage map, time-series
   /// for the first run of each protocol) into CampaignReport::telemetry.
   bool collect_telemetry = false;

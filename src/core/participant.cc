@@ -70,6 +70,26 @@ void Participant::OnSubtxnInvoke(const net::Message& message) {
       return;
     }
     if (payload->attempt < sub.attempt) return;  // stale resend
+    if (sub.voted || sub.decided) {
+      // Ghost-round retransmission: a duplicated or reordered INVOKE with
+      // a higher attempt landing after this subtransaction already cast a
+      // binding vote (e.g. a recovery-abort stub answered a resent
+      // VOTE-REQ) or learned the DECISION. Reinitializing here would wipe
+      // the binding vote and re-execute a settled transaction — a peer
+      // that resolved abort off the stub via CTP would then diverge from
+      // a later commit vote. Re-answer from the recorded state instead.
+      // The sender is the authoritative coordinator — a stub created by a
+      // TERM-REQ has none, and answering it would address kInvalidSite.
+      sub.coordinator = message.from;
+      if (sub.decision_acked && sub.last_decision_ack != nullptr) {
+        SendDecisionAck(sub, sub.last_decision_ack->compensated);
+      } else if (sub.last_vote != nullptr) {
+        SendVote(sub, sub.last_vote->commit, sub.last_vote->recovery_abort);
+      } else if (sub.voted) {
+        SendVote(sub, sub.vote_commit, /*recovery_abort=*/!sub.vote_commit);
+      }
+      return;
+    }
     // A genuinely new attempt (retry after rejection) falls through and
     // reinitializes the runtime below.
   }

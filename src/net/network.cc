@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "trace/trace.h"
 
@@ -18,16 +20,33 @@ void Network::RegisterNode(SiteId site, Handler handler) {
 }
 
 Duration Network::DeliveryLatency(SiteId from, SiteId to) {
-  if (from == to) return options_.loopback_latency;
-  Duration base = options_.base_latency;
-  if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
-    base = it->second;
+  Duration latency;
+  if (from == to) {
+    latency = options_.loopback_latency;
+  } else {
+    Duration base = options_.base_latency;
+    if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
+      base = it->second;
+    }
+    Duration jitter = 0;
+    if (options_.jitter > 0) {
+      jitter = rng_.Uniform(0, options_.jitter);
+    }
+    latency = base + jitter;
   }
-  Duration jitter = 0;
-  if (options_.jitter > 0) {
-    jitter = rng_.Uniform(0, options_.jitter);
+  // A gray endpoint inflates the whole delivery (its slow processing is
+  // folded into the link time); two gray endpoints take the worse factor.
+  if (!gray_factor_.empty()) {
+    std::int64_t factor = 1;
+    if (auto it = gray_factor_.find(from); it != gray_factor_.end()) {
+      factor = std::max(factor, it->second);
+    }
+    if (auto it = gray_factor_.find(to); it != gray_factor_.end()) {
+      factor = std::max(factor, it->second);
+    }
+    latency *= factor;
   }
-  return base + jitter;
+  return latency;
 }
 
 void Network::CountDrop(const Message& message) {
@@ -56,6 +75,8 @@ void Network::Send(Message message) {
   }
 
   Duration latency = DeliveryLatency(message.from, message.to);
+  int extra_copies = 0;
+  Duration reorder_window = 0;
   if (fault_hook_) {
     const FaultDecision decision = fault_hook_(message);
     if (decision.drop) {
@@ -63,8 +84,35 @@ void Network::Send(Message message) {
       return;
     }
     latency += decision.extra_delay;
+    extra_copies = decision.duplicates;
+    reorder_window = decision.reorder_window;
+    if (reorder_window > 0) {
+      latency += rng_.Uniform(0, reorder_window);
+    }
+  }
+  if (options_.duplicate_copies > 0 &&
+      (options_.duplicate_filter < 0 ||
+       options_.duplicate_filter == static_cast<int>(message.type))) {
+    extra_copies += options_.duplicate_copies;
   }
 
+  // Extra copies each draw their own latency (and reorder offset), so a
+  // copy can overtake the original — at-least-once delivery with no
+  // ordering promise, which is exactly what handler idempotence must
+  // survive. Draws happen before any delivery runs, keeping the RNG
+  // stream a pure function of the send sequence.
+  for (int copy = 0; copy < extra_copies; ++copy) {
+    Duration copy_latency = DeliveryLatency(message.from, message.to);
+    if (reorder_window > 0) {
+      copy_latency += rng_.Uniform(0, reorder_window);
+    }
+    stats_.duplicated++;
+    ScheduleDelivery(message, copy_latency);
+  }
+  ScheduleDelivery(std::move(message), latency);
+}
+
+void Network::ScheduleDelivery(Message message, Duration latency) {
   ++in_flight_;
   simulator_->Schedule(latency, [this, msg = std::move(message)]() {
     --in_flight_;
@@ -97,6 +145,27 @@ void Network::SeverLink(SiteId a, SiteId b) {
 void Network::HealLink(SiteId a, SiteId b) {
   severed_.erase({a, b});
   severed_.erase({b, a});
+}
+
+void Network::SeverLinkOneWay(SiteId from, SiteId to) {
+  severed_.insert({from, to});
+}
+
+void Network::HealLinkOneWay(SiteId from, SiteId to) {
+  severed_.erase({from, to});
+}
+
+void Network::SetGrayFactor(SiteId site, std::int64_t factor) {
+  if (factor <= 1) {
+    gray_factor_.erase(site);
+  } else {
+    gray_factor_[site] = factor;
+  }
+}
+
+std::int64_t Network::GrayFactor(SiteId site) const {
+  auto it = gray_factor_.find(site);
+  return it == gray_factor_.end() ? 1 : it->second;
 }
 
 bool Network::Severed(SiteId a, SiteId b) const {

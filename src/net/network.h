@@ -39,6 +39,14 @@ struct NetworkOptions {
   Duration loopback_latency = Micros(10);
   /// Probability a message is silently dropped (partitions drop anyway).
   double drop_probability = 0.0;
+  /// Blanket at-least-once delivery: every message matching
+  /// `duplicate_filter` is delivered `1 + duplicate_copies` times, each
+  /// copy with an independent latency draw. The idempotence property
+  /// sweeps run whole campaigns under this; 0 disables it (and the RNG
+  /// stream is then untouched, so fault-free runs stay byte-identical).
+  int duplicate_copies = 0;
+  /// MessageType (as int) the blanket duplication applies to; -1 = all.
+  int duplicate_filter = -1;
 };
 
 /// Per-type delivery statistics.
@@ -46,6 +54,8 @@ struct NetworkStats {
   std::array<std::uint64_t, kNumMessageTypes> sent_by_type{};
   std::uint64_t sent_total = 0;
   std::uint64_t dropped = 0;
+  /// Extra deliveries manufactured by duplication (hook or blanket).
+  std::uint64_t duplicated = 0;
 
   std::uint64_t sent(MessageType type) const {
     return sent_by_type[static_cast<int>(type)];
@@ -58,6 +68,14 @@ struct FaultDecision {
   bool drop = false;
   /// Extra one-way delay added on top of the link latency.
   Duration extra_delay = 0;
+  /// Deliver this many *extra* copies (at-least-once delivery). Each copy
+  /// draws its own link latency, so copies can overtake the original.
+  int duplicates = 0;
+  /// Reorder window: every delivery of this message (original and copies)
+  /// gets an independent extra delay uniform in [0, reorder_window], which
+  /// shuffles its order against neighboring traffic while never moving it
+  /// by more than the window bound.
+  Duration reorder_window = 0;
 };
 
 class Network {
@@ -90,6 +108,14 @@ class Network {
   /// Restores both directions between `a` and `b`.
   void HealLink(SiteId a, SiteId b);
 
+  /// Severs only the direction `from`->`to` (an asymmetric, one-way
+  /// partition: A cannot reach B while B still reaches A). In-flight
+  /// messages obey the same directional rule at their delivery instant.
+  void SeverLinkOneWay(SiteId from, SiteId to);
+
+  /// Restores only the direction `from`->`to`.
+  void HealLinkOneWay(SiteId from, SiteId to);
+
   /// True if a->b is currently severed.
   bool Severed(SiteId a, SiteId b) const;
 
@@ -100,6 +126,14 @@ class Network {
   /// ones already in flight — are dropped until it comes back up.
   void SetNodeDown(SiteId node, bool down);
   bool NodeDown(SiteId node) const { return down_.contains(node); }
+
+  /// Gray failure: every delivery to or from `site` (loopback included)
+  /// has its latency multiplied by `factor` — the site is slow but alive,
+  /// never declared down, and never loses a message. `factor` <= 1
+  /// clears the condition. Purely a function of simulated time, so gray
+  /// windows replay deterministically.
+  void SetGrayFactor(SiteId site, std::int64_t factor);
+  std::int64_t GrayFactor(SiteId site) const;
 
   /// Installs (or, with nullptr, clears) the scriptable fault hook.
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
@@ -118,6 +152,10 @@ class Network {
   /// Records one drop (counter + trace event).
   void CountDrop(const Message& message);
 
+  /// Schedules one delivery of `message` after `latency` (fault state is
+  /// re-checked at the delivery instant).
+  void ScheduleDelivery(Message message, Duration latency);
+
   sim::Simulator* simulator_;  // not owned
   NetworkOptions options_;
   Rng rng_;
@@ -125,6 +163,7 @@ class Network {
   std::map<SiteId, Handler> handlers_;
   std::set<std::pair<SiteId, SiteId>> severed_;
   std::set<SiteId> down_;
+  std::map<SiteId, std::int64_t> gray_factor_;
   std::map<std::pair<SiteId, SiteId>, Duration> link_latency_;
   NetworkStats stats_;
   std::uint64_t in_flight_ = 0;

@@ -18,6 +18,14 @@ const char* FaultProductionName(int index) {
       return "delay";
     case 5:
       return "coordinator_crash";
+    case 6:
+      return "duplicate";
+    case 7:
+      return "reorder";
+    case 8:
+      return "oneway_partition";
+    case 9:
+      return "gray";
     default:
       return "unknown";
   }
@@ -50,6 +58,9 @@ void CoverageMap::Merge(const CoverageMap& other) {
   for (std::size_t i = 0; i < verdict_hits.size(); ++i) {
     verdict_hits[i] += other.verdict_hits[i];
   }
+  for (std::size_t i = 0; i < production_verdict_hits.size(); ++i) {
+    production_verdict_hits[i] += other.production_verdict_hits[i];
+  }
 }
 
 std::vector<std::string> CoverageMap::UnhitCells() const {
@@ -63,6 +74,16 @@ std::vector<std::string> CoverageMap::UnhitCells() const {
   for (int i = 0; i < kNumFaultProductions; ++i) {
     if (fault_hits[i] == 0) {
       unhit.push_back(StrCat("fault:", FaultProductionName(i)));
+    }
+  }
+  // Matrix gate, pass column only: each production must appear in at least
+  // one run the whole oracle battery judged clean. (The violation columns
+  // are unreachable in a healthy sweep, so gating them would always fail.)
+  for (int i = 0; i < kNumFaultProductions; ++i) {
+    if (production_verdict_hits[ProductionVerdictCell(
+            i, static_cast<int>(OracleVerdict::kPass))] == 0) {
+      unhit.push_back(StrCat("fault_verdict:", FaultProductionName(i),
+                             "/pass"));
     }
   }
   return unhit;
@@ -80,6 +101,7 @@ std::uint64_t CoverageMap::Fingerprint() const {
   for (std::uint64_t v : message_hits) fold(v);
   for (std::uint64_t v : fault_hits) fold(v);
   for (std::uint64_t v : verdict_hits) fold(v);
+  for (std::uint64_t v : production_verdict_hits) fold(v);
   return hash;
 }
 

@@ -26,7 +26,7 @@
 namespace o2pc::telemetry {
 
 /// One cell per campaign::FaultKind, same order.
-inline constexpr int kNumFaultProductions = 6;
+inline constexpr int kNumFaultProductions = 10;
 
 /// Grammar-production name ("crash", "partition", ...) for cell `index`;
 /// identical to campaign::FaultKindName.
@@ -44,12 +44,23 @@ inline constexpr int kNumOracleVerdicts = 4;
 
 const char* OracleVerdictName(OracleVerdict verdict);
 
-/// Hit counters along the four coverage axes.
+/// Index of the (fault production x oracle verdict) matrix cell.
+constexpr int ProductionVerdictCell(int production, int verdict) {
+  return production * kNumOracleVerdicts + verdict;
+}
+
+/// Hit counters along the coverage axes, plus the (fault production x
+/// oracle verdict) matrix: for every run, each production that fired is
+/// crossed with the run's verdict categories — "did the sweep ever see a
+/// duplication-faulted run pass the whole oracle battery" becomes one
+/// gated cell instead of a join over two marginals.
 struct CoverageMap {
   std::array<std::uint64_t, core::kNumProtocolSteps> step_hits{};
   std::array<std::uint64_t, net::kNumMessageTypes> message_hits{};
   std::array<std::uint64_t, kNumFaultProductions> fault_hits{};
   std::array<std::uint64_t, kNumOracleVerdicts> verdict_hits{};
+  std::array<std::uint64_t, kNumFaultProductions * kNumOracleVerdicts>
+      production_verdict_hits{};
 
   void RecordStep(core::ProtocolStep step) {
     ++step_hits[static_cast<int>(step)];
@@ -63,15 +74,21 @@ struct CoverageMap {
   void RecordVerdict(OracleVerdict verdict) {
     ++verdict_hits[static_cast<int>(verdict)];
   }
+  void RecordProductionVerdict(int production, OracleVerdict verdict) {
+    ++production_verdict_hits[static_cast<std::size_t>(
+        ProductionVerdictCell(production, static_cast<int>(verdict)))];
+  }
 
   /// Element-wise counter addition (commutative and associative, so the
   /// sweep fold is order-independent).
   void Merge(const CoverageMap& other);
 
-  /// Names of the *gated* cells with zero hits: every ProtocolStep and
-  /// every fault production. Message types and verdicts are reported but
-  /// not gated (kUser never appears outside unit tests, and a healthy
-  /// sweep hits exactly one verdict).
+  /// Names of the *gated* cells with zero hits: every ProtocolStep, every
+  /// fault production, and every (production, pass) matrix cell — a sweep
+  /// must show each production surviving the full oracle battery at least
+  /// once. Message types, verdicts, and the violation columns of the
+  /// matrix are reported but not gated (kUser never appears outside unit
+  /// tests, and a healthy sweep never produces a violation verdict).
   std::vector<std::string> UnhitCells() const;
 
   /// FNV-1a over every counter, in axis order — the sweep coverage

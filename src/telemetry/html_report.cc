@@ -379,9 +379,33 @@ std::string RenderHtml(const SweepTelemetry& telemetry,
                        return OracleVerdictName(static_cast<OracleVerdict>(i));
                      },
                      /*gated=*/false);
+  // Production x verdict matrix: one row per fault production, one column
+  // per oracle verdict. Only the pass column is gated.
+  out += "<div class=\"axis-title\">fault production × oracle verdict</div>";
+  out += "<table><tr><th></th>";
+  for (int v = 0; v < kNumOracleVerdicts; ++v) {
+    out += StrCat("<th>", OracleVerdictName(static_cast<OracleVerdict>(v)),
+                  "</th>");
+  }
+  out += "</tr>\n";
+  for (int p = 0; p < kNumFaultProductions; ++p) {
+    out += StrCat("<tr><td>", FaultProductionName(p), "</td>");
+    for (int v = 0; v < kNumOracleVerdicts; ++v) {
+      const std::uint64_t hits =
+          coverage.production_verdict_hits[ProductionVerdictCell(p, v)];
+      const bool gated_unhit =
+          hits == 0 && v == static_cast<int>(OracleVerdict::kPass);
+      out += gated_unhit
+                 ? std::string("<td class=\"unhit\">✗ unhit</td>")
+                 : StrCat("<td>", hits, "</td>");
+    }
+    out += "</tr>\n";
+  }
+  out += "</table>\n";
   out +=
-      "<p class=\"note\">✗ marks a gated cell (protocol step or fault "
-      "production) the sweep never exercised.</p>\n";
+      "<p class=\"note\">✗ marks a gated cell (protocol step, fault "
+      "production, or a production's pass column in the matrix) the sweep "
+      "never exercised.</p>\n";
   out += "</div>\n";
 
   // --- Time-series sparklines ---

@@ -215,6 +215,17 @@ std::string SweepTelemetry::ToJson() const {
   out += ",\n";
   AppendCounterObject(&out, "verdicts", coverage.verdict_hits.data(),
                       kNumOracleVerdicts, &VerdictNameAt, "    ");
+  out += ",\n    \"production_verdicts\": {";
+  for (int p = 0; p < kNumFaultProductions; ++p) {
+    out += StrCat(p == 0 ? "" : ", ", "\"", FaultProductionName(p), "\": {");
+    for (int v = 0; v < kNumOracleVerdicts; ++v) {
+      out += StrCat(v == 0 ? "" : ", ", "\"", VerdictNameAt(v), "\": ",
+                    coverage.production_verdict_hits[ProductionVerdictCell(
+                        p, v)]);
+    }
+    out += "}";
+  }
+  out += "}";
   out += ",\n    \"unhit\": [";
   const std::vector<std::string> unhit = coverage.UnhitCells();
   for (std::size_t i = 0; i < unhit.size(); ++i) {
@@ -355,6 +366,36 @@ bool SweepTelemetry::FromJson(const std::string& text, SweepTelemetry* out,
                          kNumOracleVerdicts, &VerdictNameAt, "verdicts",
                          error)) {
     return false;
+  }
+  // Absent in pre-matrix files; rows for unknown productions are an error
+  // like any other axis-name mismatch.
+  const JsonValue& matrix = coverage.Get("production_verdicts");
+  if (!matrix.IsNull()) {
+    if (!matrix.IsObject()) {
+      *error = "coverage.production_verdicts is not an object";
+      return false;
+    }
+    for (const auto& [key, row] : matrix.object) {
+      int production = -1;
+      for (int p = 0; p < kNumFaultProductions; ++p) {
+        if (key == FaultProductionName(p)) {
+          production = p;
+          break;
+        }
+      }
+      if (production < 0) {
+        *error = StrCat("unknown production_verdicts row '", key, "'");
+        return false;
+      }
+      if (!ReadCounterObject(
+              row,
+              out->coverage.production_verdict_hits.data() +
+                  ProductionVerdictCell(production, 0),
+              kNumOracleVerdicts, &VerdictNameAt, "production_verdicts",
+              error)) {
+        return false;
+      }
+    }
   }
 
   for (const JsonValue& entry : root.Get("protocols").array) {

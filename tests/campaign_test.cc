@@ -319,6 +319,281 @@ TEST(ReplayTest, CoordinatorOutageReplaysByteIdentically) {
   }
 }
 
+TEST(FaultPlanTest, AdversarialProductionsRoundTripThroughGrammar) {
+  FaultPlan plan;
+  FaultEvent duplicate;
+  duplicate.kind = FaultKind::kDuplicateMessage;
+  duplicate.msg_type = static_cast<int>(net::MessageType::kVoteRequest);
+  duplicate.msg_from = kInvalidSite;
+  duplicate.msg_to = 2;
+  duplicate.occurrence = 1;
+  duplicate.count = 2;
+  plan.events.push_back(duplicate);
+  FaultEvent reorder;
+  reorder.kind = FaultKind::kReorderMessages;
+  reorder.msg_type = -1;
+  reorder.msg_from = 0;
+  reorder.msg_to = kInvalidSite;
+  reorder.occurrence = 0;
+  reorder.count = 6;
+  reorder.duration = Millis(15);
+  plan.events.push_back(reorder);
+  FaultEvent oneway;
+  oneway.kind = FaultKind::kOneWayPartition;
+  oneway.site = 0;
+  oneway.peer = 1;
+  oneway.at = Millis(8);
+  oneway.duration = Millis(50);
+  plan.events.push_back(oneway);
+  FaultEvent gray;
+  gray.kind = FaultKind::kGrayFailure;
+  gray.site = 2;
+  gray.at = Millis(10);
+  gray.duration = Millis(80);
+  gray.factor = 25;
+  plan.events.push_back(gray);
+
+  const std::string text = plan.ToString();
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  EXPECT_EQ(parsed.events[0].count, 2);
+  EXPECT_EQ(parsed.events[1].count, 6);
+  EXPECT_EQ(parsed.events[1].duration, Millis(15));
+  EXPECT_EQ(parsed.events[3].factor, 25);
+  EXPECT_EQ(parsed.ToString(), text);
+}
+
+TEST(FaultPlanTest, AdversarialProductionsRejectBadFields) {
+  FaultPlan parsed;
+  std::string error;
+  // duplicate needs copies >= 1.
+  EXPECT_FALSE(FaultPlan::Parse(
+      "duplicate type=any from=any to=any occurrence=0 copies=0\n", &parsed,
+      &error));
+  // reorder needs count >= 1 and a window.
+  EXPECT_FALSE(FaultPlan::Parse(
+      "reorder type=any from=any to=any occurrence=0 count=0 window_us=100\n",
+      &parsed, &error));
+  // gray factor must be >= 2 (1x is not a failure).
+  EXPECT_FALSE(FaultPlan::Parse(
+      "gray site=1 at_us=0 duration_us=1000 factor=1\n", &parsed, &error));
+  // oneway_partition needs all four keys.
+  EXPECT_FALSE(FaultPlan::Parse("oneway_partition from=0 to=1 at_us=0\n",
+                                &parsed, &error));
+}
+
+TEST(InjectorTest, DuplicatePinRedeliversWithoutOracleViolations) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 11);
+  FaultEvent duplicate;
+  duplicate.kind = FaultKind::kDuplicateMessage;
+  duplicate.msg_type = static_cast<int>(net::MessageType::kVoteRequest);
+  duplicate.msg_from = kInvalidSite;
+  duplicate.msg_to = kInvalidSite;
+  duplicate.occurrence = 0;
+  duplicate.count = 3;
+  config.plan.events.push_back(duplicate);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 1);
+  // Redelivery must be absorbed idempotently: no double-commit, no
+  // double-compensation, conservation clean.
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(InjectorTest, OneWayPartitionAndGrayFailureArmAtTime) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 12);
+  FaultEvent oneway;
+  oneway.kind = FaultKind::kOneWayPartition;
+  oneway.site = 0;
+  oneway.peer = 1;
+  oneway.at = Millis(5);
+  oneway.duration = Millis(40);
+  config.plan.events.push_back(oneway);
+  FaultEvent gray;
+  gray.kind = FaultKind::kGrayFailure;
+  gray.site = 2;
+  gray.at = Millis(10);
+  gray.duration = Millis(60);
+  gray.factor = 20;
+  config.plan.events.push_back(gray);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 2);
+  // Both faults heal; the retransmission safety net must drain everything.
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(ReplayTest, AdversarialTemplatesReplayByteIdentically) {
+  for (const char* name : {"duplicates", "reorders", "oneway_partitions",
+                           "gray", "mixed_adversarial"}) {
+    for (const core::CommitProtocol protocol :
+         {core::CommitProtocol::kOptimistic,
+          core::CommitProtocol::kTwoPhaseCommit}) {
+      CampaignRunConfig config = SmallConfig(protocol, 41);
+      config.template_name = name;
+      config.plan = GeneratePlan(name, 41, config.num_sites);
+      ASSERT_FALSE(config.plan.empty()) << name;
+      const CampaignRunResult first = RunOne(config);
+      const CampaignRunResult second = RunOne(config);
+      ASSERT_FALSE(first.journal.empty());
+      EXPECT_EQ(first.fingerprint, second.fingerprint) << name;
+      EXPECT_EQ(first.journal, second.journal) << name;
+      EXPECT_EQ(first.faults_triggered, second.faults_triggered) << name;
+      EXPECT_EQ(first.oracle.violations, second.oracle.violations) << name;
+    }
+  }
+}
+
+TEST(ReplayTest, MixedDuplicateOneWayPlanReplaysByteIdentically) {
+  // Duplication and an asymmetric partition in the same run: copies of the
+  // same message race a one-way severed link. The pair must replay
+  // bit-exactly and the artifact grammar must round-trip the mix.
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 51);
+  FaultEvent duplicate;
+  duplicate.kind = FaultKind::kDuplicateMessage;
+  duplicate.msg_type = -1;
+  duplicate.msg_from = kInvalidSite;
+  duplicate.msg_to = kInvalidSite;
+  duplicate.occurrence = 2;
+  duplicate.count = 2;
+  config.plan.events.push_back(duplicate);
+  FaultEvent oneway;
+  oneway.kind = FaultKind::kOneWayPartition;
+  oneway.site = 1;
+  oneway.peer = 0;
+  oneway.at = Millis(6);
+  oneway.duration = Millis(30);
+  config.plan.events.push_back(oneway);
+
+  const CampaignRunResult first = RunOne(config);
+  const CampaignRunResult second = RunOne(config);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.journal, second.journal);
+  EXPECT_EQ(first.faults_triggered, 2);
+  EXPECT_TRUE(first.ok()) << first.oracle.Summary();
+
+  const std::string text = ArtifactToString(config);
+  CampaignRunConfig parsed;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.plan.ToString(), config.plan.ToString());
+  EXPECT_EQ(RunOne(parsed).fingerprint, first.fingerprint);
+}
+
+TEST(ShrinkTest, AdversarialNoiseEventsShrinkAwayFromLethalPlan) {
+  // The known-bad plan plus one noise event of each new production: the
+  // greedy shrinker must strip all of them and land on the same 1-minimal
+  // lethal crash, proving the new productions are shrinkable.
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 1);
+  config.plan = KnownBadPlan(config.num_sites);
+  FaultEvent duplicate;
+  duplicate.kind = FaultKind::kDuplicateMessage;
+  duplicate.msg_type = static_cast<int>(net::MessageType::kVote);
+  duplicate.msg_from = kInvalidSite;
+  duplicate.msg_to = kInvalidSite;
+  duplicate.occurrence = 0;
+  duplicate.count = 1;
+  config.plan.events.push_back(duplicate);
+  FaultEvent reorder;
+  reorder.kind = FaultKind::kReorderMessages;
+  reorder.msg_type = -1;
+  reorder.msg_from = kInvalidSite;
+  reorder.msg_to = kInvalidSite;
+  reorder.occurrence = 0;
+  reorder.count = 4;
+  reorder.duration = Millis(5);
+  config.plan.events.push_back(reorder);
+  FaultEvent oneway;
+  oneway.kind = FaultKind::kOneWayPartition;
+  oneway.site = 1;
+  oneway.peer = 2;
+  oneway.at = Millis(4);
+  oneway.duration = Millis(10);
+  config.plan.events.push_back(oneway);
+  FaultEvent gray;
+  gray.kind = FaultKind::kGrayFailure;
+  gray.site = 2;
+  gray.at = Millis(2);
+  gray.duration = Millis(20);
+  gray.factor = 10;
+  config.plan.events.push_back(gray);
+  ASSERT_FALSE(RunOne(config).ok());
+
+  const ShrinkResult shrunk = ShrinkFaultPlan(config);
+  EXPECT_TRUE(shrunk.reached_fixpoint);
+  ASSERT_LE(shrunk.plan.events.size(), 2u);
+  ASSERT_GE(shrunk.plan.events.size(), 1u);
+  EXPECT_EQ(shrunk.plan.events.front().kind, FaultKind::kSiteCrashAtStep);
+  CampaignRunConfig probe = config;
+  probe.plan = shrunk.plan;
+  EXPECT_FALSE(RunOne(probe).ok());
+}
+
+TEST(CampaignTest, DuplicationEnabledSweepStaysClean) {
+  // The blanket at-least-once campaign mode: every message of every run is
+  // delivered twice. One full template cycle under both protocols must
+  // pass the whole oracle battery — the volume version of this gate runs
+  // in CI (o2pc_campaign --duplicate-all).
+  CampaignOptions options;
+  options.runs = 26;  // one full cycle of all 13 templates x 2 protocols
+  options.base_seed = 4;
+  options.num_sites = 3;
+  options.keys_per_site = 16;
+  options.num_globals = 12;
+  options.num_locals = 6;
+  options.duplicate_copies = 1;
+  const CampaignReport report = RunCampaign(options);
+  EXPECT_EQ(report.runs_completed, 26);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(CampaignTest, KnownSgStraddleHoleStillReproduces) {
+  // Characterization pin for a KNOWN LATENT protocol hole (predates the
+  // adversarial fault grammar — the identical journal fingerprint
+  // reproduces on the pre-PR tree). A site crash timed just before a
+  // DECISION stretches the window in which a compensation has run at some
+  // execution sites but not yet at the crashed one; a transaction whose
+  // subtransactions straddle that window serializes before CT_i at one
+  // site and after it at another, building a regular SG cycle that the
+  // R1/R3 straddle checks miss (~4 in 10k runs at adversarial volume;
+  // tests/data/known_sg_straddle.plan replays it via the CLI). The hole
+  // is orthogonal to message idempotence: the minimal plan is a single
+  // crash event, with no duplication or reordering, and conservation,
+  // termination, and compensation-count oracles all stay clean — only the
+  // SG criterion trips. Tracked as a ROADMAP open item.
+  //
+  // If this test FAILS because the replay now passes the oracles: you
+  // likely fixed the hole. Delete this test, re-run the 10k sweeps to
+  // confirm at volume, and drop the seed caveat from the nightly CI job.
+  const std::string artifact =
+      "protocol=o2pc\n"
+      "seed=40362\n"
+      "sites=4\n"
+      "keys=24\n"
+      "globals=24\n"
+      "locals=12\n"
+      "abort_prob=0.15\n"
+      "template=crashes\n"
+      "plan_begin\n"
+      "crash site=0 step=before_decision occurrence=1 outage_us=72000\n"
+      "plan_end\n";
+  CampaignRunConfig config;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(artifact, &config, &error)) << error;
+  const CampaignRunResult result = RunOne(config);
+  // Still broken, deterministically so.
+  const CampaignRunResult again = RunOne(config);
+  EXPECT_EQ(result.fingerprint, again.fingerprint);
+  ASSERT_FALSE(result.ok());
+  for (const std::string& violation : result.oracle.violations) {
+    EXPECT_EQ(violation.rfind("sg:", 0), 0u)
+        << "non-SG oracle violation — this is a NEW bug, not the known "
+        << "straddle hole: " << violation;
+  }
+}
+
 TEST(CampaignTest, HealthySweepPassesAllOracles) {
   CampaignOptions options;
   options.runs = 16;  // one full template cycle under both protocols

@@ -140,7 +140,7 @@ TEST_F(NetworkTest, DestinationCrashMidFlightDropsDelivery) {
 
 TEST_F(NetworkTest, FaultHookDropsAndDelays) {
   int seen = 0;
-  network_.SetFaultHook([&](const Message& message) {
+  network_.SetFaultHook([&](const Message&) {
     FaultDecision decision;
     ++seen;
     if (seen == 1) decision.drop = true;          // first message: dropped
@@ -164,6 +164,200 @@ TEST_F(NetworkTest, FaultHookDropsAndDelays) {
       static_cast<const TestPayload*>(received_[1].message.payload.get())
           ->value,
       2);
+}
+
+TEST_F(NetworkTest, OneWayPartitionDropsExactlyTheDeadDirection) {
+  network_.SeverLinkOneWay(0, 1);
+  network_.Send(Make(0, 1, 1));  // dead direction: dropped
+  network_.Send(Make(1, 0, 2));  // live direction: delivered
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 0u);
+  EXPECT_EQ(
+      static_cast<const TestPayload*>(received_[0].message.payload.get())
+          ->value,
+      2);
+  EXPECT_EQ(network_.stats().dropped, 1u);
+  EXPECT_TRUE(network_.Severed(0, 1));
+  EXPECT_FALSE(network_.Severed(1, 0));
+
+  network_.HealLinkOneWay(0, 1);
+  network_.Send(Make(0, 1, 3));
+  sim_.Run();
+  EXPECT_EQ(received_.size(), 2u);
+}
+
+TEST_F(NetworkTest, OneWayPartitionKillsInFlightOnlyInTheDeadDirection) {
+  // Both messages leave at t=0 (due t=5ms); the 0->1 direction dies at
+  // t=1ms. The 0->1 packet must die at its delivery instant while the
+  // 1->0 packet — in the pipe at the same moment — sails through.
+  network_.Send(Make(0, 1, 1));
+  network_.Send(Make(1, 0, 2));
+  sim_.Schedule(Millis(1), [this] { network_.SeverLinkOneWay(0, 1); });
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 0u);
+  EXPECT_EQ(network_.stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, GrayFactorInflatesLatencyExactly) {
+  // jitter = 0, base 5ms: a gray factor of 10 means exactly 50ms, and the
+  // inflation covers loopback too (the slow site is slow to itself).
+  network_.SetGrayFactor(1, 10);
+  network_.Send(Make(0, 1));
+  network_.Send(Make(1, 1));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].when, Micros(100));  // loopback 10us x 10
+  EXPECT_EQ(received_[1].when, Millis(50));
+  EXPECT_EQ(network_.GrayFactor(1), 10);
+
+  // Clearing (factor <= 1) restores normal latency; no message was lost.
+  received_.clear();
+  network_.SetGrayFactor(1, 1);
+  EXPECT_EQ(network_.GrayFactor(1), 1);
+  network_.Send(Make(0, 1));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  // Sent at t=50ms (end of the first drain), delivered one base latency on.
+  EXPECT_EQ(received_[0].when, Millis(55));
+  EXPECT_EQ(network_.stats().dropped, 0u);
+}
+
+TEST_F(NetworkTest, GrayFactorUsesSlowerEndpoint) {
+  network_.SetGrayFactor(0, 10);
+  network_.SetGrayFactor(1, 20);
+  network_.Send(Make(0, 1));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].when, Millis(100));  // 5ms x max(10, 20)
+}
+
+TEST_F(NetworkTest, FaultHookDuplicatesDeliverExtraCopies) {
+  network_.SetFaultHook([](const Message&) {
+    FaultDecision decision;
+    decision.duplicates = 2;
+    return decision;
+  });
+  network_.Send(Make(0, 1, 9));
+  sim_.Run();
+  ASSERT_EQ(received_.size(), 3u);
+  for (const auto& r : received_) {
+    EXPECT_EQ(r.when, Millis(5));  // jitter 0: all copies land together
+    EXPECT_EQ(
+        static_cast<const TestPayload*>(r.message.payload.get())->value, 9);
+  }
+  EXPECT_EQ(network_.stats().duplicated, 2u);
+  EXPECT_EQ(network_.stats().sent_total, 1u);
+}
+
+TEST_F(NetworkTest, BlanketDuplicationHonorsTypeFilter) {
+  NetworkOptions options = Options();
+  options.duplicate_copies = 1;
+  options.duplicate_filter = static_cast<int>(MessageType::kVote);
+  sim::Simulator sim;
+  Network network(&sim, options, 99);
+  int user = 0;
+  int vote = 0;
+  network.RegisterNode(0, [](const Message&) {});
+  network.RegisterNode(1, [&](const Message& m) {
+    (m.type == MessageType::kVote ? vote : user)++;
+  });
+  Message u;
+  u.from = 0;
+  u.to = 1;
+  u.type = MessageType::kUser;
+  network.Send(std::move(u));
+  Message v;
+  v.from = 0;
+  v.to = 1;
+  v.type = MessageType::kVote;
+  network.Send(std::move(v));
+  sim.Run();
+  EXPECT_EQ(user, 1);  // filter mismatch: delivered once
+  EXPECT_EQ(vote, 2);  // filter match: original + 1 copy
+  EXPECT_EQ(network.stats().duplicated, 1u);
+}
+
+TEST(NetworkReorderTest, ReorderWindowNeverExceedsTheBound) {
+  sim::Simulator sim;
+  NetworkOptions options;
+  options.base_latency = Millis(5);
+  options.jitter = 0;
+  Network network(&sim, options, 11);
+  network.SetFaultHook([](const Message&) {
+    FaultDecision decision;
+    decision.reorder_window = Millis(10);
+    return decision;
+  });
+  struct Arrival {
+    int value;
+    SimTime when;
+  };
+  std::vector<Arrival> arrivals;
+  network.RegisterNode(0, [](const Message&) {});
+  network.RegisterNode(1, [&](const Message& m) {
+    arrivals.push_back(
+        {static_cast<const TestPayload*>(m.payload.get())->value, sim.Now()});
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto payload = std::make_shared<TestPayload>();
+    payload->value = i;
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = MessageType::kUser;
+    m.payload = payload;
+    network.Send(std::move(m));
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    // Bound: every delivery lands within [base, base + window].
+    EXPECT_GE(arrivals[i].when, Millis(5));
+    EXPECT_LE(arrivals[i].when, Millis(5) + Millis(10));
+    if (arrivals[i].value != static_cast<int>(i)) reordered = true;
+  }
+  // The window actually shuffles: with 200 messages and a 10ms window the
+  // seeded draw is guaranteed to move at least one out of send order.
+  EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkGrayDeterminismTest, GrayLatencyInflationIsDeterministicPerSeed) {
+  // Two networks, same seed, same gray schedule, with jitter enabled: the
+  // arrival sequences must be identical (gray windows replay bit-exactly).
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    NetworkOptions options;
+    options.base_latency = Millis(5);
+    options.jitter = Micros(500);
+    Network network(&sim, options, seed);
+    std::vector<SimTime> arrivals;
+    network.RegisterNode(0, [](const Message&) {});
+    network.RegisterNode(1,
+                         [&](const Message&) { arrivals.push_back(sim.Now()); });
+    network.SetGrayFactor(1, 25);
+    for (int i = 0; i < 50; ++i) {
+      Message m;
+      m.from = 0;
+      m.to = 1;
+      m.type = MessageType::kUser;
+      network.Send(std::move(m));
+    }
+    sim.Run();
+    return arrivals;
+  };
+  const std::vector<SimTime> first = run(17);
+  const std::vector<SimTime> second = run(17);
+  ASSERT_EQ(first.size(), 50u);
+  EXPECT_EQ(first, second);
+  for (SimTime t : first) {
+    // Inflation multiplies the whole draw: [5ms, 5.5ms] x 25.
+    EXPECT_GE(t, Millis(5) * 25);
+    EXPECT_LE(t, (Millis(5) + Micros(500)) * 25);
+  }
+  EXPECT_NE(first, run(23));  // a different seed draws different jitter
 }
 
 TEST(NetworkDropTest, DropProbabilityLosesRoughlyThatFraction) {

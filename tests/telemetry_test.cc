@@ -169,20 +169,33 @@ TEST(CoverageMapTest, MergeIsOrderIndependent) {
   EXPECT_NE(ab.Fingerprint(), a.Fingerprint());
 }
 
-TEST(CoverageMapTest, UnhitCellsGateStepsAndFaultsOnly) {
+TEST(CoverageMapTest, UnhitCellsGateStepsFaultsAndPassColumn) {
   CoverageMap map;
   const std::vector<std::string> unhit = map.UnhitCells();
+  // Gated: every step, every production, and each production's pass cell
+  // in the (production x verdict) matrix.
   EXPECT_EQ(unhit.size(),
             static_cast<std::size_t>(core::kNumProtocolSteps +
-                                     kNumFaultProductions));
+                                     2 * kNumFaultProductions));
   for (const std::string& cell : unhit) {
-    EXPECT_TRUE(cell.rfind("step:", 0) == 0 || cell.rfind("fault:", 0) == 0)
+    EXPECT_TRUE(cell.rfind("step:", 0) == 0 || cell.rfind("fault:", 0) == 0 ||
+                cell.rfind("fault_verdict:", 0) == 0)
         << cell;
   }
   for (int i = 0; i < core::kNumProtocolSteps; ++i) {
     map.RecordStep(static_cast<core::ProtocolStep>(i));
   }
   for (int i = 0; i < kNumFaultProductions; ++i) map.RecordFault(i);
+  // Faults alone do not satisfy the matrix gate: each production must also
+  // appear in a passing run.
+  EXPECT_EQ(map.UnhitCells().size(),
+            static_cast<std::size_t>(kNumFaultProductions));
+  for (int i = 0; i < kNumFaultProductions; ++i) {
+    map.RecordProductionVerdict(i, OracleVerdict::kPass);
+  }
+  EXPECT_TRUE(map.UnhitCells().empty());
+  // Violation columns are reported in the matrix but never gated.
+  map.RecordProductionVerdict(2, OracleVerdict::kTraceViolation);
   EXPECT_TRUE(map.UnhitCells().empty());
 }
 

@@ -13,6 +13,24 @@
 //                 [--abort-prob P] [--time-budget 120s]
 //                 [--artifact-dir DIR] [--no-shrink] [--verbose]
 //                 [--telemetry-json FILE] [--report FILE.html]
+//                 [--duplicate-all[=K]] [--waive-known-sg-straddle[=CAP]]
+//
+// --duplicate-all runs the whole sweep under blanket at-least-once
+// delivery: every message is delivered 1+K times (K defaults to 1).
+// The oracle battery must stay clean — this is the idempotence
+// acceptance gate run at volume.
+//
+// --waive-known-sg-straddle tolerates (still reports, but does not fail
+// on) the KNOWN latent crash-window SG hole of DESIGN §14.3 / the
+// ROADMAP open item: a failure is waived only when every violation is
+// an sg: one AND its shrunk minimal plan needs nothing beyond the
+// legacy crash/partition/drop/delay grammar — i.e. it is reproducible
+// on the pre-adversarial tree. Any conservation/termination/audit
+// violation, or any duplicate/reorder/oneway/gray event surviving the
+// shrinker, still fails hard, and more than CAP waivers (default 10)
+// fails too: the hole fires at ~2-4 per 10k runs, so dozens means
+// something new. Delete this flag (and its CI uses) when the hole is
+// fixed.
 //
 // --telemetry-json / --report collect sweep telemetry (commit-phase
 // latency profile, protocol/fault coverage map, gauge time-series) and
@@ -56,6 +74,9 @@ struct CliArgs {
   bool list_templates = false;
   bool verbose = false;
   bool ok = true;
+  /// <0 = waiver off; otherwise the max number of known-SG-straddle
+  /// failures tolerated before the sweep fails anyway.
+  int waive_sg_straddle_cap = -1;
 };
 
 /// Accepts "120", "120s", "2m"; returns seconds (<= 0 invalid).
@@ -154,6 +175,27 @@ CliArgs Parse(int argc, char** argv) {
     } else if (is_flag(arg, "--report")) {
       args.report_path = next_value(&i, arg);
       args.options.collect_telemetry = true;
+    } else if (is_flag(arg, "--duplicate-all")) {
+      // "--duplicate-all" alone means one extra copy; "=K" overrides.
+      if (arg.find('=') != std::string::npos) {
+        args.options.duplicate_copies = std::atoi(next_value(&i, arg).c_str());
+        if (args.options.duplicate_copies < 1) {
+          std::fprintf(stderr, "bad --duplicate-all count\n");
+          args.ok = false;
+        }
+      } else {
+        args.options.duplicate_copies = 1;
+      }
+    } else if (is_flag(arg, "--waive-known-sg-straddle")) {
+      if (arg.find('=') != std::string::npos) {
+        args.waive_sg_straddle_cap = std::atoi(next_value(&i, arg).c_str());
+        if (args.waive_sg_straddle_cap < 0) {
+          std::fprintf(stderr, "bad --waive-known-sg-straddle cap\n");
+          args.ok = false;
+        }
+      } else {
+        args.waive_sg_straddle_cap = 10;
+      }
     } else if (arg == "--no-shrink") {
       args.options.shrink_failures = false;
     } else if (arg == "--inject-bad") {
@@ -178,6 +220,34 @@ void PrintViolations(const campaign::OracleReport& oracle) {
   for (const std::string& violation : oracle.violations) {
     std::fprintf(stderr, "  %s\n", violation.c_str());
   }
+}
+
+/// True iff `failure` matches the signature of the known crash-window SG
+/// straddle hole (DESIGN §14.3): every violation is from the SG oracle,
+/// and the shrunk minimal plan needs nothing beyond the legacy
+/// crash/partition/drop/delay grammar — i.e. the failure is reproducible
+/// on the pre-adversarial tree (partitions and drops merely widen the
+/// crash's compensation window). A failure that needs a duplicate /
+/// reorder / oneway_partition / gray event to survive shrinking, or that
+/// trips conservation, liveness, durability, or the trace checker, is
+/// never the known hole and must not be waived.
+bool IsKnownSgStraddle(const campaign::CampaignFailure& failure) {
+  if (failure.oracle.violations.empty()) return false;
+  for (const std::string& violation : failure.oracle.violations) {
+    if (violation.rfind("sg:", 0) != 0) return false;
+  }
+  for (const campaign::FaultEvent& event : failure.shrunk_plan.events) {
+    switch (event.kind) {
+      case campaign::FaultKind::kDuplicateMessage:
+      case campaign::FaultKind::kReorderMessages:
+      case campaign::FaultKind::kOneWayPartition:
+      case campaign::FaultKind::kGrayFailure:
+        return false;
+      default:
+        continue;
+    }
+  }
+  return true;
 }
 
 /// --replay: run an artifact twice; fingerprints must match and the
@@ -320,9 +390,15 @@ int main(int argc, char** argv) {
       std::printf("report: %s\n", args.report_path.c_str());
     }
   }
+  int waived = 0;
+  int real_failures = 0;
   for (const campaign::CampaignFailure& failure : report.failures) {
+    const bool waivable =
+        args.waive_sg_straddle_cap >= 0 && IsKnownSgStraddle(failure);
+    waivable ? ++waived : ++real_failures;
     std::fprintf(stderr,
-                 "FAIL seed=%llu template=%s protocol=%s (%zu violations)\n",
+                 "%s seed=%llu template=%s protocol=%s (%zu violations)\n",
+                 waivable ? "FAIL (waived: known sg straddle)" : "FAIL",
                  static_cast<unsigned long long>(failure.config.seed),
                  failure.config.template_name.c_str(),
                  ProtocolFlag(failure.config.protocol),
@@ -335,5 +411,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "artifact: %s\n", failure.artifact_path.c_str());
     }
   }
-  return report.ok() ? 0 : 1;
+  if (waived > 0) {
+    std::fprintf(stderr,
+                 "waived %d failure(s) as the known crash-window SG straddle "
+                 "hole (DESIGN §14.3, ROADMAP open item)\n",
+                 waived);
+    if (waived > args.waive_sg_straddle_cap) {
+      std::fprintf(stderr,
+                   "but %d exceeds the waiver cap of %d — the known hole "
+                   "fires at ~2-4 per 10k runs; this volume means something "
+                   "new\n",
+                   waived, args.waive_sg_straddle_cap);
+      return 1;
+    }
+  }
+  return real_failures == 0 ? 0 : 1;
 }
