@@ -1,10 +1,13 @@
 #include "campaign/audit.h"
 
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "sg/correctness.h"
+#include "storage/wal.h"
 #include "trace/checker.h"
 
 namespace o2pc::campaign {
@@ -66,6 +69,121 @@ void CheckCommitDurability(const std::vector<trace::TraceEvent>& events,
         std::ostringstream out;
         out << "audit: T" << txn << " committed but site " << site
             << " ran a compensation for it";
+        violations->push_back(out.str());
+      }
+    }
+  }
+}
+
+/// recovery: every crash-restart runs a complete recovery phase. A site
+/// whose journal shows a kRecoveryBegin must show the matching
+/// kRecoveryEnd before any later event at that site — a begin with no end
+/// (and no superseding crash) is a wedged recovery, and a kSiteRecover
+/// without a recovery phase means the site skipped WAL analysis and
+/// marking catch-up entirely.
+void CheckRecoveryPhases(const std::vector<trace::TraceEvent>& events,
+                         std::vector<std::string>* violations) {
+  enum class SiteState { kUp, kDown, kRecovering };
+  std::map<SiteId, SiteState> states;
+  for (const trace::TraceEvent& event : events) {
+    switch (event.type) {
+      case trace::EventType::kSiteCrash:
+        states[event.site] = SiteState::kDown;
+        break;
+      case trace::EventType::kRecoveryBegin:
+        states[event.site] = SiteState::kRecovering;
+        break;
+      case trace::EventType::kRecoveryEnd:
+        states[event.site] = SiteState::kUp;
+        break;
+      case trace::EventType::kSiteRecover:
+        if (auto it = states.find(event.site);
+            it == states.end() || it->second != SiteState::kUp) {
+          std::ostringstream out;
+          out << "recovery: site " << event.site
+              << " came back up without completing a recovery phase";
+          violations->push_back(out.str());
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [site, state] : states) {
+    if (state == SiteState::kRecovering) {
+      std::ostringstream out;
+      out << "recovery: site " << site
+          << " began recovery but never completed it (wedged phase)";
+      violations->push_back(out.str());
+    }
+  }
+}
+
+/// recovery: WAL replay reproduces the live table. For every site whose
+/// log was never truncated (base_lsn == 1; campaign runs never
+/// checkpoint), replaying update after-images in LSN order — undoing a
+/// transaction's updates in reverse via before-images at its kAbort —
+/// must land exactly on the site's live cells for every key the log
+/// touches. Divergence means recovery (or normal execution) lost or
+/// invented a write.
+void CheckWalReplay(const core::DistributedSystem& system,
+                    std::vector<std::string>* violations) {
+  for (int i = 0; i < system.options().num_sites; ++i) {
+    const SiteId site = static_cast<SiteId>(i);
+    const storage::Wal& wal = system.db(site).wal();
+    if (wal.base_lsn() != 1) continue;  // truncated: replay has no base
+
+    std::map<DataKey, std::optional<Value>> shadow;
+    std::map<TxnId, std::vector<const storage::LogRecord*>> undo_chains;
+    for (const storage::LogRecord& record : wal.records()) {
+      switch (record.kind) {
+        case storage::LogRecordKind::kUpdate:
+          shadow[record.key] = record.after.has_value()
+                                   ? std::optional<Value>(record.after->value)
+                                   : std::nullopt;
+          undo_chains[record.txn].push_back(&record);
+          break;
+        case storage::LogRecordKind::kCommit:
+          undo_chains.erase(record.txn);
+          break;
+        case storage::LogRecordKind::kAbort: {
+          auto it = undo_chains.find(record.txn);
+          if (it == undo_chains.end()) break;  // re-logged abort: no-op
+          for (auto u = it->second.rbegin(); u != it->second.rend(); ++u) {
+            shadow[(*u)->key] =
+                (*u)->before.has_value()
+                    ? std::optional<Value>((*u)->before->value)
+                    : std::nullopt;
+          }
+          undo_chains.erase(it);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    const auto& cells = system.db(site).table().cells();
+    for (const auto& [key, replayed] : shadow) {
+      const auto live = cells.find(key);
+      const bool live_present = live != cells.end();
+      if (replayed.has_value() != live_present ||
+          (live_present && *replayed != live->second.value)) {
+        std::ostringstream out;
+        out << "recovery: WAL replay diverges from live table at site "
+            << site << " key " << key << " (replayed ";
+        if (replayed.has_value()) {
+          out << *replayed;
+        } else {
+          out << "<absent>";
+        }
+        out << ", live ";
+        if (live_present) {
+          out << live->second.value;
+        } else {
+          out << "<absent>";
+        }
+        out << ")";
         violations->push_back(out.str());
       }
     }
@@ -188,6 +306,11 @@ OracleReport RunOracles(const core::DistributedSystem& system,
     report.violations.push_back(out.str());
   }
   CheckCommitDurability(events, &report.violations);
+
+  // Oracle 5: the crash-restart recovery oracle — complete recovery phases
+  // and WAL-replay equivalence with the live tables.
+  CheckRecoveryPhases(events, &report.violations);
+  CheckWalReplay(system, &report.violations);
 
   return report;
 }

@@ -12,7 +12,7 @@
 /// The campaign's oracle battery. One fleet run is judged by three
 /// independent oracles, each contributing prefixed violation strings:
 ///
-///   trace:  the I1–I6 protocol-invariant checker over the event journal
+///   trace:  the I1–I7 protocol-invariant checker over the event journal
 ///           (trace/checker.h);
 ///   sg:     the paper's §5 serialization-graph criterion + atomicity of
 ///           compensation (sg/correctness.h);
@@ -23,15 +23,21 @@
 ///           values equals the initial sum), and commit durability: every
 ///           global the trace shows as committed has a kFinalCommit at
 ///           every site where it locally committed or prepared, and no
-///           compensation ever ran for it.
+///           compensation ever ran for it;
+///   recovery: the crash-restart oracle — every site that came back up ran
+///           a complete recovery phase (kRecoveryBegin/kRecoveryEnd pair,
+///           none left wedged), and replaying each untruncated WAL
+///           (after-images in LSN order, undo at aborts) reproduces the
+///           site's live table exactly.
 ///
-/// A run passes only when all three lists are empty.
+/// A run passes only when all oracle lists are empty.
 
 namespace o2pc::campaign {
 
 /// Combined verdict of one run.
 struct OracleReport {
-  /// Violations from all oracles, prefixed "trace:", "sg:" or "audit:".
+  /// Violations from all oracles, prefixed "trace:", "sg:", "audit:",
+  /// "liveness:" or "recovery:".
   std::vector<std::string> violations;
 
   bool ok() const { return violations.empty(); }

@@ -33,6 +33,7 @@
 ///     reorder type=any from=0 to=any occurrence=0 count=6 window_us=15000
 ///     oneway_partition from=0 to=1 at_us=8000 heal_us=50000
 ///     gray site=2 at_us=10000 duration_us=80000 factor=25
+///     crash_restart site=1 step=before_decision occurrence=0 outage_us=40000 recovery_us=5000 recrash_us=2000
 ///
 /// `coordinator_crash` takes an optional `outage_us` (omitted or 0: the
 /// configured recovery delay; > 0: that outage; < 0: the coordinator never
@@ -85,11 +86,18 @@ enum class FaultKind : std::uint8_t {
   /// Inflate every delivery latency to/from `site` by `factor` between
   /// `at` and `at` + `duration` (duration <= 0: forever).
   kGrayFailure,
+  /// Crash `site` at the `occurrence`-th announcement of `step`, with an
+  /// explicit restart: outage `duration` (> 0 required), then a recovery
+  /// phase of at least `recovery` (WAL analysis + marking catch-up run
+  /// before the site accepts work again). `recrash` >= 0 schedules a
+  /// second crash that many microseconds after recovery begins — the
+  /// crash-during-recovery double fault.
+  kCrashRestart,
 };
 
 /// Number of grammar productions (FaultKind values are contiguous from 0).
 inline constexpr int kNumFaultKinds =
-    static_cast<int>(FaultKind::kGrayFailure) + 1;
+    static_cast<int>(FaultKind::kCrashRestart) + 1;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -123,6 +131,12 @@ struct FaultEvent {
   int count = 1;
   /// Latency multiplier for kGrayFailure.
   std::int64_t factor = 0;
+  /// Minimum recovery-window length for kCrashRestart (the site stays
+  /// unreachable until the window elapses and catch-up settles).
+  Duration recovery = 0;
+  /// kCrashRestart: delay from recovery begin to a second crash
+  /// (< 0: no double crash).
+  Duration recrash = -1;
 
   /// One-line serialization in the plan grammar.
   std::string ToString() const;
@@ -149,8 +163,10 @@ struct FaultPlan {
 /// oracle checks that every blocked participant still terminates), "mixed",
 /// plus the adversarial-network templates "duplicates", "reorders",
 /// "oneway_partitions", "gray", and "mixed_adversarial" (one of each new
-/// production in a single run). New templates append at the end so
-/// position-indexed sweep grids keep their historical run->plan mapping.
+/// production in a single run), and "crash_restarts" (step-pinned crashes
+/// with explicit recovery windows and crash-during-recovery double
+/// faults). New templates append at the end so position-indexed sweep
+/// grids keep their historical run->plan mapping.
 const std::vector<std::string>& DefaultTemplateNames();
 
 /// Generates a randomized plan from `template_name` for a system of

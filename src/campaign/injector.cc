@@ -95,6 +95,7 @@ void FaultInjector::Arm() {
         });
         break;
       case FaultKind::kSiteCrashAtStep:
+      case FaultKind::kCrashRestart:
       case FaultKind::kDropMessage:
       case FaultKind::kDelayMessage:
       case FaultKind::kDuplicateMessage:
@@ -124,7 +125,11 @@ void FaultInjector::OnStep(const core::StepContext& context) {
 
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& event = plan_.events[i];
-    if (event.kind != FaultKind::kSiteCrashAtStep || fired_[i]) continue;
+    if ((event.kind != FaultKind::kSiteCrashAtStep &&
+         event.kind != FaultKind::kCrashRestart) ||
+        fired_[i]) {
+      continue;
+    }
     if (event.step != context.step) continue;
     if (event.site != kInvalidSite && event.site != context.site) continue;
     if (matches_[i]++ != event.occurrence) continue;
@@ -132,12 +137,19 @@ void FaultInjector::OnStep(const core::StepContext& context) {
     ++faults_triggered_;
     // Crash *after* the current protocol step unwinds: a zero-delay event
     // runs once the participant's in-progress handler returns, so the step
-    // completes and the crash lands exactly in the window after it.
+    // completes and the crash lands exactly in the window after it. A
+    // crash_restart carries its explicit recovery-window and optional
+    // double-crash schedule; a plain step crash keeps the defaults.
     const SiteId victim = context.site;
     const Duration outage = event.duration;
-    system_->simulator().Schedule(0, [this, victim, outage] {
+    const Duration recovery =
+        event.kind == FaultKind::kCrashRestart ? event.recovery : 0;
+    const Duration recrash =
+        event.kind == FaultKind::kCrashRestart ? event.recrash : -1;
+    system_->simulator().Schedule(0, [this, victim, outage, recovery,
+                                      recrash] {
       if (system_->network().NodeDown(victim)) return;  // already down
-      system_->CrashSite(victim, outage);
+      system_->CrashSite(victim, outage, recovery, recrash);
     });
   }
 }

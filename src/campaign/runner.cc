@@ -166,6 +166,43 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
     }
   }
 
+  // Per-site recovery timeline: one window per kSiteCrash, filled in by
+  // the matching kRecoveryBegin/kRecoveryEnd (a re-crash during recovery
+  // opens a fresh window; the superseded one keeps end == 0).
+  for (const trace::TraceEvent& event : recorder.events()) {
+    switch (event.type) {
+      case trace::EventType::kSiteCrash: {
+        RecoveryWindow window;
+        window.site = event.site;
+        window.crash_time = event.time;
+        result.recovery_windows.push_back(window);
+        break;
+      }
+      case trace::EventType::kRecoveryBegin:
+        for (auto it = result.recovery_windows.rbegin();
+             it != result.recovery_windows.rend(); ++it) {
+          if (it->site == event.site && it->begin == 0) {
+            it->begin = event.time;
+            it->in_doubt = event.a;
+            break;
+          }
+        }
+        break;
+      case trace::EventType::kRecoveryEnd:
+        for (auto it = result.recovery_windows.rbegin();
+             it != result.recovery_windows.rend(); ++it) {
+          if (it->site == event.site && it->begin != 0 && it->end == 0) {
+            it->end = event.time;
+            it->unresolved = event.b;
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
   result.oracle = RunOracles(system, recorder.events(), initial_total);
   if (config.collect_telemetry) {
     telemetry::CollectFromJournal(recorder.events(), &result.telemetry);

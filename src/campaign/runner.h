@@ -47,6 +47,22 @@ struct CampaignRunConfig {
   Duration time_series_interval = Millis(2);
 };
 
+/// One site's crash-to-recovered interval, extracted from the journal.
+/// `end` == 0 means the site never completed recovery (permanent outage or
+/// a re-crash superseded the phase); `begin` == 0 means the outage never
+/// ended (no recovery phase started).
+struct RecoveryWindow {
+  SiteId site = kInvalidSite;
+  SimTime crash_time = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+  /// In-doubt subtransactions found by WAL analysis (kRecoveryBegin's a).
+  std::int64_t in_doubt = 0;
+  /// In-doubt left for DECISION-REQ / cooperative termination after
+  /// marking catch-up (kRecoveryEnd's b).
+  std::int64_t unresolved = 0;
+};
+
 /// Outcome of one run.
 struct CampaignRunResult {
   OracleReport oracle;
@@ -63,6 +79,9 @@ struct CampaignRunResult {
   std::uint64_t messages_dropped = 0;
   int faults_triggered = 0;
   SimTime makespan = 0;
+  /// Per-site recovery timeline, one entry per crash, in journal order
+  /// (--replay prints it for crash_restart plans).
+  std::vector<RecoveryWindow> recovery_windows;
   /// Populated when config.collect_telemetry was set.
   telemetry::RunTelemetry telemetry;
 

@@ -343,30 +343,119 @@ void Participant::OnCrash(const std::vector<TxnId>& rolled_back_globals) {
   if (stats_ != nullptr) stats_->Incr("participant_crashes");
 }
 
+int Participant::InDoubtCount() const {
+  return static_cast<int>(db_->PendingExposedSubtxns().size() +
+                          db_->PendingPreparedSubtxns().size());
+}
+
+Participant::RecoveryStats Participant::BeginRecovery(
+    const std::vector<std::shared_ptr<const MarkingGossip>>& snapshots,
+    std::function<void()> on_catchup_settled) {
+  // Marking catch-up, step 1: absorb what the surviving sites learned
+  // while this one was down — witness facts (rule R3 retirement) and
+  // execution-site sets (known only from abort DECISIONs).
+  for (const auto& snapshot : snapshots) knowledge_->Merge(snapshot);
+  TryUnmark();
+
+  RecoveryStats stats;
+  // One hold for the scan itself so on_catchup_settled cannot fire while
+  // catch-up decisions are still being issued; released at the end.
+  auto pending = std::make_shared<int>(1);
+  auto settle = [pending, cb = std::move(on_catchup_settled)] {
+    if (--*pending == 0 && cb) cb();
+  };
+  auto catch_up = [this, &stats, &pending,
+                   &settle](const local::LocalDb::PendingExposed& p) {
+    ++stats.in_doubt;
+    const std::vector<SiteId>* exec = knowledge_->ExecSitesOf(p.global_id);
+    if (exec == nullptr) return;  // verdict unknown; FinishRecovery arms CTP
+    // exec_sites enter the gossip only with an abort DECISION: the merged
+    // knowledge proves T_i aborted and CT_i already ran at the listed
+    // sites. Replay the abort here, now — before any new admission can
+    // read the doomed exposed updates (the §14.3 straddle closure).
+    Subtxn* sub = RecoverRuntime(p.global_id, kInvalidSite);
+    if (sub == nullptr) return;
+    NoteDecision(*sub, /*commit=*/false, /*exposed=*/true, *exec);
+    ++*pending;
+    ++stats.resolved;
+    ApplyDecision(p.global_id, /*commit=*/false, /*exposed=*/true, *exec,
+                  settle);
+  };
+  // Prepared survivors first: a known-abort prepared subtransaction rolls
+  // back synchronously, releasing recovery locks a catch-up CT below might
+  // otherwise wait on.
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingPreparedSubtxns()) {
+    catch_up(p);
+  }
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingExposedSubtxns()) {
+    catch_up(p);
+  }
+  if (stats_ != nullptr) {
+    stats_->Incr("recovery_in_doubt", static_cast<std::uint64_t>(stats.in_doubt));
+    stats_->Incr("recovery_catchup_resolved",
+                 static_cast<std::uint64_t>(stats.resolved));
+  }
+  settle();  // release the scan's own hold
+  return stats;
+}
+
+int Participant::FinishRecovery() {
+  // Everything the catch-up pass resolved has reached its terminal WAL
+  // record by now (the recovery barrier waits for the CTs); whatever is
+  // still pending is genuinely in doubt — hand it to the termination
+  // protocol rather than leaving it wedged until a coordinator resend.
+  int unresolved = 0;
+  auto arm = [this, &unresolved](const local::LocalDb::PendingExposed& p) {
+    auto it = subtxns_.find(p.global_id);
+    Subtxn* sub = it != subtxns_.end()
+                      ? &it->second
+                      : RecoverRuntime(p.global_id, kInvalidSite);
+    if (sub == nullptr || sub->decided) return;
+    ++unresolved;
+    // A record that predates the coordinator extension leaves no valid
+    // termination target; the coordinator's resends resolve those.
+    if (sub->coordinator != kInvalidSite) ArmTermination(*sub);
+  };
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingPreparedSubtxns()) {
+    arm(p);
+  }
+  for (const local::LocalDb::PendingExposed& p :
+       db_->PendingExposedSubtxns()) {
+    arm(p);
+  }
+  return unresolved;
+}
+
 Participant::Subtxn* Participant::RecoverRuntime(TxnId global_id,
                                                  SiteId coordinator) {
+  // Fall back on the coordinator / peer set force-logged with the vote
+  // record when the caller has none (recovery-phase catch-up, where no
+  // message carries the coordinator's identity).
+  auto rebuild = [this, global_id, coordinator](
+                     const local::LocalDb::PendingExposed& p) -> Subtxn& {
+    Subtxn& sub = subtxns_[global_id];
+    sub.global_id = global_id;
+    sub.coordinator = coordinator != kInvalidSite ? coordinator
+                                                  : p.coordinator;
+    sub.local_id = p.local_id;
+    if (sub.participants.empty()) sub.participants = p.participants;
+    sub.executed = true;
+    sub.voted = true;  // it durably voted commit
+    sub.vote_commit = true;
+    return sub;
+  };
   for (const local::LocalDb::PendingExposed& p :
        db_->PendingExposedSubtxns()) {
     if (p.global_id != global_id) continue;
-    Subtxn& sub = subtxns_[global_id];
-    sub.global_id = global_id;
-    sub.coordinator = coordinator;
-    sub.local_id = p.local_id;
-    sub.executed = true;
-    sub.voted = true;  // it locally committed, so it voted commit
-    sub.vote_commit = true;
-    return &sub;
+    return &rebuild(p);
   }
   for (const local::LocalDb::PendingExposed& p :
        db_->PendingPreparedSubtxns()) {
     if (p.global_id != global_id) continue;
-    Subtxn& sub = subtxns_[global_id];
-    sub.global_id = global_id;
-    sub.coordinator = coordinator;
-    sub.local_id = p.local_id;
-    sub.executed = true;
-    sub.voted = true;
-    sub.vote_commit = true;
+    Subtxn& sub = rebuild(p);
     // Recovery re-holds the prepared locks: the blocked window reopens.
     sub.prepared_at = simulator_->Now();
     return &sub;
@@ -470,13 +559,16 @@ void Participant::OnVoteRequest(const net::Message& message) {
         options_.protocol.protocol == CommitProtocol::kOptimistic;
     if (optimistic && !db_->HasRealAction(sub.local_id)) {
       // O2PC's crux: the site locally commits and releases everything.
-      db_->LocallyCommit(sub.local_id);
+      // The coordinator / peer set ride the force-written record so a
+      // post-crash recovery can direct its termination queries.
+      db_->LocallyCommit(sub.local_id, sub.coordinator, sub.participants);
       if (MaintainLcMarks()) marks_.locally_committed.insert(gid);
       Step(ProtocolStep::kLocalCommit, gid);
     } else {
       // 2PC (or a pending real action): keep exclusive locks, release
       // shared ones.
-      db_->PrepareAndReleaseShared(sub.local_id);
+      db_->PrepareAndReleaseShared(sub.local_id, sub.coordinator,
+                                   sub.participants);
       sub.prepared_at = simulator_->Now();  // blocked-window accounting
       Step(ProtocolStep::kPrepare, gid);
     }
@@ -558,9 +650,13 @@ void Participant::OnDecision(const net::Message& message) {
 }
 
 void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
-                                const std::vector<SiteId>& exec_sites) {
+                                const std::vector<SiteId>& exec_sites,
+                                std::function<void()> on_settled) {
   auto decision_it = subtxns_.find(gid);
-  if (decision_it == subtxns_.end()) return;
+  if (decision_it == subtxns_.end()) {
+    if (on_settled) on_settled();
+    return;
+  }
   Subtxn& sub = decision_it->second;
   Step(ProtocolStep::kBeforeDecision, gid);
   if (commit) {
@@ -568,6 +664,7 @@ void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
     if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
     SendDecisionAck(sub, /*compensated=*/false);
     Step(ProtocolStep::kAfterDecision, gid);
+    if (on_settled) on_settled();
     return;
   }
   // DECISION = abort. Remember where the transaction executed —
@@ -596,7 +693,7 @@ void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
       }
       request.retry_backoff =
           options_.protocol.compensation_retry_backoff;
-      request.done = [this, gid] {
+      request.done = [this, gid, on_settled = std::move(on_settled)] {
         Subtxn& sub = subtxns_.at(gid);
         db_->MarkCompensated(sub.local_id);
         AddUndoneMark(gid, /*exposed=*/true,  // this site exposed
@@ -604,6 +701,7 @@ void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
         if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
         SendDecisionAck(sub, /*compensated=*/true);
         Step(ProtocolStep::kAfterDecision, gid);
+        if (on_settled) on_settled();
       };
       Step(ProtocolStep::kCompensationBegin, gid);
       compensator_.Run(std::move(request));
@@ -618,11 +716,13 @@ void Participant::ApplyDecision(TxnId gid, bool commit, bool exposed,
       if (MaintainLcMarks()) marks_.locally_committed.erase(gid);
       SendDecisionAck(sub, /*compensated=*/false);
       Step(ProtocolStep::kAfterDecision, gid);
+      if (on_settled) on_settled();
       return;
     case local::LocalTxnState::kAborted:
       // Abort-voter or failed subtransaction: already rolled back.
       SendDecisionAck(sub, /*compensated=*/false);
       Step(ProtocolStep::kAfterDecision, gid);
+      if (on_settled) on_settled();
       return;
     case local::LocalTxnState::kCommitted:
       O2PC_CHECK(false) << "abort decision for committed subtxn";

@@ -1,6 +1,7 @@
 #ifndef O2PC_CORE_PARTICIPANT_H_
 #define O2PC_CORE_PARTICIPANT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -89,6 +90,48 @@ class Participant {
   /// abort; abort decisions for pending-exposed subtransactions re-run
   /// compensation from the logged counter-operations.
   void OnCrash(const std::vector<TxnId>& rolled_back_globals);
+
+  // --- Site recovery phase (crash restart) ------------------------------
+
+  /// Counters of the recovery phase's WAL analysis + catch-up pass.
+  struct RecoveryStats {
+    /// In-doubt subtransactions (pending-exposed + pending-prepared) the
+    /// analysis pass found in the WAL.
+    int in_doubt = 0;
+    /// In-doubt subtransactions whose abort verdict was already known to
+    /// the merged witness gossip and were resolved during catch-up.
+    int resolved = 0;
+  };
+
+  /// Starts the recovery phase after an outage: merges the witness-gossip
+  /// `snapshots` pulled from reachable peers, re-evaluates rule R3, and
+  /// resolves every in-doubt subtransaction whose verdict the merged
+  /// knowledge already carries — exec_sites are learned only from abort
+  /// DECISIONs, so a known execution-site set implies T_i aborted and its
+  /// compensation CT_i must replay here *before* the site accepts new
+  /// work (the marking catch-up that closes the crash-window SG straddle).
+  /// Prepared in-doubt subtransactions with a known verdict are rolled
+  /// back first so their recovery locks cannot block the catch-up CTs.
+  /// `on_catchup_settled` fires once every catch-up compensation has
+  /// completed (synchronously when none run).
+  RecoveryStats BeginRecovery(
+      const std::vector<std::shared_ptr<const MarkingGossip>>& snapshots,
+      std::function<void()> on_catchup_settled);
+
+  /// Closes the recovery phase: arms the termination protocol
+  /// (DECISION-REQ / cooperative termination) for every subtransaction
+  /// still in doubt. Returns the number left unresolved.
+  int FinishRecovery();
+
+  /// Exports this site's witness-gossip snapshot (for a recovering peer's
+  /// marking catch-up).
+  std::shared_ptr<const MarkingGossip> ExportKnowledge() const {
+    return Gossip();
+  }
+
+  /// In-doubt subtransactions currently pending in the WAL (pending
+  /// exposed + pending prepared) — the recovery analysis pass's input.
+  int InDoubtCount() const;
 
   const SiteMarks& marks() const { return marks_; }
   SiteId site() const { return db_->site(); }
@@ -194,14 +237,19 @@ class Participant {
   void NoteDecision(Subtxn& sub, bool commit, bool exposed,
                     const std::vector<SiteId>& exec_sites);
   /// Applies a known decision to the local state (final-commit, rollback,
-  /// or compensation) and acks it — shared by OnDecision and the
-  /// cooperative-termination resolution path.
+  /// or compensation) and acks it — shared by OnDecision, the
+  /// cooperative-termination resolution path, and recovery catch-up.
+  /// `on_settled` (optional) fires once the decision's local effect is
+  /// durable — immediately for commits/rollbacks, at CT completion for
+  /// compensations.
   void ApplyDecision(TxnId global_id, bool commit, bool exposed,
-                     const std::vector<SiteId>& exec_sites);
+                     const std::vector<SiteId>& exec_sites,
+                     std::function<void()> on_settled = nullptr);
 
   /// Rebuilds a minimal runtime for a transaction forgotten in a crash,
   /// from the WAL's pending records. Returns nullptr when the WAL knows
-  /// nothing pending for it.
+  /// nothing pending for it. When `coordinator` is kInvalidSite, the
+  /// coordinator and peer set force-logged with the vote record are used.
   Subtxn* RecoverRuntime(TxnId global_id, SiteId coordinator);
 
   /// Starts executing `sub`'s operations (after R1 admitted it).

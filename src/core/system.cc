@@ -193,6 +193,14 @@ void DistributedSystem::SubmitLocal(SiteId site,
 
 void DistributedSystem::AttemptLocal(std::shared_ptr<PendingLocal> pending) {
   SiteRuntime& runtime = *sites_.at(pending->site);
+  if (network_.NodeDown(pending->site)) {
+    // The site is down (or mid-recovery): recovery must finish its marking
+    // catch-up before any new work is admitted — a local transaction
+    // started now could read exposed updates whose compensation is still
+    // being replayed.
+    RescheduleLocal(std::move(pending), "local_crash_retries");
+    return;
+  }
   const TxnId id = ids_.Next();
   runtime.db.Begin(id, TxnKind::kLocal);
   auto entry_undone = std::make_shared<common::SmallSet<TxnId>>(
@@ -252,8 +260,11 @@ void DistributedSystem::RunLocalOp(
       });
 }
 
-void DistributedSystem::CrashSite(SiteId site, Duration outage) {
+void DistributedSystem::CrashSite(SiteId site, Duration outage,
+                                  Duration recovery_window,
+                                  Duration recrash_delay) {
   SiteRuntime& runtime = *sites_.at(site);
+  const std::uint64_t seq = ++runtime.crash_seq;
   network_.SetNodeDown(site, true);
   const std::vector<TxnId> losers = runtime.db.Crash();
   std::vector<TxnId> loser_globals;
@@ -267,11 +278,69 @@ void DistributedSystem::CrashSite(SiteId site, Duration outage) {
   runtime.participant.OnCrash(loser_globals);
   stats_.Incr("site_crashes");
   if (outage > 0) {
-    simulator_.Schedule(outage, [this, site] {
-      O2PC_TRACE(kSiteRecover, site, kInvalidTxn);
-      network_.SetNodeDown(site, false);
+    simulator_.Schedule(outage, [this, site, seq, recovery_window] {
+      BeginSiteRecovery(site, seq, recovery_window);
     });
+    if (recrash_delay >= 0) {
+      // Crash-during-recovery: a second crash lands `recrash_delay` after
+      // the recovery phase begins. The second incarnation keeps the same
+      // outage and recovery window but never re-crashes again.
+      simulator_.Schedule(outage + recrash_delay,
+                          [this, site, seq, outage, recovery_window] {
+        if (sites_.at(site)->crash_seq != seq) return;  // superseded
+        CrashSite(site, outage, recovery_window, /*recrash_delay=*/-1);
+      });
+    }
   }
+}
+
+void DistributedSystem::BeginSiteRecovery(SiteId site, std::uint64_t seq,
+                                          Duration recovery_window) {
+  SiteRuntime& runtime = *sites_.at(site);
+  if (runtime.crash_seq != seq) return;  // a newer crash superseded this one
+  // Marking catch-up input: the witness-gossip snapshots of every peer
+  // still reachable right now. A peer that ran (or even just learned of)
+  // CT_i during the outage carries T_i's execution-site set, which is
+  // exactly the verdict the recovering site must replay before admitting
+  // new work.
+  std::vector<std::shared_ptr<const MarkingGossip>> snapshots;
+  for (std::size_t peer = 0; peer < sites_.size(); ++peer) {
+    const SiteId peer_site = static_cast<SiteId>(peer);
+    if (peer_site == site || network_.NodeDown(peer_site)) continue;
+    snapshots.push_back(sites_[peer]->participant.ExportKnowledge());
+  }
+  O2PC_TRACE(kRecoveryBegin, site, kInvalidTxn,
+             runtime.participant.InDoubtCount());
+  stats_.Incr("site_recoveries_started");
+  auto join = std::make_shared<RecoveryJoin>();
+  join->stats = runtime.participant.BeginRecovery(
+      snapshots, [this, site, seq, join] {
+        join->catchup_done = true;
+        TryFinishRecovery(site, seq, join);
+      });
+  if (recovery_window > 0) {
+    simulator_.Schedule(recovery_window, [this, site, seq, join] {
+      join->window_done = true;
+      TryFinishRecovery(site, seq, join);
+    });
+  } else {
+    join->window_done = true;
+  }
+  TryFinishRecovery(site, seq, join);
+}
+
+void DistributedSystem::TryFinishRecovery(SiteId site, std::uint64_t seq,
+                                          std::shared_ptr<RecoveryJoin> join) {
+  SiteRuntime& runtime = *sites_.at(site);
+  if (runtime.crash_seq != seq) return;  // superseded mid-recovery
+  if (!join->window_done || !join->catchup_done || join->finished) return;
+  join->finished = true;
+  const int unresolved = runtime.participant.FinishRecovery();
+  O2PC_TRACE(kRecoveryEnd, site, kInvalidTxn, join->stats.in_doubt,
+             unresolved);
+  O2PC_TRACE(kSiteRecover, site, kInvalidTxn);
+  network_.SetNodeDown(site, false);
+  stats_.Incr("site_recoveries_completed");
 }
 
 void DistributedSystem::InjectCoordinatorCrash(TxnId txn, Duration outage) {

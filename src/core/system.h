@@ -88,7 +88,21 @@ class DistributedSystem {
   /// and keeps it unreachable for `outage`; in-flight protocols recover
   /// through the coordinators' retransmission timers. An `outage` <= 0
   /// means the site never recovers (permanent failure).
-  void CrashSite(SiteId site, Duration outage);
+  ///
+  /// Restart is a full recovery phase, not a bare reachability flip: when
+  /// the outage ends the site runs WAL analysis, merges the witness-gossip
+  /// snapshots of every reachable peer, and replays the compensations whose
+  /// abort verdicts the merged knowledge already carries (marking
+  /// catch-up). The site accepts no message until the phase completes —
+  /// i.e. until `recovery_window` has elapsed *and* every catch-up
+  /// compensation settled (kRecoveryEnd marks the barrier).
+  ///
+  /// `recrash_delay` >= 0 schedules a second crash that many microseconds
+  /// after recovery begins (a crash-during-recovery double fault when it
+  /// lands inside the phase); the second incarnation reuses `outage` and
+  /// `recovery_window` and does not re-crash again.
+  void CrashSite(SiteId site, Duration outage, Duration recovery_window = 0,
+                 Duration recrash_delay = -1);
 
   /// Installs (or, with nullptr, clears) the step-indexed instrumentation
   /// hook, announced synchronously by participants and coordinators at
@@ -169,6 +183,9 @@ class DistributedSystem {
     /// Site-local knowledge (unused when the oracle directory is shared).
     WitnessKnowledge own_knowledge;
     Participant participant;
+    /// Bumped by every CrashSite call; outstanding recovery/recrash events
+    /// compare it and abandon themselves when a newer crash superseded them.
+    std::uint64_t crash_seq = 0;
   };
 
   /// One logical global transaction across its restart incarnations.
@@ -188,7 +205,23 @@ class DistributedSystem {
     int attempts = 0;
   };
 
+  /// Join state of one recovery attempt: the barrier passes only once the
+  /// recovery window elapsed AND the marking catch-up settled.
+  struct RecoveryJoin {
+    bool window_done = false;
+    bool catchup_done = false;
+    bool finished = false;
+    Participant::RecoveryStats stats;
+  };
+
   void Dispatch(SiteId site, const net::Message& message);
+  /// Starts the recovery phase for `site` at the end of its outage; `seq`
+  /// guards against supersession by a newer crash.
+  void BeginSiteRecovery(SiteId site, std::uint64_t seq,
+                         Duration recovery_window);
+  /// Completes the recovery phase once both barrier halves passed.
+  void TryFinishRecovery(SiteId site, std::uint64_t seq,
+                         std::shared_ptr<RecoveryJoin> join);
   void ScheduleCheckpoint(SiteId site);
   /// Rebuilds the announced `step_hook_` from the user hook and the
   /// observer (null when both are empty, a plain copy when only one is

@@ -262,7 +262,8 @@ void LocalDb::AbortLocal(TxnId id) {
   rec.state = LocalTxnState::kAborted;
 }
 
-void LocalDb::PrepareAndReleaseShared(TxnId id) {
+void LocalDb::PrepareAndReleaseShared(TxnId id, SiteId coordinator,
+                                      std::vector<SiteId> peers) {
   LocalTxnRec& rec = Rec(id);
   O2PC_CHECK(rec.state == LocalTxnState::kActive);
   O2PC_CHECK(rec.kind == TxnKind::kGlobal);
@@ -272,6 +273,8 @@ void LocalDb::PrepareAndReleaseShared(TxnId id) {
     r.kind = storage::LogRecordKind::kPrepared;
     r.txn = id;
     r.aux = static_cast<std::int64_t>(rec.global_id);
+    r.coordinator = coordinator;
+    r.peers = std::move(peers);
     wal_.Append(std::move(r));
   }
   // The access set is frozen here — a prepared subtransaction never reads
@@ -289,7 +292,8 @@ void LocalDb::PrepareAndReleaseShared(TxnId id) {
   locks_->ReleaseShared(id);
 }
 
-void LocalDb::LocallyCommit(TxnId id) {
+void LocalDb::LocallyCommit(TxnId id, SiteId coordinator,
+                            std::vector<SiteId> peers) {
   LocalTxnRec& rec = Rec(id);
   O2PC_CHECK(rec.state == LocalTxnState::kActive);
   O2PC_CHECK(rec.kind == TxnKind::kGlobal);
@@ -301,6 +305,8 @@ void LocalDb::LocallyCommit(TxnId id) {
     r.kind = storage::LogRecordKind::kLocallyCommitted;
     r.txn = id;
     r.aux = static_cast<std::int64_t>(rec.global_id);
+    r.coordinator = coordinator;
+    r.peers = std::move(peers);
     wal_.Append(std::move(r));
   }
   FlushSgRecords(rec);
@@ -406,27 +412,27 @@ std::vector<TxnId> LocalDb::ActiveTxnIds() const {
 }
 
 std::vector<LocalDb::PendingExposed> LocalDb::PendingExposedSubtxns() const {
-  std::map<TxnId, TxnId> pending;  // local -> global
+  std::map<TxnId, PendingExposed> pending;  // keyed by local id
   for (const storage::LogRecord& r : wal_.records()) {
     if (r.kind == storage::LogRecordKind::kLocallyCommitted) {
-      pending[r.txn] = static_cast<TxnId>(r.aux);
+      pending[r.txn] = PendingExposed{r.txn, static_cast<TxnId>(r.aux),
+                                      r.coordinator, r.peers};
     } else if (r.kind == storage::LogRecordKind::kGlobalFinal) {
       pending.erase(r.txn);
     }
   }
   std::vector<PendingExposed> out;
-  for (const auto& [local_id, global_id] : pending) {
-    out.push_back(PendingExposed{local_id, global_id});
-  }
+  for (auto& [local_id, entry] : pending) out.push_back(std::move(entry));
   return out;
 }
 
 std::vector<LocalDb::PendingExposed> LocalDb::PendingPreparedSubtxns() const {
-  std::map<TxnId, TxnId> pending;  // local -> global
+  std::map<TxnId, PendingExposed> pending;  // keyed by local id
   for (const storage::LogRecord& r : wal_.records()) {
     switch (r.kind) {
       case storage::LogRecordKind::kPrepared:
-        pending[r.txn] = static_cast<TxnId>(r.aux);
+        pending[r.txn] = PendingExposed{r.txn, static_cast<TxnId>(r.aux),
+                                        r.coordinator, r.peers};
         break;
       case storage::LogRecordKind::kGlobalFinal:
       case storage::LogRecordKind::kAbort:
@@ -437,9 +443,7 @@ std::vector<LocalDb::PendingExposed> LocalDb::PendingPreparedSubtxns() const {
     }
   }
   std::vector<PendingExposed> out;
-  for (const auto& [local_id, global_id] : pending) {
-    out.push_back(PendingExposed{local_id, global_id});
-  }
+  for (auto& [local_id, entry] : pending) out.push_back(std::move(entry));
   return out;
 }
 

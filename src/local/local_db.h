@@ -90,14 +90,19 @@ class LocalDb {
   // --- Subtransaction verbs driven by the commit layer ------------------
 
   /// Distributed 2PL refinement: drop shared locks at VOTE-REQ, enter
-  /// kPrepared.
-  void PrepareAndReleaseShared(TxnId id);
+  /// kPrepared. `coordinator` / `peers` are force-logged with the prepared
+  /// record so a post-crash recovery can direct DECISION-REQ/termination
+  /// queries without any volatile state.
+  void PrepareAndReleaseShared(TxnId id, SiteId coordinator = kInvalidSite,
+                               std::vector<SiteId> peers = {});
 
   /// O2PC: the site votes commit and immediately exposes the
   /// subtransaction — WAL commit, *all* locks released, state
   /// kLocallyCommitted. SG records flush now (this is the moment the
-  /// updates join the site's visible history).
-  void LocallyCommit(TxnId id);
+  /// updates join the site's visible history). `coordinator` / `peers` are
+  /// force-logged as for PrepareAndReleaseShared.
+  void LocallyCommit(TxnId id, SiteId coordinator = kInvalidSite,
+                     std::vector<SiteId> peers = {});
 
   /// DECISION = commit. For kPrepared (2PC) this durably commits and
   /// releases everything; for kLocallyCommitted it finalizes bookkeeping.
@@ -148,6 +153,10 @@ class LocalDb {
   struct PendingExposed {
     TxnId local_id = kInvalidTxn;
     TxnId global_id = kInvalidTxn;
+    /// Coordinator / peer set force-logged with the vote record
+    /// (kInvalidSite / empty on records that predate the extension).
+    SiteId coordinator = kInvalidSite;
+    std::vector<SiteId> participants;
   };
   /// Locally-committed subtransactions without a terminal kGlobalFinal,
   /// per the WAL (survives crashes).

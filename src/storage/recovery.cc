@@ -1,6 +1,7 @@
 #include "storage/recovery.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "trace/trace.h"
@@ -33,27 +34,60 @@ std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
   return undone;
 }
 
-std::vector<TxnId> RecoverSite(Wal& wal, Table& table) {
-  // Losers: began but neither committed nor aborted.
+RecoveryResult AnalyzeWal(const Wal& wal) {
   std::set<TxnId> begun;
   std::set<TxnId> finished;
+  // Force-logged vote records keyed by local txn id; a later terminal
+  // record (kGlobalFinal, or kAbort for a prepared survivor resolved by a
+  // prior recovery pass) removes the entry again.
+  std::map<TxnId, const LogRecord*> vote_records;
   for (const LogRecord& r : wal.records()) {
     switch (r.kind) {
       case LogRecordKind::kBegin:
         begun.insert(r.txn);
         break;
       case LogRecordKind::kCommit:
+        finished.insert(r.txn);
+        break;
       case LogRecordKind::kAbort:
         finished.insert(r.txn);
+        vote_records.erase(r.txn);
+        break;
+      case LogRecordKind::kPrepared:
+      case LogRecordKind::kLocallyCommitted:
+        vote_records[r.txn] = &r;
+        break;
+      case LogRecordKind::kGlobalFinal:
+        vote_records.erase(r.txn);
         break;
       default:
         break;
     }
   }
-  std::vector<TxnId> losers;
-  for (TxnId txn : begun) {
-    if (!finished.contains(txn)) losers.push_back(txn);
+  RecoveryResult result;
+  for (const auto& [txn, record] : vote_records) {
+    InDoubtTxn in_doubt;
+    in_doubt.txn = txn;
+    in_doubt.global = static_cast<TxnId>(record->aux);
+    in_doubt.coordinator = record->coordinator;
+    in_doubt.participants = record->peers;
+    in_doubt.prepared = record->kind == LogRecordKind::kPrepared;
+    result.in_doubt.push_back(std::move(in_doubt));
   }
+  for (TxnId txn : begun) {
+    // A transaction with a durable vote is never a loser: a prepared
+    // participant survives the crash still prepared (its locks must be
+    // reacquired, never released by unilateral rollback), and a locally
+    // committed one is already exposed and can only be compensated.
+    if (!finished.contains(txn) && !vote_records.contains(txn)) {
+      result.losers.push_back(txn);
+    }
+  }
+  return result;
+}
+
+std::vector<TxnId> RecoverSite(Wal& wal, Table& table) {
+  std::vector<TxnId> losers = AnalyzeWal(wal).losers;
   // Undo all loser updates in reverse LSN order (a single backward pass is
   // correct even if loser updates interleave in the log).
   const std::vector<LogRecord>& records = wal.records();

@@ -25,6 +25,47 @@ struct UndoWrite {
   std::optional<Cell> restored;
 };
 
+/// A subtransaction the WAL vouches for across a crash: it durably voted
+/// commit (force-logged kPrepared or kLocallyCommitted) but its global fate
+/// (kGlobalFinal / kAbort) is still unknown. Recovery must NOT roll it back
+/// — a prepared participant survives a crash still prepared, holding its
+/// locks, and resolves through the decision/termination protocol.
+struct InDoubtTxn {
+  /// Local transaction id of the execution attempt.
+  TxnId txn = kInvalidTxn;
+  /// The global transaction it belongs to.
+  TxnId global = kInvalidTxn;
+  /// Coordinator home site force-logged with the prepare/local-commit
+  /// record (kInvalidSite in pre-extension logs).
+  SiteId coordinator = kInvalidSite;
+  /// Participant peer set force-logged alongside (the CTP query targets).
+  std::vector<SiteId> participants;
+  /// True for a 2PC prepared survivor (locks must be reacquired); false
+  /// for an O2PC locally-committed (exposed, lock-free) survivor.
+  bool prepared = false;
+
+  friend bool operator==(const InDoubtTxn&, const InDoubtTxn&) = default;
+};
+
+/// Outcome of the WAL analysis pass.
+struct RecoveryResult {
+  /// Transactions that began but never reached a durable vote or terminal
+  /// record — recovery rolls these back.
+  std::vector<TxnId> losers;
+  /// Prepared / locally-committed subtransactions awaiting their verdict.
+  std::vector<InDoubtTxn> in_doubt;
+
+  friend bool operator==(const RecoveryResult&, const RecoveryResult&) =
+      default;
+};
+
+/// The analysis pass alone: scans `wal` without mutating anything and
+/// classifies every non-terminal transaction as a loser or in-doubt.
+/// Deterministic (ascending txn-id order) and idempotent — re-running it
+/// over the same log, including a log that already contains the kAbort
+/// records a previous RecoverSite appended, yields the identical result.
+RecoveryResult AnalyzeWal(const Wal& wal);
+
 /// Rolls `txn` back in `table`: applies before-images of its kUpdate
 /// records in reverse, tagging restored cells with `undo_writer`. Appends a
 /// kAbort record. Returns the undo writes performed (oldest-undone-last,
@@ -32,9 +73,14 @@ struct UndoWrite {
 std::vector<UndoWrite> RollbackTxn(Wal& wal, Table& table, TxnId txn,
                                    WriterTag undo_writer);
 
-/// Crash recovery for a whole site: rolls back every transaction that has a
-/// kBegin but neither kCommit nor kAbort. Returns the ids rolled back, in
-/// the (deterministic) order they were processed.
+/// Crash recovery for a whole site: rolls back every loser identified by
+/// AnalyzeWal — transactions with a kBegin but no terminal record and no
+/// durable vote. In-doubt transactions (force-logged kPrepared or
+/// kLocallyCommitted without a terminal) are preserved untouched; their
+/// fate belongs to the decision/termination protocol. Returns the ids
+/// rolled back, in the (deterministic) order they were processed.
+/// Idempotent: a second invocation finds the kAbort records the first one
+/// appended and does nothing.
 std::vector<TxnId> RecoverSite(Wal& wal, Table& table);
 
 }  // namespace o2pc::storage

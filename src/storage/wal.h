@@ -67,6 +67,12 @@ struct LogRecord {
   Value comp_value = 0;
   /// kCheckpoint: transactions active at checkpoint time.
   std::vector<TxnId> active;
+  /// Force-logged with kPrepared / kLocallyCommitted: the coordinator's
+  /// home site, so a recovering participant can direct DECISION-REQ /
+  /// cooperative-termination queries without any volatile state.
+  SiteId coordinator = kInvalidSite;
+  /// Force-logged peer participant set (the termination-protocol targets).
+  std::vector<SiteId> peers;
 };
 
 /// Append-only in-memory log with a per-transaction index.

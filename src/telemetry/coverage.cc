@@ -26,6 +26,8 @@ const char* FaultProductionName(int index) {
       return "oneway_partition";
     case 9:
       return "gray";
+    case 10:
+      return "crash_restart";
     default:
       return "unknown";
   }

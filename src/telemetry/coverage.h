@@ -26,7 +26,7 @@
 namespace o2pc::telemetry {
 
 /// One cell per campaign::FaultKind, same order.
-inline constexpr int kNumFaultProductions = 10;
+inline constexpr int kNumFaultProductions = 11;
 
 /// Grammar-production name ("crash", "partition", ...) for cell `index`;
 /// identical to campaign::FaultKindName.
@@ -36,7 +36,7 @@ const char* FaultProductionName(int index);
 /// campaign::OracleReport message prefixes.
 enum class OracleVerdict : std::uint8_t {
   kPass = 0,
-  kTraceViolation,  ///< trace invariant checker (I1-I6)
+  kTraceViolation,  ///< trace invariant checker (I1-I7)
   kSgViolation,     ///< serialization-graph criterion
   kAuditViolation,  ///< durability / in-doubt / conservation audit
 };

@@ -52,7 +52,7 @@ std::string Us(double value) { return StrCat(FormatDouble(value, 1), "µs"); }
 constexpr Phase kPipelinePhases[] = {Phase::kExecute, Phase::kVoting,
                                      Phase::kDecision, Phase::kAck};
 constexpr Phase kOverlapPhases[] = {Phase::kBlockedPrepared,
-                                    Phase::kTermination};
+                                    Phase::kTermination, Phase::kRecovery};
 
 const char* kStyle = R"css(
   :root { color-scheme: light dark; }
@@ -72,6 +72,7 @@ const char* kStyle = R"css(
     --series-4:       #eda100;
     --series-5:       #e87ba4;
     --series-6:       #008300;
+    --series-7:       #7a5cd6;
     --critical:       #d03b3b;
     font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
     color: var(--text-primary);
@@ -95,6 +96,7 @@ const char* kStyle = R"css(
       --series-4:       #c98500;
       --series-5:       #d55181;
       --series-6:       #008300;
+      --series-7:       #8f74e8;
     }
   }
   :root[data-theme="dark"] .viz-root {
@@ -112,6 +114,7 @@ const char* kStyle = R"css(
     --series-4:       #c98500;
     --series-5:       #d55181;
     --series-6:       #008300;
+    --series-7:       #8f74e8;
   }
   h1 { font-size: 20px; margin: 0 0 4px; }
   h2 { font-size: 16px; margin: 28px 0 10px; }

@@ -21,6 +21,8 @@ const char* PhaseName(Phase phase) {
       return "blocked_prepared";
     case Phase::kTermination:
       return "termination";
+    case Phase::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }
@@ -60,6 +62,7 @@ PhaseProfile ProfilePhases(const std::vector<trace::TraceEvent>& events) {
   std::map<TxnId, TxnBoundaries> txns;
   std::map<std::pair<TxnId, SiteId>, OpenWindow> prepared;
   std::map<std::pair<TxnId, SiteId>, OpenWindow> terminating;
+  std::map<SiteId, OpenWindow> recovering;
 
   for (const trace::TraceEvent& event : events) {
     switch (event.type) {
@@ -116,6 +119,22 @@ PhaseProfile ProfilePhases(const std::vector<trace::TraceEvent>& events) {
         if (event.a >= 1) {
           OpenWindow& window = terminating[{event.txn, event.site}];
           if (window.start == kUnset) window.start = event.time;
+        }
+        break;
+      case trace::EventType::kSiteCrash: {
+        // The recovery window opens at the crash; a re-crash during an
+        // open window (double fault) keeps the earliest start, so the
+        // sample covers the whole unavailability interval.
+        OpenWindow& window = recovering[event.site];
+        if (window.start == kUnset) window.start = event.time;
+        break;
+      }
+      case trace::EventType::kRecoveryEnd:
+        if (auto it = recovering.find(event.site);
+            it != recovering.end() && it->second.start != kUnset) {
+          profile.of(Phase::kRecovery)
+              .Add(static_cast<double>(event.time - it->second.start));
+          recovering.erase(it);
         }
         break;
       case trace::EventType::kTermResolve: {

@@ -17,7 +17,10 @@
 /// claim is about: the per-site *blocked-prepared* window (2PC prepare to
 /// the decision's application, the lock-holding interval O2PC eliminates)
 /// and per-site *termination-protocol* time (a participant's first
-/// post-vote decision timeout until it learns the outcome).
+/// post-vote decision timeout until it learns the outcome) — plus the
+/// per-site *recovery* window (crash to kRecoveryEnd: outage, WAL
+/// analysis, and marking catch-up, the full unavailability interval of a
+/// crash-restart).
 ///
 /// Attribution is a pure function of the journal, so per-phase histograms
 /// are deterministic wherever journals are, and profiles merge exactly
@@ -33,8 +36,9 @@ enum class Phase : std::uint8_t {
   kAck,              ///< decision force-logged -> protocol drained
   kBlockedPrepared,  ///< per (txn, site): prepared -> decision applied
   kTermination,      ///< per (txn, site): post-vote timeout -> outcome known
+  kRecovery,         ///< per site: crash -> recovery phase complete
 };
-inline constexpr int kNumPhases = 6;
+inline constexpr int kNumPhases = 7;
 
 /// Stable machine-readable phase name ("execute", "blocked_prepared", ...).
 const char* PhaseName(Phase phase);

@@ -38,6 +38,8 @@ struct Replay {
   std::map<SiteTxn, std::size_t> open_comps;
   /// Transactions with at least one registered UDUM1 witness fact.
   std::set<TxnId> witnessed;
+  /// Sites that crashed and have not yet completed recovery (kRecoveryEnd).
+  std::set<SiteId> down;
 };
 
 void Violate(CheckReport& report, std::size_t index, const char* invariant,
@@ -140,6 +142,14 @@ CheckReport CheckTrace(const std::vector<TraceEvent>& events) {
         break;
 
       case EventType::kMsgRecv:
+        // I7: a crashed site processes no message before its recovery
+        // phase completes (the network holds it down through WAL analysis
+        // and marking catch-up).
+        if (replay.down.contains(e.site)) {
+          Violate(report, i, "I7",
+                  StrCat("site ", e.site, " received a message (type ", e.a,
+                         ") while down — before recovery completed"));
+        }
         if (e.a == kDecisionMsg) {
           replay.decisions_received.insert({e.site, e.txn});
         }
@@ -205,6 +215,11 @@ CheckReport CheckTrace(const std::vector<TraceEvent>& events) {
 
       case EventType::kSiteCrash:
         ForgetSite(replay, e.site);
+        replay.down.insert(e.site);
+        break;
+
+      case EventType::kRecoveryEnd:
+        replay.down.erase(e.site);
         break;
 
       default:

@@ -28,6 +28,9 @@
 ///      one UDUM1 witness fact for T_i has been registered.
 ///  I6  Compensation persistence: every initiated compensation either
 ///      completes or is superseded by a site crash (no silent drop).
+///  I7  Recovery isolation: a crashed site processes no message between
+///      its kSiteCrash and the kRecoveryEnd that closes its recovery
+///      phase (WAL analysis + in-doubt resolution + marking catch-up).
 ///
 /// Violations carry the offending event's index so tests (and humans) can
 /// jump straight to the spot in the exported JSONL.
@@ -38,7 +41,7 @@ struct TraceViolation {
   /// Index into the checked event vector (size() when the violation is an
   /// absence, e.g. a missing compensation).
   std::size_t event_index = 0;
-  /// Which invariant failed ("I1".."I6").
+  /// Which invariant failed ("I1".."I7").
   std::string invariant;
   std::string message;
 
@@ -58,7 +61,7 @@ struct CheckReport {
   std::string Summary() const;
 };
 
-/// Replays `events` (in recorded order) and checks invariants I1–I6.
+/// Replays `events` (in recorded order) and checks invariants I1–I7.
 CheckReport CheckTrace(const std::vector<TraceEvent>& events);
 
 }  // namespace o2pc::trace

@@ -74,6 +74,10 @@ const char* EventTypeName(EventType type) {
       return "decision_timeout";
     case EventType::kTermResolve:
       return "term_resolve";
+    case EventType::kRecoveryBegin:
+      return "recovery_begin";
+    case EventType::kRecoveryEnd:
+      return "recovery_end";
   }
   return "?";
 }

@@ -93,9 +93,16 @@ enum class EventType : std::uint8_t {
                      ///< escalated to cooperative termination.
   kTermResolve,      ///< decision learned via TERM-RESP, not a DECISION.
                      ///< a=commit(0/1), b=answering site.
+
+  // --- Site recovery phase (crash restart). ---
+  kRecoveryBegin,  ///< outage over; WAL analysis + marking catch-up start.
+                   ///< a=#in-doubt subtxns found by the analysis pass.
+  kRecoveryEnd,    ///< recovery barrier passed; the site accepts work
+                   ///< again. a=#in-doubt found, b=#still unresolved
+                   ///< (handed to the termination protocol).
 };
 inline constexpr int kNumEventTypes =
-    static_cast<int>(EventType::kTermResolve) + 1;
+    static_cast<int>(EventType::kRecoveryEnd) + 1;
 
 /// Stable machine-readable name ("lock_release", "mark_insert", ...).
 const char* EventTypeName(EventType type);

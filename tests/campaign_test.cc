@@ -537,7 +537,7 @@ TEST(CampaignTest, DuplicationEnabledSweepStaysClean) {
   // pass the whole oracle battery — the volume version of this gate runs
   // in CI (o2pc_campaign --duplicate-all).
   CampaignOptions options;
-  options.runs = 26;  // one full cycle of all 13 templates x 2 protocols
+  options.runs = 28;  // one full cycle of all 14 templates x 2 protocols
   options.base_seed = 4;
   options.num_sites = 3;
   options.keys_per_site = 16;
@@ -545,28 +545,25 @@ TEST(CampaignTest, DuplicationEnabledSweepStaysClean) {
   options.num_locals = 6;
   options.duplicate_copies = 1;
   const CampaignReport report = RunCampaign(options);
-  EXPECT_EQ(report.runs_completed, 26);
+  EXPECT_EQ(report.runs_completed, 28);
   EXPECT_TRUE(report.ok());
 }
 
-TEST(CampaignTest, KnownSgStraddleHoleStillReproduces) {
-  // Characterization pin for a KNOWN LATENT protocol hole (predates the
-  // adversarial fault grammar — the identical journal fingerprint
-  // reproduces on the pre-PR tree). A site crash timed just before a
-  // DECISION stretches the window in which a compensation has run at some
-  // execution sites but not yet at the crashed one; a transaction whose
-  // subtransactions straddle that window serializes before CT_i at one
-  // site and after it at another, building a regular SG cycle that the
-  // R1/R3 straddle checks miss (~4 in 10k runs at adversarial volume;
-  // tests/data/known_sg_straddle.plan replays it via the CLI). The hole
-  // is orthogonal to message idempotence: the minimal plan is a single
-  // crash event, with no duplication or reordering, and conservation,
-  // termination, and compensation-count oracles all stay clean — only the
-  // SG criterion trips. Tracked as a ROADMAP open item.
-  //
-  // If this test FAILS because the replay now passes the oracles: you
-  // likely fixed the hole. Delete this test, re-run the 10k sweeps to
-  // confirm at volume, and drop the seed caveat from the nightly CI job.
+TEST(CampaignTest, FormerSgStraddleHolePlanNowPasses) {
+  // Regression pin for the FIXED crash-window SG straddle hole (formerly
+  // DESIGN §14.3 / a ROADMAP open item). The historical failure: a site
+  // crash timed just before a DECISION stretched the window in which a
+  // compensation had run at some execution sites but not yet at the
+  // crashed one; a transaction whose subtransactions straddled that window
+  // serialized before CT_i at one site and after it at another, building a
+  // regular SG cycle the R1/R3 straddle checks miss. The fix is marking
+  // catch-up at restart: before the recovering site accepts any new work,
+  // it merges witness-gossip snapshots from its reachable peers and
+  // replays every compensation whose abort verdict the merged knowledge
+  // carries — so no admission can serialize against a stale pre-CT image.
+  // This is the exact {seed, plan} pair that reproduced the hole
+  // (tests/data/known_sg_straddle.plan); it must now pass the full oracle
+  // battery, deterministically.
   const std::string artifact =
       "protocol=o2pc\n"
       "seed=40362\n"
@@ -583,15 +580,155 @@ TEST(CampaignTest, KnownSgStraddleHoleStillReproduces) {
   std::string error;
   ASSERT_TRUE(ParseArtifact(artifact, &config, &error)) << error;
   const CampaignRunResult result = RunOne(config);
-  // Still broken, deterministically so.
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
   const CampaignRunResult again = RunOne(config);
   EXPECT_EQ(result.fingerprint, again.fingerprint);
-  ASSERT_FALSE(result.ok());
-  for (const std::string& violation : result.oracle.violations) {
-    EXPECT_EQ(violation.rfind("sg:", 0), 0u)
-        << "non-SG oracle violation — this is a NEW bug, not the known "
-        << "straddle hole: " << violation;
+}
+
+TEST(FaultPlanTest, CrashRestartRoundTripsThroughGrammar) {
+  FaultPlan plan;
+  FaultEvent restart;
+  restart.kind = FaultKind::kCrashRestart;
+  restart.site = 1;
+  restart.step = core::ProtocolStep::kBeforeDecision;
+  restart.occurrence = 0;
+  restart.duration = Millis(40);
+  restart.recovery = Millis(5);
+  restart.recrash = Millis(2);
+  plan.events.push_back(restart);
+  FaultEvent single;  // no double crash: recrash_us must not serialize
+  single.kind = FaultKind::kCrashRestart;
+  single.site = 2;
+  single.step = core::ProtocolStep::kLocalCommit;
+  single.occurrence = 1;
+  single.duration = Millis(30);
+  single.recovery = Millis(8);
+  plan.events.push_back(single);
+
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("recrash_us=2000"), std::string::npos);
+  // The second line serializes no recrash (non-default-only grammar).
+  EXPECT_EQ(text.find("recrash_us=-1"), std::string::npos);
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0].recovery, Millis(5));
+  EXPECT_EQ(parsed.events[0].recrash, Millis(2));
+  EXPECT_EQ(parsed.events[1].recovery, Millis(8));
+  EXPECT_EQ(parsed.events[1].recrash, -1);
+  EXPECT_EQ(parsed.ToString(), text);
+}
+
+TEST(FaultPlanTest, CrashRestartRejectsBadFields) {
+  FaultPlan parsed;
+  std::string error;
+  // Outage must be positive: a crash_restart that never restarts is a
+  // plain crash.
+  EXPECT_FALSE(FaultPlan::Parse(
+      "crash_restart site=1 step=local_commit occurrence=0 outage_us=0 "
+      "recovery_us=1000\n",
+      &parsed, &error));
+  // recovery_us is mandatory.
+  EXPECT_FALSE(FaultPlan::Parse(
+      "crash_restart site=1 step=local_commit occurrence=0 outage_us=5000\n",
+      &parsed, &error));
+  // A negative recrash is expressed by omission, not by value.
+  EXPECT_FALSE(FaultPlan::Parse(
+      "crash_restart site=1 step=local_commit occurrence=0 outage_us=5000 "
+      "recovery_us=1000 recrash_us=-1\n",
+      &parsed, &error));
+}
+
+TEST(InjectorTest, CrashRestartRunsRecoveryPhase) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 5);
+  FaultEvent restart;
+  restart.kind = FaultKind::kCrashRestart;
+  restart.site = 0;
+  restart.step = core::ProtocolStep::kLocalCommit;
+  restart.occurrence = 0;
+  restart.duration = Millis(50);
+  restart.recovery = Millis(5);
+  config.plan.events.push_back(restart);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.faults_triggered, 1);
+  EXPECT_EQ(result.site_crashes, 1u);
+  ASSERT_EQ(result.recovery_windows.size(), 1u);
+  const RecoveryWindow& window = result.recovery_windows.front();
+  EXPECT_EQ(window.site, 0u);
+  EXPECT_GT(window.begin, window.crash_time);
+  EXPECT_GE(window.end, window.begin + Millis(5));  // window floor honored
+  // Crashed at its own local commit: WAL analysis must find the exposed
+  // subtransaction in doubt.
+  EXPECT_GE(window.in_doubt, 1);
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(InjectorTest, CrashDuringRecoveryDoubleFaultStaysClean) {
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 7);
+  FaultEvent restart;
+  restart.kind = FaultKind::kCrashRestart;
+  restart.site = 0;
+  restart.step = core::ProtocolStep::kLocalCommit;
+  restart.occurrence = 0;
+  restart.duration = Millis(40);
+  restart.recovery = Millis(10);
+  restart.recrash = Millis(2);  // lands inside the 10ms recovery window
+  config.plan.events.push_back(restart);
+
+  const CampaignRunResult result = RunOne(config);
+  EXPECT_EQ(result.site_crashes, 2u);  // the injected crash + the re-crash
+  ASSERT_EQ(result.recovery_windows.size(), 2u);
+  // First window superseded by the re-crash (began, never ended); the
+  // second incarnation completes recovery.
+  EXPECT_GT(result.recovery_windows[0].begin, 0);
+  EXPECT_EQ(result.recovery_windows[0].end, 0);
+  EXPECT_GT(result.recovery_windows[1].end, 0);
+  EXPECT_TRUE(result.ok()) << result.oracle.Summary();
+}
+
+TEST(ReplayTest, CrashRestartTemplateReplaysByteIdentically) {
+  for (const core::CommitProtocol protocol :
+       {core::CommitProtocol::kOptimistic,
+        core::CommitProtocol::kTwoPhaseCommit}) {
+    CampaignRunConfig config = SmallConfig(protocol, 61);
+    config.template_name = "crash_restarts";
+    config.plan = GeneratePlan("crash_restarts", 61, config.num_sites);
+    ASSERT_FALSE(config.plan.empty());
+    const CampaignRunResult first = RunOne(config);
+    const CampaignRunResult second = RunOne(config);
+    ASSERT_FALSE(first.journal.empty());
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.journal, second.journal);
+    EXPECT_EQ(first.oracle.violations, second.oracle.violations);
   }
+}
+
+TEST(ShrinkTest, CrashRestartNoiseShrinksAwayFromLethalPlan) {
+  // A healable crash_restart riding along with the lethal permanent crash
+  // is noise: the shrinker must strip it and land on the 1-minimal lethal
+  // event, proving the new production is shrinkable.
+  CampaignRunConfig config = SmallConfig(core::CommitProtocol::kOptimistic, 1);
+  config.plan = KnownBadPlan(config.num_sites);
+  FaultEvent restart;
+  restart.kind = FaultKind::kCrashRestart;
+  restart.site = 1;
+  restart.step = core::ProtocolStep::kBeforeVote;
+  restart.occurrence = 0;
+  restart.duration = Millis(20);
+  restart.recovery = Millis(3);
+  config.plan.events.push_back(restart);
+  ASSERT_FALSE(RunOne(config).ok());
+
+  const ShrinkResult shrunk = ShrinkFaultPlan(config);
+  EXPECT_TRUE(shrunk.reached_fixpoint);
+  ASSERT_LE(shrunk.plan.events.size(), 2u);
+  ASSERT_GE(shrunk.plan.events.size(), 1u);
+  EXPECT_EQ(shrunk.plan.events.front().kind, FaultKind::kSiteCrashAtStep);
+  CampaignRunConfig probe = config;
+  probe.plan = shrunk.plan;
+  EXPECT_FALSE(RunOne(probe).ok());
 }
 
 TEST(CampaignTest, HealthySweepPassesAllOracles) {

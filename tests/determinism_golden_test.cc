@@ -31,9 +31,13 @@ namespace {
 // (serial == parallel before and after) when the "crashes" template began
 // splitting draws between step- and time-pinned crashes so the telemetry
 // coverage gate's crash_at production is exercised — a deliberate plan
-// change, verified byte-identical across --jobs at the new value.
+// change, verified byte-identical across --jobs at the new value. The
+// journal constant was re-pinned when site crashes became full recovery
+// phases: every crash-bearing journal gained recovery_begin/recovery_end
+// events — a deliberate trace change, verified byte-identical across
+// --jobs at the new value.
 constexpr std::uint64_t kGoldenSweepFingerprint = 0xdb2dfdd08573ea39ULL;
-constexpr std::uint64_t kGoldenJournalFingerprint = 0x48506a39e8fadf05ULL;
+constexpr std::uint64_t kGoldenJournalFingerprint = 0xdf08f680f574b319ULL;
 
 campaign::CampaignOptions GoldenSweep(int jobs) {
   campaign::CampaignOptions options;

@@ -182,6 +182,114 @@ TEST(RecoveryTest, RecoverSiteHandlesInterleavedLosers) {
   EXPECT_EQ(table.Get(2)->value, 2);
 }
 
+LogRecord VoteRecord(LogRecordKind kind, TxnId txn, TxnId global,
+                     SiteId coordinator, std::vector<SiteId> peers) {
+  LogRecord record;
+  record.kind = kind;
+  record.txn = txn;
+  record.aux = static_cast<std::int64_t>(global);
+  record.coordinator = coordinator;
+  record.peers = std::move(peers);
+  return record;
+}
+
+TEST(RecoveryTest, PreparedTransactionSurvivesRecoverSite) {
+  // The Gray & Lamport contract: a prepared participant survives a crash
+  // still prepared — its updates stay in place, it is never unilaterally
+  // rolled back, and analysis reconstructs it as in-doubt with the
+  // force-logged coordinator and peer set.
+  Table table;
+  Wal wal;
+  table.Put(1, 10, Tag(0));
+  wal.LogBegin(7);
+  Cell before = *table.Get(1);
+  table.Put(1, 99, Tag(7));
+  wal.LogUpdate(7, 1, before, *table.Get(1));
+  wal.Append(VoteRecord(LogRecordKind::kPrepared, 7, /*global=*/70,
+                        /*coordinator=*/2, /*peers=*/{1, 3}));
+
+  const RecoveryResult analysis = AnalyzeWal(wal);
+  EXPECT_TRUE(analysis.losers.empty());
+  ASSERT_EQ(analysis.in_doubt.size(), 1u);
+  EXPECT_EQ(analysis.in_doubt[0].txn, 7u);
+  EXPECT_EQ(analysis.in_doubt[0].global, 70u);
+  EXPECT_EQ(analysis.in_doubt[0].coordinator, 2u);
+  EXPECT_EQ(analysis.in_doubt[0].participants, (std::vector<SiteId>{1, 3}));
+  EXPECT_TRUE(analysis.in_doubt[0].prepared);
+
+  const auto losers = RecoverSite(wal, table);
+  EXPECT_TRUE(losers.empty());
+  EXPECT_EQ(table.Get(1)->value, 99);  // prepared update survives
+}
+
+TEST(RecoveryTest, ExposedSubtxnSurvivesRecoverSiteAsInDoubt) {
+  // An O2PC locally-committed (exposed) subtransaction likewise survives:
+  // kLocallyCommitted closes the loser window even though no kCommit was
+  // written, and analysis reports it as in-doubt (prepared = false).
+  Table table;
+  Wal wal;
+  table.Put(1, 10, Tag(0));
+  wal.LogBegin(8);
+  Cell before = *table.Get(1);
+  table.Put(1, 55, Tag(8));
+  wal.LogUpdate(8, 1, before, *table.Get(1));
+  wal.Append(VoteRecord(LogRecordKind::kLocallyCommitted, 8, /*global=*/80,
+                        /*coordinator=*/1, /*peers=*/{2}));
+
+  const RecoveryResult analysis = AnalyzeWal(wal);
+  ASSERT_EQ(analysis.in_doubt.size(), 1u);
+  EXPECT_FALSE(analysis.in_doubt[0].prepared);
+  EXPECT_EQ(analysis.in_doubt[0].coordinator, 1u);
+
+  EXPECT_TRUE(RecoverSite(wal, table).empty());
+  EXPECT_EQ(table.Get(1)->value, 55);
+  // A terminal kGlobalFinal closes the in-doubt window.
+  LogRecord final_record;
+  final_record.kind = LogRecordKind::kGlobalFinal;
+  final_record.txn = 8;
+  wal.Append(final_record);
+  EXPECT_TRUE(AnalyzeWal(wal).in_doubt.empty());
+}
+
+TEST(RecoveryTest, CrashDuringRecoveryIsIdempotent) {
+  // A second crash mid-recovery replays the WAL from the top: losers
+  // already undone (and abort-logged) must not be undone again, the
+  // prepared in-doubt set must come out identical, and the table must not
+  // move. Running RecoverSite twice models the double fault exactly.
+  Table table;
+  Wal wal;
+  table.Put(1, 10, Tag(0));
+  table.Put(2, 20, Tag(0));
+  // txn 3: loser. txn 4: prepared in-doubt.
+  wal.LogBegin(3);
+  Cell b1 = *table.Get(1);
+  table.Put(1, 111, Tag(3));
+  wal.LogUpdate(3, 1, b1, *table.Get(1));
+  wal.LogBegin(4);
+  Cell b2 = *table.Get(2);
+  table.Put(2, 222, Tag(4));
+  wal.LogUpdate(4, 2, b2, *table.Get(2));
+  wal.Append(VoteRecord(LogRecordKind::kPrepared, 4, /*global=*/40,
+                        /*coordinator=*/0, /*peers=*/{1}));
+
+  const auto first = RecoverSite(wal, table);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 3u);
+  EXPECT_EQ(table.Get(1)->value, 10);
+  EXPECT_EQ(table.Get(2)->value, 222);
+  const RecoveryResult analysis_first = AnalyzeWal(wal);
+
+  const auto second = RecoverSite(wal, table);
+  EXPECT_TRUE(second.empty());  // the abort record closed the loser window
+  EXPECT_EQ(table.Get(1)->value, 10);   // not undone twice
+  EXPECT_EQ(table.Get(2)->value, 222);  // still prepared in place
+  const RecoveryResult analysis_second = AnalyzeWal(wal);
+  ASSERT_EQ(analysis_second.in_doubt.size(), 1u);
+  EXPECT_EQ(analysis_second.in_doubt[0].txn, analysis_first.in_doubt[0].txn);
+  EXPECT_EQ(analysis_second.in_doubt[0].prepared,
+            analysis_first.in_doubt[0].prepared);
+}
+
 TEST(WalTest, TruncateBelowDropsOldRecords) {
   Wal wal;
   wal.LogBegin(1);                                   // lsn 1

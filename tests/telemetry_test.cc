@@ -67,6 +67,30 @@ TEST(PhaseProfilerTest, AttributesSyntheticLifecycle) {
   EXPECT_DOUBLE_EQ(profile.of(Phase::kTermination).Mean(), 5.0);
 }
 
+TEST(PhaseProfilerTest, AttributesRecoveryWindowPerSite) {
+  using trace::EventType;
+  std::vector<trace::TraceEvent> events = {
+      // One clean crash-restart at site 1: the window runs crash -> end.
+      Event(100, EventType::kSiteCrash, 1, kInvalidTxn),
+      Event(160, EventType::kRecoveryBegin, 1, kInvalidTxn, 2),
+      Event(200, EventType::kRecoveryEnd, 1, kInvalidTxn, 2, 0),
+      // Double fault at site 2: the re-crash lands inside recovery; the
+      // sample spans the earliest crash to the final kRecoveryEnd.
+      Event(300, EventType::kSiteCrash, 2, kInvalidTxn),
+      Event(340, EventType::kRecoveryBegin, 2, kInvalidTxn, 1),
+      Event(350, EventType::kSiteCrash, 2, kInvalidTxn),
+      Event(420, EventType::kRecoveryBegin, 2, kInvalidTxn, 1),
+      Event(450, EventType::kRecoveryEnd, 2, kInvalidTxn, 1, 0),
+      // Site 3 crashes and never recovers: no sample (skipped, not
+      // guessed at).
+      Event(500, EventType::kSiteCrash, 3, kInvalidTxn),
+  };
+  const PhaseProfile profile = ProfilePhases(events);
+  ASSERT_EQ(profile.of(Phase::kRecovery).count(), 2u);
+  // (200-100) and (450-300).
+  EXPECT_DOUBLE_EQ(profile.of(Phase::kRecovery).Mean(), 125.0);
+}
+
 TEST(PhaseProfilerTest, SkipsUnfinishedTxnsAndPreVoteTimeouts) {
   using trace::EventType;
   std::vector<trace::TraceEvent> events = {

@@ -3,8 +3,10 @@
 // Sweeps fleets of deterministic simulations under injected faults (site
 // crashes pinned to protocol steps, partitions, message drops/delays,
 // coordinator crashes), judging every run with the oracle battery: the
-// trace invariant checker (I1-I6), the paper's serialization-graph
-// criterion, and the cross-site durability / in-doubt / conservation audit.
+// trace invariant checker (I1-I7), the paper's serialization-graph
+// criterion, the cross-site durability / in-doubt / conservation audit,
+// and the crash-restart recovery oracle (complete recovery phases,
+// WAL-replay equivalence with the live tables).
 // Failing runs are written as replayable {seed, plan} artifacts and
 // greedily shrunk to a minimal fault plan.
 //
@@ -13,24 +15,12 @@
 //                 [--abort-prob P] [--time-budget 120s]
 //                 [--artifact-dir DIR] [--no-shrink] [--verbose]
 //                 [--telemetry-json FILE] [--report FILE.html]
-//                 [--duplicate-all[=K]] [--waive-known-sg-straddle[=CAP]]
+//                 [--duplicate-all[=K]]
 //
 // --duplicate-all runs the whole sweep under blanket at-least-once
 // delivery: every message is delivered 1+K times (K defaults to 1).
 // The oracle battery must stay clean — this is the idempotence
 // acceptance gate run at volume.
-//
-// --waive-known-sg-straddle tolerates (still reports, but does not fail
-// on) the KNOWN latent crash-window SG hole of DESIGN §14.3 / the
-// ROADMAP open item: a failure is waived only when every violation is
-// an sg: one AND its shrunk minimal plan needs nothing beyond the
-// legacy crash/partition/drop/delay grammar — i.e. it is reproducible
-// on the pre-adversarial tree. Any conservation/termination/audit
-// violation, or any duplicate/reorder/oneway/gray event surviving the
-// shrinker, still fails hard, and more than CAP waivers (default 10)
-// fails too: the hole fires at ~2-4 per 10k runs, so dozens means
-// something new. Delete this flag (and its CI uses) when the hole is
-// fixed.
 //
 // --telemetry-json / --report collect sweep telemetry (commit-phase
 // latency profile, protocol/fault coverage map, gauge time-series) and
@@ -74,9 +64,6 @@ struct CliArgs {
   bool list_templates = false;
   bool verbose = false;
   bool ok = true;
-  /// <0 = waiver off; otherwise the max number of known-SG-straddle
-  /// failures tolerated before the sweep fails anyway.
-  int waive_sg_straddle_cap = -1;
 };
 
 /// Accepts "120", "120s", "2m"; returns seconds (<= 0 invalid).
@@ -186,16 +173,6 @@ CliArgs Parse(int argc, char** argv) {
       } else {
         args.options.duplicate_copies = 1;
       }
-    } else if (is_flag(arg, "--waive-known-sg-straddle")) {
-      if (arg.find('=') != std::string::npos) {
-        args.waive_sg_straddle_cap = std::atoi(next_value(&i, arg).c_str());
-        if (args.waive_sg_straddle_cap < 0) {
-          std::fprintf(stderr, "bad --waive-known-sg-straddle cap\n");
-          args.ok = false;
-        }
-      } else {
-        args.waive_sg_straddle_cap = 10;
-      }
     } else if (arg == "--no-shrink") {
       args.options.shrink_failures = false;
     } else if (arg == "--inject-bad") {
@@ -220,34 +197,6 @@ void PrintViolations(const campaign::OracleReport& oracle) {
   for (const std::string& violation : oracle.violations) {
     std::fprintf(stderr, "  %s\n", violation.c_str());
   }
-}
-
-/// True iff `failure` matches the signature of the known crash-window SG
-/// straddle hole (DESIGN §14.3): every violation is from the SG oracle,
-/// and the shrunk minimal plan needs nothing beyond the legacy
-/// crash/partition/drop/delay grammar — i.e. the failure is reproducible
-/// on the pre-adversarial tree (partitions and drops merely widen the
-/// crash's compensation window). A failure that needs a duplicate /
-/// reorder / oneway_partition / gray event to survive shrinking, or that
-/// trips conservation, liveness, durability, or the trace checker, is
-/// never the known hole and must not be waived.
-bool IsKnownSgStraddle(const campaign::CampaignFailure& failure) {
-  if (failure.oracle.violations.empty()) return false;
-  for (const std::string& violation : failure.oracle.violations) {
-    if (violation.rfind("sg:", 0) != 0) return false;
-  }
-  for (const campaign::FaultEvent& event : failure.shrunk_plan.events) {
-    switch (event.kind) {
-      case campaign::FaultKind::kDuplicateMessage:
-      case campaign::FaultKind::kReorderMessages:
-      case campaign::FaultKind::kOneWayPartition:
-      case campaign::FaultKind::kGrayFailure:
-        return false;
-      default:
-        continue;
-    }
-  }
-  return true;
 }
 
 /// --replay: run an artifact twice; fingerprints must match and the
@@ -285,6 +234,35 @@ int Replay(const std::string& path) {
       static_cast<unsigned long long>(first.coordinator_crashes),
       static_cast<unsigned long long>(first.messages_dropped),
       first.faults_triggered, static_cast<long long>(first.makespan));
+  if (!first.recovery_windows.empty()) {
+    std::printf("recovery timeline (%zu crash(es)):\n",
+                first.recovery_windows.size());
+    for (const campaign::RecoveryWindow& window : first.recovery_windows) {
+      if (window.begin == 0) {
+        std::printf("  site %lld: crash @%lldus, never recovered\n",
+                    static_cast<long long>(window.site),
+                    static_cast<long long>(window.crash_time));
+      } else if (window.end == 0) {
+        std::printf(
+            "  site %lld: crash @%lldus, recovery began @%lldus "
+            "(%lld in-doubt), superseded by a re-crash\n",
+            static_cast<long long>(window.site),
+            static_cast<long long>(window.crash_time),
+            static_cast<long long>(window.begin),
+            static_cast<long long>(window.in_doubt));
+      } else {
+        std::printf(
+            "  site %lld: crash @%lldus, recovery %lldus..%lldus, "
+            "%lld in-doubt, %lld left to termination\n",
+            static_cast<long long>(window.site),
+            static_cast<long long>(window.crash_time),
+            static_cast<long long>(window.begin),
+            static_cast<long long>(window.end),
+            static_cast<long long>(window.in_doubt),
+            static_cast<long long>(window.unresolved));
+      }
+    }
+  }
   if (!first.ok()) {
     std::printf("oracle violations (%zu):\n", first.oracle.violations.size());
     PrintViolations(first.oracle);
@@ -390,15 +368,9 @@ int main(int argc, char** argv) {
       std::printf("report: %s\n", args.report_path.c_str());
     }
   }
-  int waived = 0;
-  int real_failures = 0;
   for (const campaign::CampaignFailure& failure : report.failures) {
-    const bool waivable =
-        args.waive_sg_straddle_cap >= 0 && IsKnownSgStraddle(failure);
-    waivable ? ++waived : ++real_failures;
     std::fprintf(stderr,
-                 "%s seed=%llu template=%s protocol=%s (%zu violations)\n",
-                 waivable ? "FAIL (waived: known sg straddle)" : "FAIL",
+                 "FAIL seed=%llu template=%s protocol=%s (%zu violations)\n",
                  static_cast<unsigned long long>(failure.config.seed),
                  failure.config.template_name.c_str(),
                  ProtocolFlag(failure.config.protocol),
@@ -411,19 +383,5 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "artifact: %s\n", failure.artifact_path.c_str());
     }
   }
-  if (waived > 0) {
-    std::fprintf(stderr,
-                 "waived %d failure(s) as the known crash-window SG straddle "
-                 "hole (DESIGN §14.3, ROADMAP open item)\n",
-                 waived);
-    if (waived > args.waive_sg_straddle_cap) {
-      std::fprintf(stderr,
-                   "but %d exceeds the waiver cap of %d — the known hole "
-                   "fires at ~2-4 per 10k runs; this volume means something "
-                   "new\n",
-                   waived, args.waive_sg_straddle_cap);
-      return 1;
-    }
-  }
-  return real_failures == 0 ? 0 : 1;
+  return report.failures.empty() ? 0 : 1;
 }
