@@ -26,8 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/fault_plan.h"
 #include "campaign/runner.h"
+#include "common/arena.h"
 #include "common/string_util.h"
+#include "exec/world_pool.h"
 #include "metrics/table.h"
 
 using namespace o2pc;
@@ -110,6 +113,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Allocation audit for the arena-reuse path, at the granularity the
+  // steady-state gate (tests/arena_test.cc) pins: one RunOne inside a
+  // recycled world. After warmup the armed run must touch the system heap
+  // exactly zero times; any nonzero count here is a regression (a new
+  // lazily-constructed static, a cache that stopped bypassing the arena).
+  std::int64_t steady_heap_allocs = -1;  // -1 = unmeasurable in this build
+  std::uint64_t steady_arena_allocs = 0;
+  std::uint64_t steady_arena_bytes = 0;
+  if (exec::WorldPool::Enabled() && common::HeapAllocCountingEnabled()) {
+    campaign::CampaignRunConfig config;
+    config.seed = 1;
+    config.template_name = "mixed";
+    config.plan = campaign::GeneratePlan("mixed", 1, config.num_sites);
+    for (int warmup = 0; warmup < 3; ++warmup) {
+      exec::WorldPool::ScopedRun scope;
+      (void)campaign::RunOne(config);
+    }
+    exec::WorldPool::ScopedRun scope;
+    (void)campaign::RunOne(config);
+    steady_heap_allocs = static_cast<std::int64_t>(scope.heap_allocs());
+    steady_arena_allocs = scope.arena_allocs();
+    steady_arena_bytes = scope.arena_bytes();
+  }
+
   // Best-of-repeats: the least-disturbed measurement of a deterministic
   // workload is the closest to the engine's true cost.
   const double best_ms = *std::min_element(wall_ms.begin(), wall_ms.end());
@@ -140,6 +167,14 @@ int main(int argc, char** argv) {
     table.AddRow({"baseline runs/sec", FormatDouble(baseline_runs_per_sec, 1)});
     table.AddRow({"speedup", FormatDouble(speedup, 2)});
   }
+  if (steady_heap_allocs >= 0) {
+    table.AddRow({"steady-state heap allocs/run",
+                  std::to_string(steady_heap_allocs)});
+    table.AddRow({"steady-state arena allocs/run",
+                  std::to_string(steady_arena_allocs)});
+    table.AddRow({"steady-state arena MB/run",
+                  FormatDouble(steady_arena_bytes / (1024.0 * 1024.0), 1)});
+  }
   table.AddRow({"sweep fingerprint", hex});
   std::printf("%s\n", table.ToString().c_str());
 
@@ -152,6 +187,9 @@ int main(int argc, char** argv) {
       << ",\n  \"telemetry_overhead_pct\": " << telemetry_overhead_pct
       << ",\n  \"baseline_runs_per_sec\": " << baseline_runs_per_sec
       << ",\n  \"speedup_vs_baseline\": " << speedup
+      << ",\n  \"steady_state_heap_allocs_per_run\": " << steady_heap_allocs
+      << ",\n  \"steady_state_arena_allocs_per_run\": " << steady_arena_allocs
+      << ",\n  \"steady_state_arena_bytes_per_run\": " << steady_arena_bytes
       << ",\n  \"sweep_fingerprint\": \"" << hex << "\"\n}\n";
   return 0;
 }

@@ -80,6 +80,72 @@ void BM_StdFunctionChurnBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_StdFunctionChurnBaseline);
 
+// Calendar-vs-heap A/B at the protocol's timer shape (same mix the
+// cross-implementation property test in tests/sim_test.cc drives): mostly
+// op costs and network hops within 200µs, a band of retransmit spikes at
+// 1–20ms, and a long tail of recovery windows at 50–500ms. The classic
+// hold model — pop one, push one at now+delay — measures the steady-state
+// transit cost at a fixed queue population.
+SimTime ProtocolDelay(Rng& rng) {
+  const std::uint64_t draw = rng.Uniform(0, 9);
+  if (draw < 6) return static_cast<SimTime>(rng.Uniform(0, 200));
+  if (draw < 8) return static_cast<SimTime>(rng.Uniform(1000, 20000));
+  return static_cast<SimTime>(rng.Uniform(50000, 500000));
+}
+
+void EventQueueHoldKernel(benchmark::State& state, bool calendar) {
+  const int hold = static_cast<int>(state.range(0));
+  sim::EventQueue queue;
+  queue.ForceImplementation(calendar);
+  Rng rng(17);
+  SimTime now = 0;
+  for (int i = 0; i < hold; ++i) {
+    queue.Push(ProtocolDelay(rng), [] {});
+  }
+  for (auto _ : state) {
+    sim::Event event = queue.Pop();
+    now = event.time;
+    benchmark::DoNotOptimize(queue.Push(now + ProtocolDelay(rng), [] {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_EventQueueHoldCalendar(benchmark::State& state) {
+  EventQueueHoldKernel(state, true);
+}
+BENCHMARK(BM_EventQueueHoldCalendar)->Arg(64)->Arg(1024)->Arg(16384);
+void BM_EventQueueHoldHeapBaseline(benchmark::State& state) {
+  EventQueueHoldKernel(state, false);
+}
+BENCHMARK(BM_EventQueueHoldHeapBaseline)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The retransmit lifecycle: arm a 1–20ms retransmit timer plus the op that
+// will moot it, pop the op, cancel the timer (the ack nearly always beats
+// the spike). Cancelled keys linger in the ordering structure until they
+// surface, so this kernel prices both the O(1) cancel and the lazy reap.
+void EventQueueCancelKernel(benchmark::State& state, bool calendar) {
+  sim::EventQueue queue;
+  queue.ForceImplementation(calendar);
+  Rng rng(23);
+  SimTime now = 0;
+  for (auto _ : state) {
+    const sim::EventId retransmit = queue.Push(
+        now + 1000 + static_cast<SimTime>(rng.Uniform(0, 19000)), [] {});
+    queue.Push(now + static_cast<SimTime>(rng.Uniform(0, 200)), [] {});
+    sim::Event event = queue.Pop();
+    now = event.time;
+    benchmark::DoNotOptimize(queue.Cancel(retransmit));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_EventQueueRetransmitCancelCalendar(benchmark::State& state) {
+  EventQueueCancelKernel(state, true);
+}
+BENCHMARK(BM_EventQueueRetransmitCancelCalendar);
+void BM_EventQueueRetransmitCancelHeapBaseline(benchmark::State& state) {
+  EventQueueCancelKernel(state, false);
+}
+BENCHMARK(BM_EventQueueRetransmitCancelHeapBaseline);
+
 // Payload allocation: the thread-local freelist pool vs plain make_shared.
 void BM_PayloadPoolAllocate(benchmark::State& state) {
   for (auto _ : state) {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "campaign/injector.h"
@@ -13,6 +14,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "exec/run_executor.h"
+#include "exec/world_pool.h"
 #include "telemetry/time_series.h"
 #include "trace/export.h"
 #include "trace/trace.h"
@@ -217,9 +219,7 @@ CampaignRunResult RunOne(const CampaignRunConfig& config) {
       }
     }
   }
-  std::ostringstream journal;
-  trace::ExportJsonl(recorder.events(), journal);
-  result.journal = journal.str();
+  result.journal = trace::ExportJsonlString(recorder.events());
   result.fingerprint = Fingerprint(result.journal);
   result.committed = system.stats().Count("globals_committed");
   result.aborted = system.stats().Count("globals_aborted");
@@ -447,9 +447,21 @@ CampaignReport RunCampaign(const CampaignOptions& options, bool verbose) {
       }
       configs.push_back(std::move(config));
     }
+    // Each worker recycles its thread-local world arena per run, and
+    // opening a run rewinds that worker's previous one. A worker executes
+    // many configs per wave, so a result must leave the lambda with no
+    // arena-backed storage: close the scope (disarm — the arena stays
+    // readable until the worker's next open), then copy the result, which
+    // re-allocates every string and vector on the real heap.
+    const bool reuse = options.reuse_worlds && exec::WorldPool::Enabled();
     const std::vector<CampaignRunResult> results =
         executor.Map<CampaignRunResult>(configs.size(), [&](std::size_t w) {
-          return RunOne(configs[w]);
+          if (!reuse) return RunOne(configs[w]);
+          std::optional<exec::WorldPool::ScopedRun> scope(std::in_place);
+          const CampaignRunResult armed = RunOne(configs[w]);
+          scope.reset();
+          CampaignRunResult escaped(armed);  // deep copy, off-arena
+          return escaped;
         });
 
     for (int w = 0; w < wave_runs; ++w) {

@@ -136,6 +136,13 @@ struct CampaignOptions {
   /// for the first run of each protocol) into CampaignReport::telemetry.
   bool collect_telemetry = false;
   Duration time_series_interval = Millis(2);
+  /// Recycle one thread-local world arena per worker (exec::WorldPool):
+  /// each run is bump-allocated into its worker's rewound arena instead of
+  /// paying ~150k heap round trips. Behavior — journals, fingerprints,
+  /// telemetry, artifacts — is byte-identical either way (pinned by
+  /// determinism_golden_test); this only moves memory. Ignored when the
+  /// arena machinery is unavailable (ASan builds, O2PC_RUN_ARENA=off).
+  bool reuse_worlds = true;
 };
 
 /// One failing run, with its (possibly shrunk) reproduction recipe.

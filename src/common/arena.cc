@@ -1,0 +1,300 @@
+#include "common/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <locale>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define O2PC_ARENA_HAVE_MMAP 1
+#else
+#define O2PC_ARENA_HAVE_MMAP 0
+#endif
+
+namespace o2pc::common {
+
+namespace {
+
+/// One contiguous virtual reservation holds every arena, so the
+/// operator-delete ownership test is two compares against constinit
+/// atomics — valid from any thread at any point of process lifetime
+/// (including static destruction: the region is never unmapped).
+constexpr std::size_t kSuperReserve = std::size_t{1} << 36;  // 64 GB virtual
+constexpr std::size_t kArenaCapacity = std::size_t{1} << 30;  // 1 GB each
+constexpr int kMaxArenas = 64;
+
+constinit std::atomic<char*> g_super_base{nullptr};
+constinit std::atomic<char*> g_super_end{nullptr};
+
+/// The arena objects themselves live in static storage (never destroyed):
+/// a rewound-but-reachable arena must stay valid for ownership checks and
+/// no-op frees issued after its leasing thread exited.
+constinit MonotonicArena g_arenas[kMaxArenas];
+constinit std::atomic_flag g_pool_lock = ATOMIC_FLAG_INIT;
+constinit int g_free_list[kMaxArenas] = {};
+constinit int g_free_count = 0;
+constinit int g_arenas_created = 0;
+
+/// The calling thread's armed arena (null = allocate from the heap).
+thread_local constinit MonotonicArena* t_current = nullptr;
+
+struct ThreadCounters {
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t arena_allocs = 0;
+};
+thread_local constinit ThreadCounters t_counters;
+
+bool SuperReserveInit() {
+#if O2PC_ARENA_HAVE_MMAP
+  char* expected = nullptr;
+  if (g_super_base.load(std::memory_order_acquire) != nullptr) return true;
+  void* mem = ::mmap(nullptr, kSuperReserve, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  char* base = static_cast<char*>(mem);
+  if (!g_super_base.compare_exchange_strong(expected, base,
+                                            std::memory_order_acq_rel)) {
+    ::munmap(mem, kSuperReserve);  // lost the race; the winner's stands
+    return true;
+  }
+  g_super_end.store(base + kSuperReserve, std::memory_order_release);
+  return true;
+#else
+  return false;
+#endif
+}
+
+class PoolLockGuard {
+ public:
+  PoolLockGuard() {
+    while (g_pool_lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~PoolLockGuard() { g_pool_lock.clear(std::memory_order_release); }
+};
+
+MonotonicArena* PoolAcquire() {
+  if (!RunArenaEnabled()) return nullptr;
+  PoolLockGuard guard;
+  if (g_free_count > 0) return &g_arenas[g_free_list[--g_free_count]];
+  if (g_arenas_created >= kMaxArenas) return nullptr;
+  char* base = g_super_base.load(std::memory_order_acquire);
+  MonotonicArena* arena = &g_arenas[g_arenas_created];
+  arena->AdoptReservation(
+      base + static_cast<std::size_t>(g_arenas_created) * kArenaCapacity,
+      kArenaCapacity);
+  ++g_arenas_created;
+  return arena;
+}
+
+void PoolRelease(MonotonicArena* arena) {
+  PoolLockGuard guard;
+  g_free_list[g_free_count++] = static_cast<int>(arena - g_arenas);
+}
+
+/// Returns the lease to the pool when its thread exits. The arena's pages
+/// stay mapped and registered: late frees of its memory remain no-ops.
+struct ArenaLease {
+  MonotonicArena* arena = nullptr;
+  ~ArenaLease() {
+    if (arena != nullptr) PoolRelease(arena);
+  }
+};
+thread_local constinit ArenaLease t_lease;
+
+bool ArenaPoisonEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("O2PC_ARENA_POISON");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+void* MonotonicArena::TryAllocate(std::size_t bytes, std::size_t align) {
+  std::size_t offset = (offset_ + (align - 1)) & ~(align - 1);
+  if (bytes > capacity_ || offset > capacity_ - bytes) return nullptr;
+  offset_ = offset + bytes;
+  return base_ + offset;
+}
+
+void MonotonicArena::Rewind() {
+  if (offset_ > high_water_) high_water_ = offset_;
+  if (ArenaPoisonEnabled() && offset_ > 0) {
+    std::memset(base_, 0xCD, offset_);
+  }
+  offset_ = 0;
+}
+
+void WarmProcessStatics() {
+  // Anything a run lazily constructs on first use must exist before the
+  // first armed run, or its allocation would land in an arena and dangle
+  // after the rewind. The known offenders: the logger singleton, locale
+  // plumbing behind ostringstream formatting, and error categories.
+  Logger::Global();
+  (void)std::locale::classic();
+  std::ostringstream warm;
+  warm << 42 << ' ' << 3.5 << ' ' << std::hex << 255u;
+  (void)std::to_string(123456789);
+  (void)ArenaPoisonEnabled();
+}
+
+bool RunArenaEnabled() {
+  static const bool enabled = [] {
+#if !O2PC_ARENA_GLOBAL_NEW
+    return false;
+#else
+    const char* env = std::getenv("O2PC_RUN_ARENA");
+    if (env != nullptr &&
+        (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+      return false;
+    }
+    if (!SuperReserveInit()) return false;
+    WarmProcessStatics();
+    return true;
+#endif
+  }();
+  return enabled;
+}
+
+MonotonicArena* ThreadRunArena() {
+  if (t_lease.arena == nullptr) t_lease.arena = PoolAcquire();
+  return t_lease.arena;
+}
+
+ScopedRunArena::ScopedRunArena(MonotonicArena* arena) : arena_(arena) {
+  if (arena_ == nullptr) return;
+  previous_ = t_current;
+  t_current = arena_;
+}
+
+ScopedRunArena::~ScopedRunArena() {
+  if (arena_ == nullptr) return;
+  t_current = previous_;
+}
+
+std::uint64_t ThreadHeapAllocs() { return t_counters.heap_allocs; }
+std::uint64_t ThreadArenaAllocs() { return t_counters.arena_allocs; }
+
+bool HeapAllocCountingEnabled() { return O2PC_ARENA_GLOBAL_NEW != 0; }
+
+void* BypassMalloc(std::size_t bytes) {
+  ++t_counters.heap_allocs;
+  return std::malloc(bytes);
+}
+
+void BypassFree(void* p) noexcept { std::free(p); }
+
+namespace arena_detail {
+
+inline void* AllocateRaw(std::size_t bytes, std::size_t align) {
+  if (MonotonicArena* arena = t_current) {
+    if (void* p = arena->TryAllocate(bytes, align)) {
+      ++t_counters.arena_allocs;
+      return p;
+    }
+  }
+  ++t_counters.heap_allocs;
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    return std::aligned_alloc(align, (bytes + align - 1) & ~(align - 1));
+  }
+  return std::malloc(bytes);
+}
+
+inline bool ArenaOwned(const void* p) {
+  const char* base = g_super_base.load(std::memory_order_acquire);
+  if (base == nullptr) return false;
+  const char* c = static_cast<const char*>(p);
+  return c >= base && c < g_super_end.load(std::memory_order_acquire);
+}
+
+inline void DeallocateRaw(void* p) {
+  if (p == nullptr || ArenaOwned(p)) return;
+  std::free(p);
+}
+
+}  // namespace arena_detail
+
+}  // namespace o2pc::common
+
+#if O2PC_ARENA_GLOBAL_NEW
+
+// Global replacement of the allocation functions. Linked into any binary
+// that references the arena API (arena.cc also defines MonotonicArena, so
+// using ScopedRunArena / WorldPool pulls this object file in). Disarmed
+// threads pay one thread-local null check per allocation.
+
+namespace detail = o2pc::common::arena_detail;
+
+void* operator new(std::size_t n) {
+  void* p = detail::AllocateRaw(n, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return detail::AllocateRaw(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return detail::AllocateRaw(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = detail::AllocateRaw(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return operator new(n, align);
+}
+void* operator new(std::size_t n, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return detail::AllocateRaw(n, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return detail::AllocateRaw(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { detail::DeallocateRaw(p); }
+void operator delete[](void* p) noexcept { detail::DeallocateRaw(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  detail::DeallocateRaw(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  detail::DeallocateRaw(p);
+}
+
+#endif  // O2PC_ARENA_GLOBAL_NEW

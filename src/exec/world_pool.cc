@@ -1,0 +1,27 @@
+#include "exec/world_pool.h"
+
+namespace o2pc::exec {
+
+namespace {
+
+common::MonotonicArena* AcquireRewound() {
+  common::MonotonicArena* arena = common::ThreadRunArena();
+  // Rewind at open, not close: the previous run's results stay readable
+  // (by any thread) until this worker starts its next run.
+  if (arena != nullptr) arena->Rewind();
+  return arena;
+}
+
+}  // namespace
+
+WorldPool::ScopedRun::ScopedRun()
+    : arena_(AcquireRewound()),
+      scope_(arena_),
+      heap_allocs_at_open_(common::ThreadHeapAllocs()),
+      arena_allocs_at_open_(common::ThreadArenaAllocs()) {}
+
+std::uint64_t WorldPool::ScopedRun::arena_bytes() const {
+  return arena_ != nullptr ? arena_->bytes_used() : 0;
+}
+
+}  // namespace o2pc::exec

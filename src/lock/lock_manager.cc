@@ -30,6 +30,21 @@ LockManager::LockManager(sim::Simulator* simulator, Options options)
   O2PC_CHECK(simulator != nullptr);
 }
 
+void LockManager::ResetForRun() {
+  queues_.clear();
+  held_.clear();
+  waiting_on_.clear();
+  waits_for_.ResetForRun();
+  stats_.acquires = 0;
+  stats_.immediate_grants = 0;
+  stats_.waits = 0;
+  stats_.deadlocks = 0;
+  stats_.cancelled_waits = 0;
+  stats_.exclusive_hold.clear();
+  stats_.shared_hold.clear();
+  stats_.wait_time.clear();
+}
+
 void LockManager::Acquire(TxnId txn, DataKey key, LockMode mode,
                           GrantCallback callback) {
   O2PC_CHECK(!waiting_on_.contains(txn))

@@ -105,6 +105,13 @@ class LockManager {
   /// Keys currently held by `txn`.
   std::vector<DataKey> HeldKeys(TxnId txn) const;
 
+  /// Returns the manager to its just-constructed state — every queue,
+  /// holder, waiter, waits-for edge, and stat dropped — retaining container
+  /// capacity (world-reuse reset contract, DESIGN §16). Pending grant
+  /// callbacks must already have fired or been cancelled: a reset never
+  /// fires callbacks.
+  void ResetForRun();
+
   /// True if `txn` has a request waiting in some queue.
   bool IsWaiting(TxnId txn) const;
 

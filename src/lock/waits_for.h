@@ -32,6 +32,14 @@ class WaitsForGraph {
   /// granted, cancelled, or fails).
   void ClearWaiter(TxnId waiter);
 
+  /// Drops every edge and all DFS scratch, retaining capacity (world-reuse
+  /// reset contract, DESIGN §16).
+  void ResetForRun() {
+    out_.clear();
+    mark_.clear();
+    epoch_ = 0;
+  }
+
   /// Removes `txn` entirely (as waiter and as wait target).
   void RemoveTxn(TxnId txn);
 

@@ -1,7 +1,10 @@
 #include "net/payload_pool.h"
 
 #include <array>
+#include <cstdlib>
 #include <new>
+
+#include "common/arena.h"
 
 namespace o2pc::net::pool_internal {
 
@@ -21,6 +24,12 @@ int ClassFor(std::size_t bytes) {
 /// One thread's freelists. The destructor releases cached blocks when the
 /// thread exits; blocks still alive at that point (none, in practice — each
 /// run drains on its own thread) simply fall back to the heap on free.
+///
+/// The freelists survive across runs on their thread, so blocks must come
+/// from the *system heap* (raw malloc), never from the thread's run arena
+/// (common/arena.h): an arena-backed block would dangle after the
+/// between-runs rewind. Steady state allocates nothing either way — the
+/// lists reach their high-water after the first run and recycle forever.
 struct ThreadPool {
   struct FreeNode {
     FreeNode* next;
@@ -34,7 +43,7 @@ struct ThreadPool {
       FreeNode* node = heads[i];
       while (node != nullptr) {
         FreeNode* next = node->next;
-        ::operator delete(node, std::align_val_t{alignof(std::max_align_t)});
+        common::BypassFree(node);
         node = next;
       }
       heads[i] = nullptr;
@@ -52,22 +61,20 @@ void* Allocate(std::size_t bytes) {
   const int cls = ClassFor(bytes);
   if (cls < 0) {
     ++pool.counters.oversized;
-    return ::operator new(bytes,
-                          std::align_val_t{alignof(std::max_align_t)});
+    return common::BypassMalloc(bytes);
   }
   if (ThreadPool::FreeNode* node = pool.heads[cls]; node != nullptr) {
     pool.heads[cls] = node->next;
     ++pool.counters.reuses;
     return node;
   }
-  return ::operator new(kClasses[cls],
-                        std::align_val_t{alignof(std::max_align_t)});
+  return common::BypassMalloc(kClasses[cls]);
 }
 
 void Deallocate(void* block, std::size_t bytes) noexcept {
   const int cls = ClassFor(bytes);
   if (cls < 0) {
-    ::operator delete(block, std::align_val_t{alignof(std::max_align_t)});
+    common::BypassFree(block);
     return;
   }
   ThreadPool& pool = g_pool;

@@ -51,6 +51,16 @@ class ConflictTracker {
   /// `writer`. Duplicate (reader, writer) pairs are recorded once.
   void RecordReadFrom(NodeRef reader, NodeRef writer);
 
+  /// Drops all recorded history, provenance, and commit marks, retaining
+  /// container capacity (world-reuse reset contract, DESIGN §16).
+  void ResetForRun() {
+    history_.clear();
+    reads_from_.clear();
+    reads_from_seen_.clear();
+    committed_locals_.clear();
+    access_count_ = 0;
+  }
+
   /// Declares that local transaction `txn` committed (locals that never
   /// commit are excluded from the SG, per §5).
   void MarkLocalCommitted(TxnId txn);

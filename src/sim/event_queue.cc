@@ -1,54 +1,309 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 
 namespace o2pc::sim {
 
+namespace {
+
+/// Initial calendar geometry. The window (width * buckets) comfortably
+/// covers the protocol's dense short-horizon band (operation costs and
+/// network hops, tens to hundreds of microseconds); retransmit spikes and
+/// recovery windows land in the far heap and migrate in as the window
+/// slides. Splitting adapts the width downward when traffic bunches.
+constexpr SimTime kInitialWidth = 16;         // microseconds per bucket
+constexpr std::size_t kInitialBuckets = 512;  // power of two
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 15;
+/// A bucket holding more than this many scheduled keys (spanning more than
+/// one distinct instant) triggers a split.
+constexpr std::size_t kSplitThreshold = 48;
+
+bool DefaultToCalendar() {
+  static const bool calendar = [] {
+    const char* env = std::getenv("O2PC_EVENTQUEUE");
+    return env == nullptr || std::strcmp(env, "heap") != 0;
+  }();
+  return calendar;
+}
+
+}  // namespace
+
+EventQueue::EventQueue() : calendar_(DefaultToCalendar()) {
+  if (calendar_) {
+    buckets_.resize(kInitialBuckets);
+    occupied_.assign(kInitialBuckets / 64, 0);
+    num_buckets_ = kInitialBuckets;
+    mask_ = kInitialBuckets - 1;
+    width_ = kInitialWidth;
+  }
+}
+
+EventQueue::~EventQueue() = default;
+
+void EventQueue::ForceImplementation(bool calendar) {
+  O2PC_CHECK(live_count_ == 0 && far_.empty() && heap_.empty())
+      << "ForceImplementation on a non-empty queue";
+  calendar_ = calendar;
+  if (calendar_ && buckets_.empty()) {
+    buckets_.resize(kInitialBuckets);
+    occupied_.assign(kInitialBuckets / 64, 0);
+    num_buckets_ = kInitialBuckets;
+    mask_ = kInitialBuckets - 1;
+    width_ = kInitialWidth;
+  }
+}
+
+std::size_t EventQueue::FindOccupied(std::size_t from) const {
+  std::size_t word = from >> 6;
+  if (word >= occupied_.size()) return num_buckets_;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (from & 63));
+  while (bits == 0) {
+    if (++word >= occupied_.size()) return num_buckets_;
+    bits = occupied_[word];
+  }
+  return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+std::uint32_t EventQueue::ParkCallback(Callback fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+  slots_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+Callback EventQueue::TakeCallback(std::uint32_t slot) {
+  Callback fn = std::move(slots_[slot]);
+  slots_[slot] = Callback();
+  free_slots_.push_back(slot);
+  return fn;
+}
+
 EventId EventQueue::Push(SimTime time, Callback fn) {
   const EventId id = next_id_++;
-  heap_.push_back(HeapEntry{time, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const Key key{time, id, ParkCallback(std::move(fn))};
   state_.push_back(kPending);  // state_.size() tracks next_id_
   ++live_count_;
+  if (calendar_) {
+    CalendarPush(key);
+  } else {
+    heap_.push_back(key);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
   return id;
+}
+
+void EventQueue::CalendarPush(const Key& key) {
+  if (key.time >= RingEnd()) {
+    far_.push_back(key);
+    std::push_heap(far_.begin(), far_.end(), Later{});
+    return;
+  }
+  if (key.time < ring_base_) {
+    // A push into the past relative to the window (possible only for
+    // callers that pop below a previously pushed far-future time and then
+    // push near it — the Simulator never does, but the queue's contract is
+    // a plain priority queue). Slide the window back to cover it.
+    Rebuild(key.time - (key.time % width_), width_, num_buckets_);
+  }
+  const std::size_t index = BucketIndex(key.time);
+  Bucket& bucket = buckets_[index];
+  MarkOccupied(index);
+  // Sorted insertion from the back. Pushes arrive in id order, so keys at
+  // the same instant already sit in FIFO order and the common append case
+  // terminates on the first compare.
+  bucket.keys.push_back(key);
+  std::size_t i = bucket.keys.size() - 1;
+  while (i > bucket.head && Later{}(bucket.keys[i - 1], key)) {
+    bucket.keys[i] = bucket.keys[i - 1];
+    --i;
+  }
+  bucket.keys[i] = key;
+  // A stale cursor (the ring looked drained) must fall back to this key.
+  if (index < cursor_) cursor_ = index;
+  MaybeSplit(index);
+}
+
+void EventQueue::MaybeSplit(std::size_t bucket_index) {
+  const Bucket& bucket = buckets_[bucket_index];
+  if (bucket.keys.size() - bucket.head <= kSplitThreshold) return;
+  if (num_buckets_ >= kMaxBuckets || width_ <= 1) return;
+  // Same-instant bursts gain nothing from a split (they share a bucket at
+  // any width, and their insertion is O(1) appends).
+  if (bucket.keys.front().time == bucket.keys.back().time) return;
+  Rebuild(ring_base_, width_ / 2, num_buckets_ * 2);
+}
+
+void EventQueue::Rebuild(SimTime base, SimTime width,
+                         std::size_t num_buckets) {
+  // Halving the width while doubling the count keeps the window end fixed,
+  // so no key moves between ring and far heap. Ring keys concatenated in
+  // bucket order are globally sorted; re-appending preserves per-bucket
+  // sorted order.
+  std::vector<Key> scheduled;
+  scheduled.reserve(live_count_);
+  for (std::size_t b = cursor_; b < num_buckets_; ++b) {
+    Bucket& bucket = buckets_[b];
+    for (std::size_t i = bucket.head; i < bucket.keys.size(); ++i) {
+      scheduled.push_back(bucket.keys[i]);
+    }
+    bucket.reset();
+  }
+  buckets_.resize(num_buckets);
+  occupied_.assign((num_buckets + 63) / 64, 0);
+  num_buckets_ = num_buckets;
+  mask_ = num_buckets - 1;
+  width_ = width;
+  ring_base_ = base;
+  cursor_ = num_buckets_;  // nothing scheduled yet; pushes pull it back
+  for (const Key& key : scheduled) {
+    if (key.time >= RingEnd()) {  // window slid backward: overflow to far
+      far_.push_back(key);
+      std::push_heap(far_.begin(), far_.end(), Later{});
+      continue;
+    }
+    const std::size_t index = BucketIndex(key.time);
+    buckets_[index].keys.push_back(key);
+    MarkOccupied(index);
+    if (index < cursor_) cursor_ = index;
+  }
 }
 
 bool EventQueue::Cancel(EventId id) {
   if (id == kInvalidEvent || id >= next_id_) return false;
-  // An id is live iff its state byte says so: ids that already ran (or were
-  // cancelled and reaped) are kDone, double-cancels are kCancelled. No heap
-  // membership scan needed.
+  // An id is live iff its state byte says so — no structure scan. The key
+  // (and its parked callback) is reaped when it surfaces, exactly like the
+  // pre-calendar lazy heap.
   if (state_[id] != kPending) return false;
   state_[id] = kCancelled;
   --live_count_;
   return true;
 }
 
+bool EventQueue::SeekRing() {
+  cursor_ = FindOccupied(cursor_);
+  while (cursor_ < num_buckets_) {
+    Bucket& bucket = buckets_[cursor_];
+    while (!bucket.drained()) {
+      const Key& front = bucket.keys[bucket.head];
+      if (state_[front.id] == kPending) return true;
+      state_[front.id] = kDone;  // reap the cancelled key
+      TakeCallback(front.slot);
+      ++bucket.head;
+    }
+    bucket.reset();
+    ClearOccupied(cursor_);
+    cursor_ = FindOccupied(cursor_ + 1);
+  }
+  return false;
+}
+
+void EventQueue::CalendarSeek() {
+  for (;;) {
+    if (SeekRing()) return;
+    // Ring drained: slide the window to the far heap's minimum. Only Pop
+    // calls this, and it immediately pops that minimum, so simulated time
+    // catches up to the new base before any Push can observe it.
+    while (!far_.empty() && state_[far_.front().id] != kPending) {
+      state_[far_.front().id] = kDone;
+      TakeCallback(far_.front().slot);
+      std::pop_heap(far_.begin(), far_.end(), Later{});
+      far_.pop_back();
+    }
+    O2PC_CHECK(!far_.empty()) << "CalendarSeek on empty queue";
+    ring_base_ = far_.front().time - (far_.front().time % width_);
+    cursor_ = num_buckets_;
+    const SimTime ring_end = RingEnd();
+    while (!far_.empty() && far_.front().time < ring_end) {
+      const Key key = far_.front();
+      std::pop_heap(far_.begin(), far_.end(), Later{});
+      far_.pop_back();
+      if (state_[key.id] != kPending) {
+        state_[key.id] = kDone;
+        TakeCallback(key.slot);
+        continue;
+      }
+      CalendarPush(key);
+    }
+  }
+}
+
 SimTime EventQueue::PeekTime() {
-  SkipCancelled();
-  O2PC_CHECK(!heap_.empty()) << "PeekTime on empty queue";
-  return heap_.front().time;
+  O2PC_CHECK(live_count_ > 0) << "PeekTime on empty queue";
+  if (!calendar_) {
+    HeapSkipCancelled();
+    return heap_.front().time;
+  }
+  // Scan the ring without sliding the window (a slide is only safe inside
+  // Pop, where the popped event immediately advances simulated time past
+  // the new base).
+  if (SeekRing()) return buckets_[cursor_].keys[buckets_[cursor_].head].time;
+  while (!far_.empty() && state_[far_.front().id] != kPending) {
+    state_[far_.front().id] = kDone;
+    TakeCallback(far_.front().slot);
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    far_.pop_back();
+  }
+  O2PC_CHECK(!far_.empty()) << "PeekTime on empty queue";
+  return far_.front().time;
 }
 
 Event EventQueue::Pop() {
-  SkipCancelled();
-  O2PC_CHECK(!heap_.empty()) << "Pop on empty queue";
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  HeapEntry top = std::move(heap_.back());
-  heap_.pop_back();
+  O2PC_CHECK(live_count_ > 0) << "Pop on empty queue";
+  if (!calendar_) {
+    HeapSkipCancelled();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Key top = heap_.back();
+    heap_.pop_back();
+    state_[top.id] = kDone;
+    --live_count_;
+    return Event{top.time, top.id, TakeCallback(top.slot)};
+  }
+  CalendarSeek();
+  Bucket& bucket = buckets_[cursor_];
+  const Key top = bucket.keys[bucket.head];
+  ++bucket.head;
+  if (bucket.drained()) {
+    bucket.reset();
+    ClearOccupied(cursor_);
+  }
   state_[top.id] = kDone;
   --live_count_;
-  return Event{top.time, top.id, std::move(top.fn)};
+  return Event{top.time, top.id, TakeCallback(top.slot)};
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && state_[heap_.front().id] == kCancelled) {
+void EventQueue::HeapSkipCancelled() {
+  while (!heap_.empty() && state_[heap_.front().id] != kPending) {
     state_[heap_.front().id] = kDone;
+    TakeCallback(heap_.front().slot);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
+}
+
+void EventQueue::ResetForRun() {
+  slots_.clear();  // destroys any still-parked callbacks
+  free_slots_.clear();
+  state_.clear();
+  state_.push_back(kDone);
+  live_count_ = 0;
+  next_id_ = 1;
+  for (Bucket& bucket : buckets_) bucket.reset();
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  far_.clear();
+  heap_.clear();
+  ring_base_ = 0;
+  cursor_ = 0;
+  // width_/num_buckets_ keep their adapted geometry: pop order is
+  // geometry-independent, and a warm ring skips re-learning the density.
 }
 
 }  // namespace o2pc::sim

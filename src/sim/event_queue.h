@@ -10,9 +10,32 @@
 /// \file
 /// Priority queue of timed events with stable FIFO ordering among events
 /// scheduled for the same instant, so simulation runs are fully
-/// deterministic for a given seed. Events carry a small-buffer Callback
-/// (sim/callback.h) instead of a std::function, so the typical protocol
-/// capture lives inline in the heap slot — no per-event allocation.
+/// deterministic for a given seed.
+///
+/// Two implementations behind one class (selected once per process;
+/// `O2PC_EVENTQUEUE=heap` forces the fallback for A/B):
+///
+///  * **Calendar queue** (default): a ring of time-bucketed, sorted
+///    mini-vectors covering a sliding near-future window, with a binary
+///    heap holding the far tail (recovery windows, pre-vote timeouts).
+///    The protocol's timer distribution is strongly short-horizon —
+///    op costs and network hops of tens to hundreds of microseconds,
+///    retransmit spikes at a few milliseconds — so push and pop are O(1)
+///    amortized: append (or a short shift) into a small bucket, pop from
+///    the current bucket's head. The bucket count and width adapt
+///    deterministically to the observed density (they depend only on the
+///    push/pop sequence, never on wall clock).
+///  * **Binary heap**: ordered by (time, id), the pre-calendar engine.
+///
+/// Both implementations store only 24-byte POD keys in their ordering
+/// structure; the fat small-buffer `Callback` payloads are parked once in
+/// a stable free-list slab and never move while scheduled. (The old heap
+/// sifted 80-byte entries, paying an indirect relocate call per element
+/// move — millions per run.)
+///
+/// Pop order is exactly (time, id) in both implementations — bit-identical
+/// journals, pinned by the cross-implementation property test in
+/// tests/sim_test.cc and the determinism goldens.
 
 namespace o2pc::sim {
 
@@ -27,17 +50,20 @@ struct Event {
   Callback fn;
 };
 
-/// Min-heap of events ordered by (time, id). Cancellation is lazy: cancelled
-/// entries stay in the heap and are skipped when they surface. Ids are dense
-/// (1, 2, 3, ...), so per-event lifecycle state is a direct-indexed byte
-/// vector — Cancel is O(1) with no hashing and no heap scan.
+/// Min-queue of events ordered by (time, id). Cancellation is lazy in the
+/// ordering structure but eager in the slab: Cancel destroys the callback
+/// and recycles its slot in O(1) (ids are dense, so per-event lifecycle
+/// state is a direct-indexed byte vector); the stale key is skipped when
+/// it surfaces.
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
 
-  /// Adds `fn` at absolute time `time`. Returns a cancellation handle.
+  /// Adds `fn` at absolute time `time` (>= the last popped time). Returns
+  /// a cancellation handle.
   EventId Push(SimTime time, Callback fn);
 
   /// Cancels a previously pushed event. Returns false if the event already
@@ -56,33 +82,110 @@ class EventQueue {
   /// Removes and returns the earliest runnable event. Pre: !empty().
   Event Pop();
 
+  /// Clears all state for a fresh run, retaining every buffer — bucket
+  /// ring, slab, free list — and the adapted calendar geometry (pop order
+  /// is geometry-independent, so a warm queue stays byte-identical to a
+  /// cold one). Part of the world-reuse reset contract (DESIGN §16).
+  void ResetForRun();
+
+  /// True when this queue runs the calendar implementation (tests/bench).
+  bool using_calendar() const { return calendar_; }
+
+  /// Forces the implementation for this instance (bench_micro A/Bs both in
+  /// one process). Only valid on an empty queue.
+  void ForceImplementation(bool calendar);
+
  private:
   /// Lifecycle of an id, indexed by the id itself.
   enum State : std::uint8_t {
-    kDone = 0,       // ran, or cancelled and reaped — not in the heap
-    kPending = 1,    // in the heap, will run
-    kCancelled = 2,  // in the heap, will be skipped when it surfaces
+    kDone = 0,       // ran, or was cancelled — not scheduled
+    kPending = 1,    // scheduled, will run
+    kCancelled = 2,  // key still in the structure, skipped when it surfaces
   };
 
-  struct HeapEntry {
+  /// Ordering key: everything the structure moves around. POD, 24 bytes.
+  struct Key {
     SimTime time;
     EventId id;
-    Callback fn;
+    std::uint32_t slot;  // index of the parked Callback in slots_
   };
   struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    bool operator()(const Key& a, const Key& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.id > b.id;
     }
   };
 
-  /// Drops cancelled entries sitting at the top of the heap.
-  void SkipCancelled();
+  /// One calendar bucket: a sorted mini-vector consumed from the front.
+  /// `head` avoids erase-from-front; the vector compacts when drained.
+  struct Bucket {
+    std::vector<Key> keys;
+    std::size_t head = 0;
 
-  std::vector<HeapEntry> heap_;  // managed with std::push_heap/pop_heap
+    bool drained() const { return head >= keys.size(); }
+    void reset() {
+      keys.clear();
+      head = 0;
+    }
+  };
+
+  std::uint32_t ParkCallback(Callback fn);
+  Callback TakeCallback(std::uint32_t slot);
+
+  // -- calendar implementation --
+  void CalendarPush(const Key& key);
+  /// Index of the bucket covering `time` (pre: within the ring window).
+  std::size_t BucketIndex(SimTime time) const {
+    return static_cast<std::size_t>((time - ring_base_) / width_) & mask_;
+  }
+  SimTime RingEnd() const {
+    return ring_base_ + static_cast<SimTime>(num_buckets_) * width_;
+  }
+  /// Advances cursor_ to the first bucket holding a live key, reaping
+  /// cancelled heads on the way. Returns false when the ring is fully
+  /// drained (cursor_ == num_buckets_). Empty buckets are skipped via the
+  /// occupancy bitmap — a word scan, not a bucket scan, so a sparse window
+  /// costs (num_buckets / 64) loads per sweep instead of num_buckets.
+  bool SeekRing();
+  /// SeekRing, plus window re-base from the far heap when the ring drains.
+  /// Pre: !empty(). Post: buckets_[cursor_] front is live.
+  void CalendarSeek();
+  void MarkOccupied(std::size_t bucket) {
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+  void ClearOccupied(std::size_t bucket) {
+    occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+  /// First bucket index >= `from` with any key scheduled; num_buckets_ if
+  /// none.
+  std::size_t FindOccupied(std::size_t from) const;
+  /// Re-buckets every scheduled ring key into a ring of `num_buckets`
+  /// buckets of `width` starting at `base`.
+  void Rebuild(SimTime base, SimTime width, std::size_t num_buckets);
+  /// Doubles the ring (halving the width) when a bucket overcrowds.
+  void MaybeSplit(std::size_t bucket_index);
+
+  // -- shared state --
+  bool calendar_ = true;
+  std::vector<Callback> slots_;        // parked callbacks, stable
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint8_t> state_{kDone};  // state_[id]; index 0 unused
   std::size_t live_count_ = 0;
   EventId next_id_ = 1;
+
+  // -- calendar state --
+  std::vector<Bucket> buckets_;  // ring; size is a power of two
+  std::vector<std::uint64_t> occupied_;  // bit per bucket: any key present
+  std::size_t num_buckets_ = 0;
+  std::size_t mask_ = 0;
+  SimTime width_ = 0;
+  SimTime ring_base_ = 0;
+  std::size_t cursor_ = 0;       // first ring bucket that may hold work
+  std::vector<Key> far_;         // min-heap: keys at or past RingEnd()
+
+  // -- binary-heap fallback --
+  std::vector<Key> heap_;  // managed with std::push_heap/pop_heap
+  void HeapSkipCancelled();
 };
 
 }  // namespace o2pc::sim

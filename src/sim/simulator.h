@@ -55,6 +55,16 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Returns the kernel to its just-constructed state for a fresh run,
+  /// retaining the queue's buffers and adapted calendar geometry (part of
+  /// the world-reuse reset contract, DESIGN §16).
+  void ResetForRun() {
+    queue_.ResetForRun();
+    now_ = 0;
+    stopped_ = false;
+    events_executed_ = 0;
+  }
+
  private:
   /// Pops and runs one event. Pre: !Idle().
   void Step();

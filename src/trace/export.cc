@@ -1,5 +1,6 @@
 #include "trace/export.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -62,26 +63,58 @@ std::string DisplayName(const TraceEvent& event) {
 
 }  // namespace
 
-std::string ToJsonLine(const TraceEvent& event) {
-  std::ostringstream out;
-  out << "{\"t\":" << event.time << ",\"type\":\""
-      << EventTypeName(event.type) << "\",\"site\":" << SiteField(event.site)
-      << ",\"txn\":" << event.txn << ",\"a\":" << event.a
-      << ",\"b\":" << event.b;
+void AppendJsonLine(const TraceEvent& event, std::string* out) {
+  char buf[24];
+  const auto append_int = [&](std::int64_t value) {
+    const auto end = std::to_chars(buf, buf + sizeof(buf), value).ptr;
+    out->append(buf, end);
+  };
+  const auto append_uint = [&](std::uint64_t value) {
+    const auto end = std::to_chars(buf, buf + sizeof(buf), value).ptr;
+    out->append(buf, end);
+  };
+  out->append("{\"t\":");
+  append_int(event.time);
+  out->append(",\"type\":\"");
+  out->append(EventTypeName(event.type));
+  out->append("\",\"site\":");
+  append_int(SiteField(event.site));
+  out->append(",\"txn\":");
+  append_uint(event.txn);
+  out->append(",\"a\":");
+  append_int(event.a);
+  out->append(",\"b\":");
+  append_int(event.b);
   if (IsMsgEvent(event.type)) {
-    out << ",\"msg\":\"" << MsgName(event.a) << "\"";
+    out->append(",\"msg\":\"");
+    out->append(MsgName(event.a));
+    out->push_back('"');
   } else if (event.type == EventType::kMarkInsert) {
-    out << ",\"reason\":\""
-        << MarkReasonName(static_cast<MarkReason>(event.a)) << "\"";
+    out->append(",\"reason\":\"");
+    out->append(MarkReasonName(static_cast<MarkReason>(event.a)));
+    out->push_back('"');
   }
-  out << "}";
-  return out.str();
+  out->push_back('}');
+}
+
+std::string ToJsonLine(const TraceEvent& event) {
+  std::string out;
+  AppendJsonLine(event, &out);
+  return out;
+}
+
+std::string ExportJsonlString(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const TraceEvent& event : events) {
+    AppendJsonLine(event, &out);
+    out.push_back('\n');
+  }
+  return out;
 }
 
 void ExportJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
-  for (const TraceEvent& event : events) {
-    out << ToJsonLine(event) << "\n";
-  }
+  out << ExportJsonlString(events);
 }
 
 void ExportChromeTrace(const std::vector<TraceEvent>& events,

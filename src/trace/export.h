@@ -23,6 +23,16 @@ namespace o2pc::trace {
 /// {"t":1234,"type":"lock_release","site":0,"txn":7,"a":3,"b":1}
 std::string ToJsonLine(const TraceEvent& event);
 
+/// ToJsonLine appended to `*out` (no trailing newline). The journal hot
+/// path: integer formatting via std::to_chars into one growing buffer —
+/// no ostringstream, no locale machinery, no per-line string.
+void AppendJsonLine(const TraceEvent& event, std::string* out);
+
+/// Whole-journal JSONL as one string (one line per event,
+/// newline-terminated). Byte-identical to ExportJsonl's stream output;
+/// this is what the campaign runner fingerprints per run.
+std::string ExportJsonlString(const std::vector<TraceEvent>& events);
+
 /// Whole-journal JSONL (one ToJsonLine per event, newline-terminated).
 void ExportJsonl(const std::vector<TraceEvent>& events, std::ostream& out);
 

@@ -152,6 +152,14 @@ class TraceRecorder {
   std::size_t size() const { return events_.size(); }
   void Clear() { events_.clear(); }
 
+  /// World-reuse reset contract (DESIGN §16): drop every recorded event,
+  /// retaining the journal buffer's capacity, and unbind the clock (the
+  /// next run's ScopedTrace rebinds its own simulator).
+  void ResetForRun() {
+    events_.clear();
+    simulator_ = nullptr;
+  }
+
   /// Events of one type, in order (convenience for tests/checkers).
   std::vector<TraceEvent> EventsOfType(EventType type) const;
 

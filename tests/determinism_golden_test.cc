@@ -15,11 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "campaign/fault_plan.h"
 #include "campaign/runner.h"
+#include "exec/world_pool.h"
+#include "telemetry/report.h"
 
 namespace o2pc {
 namespace {
@@ -74,6 +77,66 @@ TEST(DeterminismGoldenTest, TraceJournalFingerprintPinned) {
   EXPECT_EQ(result.fingerprint, campaign::Fingerprint(result.journal));
   EXPECT_EQ(result.fingerprint, kGoldenJournalFingerprint)
       << "actual: " << std::hex << result.fingerprint;
+}
+
+// World-reuse gate (DESIGN §16): a run executed inside a recycled
+// thread-local world — the worker's arena rewound over a previous,
+// *different* run's world — must be byte-identical to the same run from a
+// freshly constructed world: journal bytes, journal fingerprint, and the
+// telemetry JSON rendered from the run. Three seeds, including a
+// crash_restarts plan (recovery is the deepest state machine a recycled
+// world replays).
+TEST(DeterminismGoldenTest, RecycledWorldByteIdenticalToFreshWorld) {
+  if (!exec::WorldPool::Enabled()) {
+    GTEST_SKIP() << "arena machinery unavailable (sanitizer build or "
+                    "O2PC_RUN_ARENA=off)";
+  }
+  struct Case {
+    std::uint64_t seed;
+    const char* template_name;
+  };
+  const Case cases[] = {
+      {3, "mixed"}, {17, "crash_restarts"}, {29, "drops"}};
+  for (const Case& c : cases) {
+    campaign::CampaignRunConfig config;
+    config.seed = c.seed;
+    config.template_name = c.template_name;
+    config.plan =
+        campaign::GeneratePlan(c.template_name, c.seed, config.num_sites);
+    config.collect_telemetry = true;
+
+    // Fresh world: plain heap construction, no arena involved.
+    const campaign::CampaignRunResult fresh = campaign::RunOne(config);
+
+    // Dirty the worker's arena with a different run, then recycle it (the
+    // ScopedRun below rewinds that world) for the run under test.
+    {
+      exec::WorldPool::ScopedRun dirty;
+      campaign::CampaignRunConfig other = config;
+      other.seed = c.seed + 1000;
+      other.plan = campaign::GeneratePlan(c.template_name, other.seed,
+                                          other.num_sites);
+      (void)campaign::RunOne(other);
+    }
+    std::optional<exec::WorldPool::ScopedRun> scope(std::in_place);
+    ASSERT_TRUE(scope->recycled());
+    const campaign::CampaignRunResult armed = campaign::RunOne(config);
+    scope.reset();  // disarm; arena stays readable until the next open
+    const campaign::CampaignRunResult recycled(armed);  // deep copy off-arena
+
+    EXPECT_EQ(recycled.fingerprint, fresh.fingerprint)
+        << c.template_name << " seed " << c.seed;
+    EXPECT_EQ(recycled.journal, fresh.journal);
+    EXPECT_EQ(recycled.committed, fresh.committed);
+    EXPECT_EQ(recycled.aborted, fresh.aborted);
+
+    // Telemetry JSON: render both runs through the sweep serializer.
+    telemetry::TelemetryAccumulator fresh_acc, recycled_acc;
+    fresh_acc.AddRun("o2pc", fresh.telemetry);
+    recycled_acc.AddRun("o2pc", recycled.telemetry);
+    EXPECT_EQ(recycled_acc.Build().ToJson(), fresh_acc.Build().ToJson())
+        << c.template_name << " seed " << c.seed;
+  }
 }
 
 #endif  // O2PC_TRACE_DISABLED

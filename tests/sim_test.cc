@@ -211,6 +211,132 @@ TEST(EventQueueTest, RandomizedPushCancelPopMatchesReferenceModel) {
   }
 }
 
+// Cross-implementation property test: the calendar queue and the binary
+// heap must pop the exact same (time, id) sequence on protocol-shaped
+// schedules — dense near-future op/hop timers, retransmit spikes a few
+// milliseconds out, and a long recovery tail that lives in the far heap —
+// with cancels mixed in. This is the invariant that makes
+// O2PC_EVENTQUEUE=heap a byte-identical A/B switch.
+TEST(EventQueueTest, CalendarAndHeapPopIdenticallyOnProtocolShapedLoad) {
+  for (std::uint64_t seed : {2u, 42u, 777u}) {
+    Rng rng(seed);
+    EventQueue calendar;
+    EventQueue heap;
+    calendar.ForceImplementation(true);
+    heap.ForceImplementation(false);
+    ASSERT_TRUE(calendar.using_calendar());
+    ASSERT_FALSE(heap.using_calendar());
+    std::vector<EventId> live;
+    SimTime now = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op <= 5) {
+        const int shape = static_cast<int>(rng.Uniform(0, 9));
+        Duration delta = 0;
+        if (shape <= 6) {
+          delta = rng.Uniform(0, 200);  // op costs and network hops
+        } else if (shape <= 8) {
+          delta = rng.Uniform(1000, 20000);  // retransmit spikes
+        } else {
+          delta = rng.Uniform(50000, 500000);  // recovery windows
+        }
+        const SimTime time = now + delta;
+        const EventId a = calendar.Push(time, [] {});
+        const EventId b = heap.Push(time, [] {});
+        ASSERT_EQ(a, b);
+        live.push_back(a);
+      } else if (op <= 7) {
+        if (live.empty()) continue;
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.Uniform(0, static_cast<std::int64_t>(live.size()) - 1));
+        const EventId id = live[pick];
+        live.erase(live.begin() + pick);
+        EXPECT_EQ(calendar.Cancel(id), heap.Cancel(id));
+      } else {
+        if (calendar.empty()) {
+          EXPECT_TRUE(heap.empty());
+          continue;
+        }
+        ASSERT_FALSE(heap.empty());
+        EXPECT_EQ(calendar.PeekTime(), heap.PeekTime());
+        const Event a = calendar.Pop();
+        const Event b = heap.Pop();
+        ASSERT_EQ(a.time, b.time);
+        ASSERT_EQ(a.id, b.id);
+        now = a.time;
+        live.erase(std::remove(live.begin(), live.end(), a.id), live.end());
+      }
+      ASSERT_EQ(calendar.size(), heap.size());
+    }
+    while (!calendar.empty()) {
+      ASSERT_FALSE(heap.empty());
+      const Event a = calendar.Pop();
+      const Event b = heap.Pop();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.id, b.id);
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+// ResetForRun keeps buffers and adapted calendar geometry but must make a
+// recycled queue behave exactly like a fresh one: the same drive sequence
+// pops the same (time, id) pairs (ids restart at 1).
+TEST(EventQueueTest, ResetForRunReplaysIdentically) {
+  EventQueue queue;
+  const auto drive = [&queue] {
+    std::vector<std::pair<SimTime, EventId>> pops;
+    Rng rng(99);
+    std::vector<EventId> live;
+    SimTime now = 0;
+    for (int step = 0; step < 1500; ++step) {
+      const int op = static_cast<int>(rng.Uniform(0, 9));
+      if (op <= 5) {
+        const SimTime time = now + rng.Uniform(0, 30000);
+        live.push_back(queue.Push(time, [] {}));
+      } else if (op <= 7) {
+        if (live.empty()) continue;
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.Uniform(0, static_cast<std::int64_t>(live.size()) - 1));
+        queue.Cancel(live[pick]);
+        live.erase(live.begin() + pick);
+      } else if (!queue.empty()) {
+        const Event event = queue.Pop();
+        pops.emplace_back(event.time, event.id);
+        now = event.time;
+        live.erase(std::remove(live.begin(), live.end(), event.id),
+                   live.end());
+      }
+    }
+    while (!queue.empty()) {
+      const Event event = queue.Pop();
+      pops.emplace_back(event.time, event.id);
+    }
+    return pops;
+  };
+  const auto fresh = drive();
+  queue.ResetForRun();
+  const auto recycled = drive();
+  EXPECT_EQ(fresh, recycled);
+  EXPECT_FALSE(fresh.empty());
+}
+
+TEST(SimulatorTest, ResetForRunRestartsTheClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(25, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 25);
+  sim.ResetForRun();
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.events_executed(), 0u);
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
 TEST(SimulatorTest, ZeroDelayRunsAfterPendingSameTimeEvents) {
   Simulator sim;
   std::vector<int> order;
